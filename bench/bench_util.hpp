@@ -1,0 +1,65 @@
+// Shared plumbing for the figure-reproduction binaries: quality-preset
+// handling, headers, and the common (algorithm x configuration) runner.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/quality.hpp"
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+#include "sched/registry.hpp"
+#include "vm/config.hpp"
+
+namespace vcpusim::bench {
+
+/// The paper's three algorithms, in its order.
+inline const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> algorithms = {"rrs", "scs", "rcs"};
+  return algorithms;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& setup_description) {
+  const auto quality = exp::quality_from_env();
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << setup_description << "\n"
+            << "simulation: horizon " << quality.end_time << " ticks, warmup "
+            << quality.warmup << ", "
+            << quality.policy.confidence * 100 << "% confidence, target CI "
+            << "half-width " << quality.policy.target_half_width
+            << " (set VCPUSIM_QUALITY=fast|paper|full)\n"
+            << "==============================================================\n";
+}
+
+/// Evaluate one metric for one algorithm on one system configuration,
+/// under the environment-selected quality preset.
+inline stats::MetricEstimate run_metric(const std::string& algorithm,
+                                        const vm::SystemConfig& system,
+                                        const exp::MetricRequest& metric,
+                                        std::uint64_t base_seed = 42) {
+  exp::RunSpec spec;
+  spec.system = system;
+  spec.scheduler = sched::make_factory(algorithm);
+  spec.base_seed = base_seed;
+  exp::apply(exp::quality_from_env(), spec);
+  auto result = exp::run_point(spec, {metric});
+  return result.metrics.front();
+}
+
+/// Evaluate several metrics at once (single experiment point).
+inline stats::ReplicationResult run_metrics(
+    const std::string& algorithm, const vm::SystemConfig& system,
+    const std::vector<exp::MetricRequest>& metrics,
+    std::uint64_t base_seed = 42) {
+  exp::RunSpec spec;
+  spec.system = system;
+  spec.scheduler = sched::make_factory(algorithm);
+  spec.base_seed = base_seed;
+  exp::apply(exp::quality_from_env(), spec);
+  return exp::run_point(spec, metrics);
+}
+
+}  // namespace vcpusim::bench

@@ -1,0 +1,47 @@
+// Reproduces paper Figure 10: "The averaged VCPU Utilization with four
+// PCPUs in different VM setups" — VM sets {2+2}, {2+3}, {2+4}, sync
+// ratio swept from 1:5 to 1:2, 4 PCPUs, under RRS, SCS and RCS.
+//
+// VCPU Utilization is the paper's synchronization-latency metric: the
+// portion of time a VCPU processes workload while it holds a PCPU.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vcpusim;
+
+  bench::print_header(
+      "Figure 10 — averaged VCPU Utilization (synchronization latency)",
+      "4 PCPUs; VM sets: set1 = {2,2} VCPUs, set2 = {2,3}, set3 = {2,4}; "
+      "sync ratio swept 1:5 .. 1:2");
+
+  const std::vector<std::pair<std::string, std::vector<int>>> sets = {
+      {"set1 (2+2 VCPUs)", {2, 2}},
+      {"set2 (2+3 VCPUs)", {2, 3}},
+      {"set3 (2+4 VCPUs)", {2, 4}},
+  };
+
+  for (const auto& [label, vms] : sets) {
+    exp::Table table({"sync ratio", "RRS", "SCS", "RCS"});
+    for (int k = 5; k >= 2; --k) {
+      std::vector<std::string> row = {"1:" + std::to_string(k)};
+      for (const auto& algorithm : bench::paper_algorithms()) {
+        const auto system = vm::make_symmetric_config(4, vms, k);
+        const auto estimate = bench::run_metric(
+            algorithm, system,
+            {exp::MetricKind::kMeanVcpuUtilization, -1, "u"});
+        row.push_back(exp::format_ci_percent(estimate.ci));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "\n[" << label << "] VCPU Utilization, mean of all VCPUs "
+              << "(95% CI)\n"
+              << table.render();
+  }
+  std::cout << "\nExpected shape (paper IV.C): no algorithm difference when "
+               "#VCPU == #PCPU (set1); with over-commit the co-scheduling "
+               "algorithms reduce synchronization latency, and RRS degrades "
+               "fastest as the sync ratio tightens toward 1:2. Deviation "
+               "from the paper: our RCS (guest-aware idle-yield) edges out "
+               "SCS instead of trailing it slightly — see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the discrete-event SAN kernel:
+// events/second across system sizes, plus the primitive building blocks
+// (RNG, distribution sampling, event queue churn via an M/M/1 model).
+#include <benchmark/benchmark.h>
+
+#include "san/simulator.hpp"
+#include "sched/registry.hpp"
+#include "stats/distribution.hpp"
+#include "vm/metrics.hpp"
+#include "vm/system_builder.hpp"
+
+namespace {
+
+using namespace vcpusim;
+
+void BM_RngUniform01(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform01);
+
+void BM_ExponentialSample(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto dist = stats::make_exponential(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->sample(rng));
+  }
+}
+BENCHMARK(BM_ExponentialSample);
+
+void BM_MM1Events(benchmark::State& state) {
+  double total_events = 0;
+  for (auto _ : state) {
+    san::ComposedModel model("MM1");
+    auto& sub = model.add_submodel("Q");
+    auto queue = sub.add_place<std::int64_t>("queue", 0);
+    auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(0.5));
+    arrive.add_output_gate(
+        {"a", [queue](san::GateContext&) { queue->mut() += 1; }});
+    auto& serve = sub.add_timed_activity("serve", stats::make_exponential(1.0));
+    serve.add_input_gate(
+        {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+    serve.add_output_gate(
+        {"s", [queue](san::GateContext&) { queue->mut() -= 1; }});
+    san::SimulatorConfig config;
+    config.end_time = 10000.0;
+    config.seed = 7;
+    const auto stats_out = san::run_once(model, config);
+    total_events += static_cast<double>(stats_out.events);
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MM1Events)->Unit(benchmark::kMillisecond);
+
+/// Full virtualization-system simulation throughput at increasing scale:
+/// arg = number of 2-VCPU VMs (PCPUs = VMs, i.e. 50% over-commit).
+void BM_VirtualSystemScale(benchmark::State& state) {
+  const int vms = static_cast<int>(state.range(0));
+  double total_events = 0;
+  for (auto _ : state) {
+    auto system = vm::build_system(
+        vm::make_symmetric_config(vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5),
+        sched::make_factory("rrs")());
+    san::SimulatorConfig config;
+    config.end_time = 1000.0;
+    config.seed = 11;
+    const auto stats_out = san::run_once(*system->model, config);
+    total_events += static_cast<double>(stats_out.events);
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+  state.counters["vcpus"] = static_cast<double>(vms * 2);
+}
+BENCHMARK(BM_VirtualSystemScale)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Per-algorithm scheduling-function overhead on a fixed system.
+void BM_SchedulerTick(benchmark::State& state,
+                      const std::string& algorithm) {
+  double total_events = 0;
+  for (auto _ : state) {
+    auto system = vm::build_system(vm::make_symmetric_config(4, {2, 2, 2}, 5),
+                                   sched::make_factory(algorithm)());
+    san::SimulatorConfig config;
+    config.end_time = 2000.0;
+    config.seed = 3;
+    const auto stats_out = san::run_once(*system->model, config);
+    total_events += static_cast<double>(stats_out.events);
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_SchedulerTick, rrs, std::string("rrs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerTick, scs, std::string("scs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerTick, rcs, std::string("rcs"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerTick, credit, std::string("credit"))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+#include "cli/cli.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/scenario.hpp"
+#include "exp/table.hpp"
+#include "sched/registry.hpp"
+
+namespace vcpusim::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vcpusim [options]
+
+  --scenario FILE        run the experiment described by FILE
+  --pcpus N              number of physical CPUs (default 4)
+  --vm N                 add a VM with N VCPUs (repeatable)
+  --algorithm NAME       scheduling algorithm (default rrs)
+  --sync K               sync ratio 1:K for all VMs (default 5, 0 = off)
+  --timeslice T          scheduler timeslice in ticks (default 5)
+  --metric NAME          metric to report (repeatable; default: the
+                         paper's three). Names: availability,
+                         vcpu_utilization, busy_fraction,
+                         pcpu_utilization, blocked_fraction[i],
+                         throughput, spin_fraction,
+                         effective_utilization; per-VCPU variants take
+                         an index suffix, e.g. availability[2]
+  --end-time T           simulation horizon in ticks (default 3000)
+  --warmup T             reward warm-up (default 200)
+  --seed S               base seed (default 42)
+  --half-width W         CI half-width convergence target (default 0.02)
+  --max-replications N   replication cap (default 40)
+  --csv                  emit CSV instead of an aligned table
+  --compare              run ALL registered algorithms on the configured
+                         system and print one row per algorithm
+  --list-algorithms      print registered algorithms and exit
+  --help                 this text
+)";
+
+struct Options {
+  Scenario scenario;
+  bool have_scenario_file = false;
+  bool csv = false;
+  bool compare = false;
+  std::vector<int> vm_sizes;
+  int sync_k = 5;
+  bool list_algorithms = false;
+  bool help = false;
+};
+
+int parse_args(int argc, const char* const* argv, Options& options,
+               std::ostream& err) {
+  auto& spec = options.scenario.spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        err << "vcpusim: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        options.help = true;
+      } else if (arg == "--list-algorithms") {
+        options.list_algorithms = true;
+      } else if (arg == "--csv") {
+        options.csv = true;
+      } else if (arg == "--compare") {
+        options.compare = true;
+      } else if (arg == "--scenario") {
+        const char* v = need_value("--scenario");
+        if (v == nullptr) return 1;
+        options.scenario = load_scenario(v);
+        options.have_scenario_file = true;
+      } else if (arg == "--pcpus") {
+        const char* v = need_value("--pcpus");
+        if (v == nullptr) return 1;
+        spec.system.num_pcpus = std::atoi(v);
+      } else if (arg == "--vm") {
+        const char* v = need_value("--vm");
+        if (v == nullptr) return 1;
+        options.vm_sizes.push_back(std::atoi(v));
+      } else if (arg == "--algorithm") {
+        const char* v = need_value("--algorithm");
+        if (v == nullptr) return 1;
+        options.scenario.algorithm = v;
+      } else if (arg == "--sync") {
+        const char* v = need_value("--sync");
+        if (v == nullptr) return 1;
+        options.sync_k = std::atoi(v);
+      } else if (arg == "--timeslice") {
+        const char* v = need_value("--timeslice");
+        if (v == nullptr) return 1;
+        spec.system.default_timeslice = std::atof(v);
+      } else if (arg == "--metric") {
+        const char* v = need_value("--metric");
+        if (v == nullptr) return 1;
+        options.scenario.metrics.push_back(parse_metric(v));
+      } else if (arg == "--end-time") {
+        const char* v = need_value("--end-time");
+        if (v == nullptr) return 1;
+        spec.end_time = std::atof(v);
+      } else if (arg == "--warmup") {
+        const char* v = need_value("--warmup");
+        if (v == nullptr) return 1;
+        spec.warmup = std::atof(v);
+      } else if (arg == "--seed") {
+        const char* v = need_value("--seed");
+        if (v == nullptr) return 1;
+        spec.base_seed = static_cast<std::uint64_t>(std::atoll(v));
+      } else if (arg == "--half-width") {
+        const char* v = need_value("--half-width");
+        if (v == nullptr) return 1;
+        spec.policy.target_half_width = std::atof(v);
+      } else if (arg == "--max-replications") {
+        const char* v = need_value("--max-replications");
+        if (v == nullptr) return 1;
+        spec.policy.max_replications = static_cast<std::size_t>(std::atoll(v));
+      } else {
+        err << "vcpusim: unknown option '" << arg << "' (--help for usage)\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      err << "vcpusim: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  Options options;
+  if (const int rc = parse_args(argc, argv, options, err); rc != 0) return rc;
+
+  if (options.help) {
+    out << kUsage;
+    return 0;
+  }
+  if (options.list_algorithms) {
+    for (const auto& name : sched::builtin_algorithms()) out << name << "\n";
+    return 0;
+  }
+
+  try {
+    auto& scenario = options.scenario;
+    if (!options.have_scenario_file) {
+      if (options.vm_sizes.empty()) options.vm_sizes = {2, 2};
+      const double timeslice = scenario.spec.system.default_timeslice;
+      const int pcpus = scenario.spec.system.num_pcpus;
+      scenario.spec.system =
+          vm::make_symmetric_config(pcpus, options.vm_sizes, options.sync_k);
+      scenario.spec.system.default_timeslice = timeslice;
+      if (scenario.metrics.empty()) {
+        scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},
+                            {exp::MetricKind::kPcpuUtilization, -1, ""},
+                            {exp::MetricKind::kMeanVcpuUtilization, -1, ""}};
+      }
+    }
+    scenario.spec.system.validate();
+
+    if (options.compare) {
+      // One row per algorithm, one column per metric.
+      std::vector<std::string> columns = {"algorithm"};
+      for (const auto& m : scenario.metrics) {
+        columns.push_back(m.label.empty() ? exp::default_label(m) : m.label);
+      }
+      columns.push_back("replications");
+      exp::Table table(std::move(columns));
+      for (const auto& name : sched::builtin_algorithms()) {
+        scenario.spec.scheduler = sched::make_factory(name);
+        const auto result = exp::run_point(scenario.spec, scenario.metrics);
+        std::vector<std::string> row = {name};
+        for (const auto& m : result.metrics) {
+          row.push_back(exp::format_fixed(m.ci.mean, 4) + " ±" +
+                        exp::format_fixed(m.ci.half_width, 4));
+        }
+        row.push_back(std::to_string(result.replications));
+        table.add_row(std::move(row));
+      }
+      out << (options.csv ? table.to_csv() : table.render());
+      return 0;
+    }
+
+    scenario.spec.scheduler = sched::make_factory(scenario.algorithm);
+    const auto result = exp::run_point(scenario.spec, scenario.metrics);
+
+    exp::Table table({"metric", "mean", "ci_half_width", "replications",
+                      "converged"});
+    for (const auto& m : result.metrics) {
+      table.add_row({m.name, exp::format_fixed(m.ci.mean, 4),
+                     exp::format_fixed(m.ci.half_width, 4),
+                     std::to_string(result.replications),
+                     result.converged ? "yes" : "no"});
+    }
+    out << (options.csv ? table.to_csv() : table.render());
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    err << "vcpusim: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "vcpusim: simulation failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace vcpusim::cli

@@ -1,0 +1,21 @@
+// The `vcpusim` command-line front-end: run an experiment described by a
+// scenario file or by flags, print a result table (or CSV).
+//
+//   vcpusim --scenario cloud.scn
+//   vcpusim --pcpus 4 --vm 2 --vm 4 --algorithm rcs --sync 3 \
+//           --metric vcpu_utilization --metric pcpu_utilization
+//   vcpusim --list-algorithms
+//
+// Exposed as a function so tests can drive it without a process.
+#pragma once
+
+#include <iosfwd>
+
+namespace vcpusim::cli {
+
+/// Returns the process exit code (0 success, 1 input error, 2 runtime
+/// failure). Writes results to `out` and diagnostics to `err`.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace vcpusim::cli

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return vcpusim::cli::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,244 @@
+#include "cli/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+
+namespace vcpusim::cli {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+double parse_number(int line, const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const double x = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing");
+    return x;
+  } catch (const std::exception&) {
+    fail(line, "invalid number for '" + key + "': " + v);
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream is(s);
+  std::string token;
+  while (std::getline(is, token, sep)) {
+    const std::string t = trim(token);
+    if (!t.empty()) parts.push_back(t);
+  }
+  return parts;
+}
+
+}  // namespace
+
+exp::MetricRequest parse_metric(const std::string& name) {
+  std::string base = lower(trim(name));
+  int index = -1;
+  const auto open = base.find('[');
+  if (open != std::string::npos) {
+    const auto close = base.find(']', open);
+    if (close == std::string::npos) {
+      throw std::invalid_argument("metric '" + name + "': missing ']'");
+    }
+    try {
+      index = std::stoi(base.substr(open + 1, close - open - 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("metric '" + name + "': bad index");
+    }
+    base = base.substr(0, open);
+  }
+  const bool indexed = index >= 0;
+  if (base == "availability" || base == "vcpu_availability") {
+    return {indexed ? exp::MetricKind::kVcpuAvailability
+                    : exp::MetricKind::kMeanVcpuAvailability,
+            index, ""};
+  }
+  if (base == "vcpu_utilization" || base == "utilization") {
+    return {indexed ? exp::MetricKind::kVcpuUtilization
+                    : exp::MetricKind::kMeanVcpuUtilization,
+            index, ""};
+  }
+  if (base == "busy_fraction") {
+    return {indexed ? exp::MetricKind::kVcpuBusyFraction
+                    : exp::MetricKind::kMeanVcpuBusyFraction,
+            index, ""};
+  }
+  if (base == "pcpu_utilization" || base == "pcpu") {
+    return {exp::MetricKind::kPcpuUtilization, -1, ""};
+  }
+  if (base == "blocked_fraction") {
+    if (!indexed) {
+      throw std::invalid_argument(
+          "metric 'blocked_fraction' requires a VM index, e.g. "
+          "blocked_fraction[0]");
+    }
+    return {exp::MetricKind::kVmBlockedFraction, index, ""};
+  }
+  if (base == "throughput") return {exp::MetricKind::kThroughput, -1, ""};
+  if (base == "spin_fraction") {
+    return {exp::MetricKind::kMeanSpinFraction, -1, ""};
+  }
+  if (base == "effective_utilization") {
+    return {exp::MetricKind::kMeanEffectiveUtilization, -1, ""};
+  }
+  throw std::invalid_argument("unknown metric: " + name);
+}
+
+Scenario parse_scenario(std::istream& in) {
+  Scenario scenario;
+  scenario.spec.system.vms.clear();
+  vm::VmConfig* current_vm = nullptr;
+
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    std::string text = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (text.empty()) continue;
+
+    if (text.front() == '[') {
+      if (text.back() != ']') fail(line, "unterminated section header");
+      const std::string inside = trim(text.substr(1, text.size() - 2));
+      const auto space = inside.find(' ');
+      const std::string kind =
+          lower(space == std::string::npos ? inside : inside.substr(0, space));
+      if (kind != "vm") fail(line, "unknown section '" + inside + "'");
+      vm::VmConfig vm_cfg;
+      if (space != std::string::npos) vm_cfg.name = trim(inside.substr(space + 1));
+      scenario.spec.system.vms.push_back(std::move(vm_cfg));
+      current_vm = &scenario.spec.system.vms.back();
+      continue;
+    }
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line, "expected 'key = value'");
+    const std::string key = lower(trim(text.substr(0, eq)));
+    const std::string value = trim(text.substr(eq + 1));
+    if (value.empty()) fail(line, "empty value for '" + key + "'");
+
+    if (current_vm == nullptr) {
+      // Global section.
+      if (key == "pcpus") {
+        scenario.spec.system.num_pcpus =
+            static_cast<int>(parse_number(line, key, value));
+      } else if (key == "timeslice") {
+        scenario.spec.system.default_timeslice = parse_number(line, key, value);
+      } else if (key == "algorithm") {
+        scenario.algorithm = lower(value);
+      } else if (key == "end_time") {
+        scenario.spec.end_time = parse_number(line, key, value);
+      } else if (key == "warmup") {
+        scenario.spec.warmup = parse_number(line, key, value);
+      } else if (key == "seed") {
+        scenario.spec.base_seed =
+            static_cast<std::uint64_t>(parse_number(line, key, value));
+      } else if (key == "confidence") {
+        scenario.spec.policy.confidence = parse_number(line, key, value);
+      } else if (key == "half_width") {
+        scenario.spec.policy.target_half_width = parse_number(line, key, value);
+      } else if (key == "min_replications") {
+        scenario.spec.policy.min_replications =
+            static_cast<std::size_t>(parse_number(line, key, value));
+      } else if (key == "max_replications") {
+        scenario.spec.policy.max_replications =
+            static_cast<std::size_t>(parse_number(line, key, value));
+      } else if (key == "metrics") {
+        for (const auto& m : split(value, ',')) {
+          try {
+            scenario.metrics.push_back(parse_metric(m));
+          } catch (const std::exception& e) {
+            fail(line, e.what());
+          }
+        }
+      } else {
+        fail(line, "unknown key '" + key + "'");
+      }
+      continue;
+    }
+
+    // VM section.
+    if (key == "vcpus") {
+      current_vm->num_vcpus = static_cast<int>(parse_number(line, key, value));
+    } else if (key == "load") {
+      try {
+        current_vm->load_distribution = stats::parse_distribution(value);
+      } catch (const std::exception& e) {
+        fail(line, e.what());
+      }
+    } else if (key == "inter_generation") {
+      try {
+        current_vm->inter_generation = stats::parse_distribution(value);
+      } catch (const std::exception& e) {
+        fail(line, e.what());
+      }
+    } else if (key == "sync_ratio") {
+      current_vm->sync_ratio_k = static_cast<int>(parse_number(line, key, value));
+    } else if (key == "sync_mode") {
+      const std::string mode = lower(value);
+      if (mode == "every_kth") {
+        current_vm->sync_mode = vm::SyncMode::kEveryKth;
+      } else if (mode == "random") {
+        current_vm->sync_mode = vm::SyncMode::kRandom;
+      } else {
+        fail(line, "sync_mode must be 'every_kth' or 'random'");
+      }
+    } else if (key == "spinlock") {
+      const auto parts = split(value, ' ');
+      if (parts.size() != 2) {
+        fail(line, "spinlock expects two numbers: lock_probability "
+                   "critical_fraction");
+      }
+      current_vm->spinlock.enabled = true;
+      current_vm->spinlock.lock_probability = parse_number(line, key, parts[0]);
+      current_vm->spinlock.critical_fraction = parse_number(line, key, parts[1]);
+    } else {
+      fail(line, "unknown VM key '" + key + "'");
+    }
+  }
+
+  if (scenario.spec.system.vms.empty()) {
+    throw std::invalid_argument("scenario defines no [vm] sections");
+  }
+  if (scenario.metrics.empty()) {
+    scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},
+                        {exp::MetricKind::kPcpuUtilization, -1, ""},
+                        {exp::MetricKind::kMeanVcpuUtilization, -1, ""}};
+  }
+  scenario.spec.scheduler = sched::make_factory(scenario.algorithm);
+  scenario.spec.system.validate();
+  return scenario;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::invalid_argument("cannot open scenario file: " + path);
+  }
+  return parse_scenario(file);
+}
+
+}  // namespace vcpusim::cli

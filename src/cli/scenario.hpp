@@ -1,0 +1,62 @@
+// Scenario files: a small text format describing a complete experiment —
+// the framework's replacement for assembling models in the Mobius GUI.
+//
+//   # host
+//   pcpus = 4
+//   timeslice = 5
+//   algorithm = rcs
+//   end_time = 3000
+//   warmup = 200
+//   seed = 42
+//   confidence = 0.95
+//   half_width = 0.02
+//   min_replications = 6
+//   max_replications = 40
+//   metrics = vcpu_utilization, pcpu_utilization, throughput
+//
+//   [vm web]
+//   vcpus = 2
+//   load = uniformint(1,10)
+//   inter_generation = deterministic(0)
+//   sync_ratio = 5
+//   sync_mode = every_kth        # or: random
+//   spinlock = 0.5 0.3           # lock probability, critical fraction
+//
+//   [vm db]
+//   vcpus = 4
+//
+// Lines starting with '#' (or after a '#') are comments. Keys are
+// case-insensitive; unknown keys are errors (typo safety).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace vcpusim::cli {
+
+/// A parsed scenario: everything needed to run one experiment point.
+struct Scenario {
+  std::string algorithm = "rrs";
+  exp::RunSpec spec;                        ///< system + simulation knobs
+  std::vector<exp::MetricRequest> metrics;  ///< defaults if file names none
+};
+
+/// Parse a scenario from a stream. Throws std::invalid_argument with a
+/// "line N: ..." message on malformed input. The returned Scenario's
+/// spec.scheduler is already set from `algorithm`.
+Scenario parse_scenario(std::istream& in);
+
+/// Parse a scenario from a file path. Throws std::invalid_argument if
+/// the file cannot be opened.
+Scenario load_scenario(const std::string& path);
+
+/// Map a metric name ("vcpu_utilization", "pcpu_utilization",
+/// "availability", "busy_fraction", "blocked_fraction", "throughput",
+/// "spin_fraction", "effective_utilization") to a request. Per-entity
+/// kinds accept an index suffix "name[3]". Throws on unknown names.
+exp::MetricRequest parse_metric(const std::string& name);
+
+}  // namespace vcpusim::cli

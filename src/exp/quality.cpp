@@ -1,0 +1,55 @@
+#include "exp/quality.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vcpusim::exp {
+
+Quality quality_preset(const std::string& name) {
+  if (name == "fast") {
+    return Quality{
+        .end_time = 1500.0,
+        .warmup = 100.0,
+        .policy = {.confidence = 0.95,
+                   .target_half_width = 0.04,
+                   .min_replications = 4,
+                   .max_replications = 12},
+    };
+  }
+  if (name == "paper") {
+    // The paper: 95% confidence, < 0.1 confidence interval. We target a
+    // tighter 0.02 half-width so the reproduced series are smooth.
+    return Quality{
+        .end_time = 3000.0,
+        .warmup = 200.0,
+        .policy = {.confidence = 0.95,
+                   .target_half_width = 0.02,
+                   .min_replications = 6,
+                   .max_replications = 40},
+    };
+  }
+  if (name == "full") {
+    return Quality{
+        .end_time = 10000.0,
+        .warmup = 500.0,
+        .policy = {.confidence = 0.95,
+                   .target_half_width = 0.01,
+                   .min_replications = 10,
+                   .max_replications = 100},
+    };
+  }
+  throw std::invalid_argument("unknown quality preset: " + name);
+}
+
+Quality quality_from_env() {
+  const char* env = std::getenv("VCPUSIM_QUALITY");
+  return quality_preset(env != nullptr && *env != '\0' ? env : "paper");
+}
+
+void apply(const Quality& quality, RunSpec& spec) {
+  spec.end_time = quality.end_time;
+  spec.warmup = quality.warmup;
+  spec.policy = quality.policy;
+}
+
+}  // namespace vcpusim::exp

@@ -1,0 +1,161 @@
+#include "exp/runner.hpp"
+
+#include <stdexcept>
+
+#include "san/experiment.hpp"
+#include "san/simulator.hpp"
+#include "vm/metrics.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim::exp {
+
+std::string default_label(const MetricRequest& request) {
+  switch (request.kind) {
+    case MetricKind::kVcpuAvailability:
+      return "vcpu_availability[" + std::to_string(request.index) + "]";
+    case MetricKind::kMeanVcpuAvailability:
+      return "mean_vcpu_availability";
+    case MetricKind::kPcpuUtilization:
+      return "pcpu_utilization";
+    case MetricKind::kVcpuUtilization:
+      return "vcpu_utilization[" + std::to_string(request.index) + "]";
+    case MetricKind::kMeanVcpuUtilization:
+      return "mean_vcpu_utilization";
+    case MetricKind::kVcpuBusyFraction:
+      return "vcpu_busy_fraction[" + std::to_string(request.index) + "]";
+    case MetricKind::kMeanVcpuBusyFraction:
+      return "mean_vcpu_busy_fraction";
+    case MetricKind::kVmBlockedFraction:
+      return "vm_blocked_fraction[" + std::to_string(request.index) + "]";
+    case MetricKind::kThroughput:
+      return "throughput";
+    case MetricKind::kMeanSpinFraction:
+      return "mean_spin_fraction";
+    case MetricKind::kMeanEffectiveUtilization:
+      return "mean_effective_utilization";
+  }
+  return "metric";
+}
+
+namespace {
+
+/// One metric bound to a freshly built system: its reward variables plus
+/// the function that reduces them to the reported value at end of run.
+struct BoundMetric {
+  std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+  std::function<double(san::Time end)> finalize;
+};
+
+BoundMetric bind_metric(const vm::VirtualSystem& system,
+                        const MetricRequest& request, san::Time warmup) {
+  BoundMetric bound;
+  const auto single = [&bound](std::unique_ptr<san::RewardVariable> reward) {
+    san::RewardVariable* raw = reward.get();
+    bound.rewards.push_back(std::move(reward));
+    bound.finalize = [raw](san::Time end) { return raw->time_averaged(end); };
+  };
+  const auto ratio = [&bound](std::unique_ptr<san::RewardVariable> numerator,
+                              std::unique_ptr<san::RewardVariable> denominator) {
+    san::RewardVariable* num = numerator.get();
+    san::RewardVariable* den = denominator.get();
+    bound.rewards.push_back(std::move(numerator));
+    bound.rewards.push_back(std::move(denominator));
+    bound.finalize = [num, den](san::Time) {
+      const double d = den->accumulated();
+      return d > 0 ? num->accumulated() / d : 0.0;
+    };
+  };
+
+  switch (request.kind) {
+    case MetricKind::kVcpuAvailability:
+      single(vm::vcpu_availability(system, request.index, warmup));
+      break;
+    case MetricKind::kMeanVcpuAvailability:
+      single(vm::mean_vcpu_availability(system, warmup));
+      break;
+    case MetricKind::kPcpuUtilization:
+      single(vm::pcpu_utilization(system, warmup));
+      break;
+    case MetricKind::kVcpuUtilization:
+      // Paper metric: busy time over scheduled (ACTIVE) time.
+      ratio(vm::vcpu_utilization(system, request.index, warmup),
+            vm::vcpu_availability(system, request.index, warmup));
+      break;
+    case MetricKind::kMeanVcpuUtilization:
+      // Sum of busy over sum of active across all VCPUs.
+      ratio(vm::mean_vcpu_utilization(system, warmup),
+            vm::mean_vcpu_availability(system, warmup));
+      break;
+    case MetricKind::kVcpuBusyFraction:
+      single(vm::vcpu_utilization(system, request.index, warmup));
+      break;
+    case MetricKind::kMeanVcpuBusyFraction:
+      single(vm::mean_vcpu_utilization(system, warmup));
+      break;
+    case MetricKind::kVmBlockedFraction:
+      single(vm::vm_blocked_fraction(system, request.index, warmup));
+      break;
+    case MetricKind::kThroughput:
+      single(vm::system_throughput(system, warmup));
+      break;
+    case MetricKind::kMeanSpinFraction:
+      single(vm::mean_spin_fraction(system, warmup));
+      break;
+    case MetricKind::kMeanEffectiveUtilization:
+      // Productive (non-spinning) busy time over scheduled time.
+      ratio(vm::mean_productive_fraction(system, warmup),
+            vm::mean_vcpu_availability(system, warmup));
+      break;
+  }
+  if (!bound.finalize) {
+    throw std::invalid_argument("run_point: unknown metric kind");
+  }
+  return bound;
+}
+
+}  // namespace
+
+stats::ReplicationResult run_point(const RunSpec& spec,
+                                   const std::vector<MetricRequest>& metrics) {
+  if (metrics.empty()) {
+    throw std::invalid_argument("run_point: no metrics requested");
+  }
+  if (!spec.scheduler) {
+    throw std::invalid_argument("run_point: no scheduler factory");
+  }
+  if (!(spec.warmup >= 0) || spec.warmup >= spec.end_time) {
+    throw std::invalid_argument("run_point: warmup must be in [0, end_time)");
+  }
+
+  std::vector<std::string> names;
+  names.reserve(metrics.size());
+  for (const auto& m : metrics) {
+    names.push_back(m.label.empty() ? default_label(m) : m.label);
+  }
+
+  const auto one_replication = [&](std::size_t rep) -> std::vector<double> {
+    auto system = vm::build_system(spec.system, spec.scheduler());
+    std::vector<BoundMetric> bound;
+    bound.reserve(metrics.size());
+    for (const auto& m : metrics) {
+      bound.push_back(bind_metric(*system, m, spec.warmup));
+    }
+    san::SimulatorConfig config;
+    config.end_time = spec.end_time;
+    config.seed = san::replication_seed(spec.base_seed, rep);
+    san::Simulator sim(config);
+    sim.set_model(*system->model);
+    for (auto& b : bound) {
+      for (auto& r : b.rewards) sim.add_reward(*r);
+    }
+    sim.run();
+    std::vector<double> obs;
+    obs.reserve(bound.size());
+    for (auto& b : bound) obs.push_back(b.finalize(spec.end_time));
+    return obs;
+  };
+
+  return stats::run_replications(names, one_replication, spec.policy);
+}
+
+}  // namespace vcpusim::exp

@@ -1,0 +1,68 @@
+// High-level experiment runner: one call evaluates a set of metrics on a
+// (system config, algorithm) point, replicated to the paper's confidence
+// target. Every bench and example goes through this API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "san/experiment.hpp"
+#include "stats/replication.hpp"
+#include "vm/config.hpp"
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::exp {
+
+/// Which metric to measure.
+///
+/// The *utilization* kinds follow the paper's definitions: VCPU
+/// Utilization is the portion of time a VCPU processes workload **while
+/// it holds a PCPU** (busy time / active time) — the metric that exposes
+/// synchronization latency independent of how much PCPU time the
+/// algorithm hands out. The *busy-fraction* kinds are the wall-clock
+/// variant (busy time / total time).
+enum class MetricKind {
+  kVcpuAvailability,      ///< per-VCPU (index = global vcpu id)
+  kMeanVcpuAvailability,  ///< averaged over all VCPUs
+  kPcpuUtilization,       ///< averaged over all PCPUs
+  kVcpuUtilization,       ///< busy/active ratio, per-VCPU (index)
+  kMeanVcpuUtilization,   ///< busy/active ratio over all VCPUs
+  kVcpuBusyFraction,      ///< busy/wall-clock, per-VCPU (index)
+  kMeanVcpuBusyFraction,  ///< busy/wall-clock over all VCPUs
+  kVmBlockedFraction,     ///< per-VM (index = vm id)
+  kThroughput,            ///< completed jobs per tick, whole system
+  kMeanSpinFraction,      ///< spinlock ext: spin-waiting / wall-clock
+  kMeanEffectiveUtilization,  ///< spinlock ext: (busy - spinning) / active
+};
+
+struct MetricRequest {
+  MetricKind kind;
+  int index = -1;     ///< vcpu or vm id for the per-entity kinds
+  std::string label;  ///< metric name in the result (auto if empty)
+};
+
+struct RunSpec {
+  vm::SystemConfig system;
+  vm::SchedulerFactory scheduler;  ///< fresh scheduler per replication
+
+  san::Time end_time = 3000.0;
+  san::Time warmup = 200.0;  ///< rewards start accruing here
+  std::uint64_t base_seed = 42;
+  stats::ReplicationPolicy policy{
+      .confidence = 0.95,
+      .target_half_width = 0.02,
+      .min_replications = 6,
+      .max_replications = 40,
+  };
+};
+
+/// Run the experiment point: replications of the configured system under
+/// the configured scheduler until every requested metric's CI converges.
+/// Throws std::invalid_argument on empty metrics or missing scheduler.
+stats::ReplicationResult run_point(const RunSpec& spec,
+                                   const std::vector<MetricRequest>& metrics);
+
+/// Default label of a metric request ("vcpu_availability[2]", ...).
+std::string default_label(const MetricRequest& request);
+
+}  // namespace vcpusim::exp

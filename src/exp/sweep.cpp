@@ -1,0 +1,64 @@
+#include "exp/sweep.hpp"
+
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+
+namespace vcpusim::exp {
+
+const SweepCell& SweepResult::cell(std::size_t row, std::size_t column) const {
+  return cells.at(row).at(column);
+}
+
+Table SweepResult::to_table(const std::string& axis_name) const {
+  std::vector<std::string> columns = {axis_name};
+  columns.insert(columns.end(), column_labels.begin(), column_labels.end());
+  Table table(std::move(columns));
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    std::vector<std::string> row = {row_labels[r]};
+    for (std::size_t c = 0; c < column_labels.size(); ++c) {
+      row.push_back(format_ci_percent(cells[r][c].ci));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points,
+                      const std::vector<std::string>& algorithms,
+                      const MetricRequest& metric) {
+  if (points.empty()) {
+    throw std::invalid_argument("run_sweep: no sweep points");
+  }
+  if (algorithms.empty()) {
+    throw std::invalid_argument("run_sweep: no algorithms");
+  }
+  SweepResult result;
+  for (const auto& p : points) {
+    if (!p.apply) {
+      throw std::invalid_argument("run_sweep: point '" + p.label +
+                                  "' has no apply function");
+    }
+    result.row_labels.push_back(p.label);
+  }
+  result.column_labels = algorithms;
+
+  for (const auto& point : points) {
+    std::vector<SweepCell> row;
+    for (const auto& algorithm : algorithms) {
+      RunSpec spec = base;
+      point.apply(spec);
+      spec.scheduler = sched::make_factory(algorithm);
+      const auto outcome = run_point(spec, {metric});
+      SweepCell cell;
+      cell.ci = outcome.metrics.front().ci;
+      cell.replications = outcome.replications;
+      cell.converged = outcome.converged;
+      row.push_back(cell);
+    }
+    result.cells.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace vcpusim::exp

@@ -1,0 +1,49 @@
+// Parameter sweeps: evaluate one metric over a grid of
+// (configuration point × algorithm) cells — the shape of every figure in
+// the paper — and render the result as a table. Generalizes what the
+// bench binaries do, as reusable library surface.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+namespace vcpusim::exp {
+
+/// One sweep-axis point: a label (the row header) and a mutation applied
+/// to a copy of the base RunSpec (e.g. set the PCPU count).
+struct SweepPoint {
+  std::string label;
+  std::function<void(RunSpec&)> apply;
+};
+
+struct SweepCell {
+  stats::ConfidenceInterval ci;
+  std::size_t replications = 0;
+  bool converged = false;
+};
+
+struct SweepResult {
+  std::vector<std::string> row_labels;     ///< sweep points
+  std::vector<std::string> column_labels;  ///< algorithm names
+  std::vector<std::vector<SweepCell>> cells;  ///< [row][column]
+
+  const SweepCell& cell(std::size_t row, std::size_t column) const;
+
+  /// Render as "point | algo1 | algo2 | ..." with percent-formatted CIs.
+  Table to_table(const std::string& axis_name = "point") const;
+};
+
+/// Run `metric` at every (point, algorithm) pair. `base` supplies the
+/// system and simulation knobs shared by all cells; each point's `apply`
+/// mutates a copy. Algorithms are registry names (sched::make_factory).
+/// Throws std::invalid_argument on empty points/algorithms or a point
+/// without an `apply` function.
+SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points,
+                      const std::vector<std::string>& algorithms,
+                      const MetricRequest& metric);
+
+}  // namespace vcpusim::exp

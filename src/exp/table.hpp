@@ -1,0 +1,41 @@
+// ASCII/CSV table rendering for the benchmark harness: every bench binary
+// prints the same rows/series the paper's figure or table reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace vcpusim::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, pipe-separated ASCII rendering with a header rule.
+  std::string render() const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "83.1%" — metric fractions on the paper's percentage axes.
+std::string format_percent(double fraction, int decimals = 1);
+
+/// "83.1% ±0.9" — mean and half-width of a CI, both as percentages.
+std::string format_ci_percent(const stats::ConfidenceInterval& ci,
+                              int decimals = 1);
+
+/// Fixed-point decimal with `decimals` digits.
+std::string format_fixed(double value, int decimals = 2);
+
+}  // namespace vcpusim::exp

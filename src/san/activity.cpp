@@ -1,0 +1,101 @@
+#include "san/activity.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::san {
+
+Activity::Activity(std::string name, stats::DistributionPtr delay,
+                   int priority)
+    : name_(std::move(name)), delay_(std::move(delay)), priority_(priority) {
+  if (!delay_) {
+    throw std::invalid_argument("Activity '" + name_ +
+                                "': null delay distribution (use "
+                                "make_instantaneous for zero-time activities)");
+  }
+  cases_.push_back(Case{});
+  total_weight_ = 1.0;
+}
+
+Activity::Activity(std::string name, int priority)
+    : name_(std::move(name)), delay_(nullptr), priority_(priority) {
+  cases_.push_back(Case{});
+  total_weight_ = 1.0;
+}
+
+Activity Activity::make_instantaneous(std::string name, int priority) {
+  return Activity(std::move(name), priority);
+}
+
+void Activity::add_input_gate(InputGate gate) {
+  if (!gate.predicate) {
+    throw std::invalid_argument("Activity '" + name_ + "': input gate '" +
+                                gate.name + "' has no predicate");
+  }
+  input_gates_.push_back(std::move(gate));
+}
+
+void Activity::add_output_gate(OutputGate gate) {
+  if (!gate.function) {
+    throw std::invalid_argument("Activity '" + name_ + "': output gate '" +
+                                gate.name + "' has no function");
+  }
+  cases_.back().output_gates.push_back(std::move(gate));
+}
+
+void Activity::add_case(Case c) {
+  if (!(c.weight > 0)) {
+    throw std::invalid_argument("Activity '" + name_ +
+                                "': case weight must be > 0");
+  }
+  // The implicit default case is replaced by the first explicit case.
+  if (cases_.size() == 1 && cases_.front().output_gates.empty() &&
+      total_weight_ == 1.0 && !explicit_cases_) {
+    cases_.clear();
+    total_weight_ = 0.0;
+  }
+  explicit_cases_ = true;
+  total_weight_ += c.weight;
+  cases_.push_back(std::move(c));
+}
+
+std::size_t Activity::case_count() const noexcept { return cases_.size(); }
+
+bool Activity::enabled() const {
+  for (const auto& gate : input_gates_) {
+    if (!gate.predicate()) return false;
+  }
+  return true;
+}
+
+std::size_t Activity::fire(GateContext& ctx) {
+  for (const auto& gate : input_gates_) {
+    if (gate.input_function) gate.input_function(ctx);
+  }
+  std::size_t chosen = 0;
+  if (cases_.size() > 1) {
+    const double u = ctx.rng.uniform01() * total_weight_;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      acc += cases_[i].weight;
+      if (u < acc) {
+        chosen = i;
+        break;
+      }
+      chosen = i;  // guard against fp round-off at u ~ total_weight_
+    }
+  }
+  for (const auto& gate : cases_[chosen].output_gates) {
+    gate.function(ctx);
+  }
+  return chosen;
+}
+
+Time Activity::sample_delay(stats::Rng& rng) const {
+  if (!delay_) {
+    throw std::logic_error("Activity '" + name_ +
+                           "': sample_delay on instantaneous activity");
+  }
+  return delay_->sample(rng);
+}
+
+}  // namespace vcpusim::san

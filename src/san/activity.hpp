@@ -1,0 +1,102 @@
+// SAN activities: the transitions of the net.
+//
+// A *timed* activity samples its completion delay from a Distribution
+// when it becomes enabled (its activation) and completes that much later
+// unless the marking disables it first, which aborts the activation — the
+// standard SAN race/abort semantics. An *instantaneous* activity completes
+// in zero time as soon as it is enabled, before any further time advance.
+//
+// Completion runs the input functions of all input gates, then selects a
+// case by its probability weight, then runs that case's output gates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "san/gate.hpp"
+#include "stats/distribution.hpp"
+#include "stats/rng.hpp"
+
+namespace vcpusim::san {
+
+/// One probabilistic outcome of an activity.
+struct Case {
+  double weight = 1.0;
+  std::vector<OutputGate> output_gates;
+};
+
+class Activity {
+ public:
+  /// Timed activity with the given delay distribution. Higher `priority`
+  /// fires first among completions scheduled at the same instant.
+  Activity(std::string name, stats::DistributionPtr delay, int priority = 0);
+
+  /// Instantaneous activity (fires in zero time once enabled).
+  static Activity make_instantaneous(std::string name, int priority = 0);
+
+  Activity(Activity&&) = default;
+  Activity& operator=(Activity&&) = default;
+  Activity(const Activity&) = delete;
+  Activity& operator=(const Activity&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  bool is_instantaneous() const noexcept { return delay_ == nullptr; }
+  int priority() const noexcept { return priority_; }
+  const stats::Distribution* delay() const noexcept { return delay_.get(); }
+
+  void add_input_gate(InputGate gate);
+
+  /// Convenience: add an output gate to the default (last) case.
+  void add_output_gate(OutputGate gate);
+
+  /// Add an explicit probabilistic case.
+  void add_case(Case c);
+
+  std::size_t case_count() const noexcept;
+
+  /// All input gate predicates hold (an activity with no gates is always
+  /// enabled — used for free-running clocks).
+  bool enabled() const;
+
+  /// Run input functions, select a case with `ctx.rng`, run that case's
+  /// output gates. Returns the selected case index.
+  std::size_t fire(GateContext& ctx);
+
+  /// Sample a completion delay (timed activities only).
+  Time sample_delay(stats::Rng& rng) const;
+
+  // --- Simulator bookkeeping (activation tracking) ------------------
+  // A scheduled completion event carries the activation id at schedule
+  // time; cancelling an activation bumps the id so stale events are
+  // ignored when popped.
+  std::uint64_t activation_id() const noexcept { return activation_id_; }
+  bool scheduled() const noexcept { return scheduled_; }
+  void mark_scheduled() noexcept { scheduled_ = true; }
+  /// Consume or abort the current activation.
+  void cancel_activation() noexcept {
+    ++activation_id_;
+    scheduled_ = false;
+  }
+  /// Reset bookkeeping between replications.
+  void reset_state() noexcept {
+    ++activation_id_;
+    scheduled_ = false;
+  }
+
+ private:
+  Activity(std::string name, int priority);  // instantaneous ctor
+
+  std::string name_;
+  stats::DistributionPtr delay_;  // nullptr => instantaneous
+  int priority_ = 0;
+  std::vector<InputGate> input_gates_;
+  std::vector<Case> cases_;
+  double total_weight_ = 0.0;
+  bool explicit_cases_ = false;
+
+  std::uint64_t activation_id_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace vcpusim::san

@@ -1,0 +1,48 @@
+#include "san/experiment.hpp"
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::san {
+
+std::uint64_t replication_seed(std::uint64_t base_seed, std::size_t rep) {
+  stats::SplitMix64 sm(base_seed ^ (0xa0761d6478bd642fULL * (rep + 1)));
+  return sm();
+}
+
+stats::ReplicationResult run_experiment(
+    const std::vector<std::string>& metric_names, const ReplicaFactory& factory,
+    const ExperimentConfig& config) {
+  if (!factory) throw std::invalid_argument("run_experiment: null factory");
+
+  const auto one_rep = [&](std::size_t rep) -> std::vector<double> {
+    Replica replica = factory(rep);
+    if (!replica.model) {
+      throw std::runtime_error("run_experiment: factory returned null model");
+    }
+    if (replica.rewards.size() != metric_names.size()) {
+      throw std::runtime_error(
+          "run_experiment: factory returned " +
+          std::to_string(replica.rewards.size()) + " rewards, expected " +
+          std::to_string(metric_names.size()));
+    }
+    SimulatorConfig sim_config;
+    sim_config.end_time = config.end_time;
+    sim_config.seed = replication_seed(config.base_seed, rep);
+    Simulator sim(sim_config);
+    sim.set_model(*replica.model);
+    for (auto& r : replica.rewards) sim.add_reward(*r);
+    sim.run();
+    std::vector<double> obs;
+    obs.reserve(replica.rewards.size());
+    for (auto& r : replica.rewards) {
+      obs.push_back(r->time_averaged(config.end_time));
+    }
+    return obs;
+  };
+
+  return stats::run_replications(metric_names, one_rep, config.policy);
+}
+
+}  // namespace vcpusim::san

@@ -1,0 +1,52 @@
+// Experiment driver: Mobius-style replicated terminating simulation of a
+// SAN model with confidence-interval stopping (the paper runs every data
+// point "with 95% confidence level and <0.1 confidence interval").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "san/model.hpp"
+#include "san/reward.hpp"
+#include "san/simulator.hpp"
+#include "stats/replication.hpp"
+
+namespace vcpusim::san {
+
+/// One replication's worth of model + reward variables. Rewards are
+/// reported in order; their count must match the metric-name list given
+/// to run_experiment.
+struct Replica {
+  std::unique_ptr<ComposedModel> model;
+  std::vector<std::unique_ptr<RewardVariable>> rewards;
+  /// Optional owner of any additional state the model's gate closures
+  /// reference (e.g. the surrounding domain object the model was carved
+  /// out of); kept alive for the duration of the replication.
+  std::shared_ptr<void> context;
+};
+
+/// Builds a fresh Replica. Called once per replication; gate closures may
+/// capture places of the freshly built model. `replication` is the
+/// 0-based replication index (useful for per-replica variation).
+using ReplicaFactory = std::function<Replica(std::size_t replication)>;
+
+struct ExperimentConfig {
+  Time end_time = 10'000.0;
+  std::uint64_t base_seed = 42;  ///< replication r runs with a seed derived from this
+  stats::ReplicationPolicy policy{};
+};
+
+/// Run replications of the model produced by `factory` until every
+/// reported metric converges (or the policy's max replications). Metric i
+/// is the time-averaged value of reward i over [reward.start_time, end].
+stats::ReplicationResult run_experiment(
+    const std::vector<std::string>& metric_names, const ReplicaFactory& factory,
+    const ExperimentConfig& config);
+
+/// Derive the simulator seed for replication `rep` of an experiment with
+/// `base_seed` (exposed so tests can reproduce a single replication).
+std::uint64_t replication_seed(std::uint64_t base_seed, std::size_t rep);
+
+}  // namespace vcpusim::san

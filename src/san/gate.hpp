@@ -1,0 +1,47 @@
+// SAN input and output gates.
+//
+// An input gate gives an activity (a) an enabling predicate over the
+// marking and (b) an input function executed when the activity completes.
+// An output gate is a marking-update function executed after completion;
+// output gates belong to a *case* of the activity, which models the
+// probabilistic outcomes of a transition.
+//
+// Predicates must be pure functions of the marking. Input/output
+// functions receive a GateContext carrying the simulation clock and the
+// replication's random stream (Mobius gate code likewise may sample
+// random quantities, e.g. the paper's WL_Output gate draws the workload
+// duration from a configurable distribution).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::san {
+
+using Time = double;
+
+/// Execution context passed to gate functions on activity completion.
+struct GateContext {
+  stats::Rng& rng;
+  Time now;
+};
+
+struct InputGate {
+  std::string name;
+  /// Enabling predicate evaluated against the current marking. An
+  /// activity is enabled iff all its input gate predicates hold.
+  std::function<bool()> predicate;
+  /// Executed (before output gates) when the activity completes. May be
+  /// null for pure-predicate gates.
+  std::function<void(GateContext&)> input_function;
+};
+
+struct OutputGate {
+  std::string name;
+  /// Marking-update function executed on activity completion.
+  std::function<void(GateContext&)> function;
+};
+
+}  // namespace vcpusim::san

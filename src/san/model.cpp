@@ -1,0 +1,45 @@
+#include "san/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vcpusim::san {
+
+std::vector<Activity*> ComposedModel::all_activities() const {
+  std::vector<Activity*> out;
+  for (const auto& m : submodels_) {
+    for (const auto& a : m->activities()) out.push_back(a.get());
+  }
+  return out;
+}
+
+std::string ComposedModel::render_join_table() const {
+  std::size_t name_width = std::string("State Variable Name").size();
+  for (const auto& e : join_registry_) {
+    name_width = std::max(name_width, e.shared_name.size());
+  }
+  std::ostringstream os;
+  os << name_ << " join places:\n";
+  const std::string header_left = "State Variable Name";
+  os << header_left << std::string(name_width - header_left.size() + 2, ' ')
+     << "Sub-model Variables\n";
+  os << std::string(name_width + 2 + 40, '-') << "\n";
+  for (const auto& e : join_registry_) {
+    bool first = true;
+    for (const auto& member : e.member_names) {
+      if (first) {
+        os << e.shared_name << std::string(name_width - e.shared_name.size() + 2, ' ');
+        first = false;
+      } else {
+        os << std::string(name_width + 2, ' ');
+      }
+      os << member << "\n";
+    }
+    if (e.member_names.empty()) {
+      os << e.shared_name << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vcpusim::san

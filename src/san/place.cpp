@@ -1,0 +1,9 @@
+#include "san/place.hpp"
+
+// Header-only templates; this TU exists to anchor the vtable of PlaceBase
+// instantiations used across the library and keep the archive non-empty.
+namespace vcpusim::san {
+namespace {
+[[maybe_unused]] const TokenPlace anchor{"_anchor", 0};
+}
+}  // namespace vcpusim::san

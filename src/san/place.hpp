@@ -1,0 +1,85 @@
+// SAN places.
+//
+// In the formal SAN definition (Sanders & Meyer) a place holds a natural
+// number of tokens. Mobius generalizes this with "extended places" whose
+// marking is an arbitrary structure — the paper's VCPU_slot place, for
+// example, carries {remaining_load, sync_point, status}. We model both:
+// Place<T> holds any copyable marking type, and TokenPlace is the classic
+// Place<int64_t> specialization.
+//
+// Places are shared_ptr-owned so that Join composition (Mobius "join
+// places", paper Tables 1 and 2) is literal state sharing: two submodels
+// holding the same Place object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace vcpusim::san {
+
+class PlaceBase {
+ public:
+  explicit PlaceBase(std::string name) : name_(std::move(name)) {}
+  virtual ~PlaceBase() = default;
+
+  PlaceBase(const PlaceBase&) = delete;
+  PlaceBase& operator=(const PlaceBase&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Restore the initial marking (start of a replication).
+  virtual void reset() = 0;
+
+  /// Debug rendering of the current marking.
+  virtual std::string to_string() const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// A place whose marking is a value of type T. T must be copyable and
+/// (for to_string) streamable or provide its own formatting via
+/// MarkingFormatter specialization.
+template <class T>
+class Place final : public PlaceBase {
+ public:
+  Place(std::string name, T initial)
+      : PlaceBase(std::move(name)), value_(initial), initial_(initial) {}
+
+  const T& get() const noexcept { return value_; }
+
+  /// Mutable access. The engine re-evaluates activity enabling after every
+  /// firing, so in-place mutation from gate functions is safe.
+  T& mut() noexcept { return value_; }
+
+  void set(T v) { value_ = std::move(v); }
+
+  void reset() override { value_ = initial_; }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << name() << "=";
+    format(os, value_);
+    return os.str();
+  }
+
+ private:
+  template <class U>
+  static auto format(std::ostringstream& os, const U& v)
+      -> decltype(os << v, void()) {
+    os << v;
+  }
+  static void format(std::ostringstream& os, ...) { os << "<struct>"; }
+
+  T value_;
+  T initial_;
+};
+
+/// Classic SAN place: a count of tokens.
+using TokenPlace = Place<std::int64_t>;
+
+using PlacePtr = std::shared_ptr<PlaceBase>;
+
+}  // namespace vcpusim::san

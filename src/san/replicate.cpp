@@ -1,0 +1,27 @@
+#include "san/replicate.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::san {
+
+std::vector<SanModel*> replicate(
+    ComposedModel& model, const std::string& base_name, std::size_t count,
+    const std::function<void(SanModel&, std::size_t)>& build_one) {
+  if (count == 0) {
+    throw std::invalid_argument("replicate: count must be >= 1");
+  }
+  if (!build_one) {
+    throw std::invalid_argument("replicate: null builder");
+  }
+  std::vector<SanModel*> replicas;
+  replicas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& submodel =
+        model.add_submodel(base_name + "_" + std::to_string(i + 1));
+    build_one(submodel, i);
+    replicas.push_back(&submodel);
+  }
+  return replicas;
+}
+
+}  // namespace vcpusim::san

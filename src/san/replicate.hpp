@@ -1,0 +1,23 @@
+// The Mobius Replicate operation: stamp out N structurally identical
+// sub-models. State shared among replicas (the "common" places of the
+// formal definition) is created by the caller and joined inside the
+// builder callback, exactly like the Join operation elsewhere.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "san/model.hpp"
+
+namespace vcpusim::san {
+
+/// Build `count` replicas named "<base_name>_1" ... "<base_name>_N" into
+/// `model`. `build_one(submodel, index)` populates each replica
+/// (0-based index). Returns the created submodels in order. Throws
+/// std::invalid_argument for count == 0 or a null builder.
+std::vector<SanModel*> replicate(
+    ComposedModel& model, const std::string& base_name, std::size_t count,
+    const std::function<void(SanModel&, std::size_t)>& build_one);
+
+}  // namespace vcpusim::san

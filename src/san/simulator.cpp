@@ -1,0 +1,148 @@
+#include "san/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcpusim::san {
+
+Simulator::Simulator(SimulatorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (!(config_.end_time > 0)) {
+    throw std::invalid_argument("Simulator: end_time must be > 0");
+  }
+}
+
+void Simulator::set_model(ComposedModel& model) {
+  if (model_ != nullptr) {
+    throw std::logic_error("Simulator: model already set");
+  }
+  model_ = &model;
+  activities_.clear();
+  instantaneous_.clear();
+  for (Activity* a : model.all_activities()) {
+    if (a->is_instantaneous()) {
+      instantaneous_.push_back(a);
+    } else {
+      activities_.push_back(a);
+    }
+  }
+}
+
+void Simulator::add_reward(RewardVariable& reward) {
+  rewards_.push_back(&reward);
+}
+
+void Simulator::add_observer(TraceObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void Simulator::advance_time(Time to) {
+  if (to <= now_) return;
+  for (RewardVariable* r : rewards_) r->on_advance(now_, to);
+  now_ = to;
+}
+
+void Simulator::schedule(Activity& activity) {
+  const Time delay = activity.sample_delay(rng_);
+  if (delay < 0) {
+    throw std::logic_error("Simulator: negative delay sampled for activity " +
+                           activity.name());
+  }
+  activity.mark_scheduled();
+  queue_.push(Event{now_ + delay, activity.priority(), seq_++, &activity,
+                    activity.activation_id()});
+}
+
+void Simulator::complete(Activity& activity) {
+  ++events_;
+  GateContext ctx{rng_, now_};
+  const std::size_t case_index = activity.fire(ctx);
+  for (RewardVariable* r : rewards_) r->on_completion(activity, now_);
+  for (TraceObserver* o : observers_) o->on_fire(now_, activity, case_index);
+}
+
+void Simulator::settle() {
+  std::uint32_t chain = 0;
+  for (;;) {
+    // Abort activations of timed activities the new marking disables and
+    // activate the newly enabled ones.
+    for (Activity* a : activities_) {
+      const bool en = a->enabled();
+      if (en && !a->scheduled()) {
+        schedule(*a);
+      } else if (!en && a->scheduled()) {
+        a->cancel_activation();
+      }
+    }
+    // Fire the highest-priority enabled instantaneous activity, if any.
+    Activity* next = nullptr;
+    for (Activity* a : instantaneous_) {
+      if (a->enabled() && (next == nullptr || a->priority() > next->priority())) {
+        next = a;
+      }
+    }
+    if (next == nullptr) return;
+    if (++chain > config_.max_instantaneous_chain) {
+      throw std::logic_error(
+          "Simulator: instantaneous livelock (activity " + next->name() +
+          " still enabled after " + std::to_string(chain) + " zero-time firings)");
+    }
+    complete(*next);
+  }
+}
+
+void Simulator::reset() {
+  if (model_ == nullptr) {
+    throw std::logic_error("Simulator: reset() before set_model()");
+  }
+  model_->reset_marking();
+  for (RewardVariable* r : rewards_) r->reset();
+  queue_ = {};
+  now_ = 0.0;
+  events_ = 0;
+  hit_event_cap_ = false;
+  started_ = true;
+  settle();  // initial activations + zero-time transient
+}
+
+RunStats Simulator::advance_until(Time t) {
+  if (!started_) {
+    throw std::logic_error("Simulator: advance_until() before reset()");
+  }
+  const Time horizon = std::min(t, config_.end_time);
+  while (!queue_.empty() && !hit_event_cap_) {
+    if (events_ >= config_.max_events) {
+      hit_event_cap_ = true;
+      break;
+    }
+    const Event ev = queue_.top();
+    if (ev.time > horizon) break;
+    queue_.pop();
+    if (ev.activation != ev.activity->activation_id()) continue;  // aborted
+    advance_time(ev.time);
+    ev.activity->cancel_activation();  // consume this activation
+    complete(*ev.activity);
+    settle();
+  }
+  advance_time(horizon);
+  RunStats stats;
+  stats.end_time = now_;
+  stats.events = events_;
+  stats.hit_event_cap = hit_event_cap_;
+  return stats;
+}
+
+RunStats Simulator::run() {
+  reset();
+  return advance_until(config_.end_time);
+}
+
+RunStats run_once(ComposedModel& model, const SimulatorConfig& config,
+                  std::vector<RewardVariable*> rewards) {
+  Simulator sim(config);
+  sim.set_model(model);
+  for (RewardVariable* r : rewards) sim.add_reward(*r);
+  return sim.run();
+}
+
+}  // namespace vcpusim::san

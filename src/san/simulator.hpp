@@ -1,0 +1,122 @@
+// Discrete-event simulator executing a ComposedModel under SAN semantics.
+//
+// Execution rules:
+//  * A timed activity is *activated* when it becomes enabled: a completion
+//    delay is sampled and a completion event scheduled. If a marking
+//    change disables it before completion, the activation is aborted
+//    (race/abort semantics). Firing while still enabled re-activates it.
+//  * Instantaneous activities complete in zero time as soon as they are
+//    enabled; among simultaneously enabled instantaneous activities the
+//    highest priority fires first.
+//  * Timed completions at the same instant fire in descending priority,
+//    FIFO within equal priority.
+//  * After every completion the enabling of all activities is
+//    re-evaluated (models here are small; O(activities) per event).
+//
+// Rate rewards are accrued over each dwell interval before the marking
+// changes; impulse rewards on each completion.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "san/model.hpp"
+#include "san/reward.hpp"
+#include "san/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace vcpusim::san {
+
+struct SimulatorConfig {
+  Time end_time = 1000.0;
+  std::uint64_t seed = 1;
+  /// Safety valve against run-away models.
+  std::uint64_t max_events = 500'000'000;
+  /// Max instantaneous completions at one instant before the simulator
+  /// declares the model ill-formed (zero-time livelock).
+  std::uint32_t max_instantaneous_chain = 1'000'000;
+};
+
+struct RunStats {
+  Time end_time = 0.0;        ///< time the run stopped at
+  std::uint64_t events = 0;   ///< total activity completions
+  bool hit_event_cap = false; ///< stopped by max_events, not end_time
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimulatorConfig config);
+
+  /// Register the model to execute. The model's marking is reset at the
+  /// start of run(). Must be called exactly once before run().
+  void set_model(ComposedModel& model);
+
+  /// Register a reward variable (reset at the start of run()).
+  void add_reward(RewardVariable& reward);
+
+  void add_observer(TraceObserver& observer);
+
+  /// Execute one replication from the initial marking to end_time.
+  /// Throws std::logic_error if no model was set or an instantaneous
+  /// livelock is detected. Equivalent to reset() + advance_until(end).
+  RunStats run();
+
+  // --- Incremental execution (steady-state estimation, stepping) ----
+  /// Restore the initial marking, clear rewards and pending events, and
+  /// perform the time-zero activations. Must be called before the first
+  /// advance_until().
+  void reset();
+
+  /// Process events up to and including time `t` (capped at the
+  /// configured end_time) and accrue rewards to min(t, end_time).
+  /// Returns cumulative statistics since reset().
+  RunStats advance_until(Time t);
+
+  Time now() const noexcept { return now_; }
+  stats::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    Time time;
+    int priority;       // higher fires first at equal time
+    std::uint64_t seq;  // FIFO tie-break
+    Activity* activity;
+    std::uint64_t activation;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void advance_time(Time to);
+  void complete(Activity& activity);
+  /// (Re)activate / abort timed activities after a marking change and
+  /// fire any enabled instantaneous activities (in priority order) until
+  /// quiescent.
+  void settle();
+  void schedule(Activity& activity);
+
+  SimulatorConfig config_;
+  ComposedModel* model_ = nullptr;
+  std::vector<Activity*> activities_;
+  std::vector<Activity*> instantaneous_;
+  std::vector<RewardVariable*> rewards_;
+  std::vector<TraceObserver*> observers_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  stats::Rng rng_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  bool started_ = false;
+  bool hit_event_cap_ = false;
+};
+
+/// Convenience: reset `model`, run it once with `config`, return stats.
+RunStats run_once(ComposedModel& model, const SimulatorConfig& config,
+                  std::vector<RewardVariable*> rewards = {});
+
+}  // namespace vcpusim::san

@@ -1,0 +1,64 @@
+#include "san/steady_state.hpp"
+
+#include <stdexcept>
+
+#include "san/simulator.hpp"
+
+namespace vcpusim::san {
+
+SteadyStateResult run_steady_state(ComposedModel& model, RewardVariable& reward,
+                                   const SteadyStateConfig& config) {
+  if (!(config.batch_length > 0)) {
+    throw std::invalid_argument("run_steady_state: batch_length must be > 0");
+  }
+  if (config.min_batches < 2 || config.min_batches > config.max_batches) {
+    throw std::invalid_argument(
+        "run_steady_state: need 2 <= min_batches <= max_batches");
+  }
+  if (reward.start_time() != 0.0) {
+    throw std::invalid_argument(
+        "run_steady_state: reward start_time must be 0 (warmup is handled "
+        "by the batching, not the reward)");
+  }
+
+  SimulatorConfig sim_config;
+  sim_config.end_time =
+      config.warmup +
+      config.batch_length * static_cast<double>(config.max_batches);
+  sim_config.seed = config.seed;
+  sim_config.max_events = config.max_events;
+
+  Simulator sim(sim_config);
+  sim.set_model(model);
+  sim.add_reward(reward);
+  sim.reset();
+  RunStats run_stats = sim.advance_until(config.warmup);
+  double previous_accumulated = reward.accumulated();
+
+  stats::BatchMeans batches(1);  // one "observation" per batch
+  SteadyStateResult result;
+  for (std::size_t b = 0; b < config.max_batches; ++b) {
+    const Time boundary =
+        config.warmup + config.batch_length * static_cast<double>(b + 1);
+    run_stats = sim.advance_until(boundary);
+    if (run_stats.hit_event_cap) break;
+    const double accumulated = reward.accumulated();
+    batches.add((accumulated - previous_accumulated) / config.batch_length);
+    previous_accumulated = accumulated;
+
+    result.batches = batches.batches();
+    if (result.batches >= config.min_batches) {
+      result.ci = batches.interval(config.confidence);
+      if (result.ci.converged(config.target_half_width)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.ci = batches.interval(config.confidence);
+  result.lag1_autocorrelation = batches.lag1_autocorrelation();
+  result.events = run_stats.events;
+  return result;
+}
+
+}  // namespace vcpusim::san

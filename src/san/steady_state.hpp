@@ -1,0 +1,41 @@
+// Steady-state estimation by the batch-means method: one long run whose
+// reward stream is cut into batches after an initial-transient warmup —
+// the second of Mobius's two simulation solvers (the replication-based
+// terminating solver lives in experiment.hpp).
+#pragma once
+
+#include "san/model.hpp"
+#include "san/reward.hpp"
+#include "stats/batch_means.hpp"
+
+namespace vcpusim::san {
+
+struct SteadyStateConfig {
+  Time warmup = 1000.0;        ///< initial transient, discarded
+  Time batch_length = 1000.0;  ///< simulated time per batch
+  std::size_t min_batches = 10;
+  std::size_t max_batches = 400;
+  double confidence = 0.95;
+  double target_half_width = 0.01;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 500'000'000;
+};
+
+struct SteadyStateResult {
+  stats::ConfidenceInterval ci;  ///< over the batch means
+  std::size_t batches = 0;
+  bool converged = false;
+  /// Lag-1 autocorrelation of the batch means; should be near zero —
+  /// larger values mean batch_length is too short for independence.
+  double lag1_autocorrelation = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Estimate the steady-state time-average of `reward`'s rate on `model`.
+/// The reward's start_time must be 0 (warmup handling is internal).
+/// Batches are added until the CI half-width over batch means falls
+/// below target (after min_batches) or max_batches is reached.
+SteadyStateResult run_steady_state(ComposedModel& model, RewardVariable& reward,
+                                   const SteadyStateConfig& config = {});
+
+}  // namespace vcpusim::san

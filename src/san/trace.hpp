@@ -1,0 +1,20 @@
+// Trace observation hooks for the SAN simulator: tests and debugging
+// tools subscribe to activity completions without touching the engine.
+#pragma once
+
+#include <cstddef>
+
+#include "san/activity.hpp"
+
+namespace vcpusim::san {
+
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+
+  /// An activity completed at `now`, selecting case `case_index`.
+  virtual void on_fire(Time now, const Activity& activity,
+                       std::size_t case_index) = 0;
+};
+
+}  // namespace vcpusim::san

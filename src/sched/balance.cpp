@@ -1,0 +1,135 @@
+#include "sched/balance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "sched/detail.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+/// Common machinery: per-PCPU FIFO run queues; an idle PCPU only pops its
+/// own queue. Placement policy (where a descheduled VCPU re-enqueues) is
+/// the subclass hook that distinguishes stacking-prone RR from balance.
+class PerQueueScheduler : public vm::Scheduler {
+ public:
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long /*timestamp*/) override {
+    const std::size_t n = vcpus.size();
+    const std::size_t m = pcpus.size();
+    if (!initialized_) {
+      queues_.assign(m, {});
+      queue_of_.assign(n, -1);
+      running_.assign(n, false);
+      for (std::size_t i = 0; i < n; ++i) {
+        place(vcpus, static_cast<int>(i), m);
+      }
+      initialized_ = true;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) {
+        running_[i] = false;
+        place(vcpus, static_cast<int>(i), m);
+      }
+    }
+
+    for (const int pcpu : detail::idle_pcpus(pcpus)) {
+      auto& q = queues_[static_cast<std::size_t>(pcpu)];
+      if (q.empty()) continue;
+      const int next = q.front();
+      q.pop_front();
+      queue_of_[static_cast<std::size_t>(next)] = -1;
+      vcpus[static_cast<std::size_t>(next)].schedule_in = pcpu;
+      running_[static_cast<std::size_t>(next)] = true;
+    }
+    return true;
+  }
+
+ protected:
+  /// Enqueue VCPU `v` into some PCPU's run queue.
+  virtual void place(std::span<VCPU_host_external> vcpus, int v,
+                     std::size_t num_pcpus) = 0;
+
+  void enqueue(int v, std::size_t pcpu) {
+    queues_[pcpu].push_back(v);
+    queue_of_[static_cast<std::size_t>(v)] = static_cast<int>(pcpu);
+  }
+
+  /// True if a sibling of `v` currently waits in `pcpu`'s queue or runs
+  /// on `pcpu`.
+  bool has_sibling(std::span<VCPU_host_external> vcpus, int v,
+                   std::size_t pcpu) const {
+    const int vm_id = vcpus[static_cast<std::size_t>(v)].vm_id;
+    for (const int other : queues_[pcpu]) {
+      if (other != v && vcpus[static_cast<std::size_t>(other)].vm_id == vm_id) {
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < vcpus.size(); ++i) {
+      if (static_cast<int>(i) != v && running_[i] &&
+          vcpus[i].assigned_pcpu == static_cast<int>(pcpu) &&
+          vcpus[i].vm_id == vm_id) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool initialized_ = false;
+  std::vector<std::deque<int>> queues_;
+  std::vector<int> queue_of_;  ///< queue a waiting VCPU sits in, -1 if none
+  std::vector<bool> running_;
+};
+
+class StackedRoundRobin final : public PerQueueScheduler {
+ public:
+  std::string name() const override { return "RRS-stacked"; }
+
+ protected:
+  void place(std::span<VCPU_host_external> /*vcpus*/, int v,
+             std::size_t num_pcpus) override {
+    enqueue(v, static_cast<std::size_t>(v) % num_pcpus);
+  }
+};
+
+class Balance final : public PerQueueScheduler {
+ public:
+  std::string name() const override { return "Balance"; }
+
+ protected:
+  void place(std::span<VCPU_host_external> vcpus, int v,
+             std::size_t num_pcpus) override {
+    // Shortest queue without a sibling; otherwise shortest queue.
+    std::size_t best = 0;
+    std::size_t best_len = std::numeric_limits<std::size_t>::max();
+    bool best_is_clean = false;
+    for (std::size_t p = 0; p < num_pcpus; ++p) {
+      const bool clean = !has_sibling(vcpus, v, p);
+      const std::size_t len = queues_[p].size();
+      if ((clean && !best_is_clean) ||
+          (clean == best_is_clean && len < best_len)) {
+        best = p;
+        best_len = len;
+        best_is_clean = clean;
+      }
+    }
+    enqueue(v, best);
+  }
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_stacked_round_robin() {
+  return std::make_unique<StackedRoundRobin>();
+}
+
+vm::SchedulerPtr make_balance() { return std::make_unique<Balance>(); }
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,24 @@
+// Balance scheduling and its foil, stacked round-robin — the
+// VCPU-stacking study of Sukwong & Kim [paper ref 1].
+//
+// Real hypervisors keep one run queue per PCPU. If two sibling VCPUs
+// land in the *same* PCPU's queue ("VCPU stacking"), a lock holder and a
+// lock waiter serialize on one core and synchronization latency explodes.
+// Balance scheduling avoids stacking by always placing a VCPU in a run
+// queue that holds no sibling.
+//
+//  * make_stacked_round_robin(): per-PCPU FIFO queues, VCPUs placed by
+//    static hash (vcpu_id mod num_pcpus) — deliberately stacking-prone.
+//  * make_balance(): per-PCPU FIFO queues, sibling-aware placement into
+//    the shortest queue containing no sibling (falling back to the
+//    shortest queue overall when every queue has one).
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+vm::SchedulerPtr make_stacked_round_robin();
+vm::SchedulerPtr make_balance();
+
+}  // namespace vcpusim::sched

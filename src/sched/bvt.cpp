@@ -1,0 +1,128 @@
+#include "sched/bvt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/detail.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+class Bvt final : public vm::Scheduler {
+ public:
+  explicit Bvt(const BvtOptions& options) : options_(options) {
+    for (const double w : options_.vm_weights) {
+      if (!(w > 0)) throw std::invalid_argument("BVT: weights must be > 0");
+    }
+    if (options_.switch_allowance < 0) {
+      throw std::invalid_argument("BVT: switch_allowance must be >= 0");
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long /*timestamp*/) override {
+    const std::size_t n = vcpus.size();
+    if (!initialized_) {
+      avt_.assign(n, 0.0);
+      running_.assign(n, false);
+      initialized_ = true;
+    }
+
+    // Advance actual virtual time of everything that ran the last tick.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i]) {
+        avt_[i] += 1.0 / weight_of(vcpus[i].vm_id);
+      }
+      // Track framework expiry.
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = false;
+    }
+
+    // Rank all VCPUs by EVT; the m smallest should hold the m PCPUs.
+    std::vector<int> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [this, &vcpus](int a, int b) {
+      const double ea = evt(a, vcpus[static_cast<std::size_t>(a)].vm_id);
+      const double eb = evt(b, vcpus[static_cast<std::size_t>(b)].vm_id);
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+    const std::size_t m = std::min(pcpus.size(), n);
+    std::vector<char> should_run(n, 0);
+    for (std::size_t r = 0; r < m; ++r) {
+      should_run[static_cast<std::size_t>(order[r])] = 1;
+    }
+
+    // Preempt runners outside the top-m, but only past the allowance:
+    // the cheapest winner must lead them by switch_allowance.
+    double worst_winner = -std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const int v = order[r];
+      if (!running_[static_cast<std::size_t>(v)]) {
+        worst_winner = std::max(
+            worst_winner, evt(v, vcpus[static_cast<std::size_t>(v)].vm_id));
+      }
+    }
+    std::vector<int> freed;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i] && !should_run[i]) {
+        const double mine = evt(static_cast<int>(i), vcpus[i].vm_id);
+        if (mine - worst_winner >= options_.switch_allowance) {
+          vcpus[i].schedule_out = 1;
+          running_[i] = false;
+          freed.push_back(vcpus[i].assigned_pcpu);
+        } else {
+          should_run[i] = 1;  // stays within the allowance: keep running
+        }
+      }
+    }
+
+    // Assign idle PCPUs to the not-yet-running winners, best EVT first.
+    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    idle.insert(idle.end(), freed.begin(), freed.end());
+    std::size_t next_idle = 0;
+    for (const int v : order) {
+      const auto i = static_cast<std::size_t>(v);
+      if (!should_run[i] || running_[i]) continue;
+      if (next_idle >= idle.size()) break;
+      vcpus[i].schedule_in = idle[next_idle++];
+      // Long timeslice: BVT preempts by virtual time, not by quantum.
+      vcpus[i].new_timeslice = 1e6;
+      running_[i] = true;
+    }
+    return true;
+  }
+
+  std::string name() const override { return "BVT"; }
+
+ private:
+  double weight_of(int vm) const {
+    const auto v = static_cast<std::size_t>(vm);
+    return v < options_.vm_weights.size() ? options_.vm_weights[v] : 1.0;
+  }
+  double warp_of(int vm) const {
+    const auto v = static_cast<std::size_t>(vm);
+    return v < options_.vm_warps.size() ? options_.vm_warps[v] : 0.0;
+  }
+  double evt(int vcpu, int vm) const {
+    return avt_[static_cast<std::size_t>(vcpu)] - warp_of(vm);
+  }
+
+  BvtOptions options_;
+  bool initialized_ = false;
+  std::vector<double> avt_;
+  std::vector<bool> running_;
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_bvt(const BvtOptions& options) {
+  return std::make_unique<Bvt>(options);
+}
+
+}  // namespace vcpusim::sched

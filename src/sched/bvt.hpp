@@ -1,0 +1,32 @@
+// Borrowed Virtual Time (BVT, Duda & Cheriton) — one of the three Xen
+// CPU schedulers compared by Cherkasova et al. (paper reference [8]).
+//
+// Every VCPU has an *actual virtual time* (AVT) advancing while it runs,
+// scaled inversely by its VM's weight; the scheduler always runs the
+// VCPUs with the smallest *effective* virtual time EVT = AVT - warp.
+// Weighted fairness emerges from the virtual-time race; `warp` gives a
+// VM a latency boost (it "borrows" virtual time) without changing its
+// long-run share.
+#pragma once
+
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct BvtOptions {
+  /// Per-VM weights; missing entries default to 1.0. A VCPU's AVT grows
+  /// by 1/weight(vm) per tick of execution.
+  std::vector<double> vm_weights;
+  /// Per-VM warp (virtual-time credit); missing entries default to 0.
+  std::vector<double> vm_warps;
+  /// Context-switch allowance: a running VCPU is only preempted by a
+  /// waiter whose EVT is at least this much smaller (hysteresis against
+  /// thrashing).
+  double switch_allowance = 2.0;
+};
+
+vm::SchedulerPtr make_bvt(const BvtOptions& options = {});
+
+}  // namespace vcpusim::sched

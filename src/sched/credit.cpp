@@ -1,0 +1,120 @@
+#include "sched/credit.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "sched/detail.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+class Credit final : public vm::Scheduler {
+ public:
+  explicit Credit(const CreditOptions& options) : options_(options) {
+    if (options_.accounting_period < 1) {
+      throw std::invalid_argument("Credit: accounting_period < 1");
+    }
+    if (!(options_.credit_per_period > 0)) {
+      throw std::invalid_argument("Credit: credit_per_period <= 0");
+    }
+    for (const double w : options_.vm_weights) {
+      if (!(w > 0)) throw std::invalid_argument("Credit: weights must be > 0");
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long timestamp) override {
+    const std::size_t n = vcpus.size();
+    if (!initialized_) {
+      members_ = detail::group_by_vm(vcpus);
+      credits_.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+      refill(vcpus, pcpus.size());
+      initialized_ = true;
+    }
+
+    // Burn credits for the tick just executed.
+    for (const int v : running_.order()) {
+      credits_[static_cast<std::size_t>(v)] -= 1.0;
+    }
+    if (timestamp > 0 && timestamp % options_.accounting_period == 0) {
+      refill(vcpus, pcpus.size());
+    }
+
+    for (const int v : running_.extract_if([&vcpus](int v) {
+           return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+         })) {
+      queue_.push_back(v);
+    }
+
+    // UNDER before OVER, preserving round-robin order within each class.
+    std::deque<int> still_waiting;
+    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    std::size_t next_idle = 0;
+    for (int pass = 0; pass < 2 && next_idle < idle.size(); ++pass) {
+      std::deque<int> skipped;
+      while (!queue_.empty() && next_idle < idle.size()) {
+        const int v = queue_.front();
+        queue_.pop_front();
+        const bool under = credits_[static_cast<std::size_t>(v)] > 0;
+        if ((pass == 0) == under) {
+          vcpus[static_cast<std::size_t>(v)].schedule_in = idle[next_idle++];
+          running_.add(v);
+        } else {
+          skipped.push_back(v);
+        }
+      }
+      for (const int v : queue_) skipped.push_back(v);
+      queue_ = std::move(skipped);
+    }
+    still_waiting = std::move(queue_);
+    queue_ = std::move(still_waiting);
+    return true;
+  }
+
+  std::string name() const override { return "Credit"; }
+
+ private:
+  double weight_of(std::size_t vm) const {
+    return vm < options_.vm_weights.size() ? options_.vm_weights[vm] : 1.0;
+  }
+
+  void refill(std::span<VCPU_host_external> /*vcpus*/, std::size_t num_pcpus) {
+    double total_weight = 0;
+    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+      total_weight += weight_of(vm);
+    }
+    const double pool =
+        options_.credit_per_period * static_cast<double>(num_pcpus);
+    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+      const double vm_share = pool * weight_of(vm) / total_weight;
+      const double per_vcpu = vm_share / static_cast<double>(members_[vm].size());
+      for (const int v : members_[vm]) {
+        // Cap accumulation at one period's share so an idle VM cannot
+        // hoard unbounded credit (Xen behaves similarly).
+        credits_[static_cast<std::size_t>(v)] = std::min(
+            credits_[static_cast<std::size_t>(v)] + per_vcpu, 2.0 * per_vcpu);
+      }
+    }
+  }
+
+  CreditOptions options_;
+  bool initialized_ = false;
+  std::vector<std::vector<int>> members_;
+  std::vector<double> credits_;
+  detail::RunSet running_;
+  std::deque<int> queue_;
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_credit(const CreditOptions& options) {
+  return std::make_unique<Credit>(options);
+}
+
+}  // namespace vcpusim::sched

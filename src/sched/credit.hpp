@@ -1,0 +1,29 @@
+// Credit scheduler — a Xen-style proportional-share algorithm
+// (Cherkasova et al., paper ref 8, compare Xen's built-in schedulers).
+//
+// Each VM has a weight. Every accounting period the system's credit pool
+// (credit_per_period per PCPU) is divided among VMs in proportion to
+// their weights and split evenly over each VM's VCPUs. A running VCPU
+// burns one credit per tick. VCPUs with positive credits are UNDER,
+// others OVER; idle PCPUs are handed to UNDER VCPUs before OVER ones,
+// round-robin within each class — giving weighted fair sharing over time.
+#pragma once
+
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct CreditOptions {
+  /// Per-VM weights; missing entries (or an empty vector) default to 1.0.
+  std::vector<double> vm_weights;
+  /// Ticks between credit refills.
+  int accounting_period = 30;
+  /// Credits minted per PCPU per period (burn rate is 1/tick).
+  double credit_per_period = 30.0;
+};
+
+vm::SchedulerPtr make_credit(const CreditOptions& options = {});
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,80 @@
+// Small helpers shared by the scheduling algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched::detail {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+/// members[vm_id] = global VCPU ids of that VM, in sibling order.
+inline std::vector<std::vector<int>> group_by_vm(
+    std::span<const VCPU_host_external> vcpus) {
+  std::vector<std::vector<int>> members;
+  for (const auto& v : vcpus) {
+    if (static_cast<std::size_t>(v.vm_id) >= members.size()) {
+      members.resize(static_cast<std::size_t>(v.vm_id) + 1);
+    }
+    members[static_cast<std::size_t>(v.vm_id)].push_back(v.vcpu_id);
+  }
+  return members;
+}
+
+/// Ids of currently idle PCPUs, ascending.
+inline std::vector<int> idle_pcpus(std::span<const PCPU_external> pcpus) {
+  std::vector<int> idle;
+  for (const auto& p : pcpus) {
+    if (p.state == 0) idle.push_back(p.pcpu_id);
+  }
+  return idle;
+}
+
+/// Ordered set of currently running entities (VCPUs or VMs), kept in
+/// schedule-in order. Re-queuing released entities in this order — not in
+/// id order — is what keeps round-robin rotation fair when several
+/// timeslices expire at the same tick (simultaneous expiry is the common
+/// case, since a batch scheduled together expires together).
+class RunSet {
+ public:
+  void add(int id) { order_.push_back(id); }
+
+  bool contains(int id) const {
+    for (const int v : order_) {
+      if (v == id) return true;
+    }
+    return false;
+  }
+
+  void remove(int id) {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == id) {
+        order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Remove and return (in schedule-in order) every member for which
+  /// `released` holds.
+  template <class Pred>
+  std::vector<int> extract_if(Pred released) {
+    std::vector<int> out, keep;
+    for (const int v : order_) {
+      (released(v) ? out : keep).push_back(v);
+    }
+    order_ = std::move(keep);
+    return out;
+  }
+
+  const std::vector<int>& order() const { return order_; }
+  bool empty() const { return order_.empty(); }
+
+ private:
+  std::vector<int> order_;
+};
+
+}  // namespace vcpusim::sched::detail

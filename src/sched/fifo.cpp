@@ -1,0 +1,80 @@
+#include "sched/fifo.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/detail.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+class Fifo final : public vm::Scheduler {
+ public:
+  explicit Fifo(const FifoOptions& options) : options_(options) {
+    if (!(options_.max_timeslice > 0)) {
+      throw std::invalid_argument("FIFO: max_timeslice <= 0");
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long /*timestamp*/) override {
+    const std::size_t n = vcpus.size();
+    if (!initialized_) {
+      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+      running_.assign(n, false);
+      initialized_ = true;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!running_[i]) continue;
+      if (vcpus[i].assigned_pcpu < 0) {  // cap expired
+        running_[i] = false;
+        queue_.push_back(static_cast<int>(i));
+      } else if (vcpus[i].status ==
+                 static_cast<int>(vm::VcpuStatus::kReady)) {
+        // Job finished and no new work was dispatched this tick: yield.
+        vcpus[i].schedule_out = 1;
+        running_[i] = false;
+        queue_.push_back(static_cast<int>(i));
+      }
+    }
+
+    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    // PCPUs freed by our yields above are assignable this same tick.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (vcpus[i].schedule_out != 0) idle.push_back(vcpus[i].assigned_pcpu);
+    }
+    std::size_t next_idle = 0;
+    while (!queue_.empty() && next_idle < idle.size()) {
+      const int v = queue_.front();
+      queue_.pop_front();
+      auto& x = vcpus[static_cast<std::size_t>(v)];
+      x.schedule_in = idle[next_idle++];
+      x.new_timeslice = options_.max_timeslice;
+      running_[static_cast<std::size_t>(v)] = true;
+    }
+    return true;
+  }
+
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  FifoOptions options_;
+  bool initialized_ = false;
+  std::deque<int> queue_;
+  std::vector<bool> running_;
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_fifo(const FifoOptions& options) {
+  return std::make_unique<Fifo>(options);
+}
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,21 @@
+// FIFO run-to-completion scheduling — a guest-aware contrast algorithm.
+//
+// A VCPU keeps its PCPU until its current workload completes (it turns
+// READY) or a long cap expires; READY VCPUs are descheduled immediately
+// (they "yield"), so PCPUs never sit in an idle guest. This closes the
+// semantic gap RRS suffers from, at the cost of long-job monopolization —
+// a useful ablation against the paper's three algorithms.
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct FifoOptions {
+  /// Hard cap on continuous occupancy, in ticks.
+  double max_timeslice = 1000.0;
+};
+
+vm::SchedulerPtr make_fifo(const FifoOptions& options = {});
+
+}  // namespace vcpusim::sched

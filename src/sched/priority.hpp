@@ -1,0 +1,21 @@
+// Static-priority preemptive scheduling: each VM has a fixed priority;
+// a waiting higher-priority VCPU preempts the lowest-priority running
+// VCPU each tick. Round-robin within a priority class. Models the
+// latency-tier scheduling offered by some hypervisors; also a starvation
+// stress-test for the framework's fairness metrics.
+#pragma once
+
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct PriorityOptions {
+  /// Per-VM priorities, higher runs first; missing entries default to 0.
+  std::vector<int> vm_priorities;
+};
+
+vm::SchedulerPtr make_priority(const PriorityOptions& options = {});
+
+}  // namespace vcpusim::sched

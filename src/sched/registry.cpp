@@ -1,0 +1,62 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "sched/balance.hpp"
+#include "sched/bvt.hpp"
+#include "sched/credit.hpp"
+#include "sched/fifo.hpp"
+#include "sched/priority.hpp"
+#include "sched/relaxed_co.hpp"
+#include "sched/sedf.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/strict_co.hpp"
+
+namespace vcpusim::sched {
+
+vm::SchedulerFactory make_factory(const std::string& algorithm) {
+  std::string key = algorithm;
+  std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (key == "rrs" || key == "round-robin" || key == "rr") {
+    return [] { return make_round_robin(); };
+  }
+  if (key == "scs" || key == "strict-co") {
+    return [] { return make_strict_co(); };
+  }
+  if (key == "rcs" || key == "relaxed-co") {
+    return [] { return make_relaxed_co(); };
+  }
+  if (key == "rrs-stacked" || key == "stacked") {
+    return [] { return make_stacked_round_robin(); };
+  }
+  if (key == "balance") {
+    return [] { return make_balance(); };
+  }
+  if (key == "credit") {
+    return [] { return make_credit(); };
+  }
+  if (key == "bvt") {
+    return [] { return make_bvt(); };
+  }
+  if (key == "sedf") {
+    return [] { return make_sedf(); };
+  }
+  if (key == "fifo") {
+    return [] { return make_fifo(); };
+  }
+  if (key == "priority") {
+    return [] { return make_priority(); };
+  }
+  throw std::invalid_argument("unknown scheduling algorithm: " + algorithm);
+}
+
+std::vector<std::string> builtin_algorithms() {
+  return {"rrs", "scs", "rcs", "rrs-stacked", "balance", "credit", "bvt",
+          "sedf", "fifo", "priority"};
+}
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,22 @@
+// Name-based registry of the built-in scheduling algorithms, used by the
+// benchmark harness, examples, and tests to iterate over algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+/// Factory for a built-in algorithm by name (case-insensitive): "rrs",
+/// "scs", "rcs", "rrs-stacked", "balance", "credit", "fifo", "priority".
+/// Throws std::invalid_argument for unknown names. Each call of the
+/// returned factory yields a fresh scheduler instance (replication-safe).
+vm::SchedulerFactory make_factory(const std::string& algorithm);
+
+/// Names accepted by make_factory, in canonical order (the paper's three
+/// first).
+std::vector<std::string> builtin_algorithms();
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,29 @@
+// Relaxed Co-Scheduling (RCS) — VMware ESX 3/4 [paper ref 2]: best-effort
+// co-start with a cumulative-skew constraint.
+//
+// Each VCPU accrues *progress* while it holds a PCPU. Its skew is the gap
+// to the most-progressed sibling in the same VM. While the VM's maximum
+// skew stays below `skew_threshold`, any VCPU may be scheduled alone
+// (this mitigates SCS's fragmentation). Once the threshold is exceeded
+// the VM becomes *constrained*: leading VCPUs are co-stopped and may only
+// restart in co-start fashion, while lagging VCPUs may still run alone to
+// catch up; the constraint lifts when the skew drops back below
+// `resume_threshold` (hysteresis). The trade-off the paper measures:
+// better PCPU utilization than SCS, slightly more synchronization latency.
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct RcsOptions {
+  /// Skew (in ticks of sibling lead) at which a VM becomes constrained.
+  double skew_threshold = 10.0;
+  /// Skew below which a constrained VM is released; <0 means
+  /// skew_threshold / 2.
+  double resume_threshold = -1.0;
+};
+
+vm::SchedulerPtr make_relaxed_co(const RcsOptions& options = {});
+
+}  // namespace vcpusim::sched

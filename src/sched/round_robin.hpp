@@ -1,0 +1,18 @@
+// Round-Robin Scheduling (RRS) — the paper's baseline: "a naive, yet
+// popular, implementation ... available in most hypervisors. Sometimes it
+// is the only option, e.g. in KVM or Virtual Box."
+//
+// A single global FIFO run queue of VCPUs. Whenever a PCPU is idle, the
+// VCPU at the head of the queue gets it for one timeslice; on timeslice
+// expiry the VCPU goes to the tail. The scheduler is deliberately unaware
+// of guest state (the semantic gap): it keeps scheduling VCPUs that are
+// READY-idle and preempts VCPUs mid-critical-section.
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+vm::SchedulerPtr make_round_robin();
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,154 @@
+#include "sched/sedf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/detail.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+class Sedf final : public vm::Scheduler {
+ public:
+  explicit Sedf(const SedfOptions& options) : options_(options) {
+    for (const auto& r : options_.reservations) {
+      if (!(r.slice > 0) || !(r.period > 0) || r.slice > r.period) {
+        throw std::invalid_argument(
+            "SEDF: reservations need 0 < slice <= period");
+      }
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long timestamp) override {
+    const std::size_t n = vcpus.size();
+    if (!initialized_) {
+      members_ = detail::group_by_vm(vcpus);
+      budget_.assign(members_.size(), 0.0);
+      deadline_.assign(members_.size(), 0.0);
+      for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+        replenish(vm, 0);
+      }
+      running_.assign(n, false);
+      for (std::size_t i = 0; i < n; ++i) {
+        extra_queue_.push_back(static_cast<int>(i));
+      }
+      initialized_ = true;
+    }
+
+    // Charge the last tick's execution against the owning VM's budget
+    // and roll periods over.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i]) {
+        budget_[static_cast<std::size_t>(vcpus[i].vm_id)] -= 1.0;
+      }
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = false;
+    }
+    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+      if (static_cast<double>(timestamp) >= deadline_[vm]) {
+        replenish(vm, timestamp);
+      }
+    }
+
+    // Desired allocation: EDF over VMs with budget, then (optionally)
+    // round-robin extra time.
+    std::vector<int> vm_order;
+    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+      if (budget_[vm] > 0) vm_order.push_back(static_cast<int>(vm));
+    }
+    std::sort(vm_order.begin(), vm_order.end(), [this](int a, int b) {
+      const double da = deadline_[static_cast<std::size_t>(a)];
+      const double db = deadline_[static_cast<std::size_t>(b)];
+      if (da != db) return da < db;
+      return a < b;
+    });
+
+    std::vector<char> should_run(n, 0);
+    std::size_t slots = pcpus.size();
+    for (const int vm : vm_order) {
+      // A VM's VCPUs consume budget jointly; grant as many as both the
+      // budget and the remaining slots allow.
+      auto grant = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(
+                               members_[static_cast<std::size_t>(vm)].size()),
+                           std::ceil(budget_[static_cast<std::size_t>(vm)])));
+      for (const int v : members_[static_cast<std::size_t>(vm)]) {
+        if (grant == 0 || slots == 0) break;
+        should_run[static_cast<std::size_t>(v)] = 1;
+        --grant;
+        --slots;
+      }
+      if (slots == 0) break;
+    }
+    if (options_.work_conserving && slots > 0) {
+      // Hand leftover slots round-robin to everything else.
+      std::deque<int> rotated;
+      while (!extra_queue_.empty() && slots > 0) {
+        const int v = extra_queue_.front();
+        extra_queue_.pop_front();
+        rotated.push_back(v);
+        if (!should_run[static_cast<std::size_t>(v)]) {
+          should_run[static_cast<std::size_t>(v)] = 1;
+          --slots;
+        }
+      }
+      for (const int v : rotated) extra_queue_.push_back(v);
+    }
+
+    // Apply the delta between current and desired allocation.
+    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i] && !should_run[i]) {
+        vcpus[i].schedule_out = 1;
+        running_[i] = false;
+        idle.push_back(vcpus[i].assigned_pcpu);
+      }
+    }
+    std::size_t next_idle = 0;
+    for (std::size_t i = 0; i < n && next_idle < idle.size(); ++i) {
+      if (should_run[i] && !running_[i]) {
+        vcpus[i].schedule_in = idle[next_idle++];
+        vcpus[i].new_timeslice = 1e6;  // preemption is budget-driven
+        running_[i] = true;
+      }
+    }
+    return true;
+  }
+
+  std::string name() const override { return "SEDF"; }
+
+ private:
+  SedfReservation reservation_of(std::size_t vm) const {
+    return vm < options_.reservations.size() ? options_.reservations[vm]
+                                             : SedfReservation{};
+  }
+
+  void replenish(std::size_t vm, long now) {
+    const auto r = reservation_of(vm);
+    budget_[vm] = r.slice;
+    deadline_[vm] = static_cast<double>(now) + r.period;
+  }
+
+  SedfOptions options_;
+  bool initialized_ = false;
+  std::vector<std::vector<int>> members_;
+  std::vector<double> budget_;
+  std::vector<double> deadline_;
+  std::vector<bool> running_;
+  std::deque<int> extra_queue_;
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_sedf(const SedfOptions& options) {
+  return std::make_unique<Sedf>(options);
+}
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,31 @@
+// Simple Earliest Deadline First (SEDF) — the reservation-based Xen
+// scheduler from Cherkasova et al.'s comparison (paper reference [8]).
+//
+// Each VM reserves (slice s, period p): its VCPUs are jointly entitled
+// to s PCPU-ticks in every window of p ticks. Among VMs with remaining
+// budget, the earliest deadline (current period end) runs first. VMs
+// without remaining budget only run in work-conserving mode, round-robin
+// over the leftover capacity.
+#pragma once
+
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct SedfReservation {
+  double slice = 1.0;
+  double period = 10.0;
+};
+
+struct SedfOptions {
+  /// Per-VM reservations; missing entries default to slice 1 / period 10.
+  std::vector<SedfReservation> reservations;
+  /// Grant leftover PCPU time to budget-exhausted VMs (round-robin).
+  bool work_conserving = true;
+};
+
+vm::SchedulerPtr make_sedf(const SedfOptions& options = {});
+
+}  // namespace vcpusim::sched

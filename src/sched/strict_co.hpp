@@ -1,0 +1,20 @@
+// Strict Co-Scheduling (SCS) — VMware ESX 2.x gang scheduling [paper
+// ref 3]: all VCPUs of a VM co-start and co-stop. A VM is dispatched
+// only when enough PCPUs are simultaneously idle for *all* of its VCPUs,
+// which eliminates synchronization latency but causes CPU fragmentation:
+// a VM with more VCPUs than the machine has PCPUs can never run, and
+// partially idle PCPUs go unused while a wide VM waits (paper IV.A/IV.B).
+//
+// Implementation: a global FIFO queue of VMs. Each tick, the queue is
+// scanned front to back; every VM whose VCPU count fits in the currently
+// idle PCPUs is co-started (non-fitting VMs are skipped, not blocking —
+// otherwise a wide VM would starve every VM behind it).
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+vm::SchedulerPtr make_strict_co();
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,44 @@
+#include "stats/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_length, std::size_t warmup_observations)
+    : batch_length_(batch_length), warmup_(warmup_observations) {
+  if (batch_length_ == 0) {
+    throw std::invalid_argument("BatchMeans: batch_length must be > 0");
+  }
+}
+
+void BatchMeans::add(double x) {
+  ++seen_;
+  if (seen_ <= warmup_) return;
+  current_sum_ += x;
+  if (++current_count_ == batch_length_) {
+    const double mean = current_sum_ / static_cast<double>(batch_length_);
+    batch_means_.add(mean);
+    means_.push_back(mean);
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const {
+  return confidence_interval(batch_means_, confidence);
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  if (means_.size() < 3) return 0.0;
+  const double mu = batch_means_.mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < means_.size(); ++i) {
+    den += (means_[i] - mu) * (means_[i] - mu);
+    if (i + 1 < means_.size()) {
+      num += (means_[i] - mu) * (means_[i + 1] - mu);
+    }
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,49 @@
+// Batch-means estimation for steady-state simulation: one long run is
+// cut into contiguous batches whose means are treated as approximately
+// independent observations; a Student-t interval over the batch means
+// estimates the steady-state mean. Complements the replication-based
+// terminating estimator (replication.hpp) — Mobius offers both.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace vcpusim::stats {
+
+class BatchMeans {
+ public:
+  /// `batch_length` observations per batch, discarding the first
+  /// `warmup_observations` entirely (initial-transient deletion).
+  explicit BatchMeans(std::size_t batch_length,
+                      std::size_t warmup_observations = 0);
+
+  /// Feed one observation (e.g. one per simulated time unit).
+  void add(double x);
+
+  std::size_t batches() const noexcept { return batch_means_.count(); }
+  std::size_t observations() const noexcept { return seen_; }
+
+  /// Mean over completed batches.
+  double mean() const noexcept { return batch_means_.mean(); }
+
+  /// Student-t interval over the batch means.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+  /// Lag-1 autocorrelation of the batch means — the standard check that
+  /// batches are long enough to be treated as independent (values near 0
+  /// are good; > ~0.2 means the batch length should grow).
+  double lag1_autocorrelation() const;
+
+ private:
+  std::size_t batch_length_;
+  std::size_t warmup_;
+  std::size_t seen_ = 0;
+  double current_sum_ = 0.0;
+  std::size_t current_count_ = 0;
+  Welford batch_means_;
+  std::vector<double> means_;  ///< kept for autocorrelation
+};
+
+}  // namespace vcpusim::stats

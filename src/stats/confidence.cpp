@@ -1,0 +1,30 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/student_t.hpp"
+
+namespace vcpusim::stats {
+
+std::string ConfidenceInterval::to_string() const {
+  std::ostringstream os;
+  os << mean << " ± " << half_width << " (n=" << count << ", "
+     << confidence * 100.0 << "%)";
+  return os.str();
+}
+
+ConfidenceInterval confidence_interval(const Welford& w, double confidence) {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.count = w.count();
+  ci.mean = w.mean();
+  if (w.count() >= 2) {
+    const double df = static_cast<double>(w.count() - 1);
+    const double t = student_t_critical(confidence, df);
+    ci.half_width = t * w.stddev() / std::sqrt(static_cast<double>(w.count()));
+  }
+  return ci;
+}
+
+}  // namespace vcpusim::stats

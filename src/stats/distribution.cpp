@@ -1,0 +1,354 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace vcpusim::stats {
+
+namespace {
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double v) : v_(v) {
+    if (v < 0) throw std::invalid_argument("deterministic: value < 0");
+  }
+  double sample(Rng&) const override { return v_; }
+  double mean() const override { return v_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "deterministic(" << v_ << ")";
+    return os.str();
+  }
+
+ private:
+  double v_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (lo < 0 || hi < lo) throw std::invalid_argument("uniform: bad range");
+  }
+  double sample(Rng& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.uniform01();
+  }
+  double mean() const override { return (lo_ + hi_) / 2.0; }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "uniform(" << lo_ << "," << hi_ << ")";
+    return os.str();
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+class UniformInt final : public Distribution {
+ public:
+  UniformInt(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+    if (lo < 0 || hi < lo) throw std::invalid_argument("uniformint: bad range");
+  }
+  double sample(Rng& rng) const override {
+    return static_cast<double>(rng.uniform_int(lo_, hi_));
+  }
+  double mean() const override {
+    return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+  }
+  double variance() const override {
+    const double n = static_cast<double>(hi_ - lo_) + 1.0;
+    return (n * n - 1.0) / 12.0;
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "uniformint(" << lo_ << "," << hi_ << ")";
+    return os.str();
+  }
+
+ private:
+  std::int64_t lo_, hi_;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double lambda) : lambda_(lambda) {
+    if (!(lambda > 0)) throw std::invalid_argument("exponential: lambda <= 0");
+  }
+  double sample(Rng& rng) const override {
+    // Inversion; 1 - U avoids log(0).
+    return -std::log1p(-rng.uniform01()) / lambda_;
+  }
+  double mean() const override { return 1.0 / lambda_; }
+  double variance() const override { return 1.0 / (lambda_ * lambda_); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "exponential(" << lambda_ << ")";
+    return os.str();
+  }
+
+ private:
+  double lambda_;
+};
+
+class Erlang final : public Distribution {
+ public:
+  Erlang(int k, double lambda) : k_(k), lambda_(lambda) {
+    if (k < 1) throw std::invalid_argument("erlang: k < 1");
+    if (!(lambda > 0)) throw std::invalid_argument("erlang: lambda <= 0");
+  }
+  double sample(Rng& rng) const override {
+    // Product-of-uniforms method: sum of k exponentials.
+    double prod = 1.0;
+    for (int i = 0; i < k_; ++i) prod *= 1.0 - rng.uniform01();
+    return -std::log(prod) / lambda_;
+  }
+  double mean() const override { return k_ / lambda_; }
+  double variance() const override { return k_ / (lambda_ * lambda_); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "erlang(" << k_ << "," << lambda_ << ")";
+    return os.str();
+  }
+
+ private:
+  int k_;
+  double lambda_;
+};
+
+class TruncatedNormal final : public Distribution {
+ public:
+  TruncatedNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0)) throw std::invalid_argument("normal: sigma <= 0");
+    if (mu < 0) throw std::invalid_argument("normal: mu < 0");
+    // Resampling-based truncation at 0: precompute the moments of the
+    // one-sided truncated normal for mean()/variance().
+    const double alpha = -mu / sigma;
+    const double phi = std::exp(-0.5 * alpha * alpha) / std::sqrt(2 * M_PI);
+    const double cap_phi = 0.5 * std::erfc(-alpha / std::sqrt(2.0));
+    const double z = 1.0 - cap_phi;  // P(X > 0)
+    const double h = phi / z;        // hazard at the truncation point
+    trunc_mean_ = mu + sigma * h;
+    trunc_var_ = sigma * sigma * (1.0 + alpha * h - h * h);
+  }
+  double sample(Rng& rng) const override {
+    // Box-Muller with resampling below 0; acceptance probability is high
+    // for all sane (mu, sigma) used in workload models.
+    for (;;) {
+      const double u1 = 1.0 - rng.uniform01();
+      const double u2 = rng.uniform01();
+      const double n =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      const double x = mu_ + sigma_ * n;
+      if (x >= 0) return x;
+    }
+  }
+  double mean() const override { return trunc_mean_; }
+  double variance() const override { return trunc_var_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "normal(" << mu_ << "," << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  double mu_, sigma_;
+  double trunc_mean_, trunc_var_;
+};
+
+class Geometric final : public Distribution {
+ public:
+  explicit Geometric(double p) : p_(p) {
+    if (!(p > 0) || p > 1) throw std::invalid_argument("geometric: p not in (0,1]");
+  }
+  double sample(Rng& rng) const override {
+    if (p_ == 1.0) return 1.0;
+    const double u = 1.0 - rng.uniform01();
+    return std::floor(std::log(u) / std::log1p(-p_)) + 1.0;
+  }
+  double mean() const override { return 1.0 / p_; }
+  double variance() const override { return (1.0 - p_) / (p_ * p_); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "geometric(" << p_ << ")";
+    return os.str();
+  }
+
+ private:
+  double p_;
+};
+
+class Bernoulli final : public Distribution {
+ public:
+  explicit Bernoulli(double p) : p_(p) {
+    if (p < 0 || p > 1) throw std::invalid_argument("bernoulli: p not in [0,1]");
+  }
+  double sample(Rng& rng) const override {
+    return rng.uniform01() < p_ ? 1.0 : 0.0;
+  }
+  double mean() const override { return p_; }
+  double variance() const override { return p_ * (1.0 - p_); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "bernoulli(" << p_ << ")";
+    return os.str();
+  }
+
+ private:
+  double p_;
+};
+
+class Discrete final : public Distribution {
+ public:
+  explicit Discrete(std::vector<std::pair<double, double>> support)
+      : support_(std::move(support)) {
+    if (support_.empty()) throw std::invalid_argument("discrete: empty support");
+    double total = 0;
+    for (const auto& [v, w] : support_) {
+      if (v < 0) throw std::invalid_argument("discrete: negative value");
+      if (!(w >= 0)) throw std::invalid_argument("discrete: negative weight");
+      total += w;
+    }
+    if (!(total > 0)) throw std::invalid_argument("discrete: zero total weight");
+    cumulative_.reserve(support_.size());
+    double acc = 0;
+    for (const auto& [v, w] : support_) {
+      acc += w / total;
+      cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0;  // guard against round-off
+    mean_ = 0;
+    for (const auto& [v, w] : support_) mean_ += v * (w / total);
+    var_ = 0;
+    for (const auto& [v, w] : support_) var_ += (v - mean_) * (v - mean_) * (w / total);
+  }
+  double sample(Rng& rng) const override {
+    const double u = rng.uniform01();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const auto idx =
+        static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+    return support_[std::min(idx, support_.size() - 1)].first;
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return var_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "discrete(" << support_.size() << " atoms)";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::pair<double, double>> support_;
+  std::vector<double> cumulative_;
+  double mean_ = 0, var_ = 0;
+};
+
+std::vector<double> parse_args(const std::string& inside) {
+  std::vector<double> args;
+  std::string token;
+  std::istringstream is(inside);
+  while (std::getline(is, token, ',')) {
+    args.push_back(std::stod(token));
+  }
+  return args;
+}
+
+}  // namespace
+
+DistributionPtr make_deterministic(double value) {
+  return std::make_shared<Deterministic>(value);
+}
+DistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr make_uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::make_shared<UniformInt>(lo, hi);
+}
+DistributionPtr make_exponential(double lambda) {
+  return std::make_shared<Exponential>(lambda);
+}
+DistributionPtr make_erlang(int k, double lambda) {
+  return std::make_shared<Erlang>(k, lambda);
+}
+DistributionPtr make_truncated_normal(double mu, double sigma) {
+  return std::make_shared<TruncatedNormal>(mu, sigma);
+}
+DistributionPtr make_geometric(double p) {
+  return std::make_shared<Geometric>(p);
+}
+DistributionPtr make_bernoulli(double p) {
+  return std::make_shared<Bernoulli>(p);
+}
+DistributionPtr make_discrete(std::vector<std::pair<double, double>> support) {
+  return std::make_shared<Discrete>(std::move(support));
+}
+
+DistributionPtr parse_distribution(const std::string& spec) {
+  std::string s;
+  s.reserve(spec.size());
+  for (char c : spec) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  const auto open = s.find('(');
+  const auto close = s.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    throw std::invalid_argument("distribution spec: expected name(args): " + spec);
+  }
+  const std::string name = s.substr(0, open);
+  std::vector<double> args;
+  try {
+    args = parse_args(s.substr(open + 1, close - open - 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("distribution spec: bad numeric args: " + spec);
+  }
+  const auto need = [&](std::size_t n) {
+    if (args.size() != n) {
+      throw std::invalid_argument("distribution spec: wrong arg count: " + spec);
+    }
+  };
+  if (name == "deterministic" || name == "det" || name == "constant") {
+    need(1);
+    return make_deterministic(args[0]);
+  }
+  if (name == "uniform") {
+    need(2);
+    return make_uniform(args[0], args[1]);
+  }
+  if (name == "uniformint") {
+    need(2);
+    return make_uniform_int(static_cast<std::int64_t>(args[0]),
+                            static_cast<std::int64_t>(args[1]));
+  }
+  if (name == "exponential" || name == "exp") {
+    need(1);
+    return make_exponential(args[0]);
+  }
+  if (name == "erlang") {
+    need(2);
+    return make_erlang(static_cast<int>(args[0]), args[1]);
+  }
+  if (name == "normal") {
+    need(2);
+    return make_truncated_normal(args[0], args[1]);
+  }
+  if (name == "geometric" || name == "geo") {
+    need(1);
+    return make_geometric(args[0]);
+  }
+  if (name == "bernoulli") {
+    need(1);
+    return make_bernoulli(args[0]);
+  }
+  throw std::invalid_argument("distribution spec: unknown name: " + spec);
+}
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,76 @@
+// Random-variate distributions used to parameterize SAN activities and
+// the workload generator (load durations, inter-generation times, ...).
+//
+// The paper states "the generation of load and sync_point is configurable
+// to any distribution and rate"; `Distribution` is that extension point.
+// Distributions are immutable sampler objects: all mutable state lives in
+// the Rng passed to sample(), so one Distribution may be shared across
+// models and replications.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+
+/// Abstract random-variate distribution over the non-negative reals
+/// (activity firing delays and workload durations are times).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draw one variate using `rng` as the randomness source.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Analytic mean, used by tests and by workload sizing heuristics.
+  virtual double mean() const = 0;
+
+  /// Analytic variance (infinity is never needed here).
+  virtual double variance() const = 0;
+
+  /// Human-readable spec, e.g. "exponential(0.2)"; parseable by parse().
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Point mass at `value` (value >= 0). The unit Clock activities of the
+/// virtualization model use Deterministic(1).
+DistributionPtr make_deterministic(double value);
+
+/// Continuous uniform on [lo, hi], lo <= hi, lo >= 0.
+DistributionPtr make_uniform(double lo, double hi);
+
+/// Discrete uniform on the integers {lo, ..., hi} (as doubles).
+DistributionPtr make_uniform_int(std::int64_t lo, std::int64_t hi);
+
+/// Exponential with rate lambda > 0 (mean 1/lambda).
+DistributionPtr make_exponential(double lambda);
+
+/// Erlang-k: sum of k independent Exponential(lambda) variates.
+DistributionPtr make_erlang(int k, double lambda);
+
+/// Normal(mu, sigma) truncated (by resampling) to [0, inf).
+DistributionPtr make_truncated_normal(double mu, double sigma);
+
+/// Geometric: number of Bernoulli(p) trials until first success, support
+/// {1, 2, ...}; used for discrete-time load durations.
+DistributionPtr make_geometric(double p);
+
+/// Bernoulli over {0, 1} with P(1) = p.
+DistributionPtr make_bernoulli(double p);
+
+/// Empirical distribution over the given (value, weight) support.
+DistributionPtr make_discrete(std::vector<std::pair<double, double>> support);
+
+/// Parse a spec string such as "deterministic(5)", "uniform(1,10)",
+/// "uniformint(1,10)", "exponential(0.2)", "erlang(3,0.5)",
+/// "normal(5,2)", "geometric(0.25)". Throws std::invalid_argument on
+/// malformed input. Whitespace-insensitive, case-insensitive names.
+DistributionPtr parse_distribution(const std::string& spec);
+
+}  // namespace vcpusim::stats

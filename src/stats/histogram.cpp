@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcpusim::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("histogram: hi <= lo");
+  if (buckets == 0) throw std::invalid_argument("histogram: zero buckets");
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi
+  ++counts_[idx];
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  return counts_.at(bucket);
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("histogram bucket");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + width_;
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bucket)) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("quantile: q");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (acc >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double within = (target - acc) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + within * width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::ostringstream os;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) *
+                     static_cast<double>(max_bar_width)));
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) os << "underflow " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace vcpusim::stats

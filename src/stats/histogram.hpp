@@ -1,0 +1,43 @@
+// Fixed-width histogram for inspecting simulated quantities (sync-latency
+// distributions, queue lengths) and for goodness-of-fit tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vcpusim::stats {
+
+class Histogram {
+ public:
+  /// Buckets of equal width spanning [lo, hi); values outside the range
+  /// land in saturating underflow/overflow buckets.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of all observations (including under/overflow) in `bucket`.
+  double fraction(std::size_t bucket) const;
+
+  /// Approximate quantile by linear interpolation within the bucket.
+  double quantile(double q) const;
+
+  /// ASCII rendering, one bucket per line with a proportional bar.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,39 @@
+// P² (piecewise-parabolic) online quantile estimation (Jain & Chlamtac,
+// CACM 1985): estimate a quantile of a stream in O(1) memory without
+// storing observations. Used for tail-latency reporting (p95/p99 barrier
+// stalls) on long simulations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace vcpusim::stats {
+
+class P2Quantile {
+ public:
+  /// Track the `q`-quantile, 0 < q < 1 (e.g. 0.95).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  std::size_t count() const noexcept { return count_; }
+
+  /// Current estimate. For fewer than 5 observations, the exact sample
+  /// quantile of what has been seen.
+  double value() const;
+
+  double quantile_order() const noexcept { return q_; }
+
+ private:
+  double exact_small_sample() const;
+
+  double q_;
+  std::size_t count_ = 0;
+  // The five markers of the P2 algorithm.
+  std::array<double, 5> heights_{};       // q_i
+  std::array<double, 5> positions_{};     // n_i (actual)
+  std::array<double, 5> desired_{};       // n'_i (desired)
+  std::array<double, 5> increments_{};    // dn'_i
+};
+
+}  // namespace vcpusim::stats

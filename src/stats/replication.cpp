@@ -1,0 +1,59 @@
+#include "stats/replication.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::stats {
+
+const MetricEstimate& ReplicationResult::metric(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("ReplicationResult: no metric named " + name);
+}
+
+ReplicationResult run_replications(const std::vector<std::string>& metric_names,
+                                   const ReplicationFn& fn,
+                                   const ReplicationPolicy& policy) {
+  if (metric_names.empty()) {
+    throw std::invalid_argument("run_replications: no metrics");
+  }
+  if (policy.min_replications < 2) {
+    throw std::invalid_argument("run_replications: min_replications < 2");
+  }
+  ReplicationResult result;
+  result.metrics.resize(metric_names.size());
+  for (std::size_t i = 0; i < metric_names.size(); ++i) {
+    result.metrics[i].name = metric_names[i];
+  }
+
+  for (std::size_t rep = 0; rep < policy.max_replications; ++rep) {
+    const std::vector<double> obs = fn(rep);
+    if (obs.size() != metric_names.size()) {
+      throw std::runtime_error("run_replications: replication returned " +
+                               std::to_string(obs.size()) + " values, expected " +
+                               std::to_string(metric_names.size()));
+    }
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      result.metrics[i].samples.add(obs[i]);
+    }
+    result.replications = rep + 1;
+
+    if (result.replications < policy.min_replications) continue;
+    bool all_tight = true;
+    for (auto& m : result.metrics) {
+      m.ci = confidence_interval(m.samples, policy.confidence);
+      if (!m.ci.converged(policy.target_half_width)) all_tight = false;
+    }
+    if (all_tight) {
+      result.converged = true;
+      return result;
+    }
+  }
+  for (auto& m : result.metrics) {
+    m.ci = confidence_interval(m.samples, policy.confidence);
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,49 @@
+// Replication controller: run independent replications of a terminating
+// simulation until every reported metric's confidence interval is tight
+// enough (the Mobius-style stopping rule the paper relies on).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/welford.hpp"
+
+namespace vcpusim::stats {
+
+struct ReplicationPolicy {
+  double confidence = 0.95;        ///< confidence level of the intervals
+  double target_half_width = 0.1;  ///< stop when every metric's half-width < this
+  std::size_t min_replications = 5;
+  std::size_t max_replications = 200;  ///< hard cap (always stop here)
+};
+
+struct MetricEstimate {
+  std::string name;
+  ConfidenceInterval ci;
+  Welford samples;  ///< per-replication observations
+};
+
+struct ReplicationResult {
+  std::vector<MetricEstimate> metrics;
+  std::size_t replications = 0;
+  bool converged = false;  ///< all metrics hit the target half-width
+
+  /// Find a metric by name; throws std::out_of_range if absent.
+  const MetricEstimate& metric(const std::string& name) const;
+};
+
+/// One replication: given the replication index (0-based, usable as an RNG
+/// stream id), produce one observation per metric. The vector size and
+/// ordering must match `metric_names` on every call.
+using ReplicationFn = std::function<std::vector<double>(std::size_t rep)>;
+
+/// Run replications of `fn` under `policy`. Throws std::invalid_argument
+/// if metric_names is empty, std::runtime_error if fn returns a vector of
+/// the wrong size.
+ReplicationResult run_replications(const std::vector<std::string>& metric_names,
+                                   const ReplicationFn& fn,
+                                   const ReplicationPolicy& policy = {});
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,50 @@
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm();
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  // Unbiased bounded draw by rejection: discard the sub-range of 64-bit
+  // outputs that would skew the modulo (at most one retry on average).
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  const std::uint64_t threshold = (0 - range) % range;          // 2^64 mod range
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r < threshold);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+Rng Rng::split(std::uint64_t stream_id) noexcept {
+  SplitMix64 sm((*this)() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 1));
+  return Rng(sm());
+}
+
+}  // namespace vcpusim::stats

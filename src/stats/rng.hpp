@@ -1,0 +1,72 @@
+// Pseudo-random number generation for the simulator.
+//
+// The simulation framework needs reproducible, independently seedable,
+// fast random streams: one master seed per experiment, one derived stream
+// per replication. We use xoshiro256** (Blackman & Vigna) seeded through
+// SplitMix64, the recommended seeding procedure. Both generators satisfy
+// std::uniform_random_bit_generator so they compose with <random> if needed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vcpusim::stats {
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds. Every call
+/// advances an internal counter; the output sequence has period 2^64.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the general-purpose engine used by all distributions.
+/// 256 bits of state, period 2^256-1, excellent statistical quality.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the
+  /// xoshiro authors; any seed (including 0) yields a valid state.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Derive an independent child stream. Equivalent to jumping to a
+  /// far-away point: the child is seeded from a SplitMix64 expansion of
+  /// this stream's next output mixed with `stream_id`, so replications
+  /// with different ids never share a sequence in practice.
+  Rng split(std::uint64_t stream_id) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vcpusim::stats

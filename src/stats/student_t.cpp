@@ -1,0 +1,117 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vcpusim::stats {
+
+namespace {
+
+// log Gamma via Lanczos approximation (g=7, n=9), |error| < 1e-13.
+double log_gamma(double x) {
+  static const double coef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coef[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                        b * std::log1p(-x) + a * std::log(x)) *
+                   beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df < 1.0) throw std::invalid_argument("student_t_cdf: df < 1");
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0 ? 1.0 - p : p;
+}
+
+double student_t_quantile(double p, double df) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p not in (0,1)");
+  }
+  if (df < 1.0) throw std::invalid_argument("student_t_quantile: df < 1");
+  if (p == 0.5) return 0.0;
+  // Bracket then bisect; the CDF is strictly increasing and cheap.
+  double lo = -1.0, hi = 1.0;
+  while (student_t_cdf(lo, df) > p) lo *= 2.0;
+  while (student_t_cdf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(mid))) return mid;
+    if (student_t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double student_t_critical(double confidence, double df) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("student_t_critical: confidence not in (0,1)");
+  }
+  return student_t_quantile(0.5 + confidence / 2.0, df);
+}
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,23 @@
+// Student-t quantiles, needed for the paper's "95% confidence level,
+// <0.1 confidence interval" replication stopping rule.
+#pragma once
+
+namespace vcpusim::stats {
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+/// df >= 1; accurate to ~1e-12 via the regularized incomplete beta.
+double student_t_cdf(double t, double df);
+
+/// Quantile (inverse CDF): the value t with P(T <= t) = p, 0 < p < 1.
+/// Solved by monotone bisection/Newton on the CDF.
+double student_t_quantile(double p, double df);
+
+/// Two-sided critical value: t such that P(|T| <= t) = confidence,
+/// e.g. confidence = 0.95 gives the familiar 1.96-ish values.
+double student_t_critical(double confidence, double df);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction,
+/// Lentz's method); exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
+
+}  // namespace vcpusim::stats

@@ -1,0 +1,29 @@
+#include "trace/event_log.hpp"
+
+namespace vcpusim::trace {
+
+void EventLog::on_fire(san::Time now, const san::Activity& activity,
+                       std::size_t case_index) {
+  ++total_;
+  if (capacity_ != 0 && entries_.size() == capacity_) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(Entry{now, activity.name(), case_index});
+}
+
+std::size_t EventLog::count_matching(const std::string& substring) const {
+  std::size_t count = 0;
+  for (const auto& e : entries_) {
+    if (e.activity.find(substring) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+void EventLog::write_csv(std::ostream& os) const {
+  os << "time,activity,case\n";
+  for (const auto& e : entries_) {
+    os << e.time << ',' << e.activity << ',' << e.case_index << '\n';
+  }
+}
+
+}  // namespace vcpusim::trace

@@ -1,0 +1,53 @@
+// Raw event logging: record every activity completion of a simulation
+// run and export it as CSV for offline analysis. This is the debugging
+// facility the paper's Mobius-based framework gets for free from the
+// tool; here it is a TraceObserver.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "san/trace.hpp"
+
+namespace vcpusim::trace {
+
+class EventLog final : public san::TraceObserver {
+ public:
+  struct Entry {
+    san::Time time;
+    std::string activity;
+    std::size_t case_index;
+  };
+
+  /// Keep at most `capacity` entries (0 = unbounded); older entries are
+  /// dropped first, so the log holds the *tail* of the run.
+  explicit EventLog(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void on_fire(san::Time now, const san::Activity& activity,
+               std::size_t case_index) override;
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t total_events() const noexcept { return total_; }
+  std::size_t dropped() const noexcept { return total_ - entries_.size(); }
+
+  /// Number of recorded completions of activities whose qualified name
+  /// contains `substring`.
+  std::size_t count_matching(const std::string& substring) const;
+
+  /// CSV with header "time,activity,case".
+  void write_csv(std::ostream& os) const;
+
+  void clear() noexcept {
+    entries_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vcpusim::trace

@@ -1,0 +1,99 @@
+#include "vm/config.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::vm {
+
+void SpinlockConfig::validate() const {
+  if (!enabled) return;
+  if (lock_probability < 0 || lock_probability > 1) {
+    throw std::invalid_argument("SpinlockConfig: lock_probability not in [0,1]");
+  }
+  if (critical_fraction < 0 || critical_fraction > 1) {
+    throw std::invalid_argument("SpinlockConfig: critical_fraction not in [0,1]");
+  }
+}
+
+void VmConfig::apply_defaults() {
+  if (!load_distribution) load_distribution = stats::make_uniform_int(1, 10);
+  if (!inter_generation) inter_generation = stats::make_deterministic(0.0);
+}
+
+int SystemConfig::total_vcpus() const noexcept {
+  int total = 0;
+  for (const auto& vm : vms) total += vm.num_vcpus;
+  return total;
+}
+
+void SystemConfig::validate() const {
+  if (num_pcpus < 1) {
+    throw std::invalid_argument("SystemConfig: num_pcpus must be >= 1");
+  }
+  if (!(default_timeslice > 0)) {
+    throw std::invalid_argument("SystemConfig: default_timeslice must be > 0");
+  }
+  if (vms.empty()) {
+    throw std::invalid_argument("SystemConfig: at least one VM required");
+  }
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const auto& vm = vms[i];
+    if (vm.num_vcpus < 1) {
+      throw std::invalid_argument("SystemConfig: VM " + std::to_string(i) +
+                                  " must have >= 1 VCPU");
+    }
+    vm.spinlock.validate();
+    // The paper's constraint: "at most the same number of VCPUs as the
+    // number of physical cores" is *not* enforced — the evaluation
+    // deliberately over-commits (e.g. 2+4 VCPUs on 4 PCPUs); only a VM
+    // larger than the whole machine is rejected, since SCS could never
+    // schedule it and every other algorithm would starve it too.
+  }
+}
+
+std::vector<Workload> sample_workload_trace(const VmConfig& cfg,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  VmConfig local = cfg;
+  local.apply_defaults();
+  local.spinlock.validate();
+  stats::Rng rng(seed);
+  std::vector<Workload> trace;
+  trace.reserve(count);
+  int countdown = local.sync_ratio_k;
+  for (std::size_t i = 0; i < count; ++i) {
+    Workload w;
+    w.load = std::max(0.0, local.load_distribution->sample(rng));
+    if (local.spinlock.enabled &&
+        rng.uniform01() < local.spinlock.lock_probability) {
+      w.critical = w.load * local.spinlock.critical_fraction;
+    }
+    if (local.sync_ratio_k > 0) {
+      if (local.sync_mode == SyncMode::kEveryKth) {
+        if (--countdown <= 0) {
+          w.sync_point = true;
+          countdown = local.sync_ratio_k;
+        }
+      } else {
+        w.sync_point = rng.uniform01() < 1.0 / local.sync_ratio_k;
+      }
+    }
+    trace.push_back(w);
+  }
+  return trace;
+}
+
+SystemConfig make_symmetric_config(int pcpus, const std::vector<int>& vcpus_per_vm,
+                                   int sync_k) {
+  SystemConfig cfg;
+  cfg.num_pcpus = pcpus;
+  for (int n : vcpus_per_vm) {
+    VmConfig vm;
+    vm.num_vcpus = n;
+    vm.sync_ratio_k = sync_k;
+    vm.apply_defaults();
+    cfg.vms.push_back(std::move(vm));
+  }
+  return cfg;
+}
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,101 @@
+// Declarative configuration of a virtualization system — the programmatic
+// equivalent of assembling the model in the Mobius GUI: "an arbitrary
+// number of VMs with an arbitrary number of VCPUs", workload
+// distributions, the synchronization ratio, and the PCPU count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/distribution.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::vm {
+
+/// How synchronization points are injected into the workload stream.
+enum class SyncMode {
+  kEveryKth,  ///< deterministically, every k-th workload is a barrier
+  kRandom,    ///< each workload is a barrier with probability 1/k
+};
+
+/// Spinlock extension (paper Section V): jobs may end in a critical
+/// section protected by a VM-wide lock. A VCPU reaching its critical
+/// section while a sibling holds the lock *spins*: it stays BUSY
+/// (burning its PCPU) without making progress — so a preempted lock
+/// holder (the semantic-gap pathology) makes its siblings burn cycles.
+struct SpinlockConfig {
+  bool enabled = false;
+  /// Probability that a workload has a critical section at all.
+  double lock_probability = 0.5;
+  /// Fraction of a locked workload's duration inside the critical
+  /// section (the trailing part).
+  double critical_fraction = 0.3;
+
+  void validate() const;
+};
+
+struct VmConfig {
+  std::string name;  ///< empty: auto-named "VM_<index+1>"
+  int num_vcpus = 1;
+
+  /// Load duration distribution (paper: "configurable to any distribution
+  /// and rate"). Defaults to uniformint(1, 10) ticks.
+  stats::DistributionPtr load_distribution;
+
+  /// Inter-generation delay of the Workload Generator. The default,
+  /// deterministic(0), makes generation saturating: it is "interrupted
+  /// only when synchronization points block the VM" (paper IV.C).
+  stats::DistributionPtr inter_generation;
+
+  /// Sync ratio 1:k — one synchronization point per k workloads
+  /// (paper III.B.3). k <= 0 disables synchronization points.
+  int sync_ratio_k = 5;
+  SyncMode sync_mode = SyncMode::kEveryKth;
+
+  /// Optional spinlock-based critical sections (extension).
+  SpinlockConfig spinlock;
+
+  /// Optional fixed workload trace. When non-empty, the Workload
+  /// Generator replays these jobs cyclically instead of sampling
+  /// load/sync/critical randomly — the common-random-numbers technique
+  /// for comparing algorithms on *identical* workload sequences.
+  /// (`inter_generation` still controls generation timing.)
+  std::vector<Workload> workload_trace;
+
+  /// Fill unset distributions with the defaults above.
+  void apply_defaults();
+};
+
+struct SystemConfig {
+  int num_pcpus = 4;
+
+  /// Timeslice granted on Schedule_In when the scheduling function does
+  /// not override it (paper III.B.5 Timeslice field).
+  double default_timeslice = 5.0;
+
+  std::vector<VmConfig> vms;
+
+  /// Total VCPUs across all VMs.
+  int total_vcpus() const noexcept;
+
+  /// Validate invariants (>=1 PCPU, >=1 VM, each VM >=1 VCPU, ...).
+  /// Throws std::invalid_argument with a precise message.
+  void validate() const;
+};
+
+/// Sample a fixed workload trace of `count` jobs offline, using exactly
+/// the sampling rules the Workload Generator would apply live (load
+/// distribution, 1:k sync ratio, spinlock critical sections). Assign the
+/// result to VmConfig::workload_trace to compare scheduling algorithms
+/// on an identical job sequence.
+std::vector<Workload> sample_workload_trace(const VmConfig& cfg,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+/// Convenience: a SystemConfig with `pcpus` PCPUs and one VM per entry of
+/// `vcpus_per_vm`, all using default workload parameters and sync ratio
+/// 1:`sync_k` — the shape of every experiment in the paper.
+SystemConfig make_symmetric_config(int pcpus, const std::vector<int>& vcpus_per_vm,
+                                   int sync_k = 5);
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,173 @@
+#include "vm/metrics.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace vcpusim::vm {
+
+namespace {
+
+std::shared_ptr<SlotPlace> slot_of(const VirtualSystem& system, int vcpu_id) {
+  return system.vcpus.at(static_cast<std::size_t>(vcpu_id)).slot;
+}
+
+std::vector<std::shared_ptr<SlotPlace>> all_slots(const VirtualSystem& system) {
+  std::vector<std::shared_ptr<SlotPlace>> slots;
+  slots.reserve(system.vcpus.size());
+  for (const auto& b : system.vcpus) slots.push_back(b.slot);
+  return slots;
+}
+
+}  // namespace
+
+std::unique_ptr<san::RewardVariable> vcpu_availability(
+    const VirtualSystem& system, int vcpu_id, san::Time warmup) {
+  auto slot = slot_of(system, vcpu_id);
+  return std::make_unique<san::RewardVariable>(
+      "vcpu_availability[" + std::to_string(vcpu_id) + "]",
+      [slot]() { return is_active(slot->get().status) ? 1.0 : 0.0; }, warmup);
+}
+
+std::unique_ptr<san::RewardVariable> mean_vcpu_availability(
+    const VirtualSystem& system, san::Time warmup) {
+  auto slots = all_slots(system);
+  return std::make_unique<san::RewardVariable>(
+      "mean_vcpu_availability",
+      [slots]() {
+        double active = 0;
+        for (const auto& s : slots) {
+          if (is_active(s->get().status)) active += 1.0;
+        }
+        return active / static_cast<double>(slots.size());
+      },
+      warmup);
+}
+
+std::unique_ptr<san::RewardVariable> pcpu_utilization(
+    const VirtualSystem& system, san::Time warmup) {
+  auto pcpus = system.scheduler_places.pcpus;
+  return std::make_unique<san::RewardVariable>(
+      "pcpu_utilization",
+      [pcpus]() {
+        const auto& array = pcpus->get();
+        double assigned = 0;
+        for (const auto& p : array) {
+          if (p.assigned_vcpu >= 0) assigned += 1.0;
+        }
+        return assigned / static_cast<double>(array.size());
+      },
+      warmup);
+}
+
+std::unique_ptr<san::RewardVariable> vcpu_utilization(
+    const VirtualSystem& system, int vcpu_id, san::Time warmup) {
+  auto slot = slot_of(system, vcpu_id);
+  return std::make_unique<san::RewardVariable>(
+      "vcpu_utilization[" + std::to_string(vcpu_id) + "]",
+      [slot]() {
+        return slot->get().status == VcpuStatus::kBusy ? 1.0 : 0.0;
+      },
+      warmup);
+}
+
+std::unique_ptr<san::RewardVariable> mean_vcpu_utilization(
+    const VirtualSystem& system, san::Time warmup) {
+  auto slots = all_slots(system);
+  return std::make_unique<san::RewardVariable>(
+      "mean_vcpu_utilization",
+      [slots]() {
+        double busy = 0;
+        for (const auto& s : slots) {
+          if (s->get().status == VcpuStatus::kBusy) busy += 1.0;
+        }
+        return busy / static_cast<double>(slots.size());
+      },
+      warmup);
+}
+
+std::unique_ptr<san::RewardVariable> vm_blocked_fraction(
+    const VirtualSystem& system, int vm_id, san::Time warmup) {
+  auto blocked = system.vms.at(static_cast<std::size_t>(vm_id)).places.blocked;
+  return std::make_unique<san::RewardVariable>(
+      "vm_blocked_fraction[" + std::to_string(vm_id) + "]",
+      [blocked]() { return blocked->get() != 0 ? 1.0 : 0.0; }, warmup);
+}
+
+std::unique_ptr<san::RewardVariable> mean_spin_fraction(
+    const VirtualSystem& system, san::Time warmup) {
+  auto slots = all_slots(system);
+  return std::make_unique<san::RewardVariable>(
+      "mean_spin_fraction",
+      [slots]() {
+        double spinning = 0;
+        for (const auto& s : slots) {
+          if (s->get().spinning && s->get().status == VcpuStatus::kBusy) {
+            spinning += 1.0;
+          }
+        }
+        return spinning / static_cast<double>(slots.size());
+      },
+      warmup);
+}
+
+std::unique_ptr<san::RewardVariable> mean_productive_fraction(
+    const VirtualSystem& system, san::Time warmup) {
+  auto slots = all_slots(system);
+  return std::make_unique<san::RewardVariable>(
+      "mean_productive_fraction",
+      [slots]() {
+        double productive = 0;
+        for (const auto& s : slots) {
+          if (s->get().status == VcpuStatus::kBusy && !s->get().spinning) {
+            productive += 1.0;
+          }
+        }
+        return productive / static_cast<double>(slots.size());
+      },
+      warmup);
+}
+
+std::int64_t spin_ticks(const VirtualSystem& system, int vm_id) {
+  const auto& place =
+      system.vms.at(static_cast<std::size_t>(vm_id)).places.spin_ticks;
+  return place == nullptr ? 0 : place->get();
+}
+
+std::unique_ptr<san::RewardVariable> system_throughput(
+    const VirtualSystem& system, san::Time warmup) {
+  auto reward = std::make_unique<san::RewardVariable>(
+      san::RewardVariable::impulse_only("system_throughput", warmup));
+  std::vector<std::shared_ptr<san::TokenPlace>> counters;
+  for (const auto& vm : system.vms) {
+    counters.push_back(vm.places.completed_jobs);
+  }
+  // One shared delta tracker: each VCPU Clock completion contributes the
+  // jobs newly finished since the previous completion (0 or 1).
+  auto last_seen = std::make_shared<std::int64_t>(0);
+  const auto delta_fn = [counters, last_seen]() {
+    std::int64_t total = 0;
+    for (const auto& c : counters) total += c->get();
+    const double delta = static_cast<double>(total - *last_seen);
+    *last_seen = total;
+    return delta;
+  };
+  for (const auto& vm : system.vms) {
+    for (san::Activity* clock : vm.places.clocks) {
+      reward->add_impulse(clock, delta_fn);
+    }
+  }
+  return reward;
+}
+
+std::int64_t completed_jobs(const VirtualSystem& system, int vm_id) {
+  return system.vms.at(static_cast<std::size_t>(vm_id))
+      .places.completed_jobs->get();
+}
+
+std::int64_t total_completed_jobs(const VirtualSystem& system) {
+  std::int64_t total = 0;
+  for (const auto& vm : system.vms) total += vm.places.completed_jobs->get();
+  return total;
+}
+
+}  // namespace vcpusim::vm

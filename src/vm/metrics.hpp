@@ -1,0 +1,72 @@
+// Reward variables over a VirtualSystem — the paper's evaluation metrics:
+//
+//  * VCPU Availability (IV.A): fraction of time a VCPU is ACTIVE
+//    (READY or BUSY), i.e. assigned a PCPU.
+//  * PCPU Utilization (IV.B): fraction of time PCPUs are ASSIGNED,
+//    averaged over all PCPUs; exposes the CPU fragmentation problem.
+//  * VCPU Utilization (IV.C): fraction of time a VCPU is BUSY processing
+//    workload; exposes synchronization latency.
+//
+// Each factory returns a fresh RewardVariable bound to the system's
+// places; pass them to san::Simulator / san::run_experiment.
+#pragma once
+
+#include <memory>
+
+#include "san/reward.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim::vm {
+
+/// Availability of one VCPU: rate reward 1 while ACTIVE.
+std::unique_ptr<san::RewardVariable> vcpu_availability(
+    const VirtualSystem& system, int vcpu_id, san::Time warmup = 0.0);
+
+/// Mean availability over all VCPUs in the system.
+std::unique_ptr<san::RewardVariable> mean_vcpu_availability(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Mean utilization over all PCPUs: rate reward (#assigned / #PCPUs).
+std::unique_ptr<san::RewardVariable> pcpu_utilization(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Utilization of one VCPU: rate reward 1 while BUSY.
+std::unique_ptr<san::RewardVariable> vcpu_utilization(
+    const VirtualSystem& system, int vcpu_id, san::Time warmup = 0.0);
+
+/// Mean utilization over all VCPUs in the system.
+std::unique_ptr<san::RewardVariable> mean_vcpu_utilization(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Fraction of time a VM is blocked on a synchronization barrier.
+std::unique_ptr<san::RewardVariable> vm_blocked_fraction(
+    const VirtualSystem& system, int vm_id, san::Time warmup = 0.0);
+
+/// Spinlock extension: fraction of time VCPUs spend spin-waiting on
+/// their VM's lock (mean over all VCPUs). Zero for systems without the
+/// spinlock extension enabled.
+std::unique_ptr<san::RewardVariable> mean_spin_fraction(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Spinlock extension: fraction of time VCPUs are BUSY doing *productive*
+/// work (processing, not spin-waiting), mean over all VCPUs. Equals
+/// mean_vcpu_utilization when the spinlock extension is disabled.
+std::unique_ptr<san::RewardVariable> mean_productive_fraction(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Spinlock extension: total PCPU ticks a VM's VCPUs burned spinning.
+std::int64_t spin_ticks(const VirtualSystem& system, int vm_id);
+
+/// System throughput: impulse reward earning 1 per completed job across
+/// all VMs; its time-averaged value is jobs per tick. Build one instance
+/// per system per run (it keeps delta state across completions).
+std::unique_ptr<san::RewardVariable> system_throughput(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
+/// Jobs a VM has completed so far (read at end of run for throughput).
+std::int64_t completed_jobs(const VirtualSystem& system, int vm_id);
+
+/// Jobs completed by the whole system.
+std::int64_t total_completed_jobs(const VirtualSystem& system);
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,25 @@
+// Event-ordering priorities of the virtualization model.
+//
+// All Clock activities fire at every integer tick; within one tick the
+// order is: VCPU load processing first, then workload generation, then —
+// last — the hypervisor's scheduling decision, so the scheduler observes
+// the tick's completed work (mirrors real hypervisors where the scheduler
+// runs on the timer interrupt after the guest executed its quantum).
+// Instantaneous activities (zero-time reactions) fire between timed
+// completions; among them preemption is applied before assignment, and
+// job dispatch after the VCPU acknowledged its new state.
+#pragma once
+
+namespace vcpusim::vm {
+
+// Timed activities (higher fires first at equal completion time).
+inline constexpr int kVcpuClockPriority = 100;
+inline constexpr int kGeneratePriority = 50;
+inline constexpr int kSchedulerClockPriority = 0;
+
+// Instantaneous activities.
+inline constexpr int kScheduleOutHandlerPriority = 30;
+inline constexpr int kScheduleInHandlerPriority = 20;
+inline constexpr int kJobSchedulingPriority = 10;
+
+}  // namespace vcpusim::vm

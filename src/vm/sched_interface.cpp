@@ -1,0 +1,35 @@
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::vm {
+
+namespace {
+
+class CFunctionScheduler final : public Scheduler {
+ public:
+  CFunctionScheduler(vcpu_schedule_fn fn, std::string name)
+      : fn_(fn), name_(std::move(name)) {
+    if (fn_ == nullptr) {
+      throw std::invalid_argument("wrap_c_function: null function");
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long timestamp) override {
+    return fn_(vcpus.data(), static_cast<int>(vcpus.size()), pcpus.data(),
+               static_cast<int>(pcpus.size()), timestamp);
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  vcpu_schedule_fn fn_;
+  std::string name_;
+};
+
+}  // namespace
+
+SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name) {
+  return std::make_unique<CFunctionScheduler>(fn, std::move(name));
+}
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,101 @@
+// The user-defined scheduling-function interface (paper III.B.5).
+//
+// The framework "exports a C function call interface, which passes the
+// states of the VCPUs and PCPUs, to an outside library":
+//
+//   bool schedule(VCPU_host_external* vcpus, int num_vcpu,
+//                 PCPU_external*      pcpus, int num_pcpu,
+//                 long timestamp);
+//
+// Both arrays are input *and* output: the function reads the pre-call
+// state and records its decisions in the schedule_in / schedule_out
+// fields, which the framework validates and applies by firing the
+// Schedule_In / Schedule_Out join places of the affected VCPU models.
+//
+// Contract applied by the framework each Clock tick, in order:
+//   1. Timeslices of assigned VCPUs are decremented; any VCPU whose
+//      timeslice reached 0 is forcibly descheduled (Schedule_Out) before
+//      the function is called, so the function sees the freed PCPUs.
+//   2. The function is called with the current snapshot.
+//   3. For each VCPU with schedule_out != 0: the PCPU is released.
+//   4. For each VCPU with schedule_in >= 0: the VCPU is assigned that
+//      PCPU with a fresh timeslice (new_timeslice, or the system default
+//      when new_timeslice <= 0).
+// Violations (assigning a non-idle PCPU, out-of-range ids, assigning an
+// already-active VCPU without descheduling it first, double-assigning a
+// PCPU) throw ScheduleError and abort the simulation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace vcpusim::vm {
+
+/// Snapshot of one VCPU, layout-compatible with the paper's VCPU place.
+/// POD so a plain C function can consume it.
+struct VCPU_host_external {
+  // --- identity (read-only) ---
+  int vcpu_id;          ///< global VCPU index in the system
+  int vm_id;            ///< index of the owning VM
+  int vcpu_index_in_vm; ///< index among the VM's (sibling) VCPUs
+  int num_siblings;     ///< number of VCPUs in the owning VM
+
+  // --- state before the call (read-only) ---
+  int status;            ///< VcpuStatus as int: 0 INACTIVE, 1 READY, 2 BUSY
+  double remaining_load; ///< remaining processing time of current workload
+  int sync_point;        ///< 1 if the current workload is a barrier job
+  long last_scheduled_in;///< timestamp of last Schedule_In; -1 if never
+  double timeslice;      ///< remaining timeslice (0 when not assigned)
+  int assigned_pcpu;     ///< currently assigned PCPU, -1 if none
+
+  // --- decision outputs (written by the scheduling function) ---
+  int schedule_in;      ///< PCPU id to assign, or -1 for no assignment
+  int schedule_out;     ///< nonzero: relinquish the assigned PCPU
+  double new_timeslice; ///< timeslice to grant on schedule_in; <=0 = default
+};
+
+/// Snapshot of one PCPU: IDLE (state == 0) or ASSIGNED (state == 1).
+struct PCPU_external {
+  int pcpu_id;
+  int state;         ///< 0 IDLE, 1 ASSIGNED
+  int assigned_vcpu; ///< -1 when idle
+};
+
+/// The paper's plug-in signature. Return false to report an internal
+/// error (the framework raises ScheduleError).
+using vcpu_schedule_fn = bool (*)(VCPU_host_external* vcpus, int num_vcpu,
+                                  PCPU_external* pcpus, int num_pcpu,
+                                  long timestamp);
+
+/// Raised when a scheduling function violates the assignment contract.
+class ScheduleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Type-safe C++ face of the same interface. Algorithms with internal
+/// state (run queues, skew counters) implement this; a fresh instance is
+/// created per replication via SchedulerFactory.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// See the file-header contract. Called once per Clock tick.
+  virtual bool schedule(std::span<VCPU_host_external> vcpus,
+                        std::span<PCPU_external> pcpus, long timestamp) = 0;
+
+  /// Short algorithm name, e.g. "RRS".
+  virtual std::string name() const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+using SchedulerFactory = std::function<SchedulerPtr()>;
+
+/// Wrap a raw C scheduling function (the paper's headline use case) as a
+/// Scheduler. The function must be stateless or manage its own statics.
+SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name);
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,76 @@
+#include "vm/system_builder.hpp"
+
+#include <stdexcept>
+
+namespace vcpusim::vm {
+
+std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
+                                            SchedulerPtr scheduler) {
+  cfg.validate();
+  if (!scheduler) {
+    throw std::invalid_argument("build_system: null scheduler");
+  }
+  for (auto& vm : cfg.vms) vm.apply_defaults();
+
+  auto system = std::make_unique<VirtualSystem>();
+  system->config = cfg;
+  system->scheduler = std::move(scheduler);
+  system->model = std::make_unique<san::ComposedModel>("Virtual_System");
+  auto& model = *system->model;
+
+  // Build each VM, collecting the global VCPU bindings.
+  for (std::size_t v = 0; v < cfg.vms.size(); ++v) {
+    VmHandle handle;
+    handle.vm_id = static_cast<int>(v);
+    handle.name = cfg.vms[v].name.empty()
+                      ? "VM_" + std::to_string(v + 1)
+                      : cfg.vms[v].name;
+    handle.places =
+        build_virtual_machine(model, cfg.vms[v], handle.name + ".");
+    for (int k = 0; k < cfg.vms[v].num_vcpus; ++k) {
+      VcpuBinding binding;
+      binding.vcpu_id = static_cast<int>(system->vcpus.size());
+      binding.vm_id = handle.vm_id;
+      binding.vcpu_index_in_vm = k;
+      binding.num_siblings = cfg.vms[v].num_vcpus;
+      binding.slot = handle.places.slots[static_cast<std::size_t>(k)];
+      binding.schedule_in =
+          handle.places.schedule_in[static_cast<std::size_t>(k)];
+      binding.schedule_out =
+          handle.places.schedule_out[static_cast<std::size_t>(k)];
+      handle.vcpu_ids.push_back(binding.vcpu_id);
+      system->vcpus.push_back(std::move(binding));
+    }
+    system->vms.push_back(std::move(handle));
+  }
+
+  system->scheduler_places = build_vcpu_scheduler(
+      model, cfg, system->vcpus, *system->scheduler);
+
+  // Record the VM <-> scheduler joins in the format of paper Table 2:
+  // shared names Schedule_In<vm>_<k> / Schedule_Out<vm>_<k>, members from
+  // the VM model side and the scheduler's global VCPU place side.
+  for (const auto& vm : system->vms) {
+    for (std::size_t k = 0; k < vm.vcpu_ids.size(); ++k) {
+      const int global = vm.vcpu_ids[k];
+      const std::string suffix =
+          std::to_string(vm.vm_id + 1) + "_" + std::to_string(k + 1);
+      const std::string scheduler_side =
+          "VCPU_Scheduler->VCPU" + std::to_string(global + 1);
+      model.record_join(
+          "Schedule_In" + suffix,
+          vm.places.schedule_in[k],
+          {vm.name + "->Schedule_In" + std::to_string(k + 1),
+           scheduler_side + "->Schedule_In"});
+      model.record_join(
+          "Schedule_Out" + suffix,
+          vm.places.schedule_out[k],
+          {vm.name + "->Schedule_Out" + std::to_string(k + 1),
+           scheduler_side + "->Schedule_Out"});
+    }
+  }
+
+  return system;
+}
+
+}  // namespace vcpusim::vm

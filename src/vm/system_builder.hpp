@@ -1,0 +1,55 @@
+// Assembling a complete Virtual System (paper III.B.6, Figure 7): several
+// Virtual Machine composed models joined to one VCPU Scheduler through
+// the Schedule_In / Schedule_Out places of Table 2. This is the
+// programmatic equivalent of the Mobius drag-and-drop assembly the paper
+// describes in its introduction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "san/model.hpp"
+#include "vm/config.hpp"
+#include "vm/sched_interface.hpp"
+#include "vm/vcpu_scheduler.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vcpusim::vm {
+
+/// Identity and places of one VM inside a built system.
+struct VmHandle {
+  std::string name;
+  int vm_id = 0;
+  VmPlaces places;
+  std::vector<int> vcpu_ids;  ///< global ids of this VM's VCPUs
+};
+
+/// A fully wired virtualization system, ready for simulation. Owns the
+/// composed SAN model and the scheduler instance; exposes the places the
+/// metrics layer and tests observe.
+struct VirtualSystem {
+  SystemConfig config;
+  std::unique_ptr<san::ComposedModel> model;
+  SchedulerPtr scheduler;
+  std::vector<VmHandle> vms;
+  std::vector<VcpuBinding> vcpus;  ///< indexed by global vcpu id
+  SchedulerPlaces scheduler_places;
+
+  int num_vcpus() const noexcept { return static_cast<int>(vcpus.size()); }
+  int num_pcpus() const noexcept { return config.num_pcpus; }
+
+  /// The VM a global VCPU id belongs to.
+  const VmHandle& vm_of(int vcpu_id) const {
+    return vms.at(static_cast<std::size_t>(
+        vcpus.at(static_cast<std::size_t>(vcpu_id)).vm_id));
+  }
+};
+
+/// Build the system described by `cfg`, plugging in `scheduler` as the
+/// VCPU scheduling algorithm. Validates `cfg` first. The returned system
+/// is self-contained; run it with san::Simulator on `*system->model`.
+std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
+                                            SchedulerPtr scheduler);
+
+}  // namespace vcpusim::vm

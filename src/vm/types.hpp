@@ -1,0 +1,85 @@
+// Shared state types of the virtualization model (paper Section III).
+//
+// These are the marking types of the join places listed in Tables 1 and 2:
+// the VCPU_slot record, the workload record produced by the Workload
+// Generator, and the per-VCPU record kept by the hypervisor's VCPU
+// Scheduler (Last_Scheduled_In, Timeslice, assigned PCPU).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "san/place.hpp"
+
+namespace vcpusim::vm {
+
+using Time = double;
+
+/// VCPU status (paper III.B.2). READY and BUSY are the ACTIVE states.
+enum class VcpuStatus : int {
+  kInactive = 0,  ///< not assigned to any PCPU (may hold partial load)
+  kReady = 1,     ///< assigned a PCPU, no workload assigned
+  kBusy = 2,      ///< assigned a PCPU and processing a workload
+};
+
+inline bool is_active(VcpuStatus s) noexcept {
+  return s != VcpuStatus::kInactive;
+}
+
+inline const char* to_string(VcpuStatus s) noexcept {
+  switch (s) {
+    case VcpuStatus::kInactive: return "INACTIVE";
+    case VcpuStatus::kReady: return "READY";
+    case VcpuStatus::kBusy: return "BUSY";
+  }
+  return "?";
+}
+
+/// One generated workload (paper III.B.3): `load` is the time a VCPU with
+/// an assigned PCPU needs to process it; `sync_point` marks a barrier.
+/// `critical` is the spinlock extension (paper Section V: "represent more
+/// synchronization mechanisms"): the final `critical` time units of the
+/// job execute inside the VM's critical section and require its lock.
+struct Workload {
+  double load = 0.0;
+  bool sync_point = false;
+  double critical = 0.0;
+};
+
+/// Marking of a VCPU_slot place (paper III.B.2). Note that an INACTIVE
+/// VCPU can be mid-workload (remaining_load > 0) or holding a lock
+/// (sync_point / holds_lock) — the semantic-gap scenario the paper
+/// studies.
+struct VcpuSlotState {
+  double remaining_load = 0.0;
+  bool sync_point = false;
+  VcpuStatus status = VcpuStatus::kInactive;
+  // --- spinlock extension ---
+  double critical_remaining = 0.0;  ///< trailing part of the load needing the lock
+  bool holds_lock = false;          ///< inside the critical section
+  bool spinning = false;            ///< BUSY but spin-waiting on the lock
+};
+
+/// Marking of one element of the scheduler's PCPUs array place:
+/// IDLE (assigned_vcpu < 0) or ASSIGNED.
+struct PcpuState {
+  int assigned_vcpu = -1;
+};
+
+/// Marking of a per-VCPU place inside the VCPU Scheduler submodel
+/// (paper III.B.5): scheduling bookkeeping the algorithms read.
+struct VcpuHostState {
+  long last_scheduled_in = -1;  ///< timestamp of last Schedule_In; -1 never
+  double timeslice = 0.0;       ///< remaining timeslice while assigned
+  int assigned_pcpu = -1;       ///< -1 when INACTIVE
+};
+
+// Place aliases used throughout the model.
+using SlotPlace = san::Place<VcpuSlotState>;
+using WorkloadPlace = san::Place<std::optional<Workload>>;
+using PcpuArrayPlace = san::Place<std::vector<PcpuState>>;
+using HostPlace = san::Place<VcpuHostState>;
+
+}  // namespace vcpusim::vm

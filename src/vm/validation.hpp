@@ -1,0 +1,50 @@
+// Runtime model validation (paper Section V: "evaluating the fidelity of
+// the model"): a TraceObserver that re-derives the virtualization
+// model's global invariants from the marking at every scheduler tick and
+// records violations. Attach it to any simulation — tests run it under
+// every algorithm; users run it when developing custom schedulers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "san/trace.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim::vm {
+
+class InvariantChecker final : public san::TraceObserver {
+ public:
+  /// Checks `system` at each firing of its scheduler Clock. If
+  /// `throw_on_violation` is set, the first violation raises
+  /// std::logic_error (aborting the run); otherwise violations are
+  /// collected (bounded) and readable afterwards.
+  explicit InvariantChecker(const VirtualSystem& system,
+                            bool throw_on_violation = false);
+
+  void on_fire(san::Time now, const san::Activity& activity,
+               std::size_t case_index) override;
+
+  /// Run all checks against the current marking immediately; returns the
+  /// violation messages found in this pass (empty = consistent).
+  std::vector<std::string> check_now(san::Time now = -1.0);
+
+  const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  bool consistent() const noexcept { return violations_.empty(); }
+  std::size_t checks_performed() const noexcept { return checks_; }
+
+ private:
+  void record(std::vector<std::string>& found, san::Time now,
+              const std::string& message);
+
+  const VirtualSystem* system_;
+  const san::Activity* clock_;
+  bool throw_on_violation_;
+  std::vector<std::string> violations_;
+  std::size_t checks_ = 0;
+  static constexpr std::size_t kMaxRecorded = 100;
+};
+
+}  // namespace vcpusim::vm

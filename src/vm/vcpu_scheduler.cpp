@@ -1,0 +1,179 @@
+#include "vm/vcpu_scheduler.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "vm/priorities.hpp"
+
+namespace vcpusim::vm {
+
+namespace {
+
+constexpr double kTimesliceEpsilon = 1e-9;
+
+/// Shared mutable context captured by the Scheduling_Func gate.
+struct SchedulerContext {
+  SystemConfig cfg;
+  std::vector<VcpuBinding> bindings;
+  Scheduler* scheduler;
+  SchedulerPlaces places;
+
+  void deschedule(std::size_t i) {
+    auto& host = places.hosts[i]->mut();
+    auto& pcpus = places.pcpus->mut();
+    if (host.assigned_pcpu < 0) {
+      throw ScheduleError("deschedule: VCPU " + std::to_string(i) +
+                          " has no PCPU");
+    }
+    pcpus[static_cast<std::size_t>(host.assigned_pcpu)].assigned_vcpu = -1;
+    host.assigned_pcpu = -1;
+    host.timeslice = 0.0;
+    bindings[i].schedule_out->mut() += 1;
+  }
+
+  void assign(std::size_t i, int pcpu, double new_timeslice, long timestamp) {
+    const int num_pcpu = cfg.num_pcpus;
+    if (pcpu < 0 || pcpu >= num_pcpu) {
+      throw ScheduleError("schedule_in: VCPU " + std::to_string(i) +
+                          " given out-of-range PCPU " + std::to_string(pcpu));
+    }
+    auto& host = places.hosts[i]->mut();
+    if (host.assigned_pcpu >= 0) {
+      throw ScheduleError("schedule_in: VCPU " + std::to_string(i) +
+                          " is already assigned PCPU " +
+                          std::to_string(host.assigned_pcpu));
+    }
+    auto& pcpus = places.pcpus->mut();
+    auto& target = pcpus[static_cast<std::size_t>(pcpu)];
+    if (target.assigned_vcpu >= 0) {
+      throw ScheduleError("schedule_in: PCPU " + std::to_string(pcpu) +
+                          " is already assigned to VCPU " +
+                          std::to_string(target.assigned_vcpu));
+    }
+    target.assigned_vcpu = static_cast<int>(i);
+    host.assigned_pcpu = pcpu;
+    host.last_scheduled_in = timestamp;
+    host.timeslice =
+        new_timeslice > 0 ? new_timeslice : cfg.default_timeslice;
+    bindings[i].schedule_in->mut() += 1;
+  }
+
+  void tick(san::GateContext& ctx) {
+    const long timestamp = std::lround(ctx.now);
+    const std::size_t n = bindings.size();
+
+    // Step 1: account the elapsed time unit and enforce timeslice expiry
+    // ("the timeslice decreases as Clock fires until it reaches 0 and the
+    // VCPU must relinquish the PCPU").
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& host = places.hosts[i]->mut();
+      if (host.assigned_pcpu >= 0) {
+        host.timeslice -= 1.0;
+        if (host.timeslice <= kTimesliceEpsilon) deschedule(i);
+      }
+    }
+
+    // Step 2: snapshot. Status is derived from the assignment: a VCPU
+    // descheduled this tick reads INACTIVE even though its slot place
+    // settles an instant later.
+    std::vector<VCPU_host_external> vx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& b = bindings[i];
+      const auto& host = places.hosts[i]->get();
+      const auto& slot = b.slot->get();
+      auto& x = vx[i];
+      x.vcpu_id = b.vcpu_id;
+      x.vm_id = b.vm_id;
+      x.vcpu_index_in_vm = b.vcpu_index_in_vm;
+      x.num_siblings = b.num_siblings;
+      x.status = host.assigned_pcpu < 0 ? static_cast<int>(VcpuStatus::kInactive)
+                                        : static_cast<int>(slot.status);
+      x.remaining_load = slot.remaining_load;
+      x.sync_point = slot.sync_point ? 1 : 0;
+      x.last_scheduled_in = host.last_scheduled_in;
+      x.timeslice = host.assigned_pcpu < 0 ? 0.0 : host.timeslice;
+      x.assigned_pcpu = host.assigned_pcpu;
+      x.schedule_in = -1;
+      x.schedule_out = 0;
+      x.new_timeslice = 0.0;
+    }
+    const auto num_pcpu = static_cast<std::size_t>(cfg.num_pcpus);
+    std::vector<PCPU_external> px(num_pcpu);
+    const auto& pcpus = places.pcpus->get();
+    for (std::size_t p = 0; p < num_pcpu; ++p) {
+      px[p].pcpu_id = static_cast<int>(p);
+      px[p].assigned_vcpu = pcpus[p].assigned_vcpu;
+      px[p].state = pcpus[p].assigned_vcpu >= 0 ? 1 : 0;
+    }
+
+    // Step 3: the user-defined scheduling function.
+    if (!scheduler->schedule(std::span<VCPU_host_external>(vx),
+                             std::span<PCPU_external>(px), timestamp)) {
+      std::ostringstream os;
+      os << "scheduling function '" << scheduler->name()
+         << "' reported failure at t=" << timestamp;
+      throw ScheduleError(os.str());
+    }
+
+    // Step 4: apply decisions — all relinquishments first, then all
+    // assignments, so a preempt-and-grant of the same PCPU in one tick
+    // is expressible.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (vx[i].schedule_out != 0) {
+        if (places.hosts[i]->get().assigned_pcpu < 0) {
+          throw ScheduleError("schedule_out: VCPU " + std::to_string(i) +
+                              " is not assigned a PCPU");
+        }
+        deschedule(i);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (vx[i].schedule_in >= 0) {
+        assign(i, vx[i].schedule_in, vx[i].new_timeslice, timestamp);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
+                                     const SystemConfig& cfg,
+                                     std::vector<VcpuBinding> bindings,
+                                     Scheduler& scheduler) {
+  if (bindings.empty()) {
+    throw std::invalid_argument("build_vcpu_scheduler: no VCPUs");
+  }
+  auto& submodel = model.add_submodel("VCPU_Scheduler");
+
+  auto context = std::make_shared<SchedulerContext>();
+  context->cfg = cfg;
+  context->scheduler = &scheduler;
+
+  context->places.num_pcpus =
+      submodel.add_place<std::int64_t>("Num_PCPUs", cfg.num_pcpus);
+  context->places.pcpus = submodel.add_place<std::vector<PcpuState>>(
+      "PCPUs", std::vector<PcpuState>(static_cast<std::size_t>(cfg.num_pcpus)));
+
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    const std::string vcpu_name = "VCPU" + std::to_string(i + 1);
+    context->places.hosts.push_back(
+        submodel.add_place<VcpuHostState>(vcpu_name, VcpuHostState{}));
+    submodel.join_place(vcpu_name + "_Schedule_In", bindings[i].schedule_in);
+    submodel.join_place(vcpu_name + "_Schedule_Out", bindings[i].schedule_out);
+    submodel.join_place(vcpu_name + "_slot", bindings[i].slot);
+  }
+  context->bindings = std::move(bindings);
+
+  auto& clock = submodel.add_timed_activity(
+      "Clock", stats::make_deterministic(1.0), kSchedulerClockPriority);
+  clock.add_output_gate(san::OutputGate{
+      "Scheduling_Func",
+      [context](san::GateContext& ctx) { context->tick(ctx); }});
+  context->places.clock = &clock;
+
+  return context->places;
+}
+
+}  // namespace vcpusim::vm

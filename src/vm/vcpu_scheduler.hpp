@@ -1,0 +1,48 @@
+// The hypervisor's VCPU Scheduler sub-model (paper III.B.5, Figure 6):
+// a Clock firing every time unit, per-VCPU places holding Schedule_In /
+// Schedule_Out links plus Last_Scheduled_In and Timeslice, the PCPUs
+// array, and the Scheduling_Func output gate that bridges to the
+// user-defined scheduling function.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "san/model.hpp"
+#include "vm/config.hpp"
+#include "vm/sched_interface.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::vm {
+
+/// Identity and join places of one VCPU, as seen by the hypervisor.
+struct VcpuBinding {
+  int vcpu_id = 0;        ///< global index
+  int vm_id = 0;
+  int vcpu_index_in_vm = 0;
+  int num_siblings = 1;
+  std::shared_ptr<SlotPlace> slot;
+  std::shared_ptr<san::TokenPlace> schedule_in;
+  std::shared_ptr<san::TokenPlace> schedule_out;
+};
+
+/// Places owned by the scheduler sub-model.
+struct SchedulerPlaces {
+  std::shared_ptr<san::TokenPlace> num_pcpus;
+  std::shared_ptr<PcpuArrayPlace> pcpus;
+  std::vector<std::shared_ptr<HostPlace>> hosts;  ///< one per VCPU
+  /// The scheduler's Clock activity (fires once per tick, after all
+  /// guest processing); trace observers hook it to sample per-tick state.
+  san::Activity* clock = nullptr;
+};
+
+/// Build the VCPU Scheduler sub-model into `model` (submodel name
+/// "VCPU_Scheduler"). `scheduler` must outlive the model; it is invoked
+/// once per Clock tick under the contract documented in
+/// sched_interface.hpp. Throws std::invalid_argument on empty bindings.
+SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
+                                     const SystemConfig& cfg,
+                                     std::vector<VcpuBinding> bindings,
+                                     Scheduler& scheduler);
+
+}  // namespace vcpusim::vm

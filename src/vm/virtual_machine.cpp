@@ -1,0 +1,345 @@
+#include "vm/virtual_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vm/priorities.hpp"
+
+namespace vcpusim::vm {
+
+namespace {
+
+/// Numerical tolerance for "remaining load exhausted" with real-valued
+/// load durations (integer loads hit 0 exactly).
+constexpr double kLoadEpsilon = 1e-9;
+
+}  // namespace
+
+void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
+                              VmPlaces& places) {
+  submodel.join_place("Blocked", places.blocked);
+  submodel.join_place("Num_VCPUs_ready", places.num_vcpus_ready);
+  submodel.join_place("Workload", places.workload);
+  submodel.join_place("Outstanding_Jobs", places.outstanding_jobs);
+
+  // Countdown to the next synchronization point (1:k ratio, III.B.3).
+  const int sync_k = cfg.sync_ratio_k;
+  auto jobs_until_sync =
+      submodel.add_place<std::int64_t>("Jobs_Until_Sync", sync_k);
+
+  auto& generate = submodel.add_timed_activity(
+      "Generate", cfg.inter_generation, kGeneratePriority);
+
+  // Figure 5 enabling conditions: at least one READY VCPU and the VM not
+  // blocked by a pending barrier; the Workload place holds one workload.
+  auto blocked = places.blocked;
+  auto num_ready = places.num_vcpus_ready;
+  auto workload = places.workload;
+  generate.add_input_gate(san::InputGate{
+      "WG_Enable",
+      [blocked, num_ready, workload]() {
+        return blocked->get() == 0 && num_ready->get() > 0 &&
+               !workload->get().has_value();
+      },
+      nullptr});
+
+  auto outstanding = places.outstanding_jobs;
+  auto load_dist = cfg.load_distribution;
+  const SyncMode sync_mode = cfg.sync_mode;
+  const SpinlockConfig spinlock = cfg.spinlock;
+  if (cfg.workload_trace.empty()) {
+    generate.add_output_gate(san::OutputGate{
+        "WL_Output",
+        [blocked, workload, outstanding, jobs_until_sync, load_dist, sync_k,
+         sync_mode, spinlock](san::GateContext& ctx) {
+          Workload w;
+          w.load = std::max(0.0, load_dist->sample(ctx.rng));
+          if (spinlock.enabled &&
+              ctx.rng.uniform01() < spinlock.lock_probability) {
+            w.critical = w.load * spinlock.critical_fraction;
+          }
+          if (sync_k > 0) {
+            if (sync_mode == SyncMode::kEveryKth) {
+              auto& countdown = jobs_until_sync->mut();
+              if (--countdown <= 0) {
+                w.sync_point = true;
+                countdown = sync_k;
+              }
+            } else {
+              w.sync_point = ctx.rng.uniform01() < 1.0 / sync_k;
+            }
+          }
+          if (w.sync_point) blocked->set(1);
+          workload->set(w);
+          outstanding->mut() += 1;
+        }});
+  } else {
+    // Trace replay: deterministic job sequence, cycled. The cursor is a
+    // place so each replication restarts the trace from the beginning.
+    auto trace = std::make_shared<std::vector<Workload>>(cfg.workload_trace);
+    auto cursor = submodel.add_place<std::int64_t>("Trace_Cursor", 0);
+    generate.add_output_gate(san::OutputGate{
+        "WL_Output",
+        [blocked, workload, outstanding, trace, cursor](san::GateContext&) {
+          const auto index = static_cast<std::size_t>(
+              cursor->get() % static_cast<std::int64_t>(trace->size()));
+          cursor->mut() += 1;
+          const Workload w = (*trace)[index];
+          if (w.sync_point) blocked->set(1);
+          workload->set(w);
+          outstanding->mut() += 1;
+        }});
+  }
+}
+
+void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
+                         VmPlaces& places) {
+  if (places.slots.size() != static_cast<std::size_t>(cfg.num_vcpus)) {
+    throw std::invalid_argument("build_job_scheduler: slot count mismatch");
+  }
+  submodel.join_place("Blocked", places.blocked);
+  submodel.join_place("Num_VCPUs_ready", places.num_vcpus_ready);
+  submodel.join_place("Workload", places.workload);
+  for (std::size_t k = 0; k < places.slots.size(); ++k) {
+    submodel.join_place("VCPU" + std::to_string(k + 1) + "_slot",
+                        places.slots[k]);
+  }
+
+  // Round-robin dispatch pointer: "one workload, distributed evenly on
+  // its VCPUs" (III.A).
+  auto next_vcpu = submodel.add_place<std::int64_t>("Next_VCPU", 0);
+
+  auto& scheduling = submodel.add_instantaneous_activity(
+      "Scheduling", kJobSchedulingPriority);
+
+  auto workload = places.workload;
+  auto num_ready = places.num_vcpus_ready;
+  scheduling.add_input_gate(san::InputGate{
+      "Scheduling",
+      [workload, num_ready]() {
+        return workload->get().has_value() && num_ready->get() > 0;
+      },
+      nullptr});
+
+  auto slots = places.slots;  // copy of shared_ptr vector
+  scheduling.add_output_gate(san::OutputGate{
+      "JS_Dispatch", [workload, num_ready, slots, next_vcpu](san::GateContext&) {
+        const Workload w = *workload->get();
+        const auto n = static_cast<std::int64_t>(slots.size());
+        const std::int64_t start = next_vcpu->get();
+        for (std::int64_t i = 0; i < n; ++i) {
+          const auto k = static_cast<std::size_t>((start + i) % n);
+          auto& slot = slots[k]->mut();
+          if (slot.status == VcpuStatus::kReady) {
+            slot.remaining_load = w.load;
+            slot.sync_point = w.sync_point;
+            slot.critical_remaining = w.critical;
+            slot.holds_lock = false;
+            slot.spinning = false;
+            slot.status = VcpuStatus::kBusy;
+            num_ready->mut() -= 1;
+            workload->set(std::nullopt);
+            next_vcpu->set(static_cast<std::int64_t>(k + 1) % n);
+            return;
+          }
+        }
+        // Enabled implies a READY VCPU exists; reaching here means the
+        // marking and Num_VCPUs_ready disagree.
+        throw std::logic_error(
+            "Job Scheduler: Num_VCPUs_ready > 0 but no READY VCPU slot");
+      }});
+}
+
+void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
+  auto slot = places.slots.at(static_cast<std::size_t>(index));
+  submodel.join_place("VCPU_slot", slot);
+  submodel.join_place("Blocked", places.blocked);
+  submodel.join_place("Num_VCPUs_ready", places.num_vcpus_ready);
+  submodel.join_place("Outstanding_Jobs", places.outstanding_jobs);
+  submodel.join_place("Completed_Jobs", places.completed_jobs);
+  if (places.lock != nullptr) {
+    // Joining registers the places for marking reset between replications.
+    submodel.join_place("Lock", places.lock);
+    submodel.join_place("Spin_Ticks", places.spin_ticks);
+  }
+
+  auto schedule_in = submodel.add_place<std::int64_t>("Schedule_In", 0);
+  auto schedule_out = submodel.add_place<std::int64_t>("Schedule_Out", 0);
+  places.schedule_in.push_back(schedule_in);
+  places.schedule_out.push_back(schedule_out);
+
+  // Per-tick processing Clock (Figure 4): enabled while BUSY, each firing
+  // consumes one time unit of the current workload.
+  auto& clock = submodel.add_timed_activity(
+      "Clock", stats::make_deterministic(1.0), kVcpuClockPriority);
+  places.clocks.push_back(&clock);
+  clock.add_input_gate(san::InputGate{
+      "Processing_enabled",
+      [slot]() { return slot->get().status == VcpuStatus::kBusy; },
+      nullptr});
+
+  auto blocked = places.blocked;
+  auto num_ready = places.num_vcpus_ready;
+  auto outstanding = places.outstanding_jobs;
+  auto completed = places.completed_jobs;
+  auto lock = places.lock;            // null when spinlock disabled
+  auto spin_ticks = places.spin_ticks;
+  clock.add_output_gate(san::OutputGate{
+      "Processing_load",
+      [slot, blocked, num_ready, outstanding, completed, lock, spin_ticks,
+       index](san::GateContext&) {
+        auto& s = slot->mut();
+        // Spinlock extension: the trailing critical_remaining units of
+        // the job execute under the VM's lock. At the critical-section
+        // boundary the VCPU acquires the lock if free, else it *spins* —
+        // the tick is burned BUSY with no progress. A preempted lock
+        // holder (semantic gap) therefore makes its siblings burn PCPU
+        // time until it is rescheduled and releases.
+        if (lock != nullptr && !s.holds_lock &&
+            s.critical_remaining > kLoadEpsilon &&
+            s.remaining_load <= s.critical_remaining + kLoadEpsilon) {
+          if (lock->get() == 0) {
+            lock->set(index + 1);
+            s.holds_lock = true;
+            s.spinning = false;
+          } else {
+            s.spinning = true;
+            spin_ticks->mut() += 1;
+            return;  // no progress this tick
+          }
+        }
+        s.spinning = false;
+        s.remaining_load -= 1.0;
+        if (s.remaining_load <= kLoadEpsilon) {
+          if (s.holds_lock) {
+            lock->set(0);
+            s.holds_lock = false;
+          }
+          s.critical_remaining = 0.0;
+          s.remaining_load = 0.0;
+          s.sync_point = false;
+          s.status = VcpuStatus::kReady;
+          num_ready->mut() += 1;
+          completed->mut() += 1;
+          outstanding->mut() -= 1;
+          // Barrier release: every job issued before (and including) the
+          // synchronization point has completed.
+          if (outstanding->get() == 0 && blocked->get() != 0) {
+            blocked->set(0);
+          }
+        }
+      }});
+
+  // Schedule_In: the hypervisor granted a PCPU. An INACTIVE VCPU resumes
+  // its interrupted workload (BUSY) or becomes READY for new work.
+  auto& in_handler = submodel.add_instantaneous_activity(
+      "Schedule_In_Handler", kScheduleInHandlerPriority);
+  in_handler.add_input_gate(san::InputGate{
+      "Schedule_In_pending", [schedule_in]() { return schedule_in->get() > 0; },
+      nullptr});
+  in_handler.add_output_gate(san::OutputGate{
+      "Apply_Schedule_In",
+      [schedule_in, slot, num_ready](san::GateContext&) {
+        schedule_in->set(0);
+        auto& s = slot->mut();
+        if (s.status == VcpuStatus::kInactive) {
+          if (s.remaining_load > kLoadEpsilon) {
+            s.status = VcpuStatus::kBusy;
+          } else {
+            s.status = VcpuStatus::kReady;
+            num_ready->mut() += 1;
+          }
+        }
+      }});
+
+  // Schedule_Out: the hypervisor revoked the PCPU; the VCPU keeps its
+  // remaining_load and sync_point (paper III.B.2 INACTIVE note).
+  auto& out_handler = submodel.add_instantaneous_activity(
+      "Schedule_Out_Handler", kScheduleOutHandlerPriority);
+  out_handler.add_input_gate(san::InputGate{
+      "Schedule_Out_pending",
+      [schedule_out]() { return schedule_out->get() > 0; }, nullptr});
+  out_handler.add_output_gate(san::OutputGate{
+      "Apply_Schedule_Out",
+      [schedule_out, slot, num_ready](san::GateContext&) {
+        schedule_out->set(0);
+        auto& s = slot->mut();
+        if (s.status == VcpuStatus::kReady) num_ready->mut() -= 1;
+        s.status = VcpuStatus::kInactive;
+        s.spinning = false;  // a descheduled VCPU burns no cycles
+        // holds_lock deliberately persists: lock-holder preemption.
+      }});
+}
+
+VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
+                               const std::string& prefix) {
+  if (cfg.num_vcpus < 1) {
+    throw std::invalid_argument("build_virtual_machine: num_vcpus < 1");
+  }
+  VmConfig vm_cfg = cfg;
+  vm_cfg.apply_defaults();
+
+  auto& wg = model.add_submodel(prefix + "Workload_Generator");
+  auto& js = model.add_submodel(prefix + "VM_Job_Scheduler");
+
+  // The VM's shared (join) places: constructed stand-alone, then joined
+  // into each submodel under its paper-local name by the builders below.
+  VmPlaces places;
+  places.blocked =
+      std::make_shared<san::TokenPlace>(prefix + "Blocked", 0);
+  places.num_vcpus_ready =
+      std::make_shared<san::TokenPlace>(prefix + "Num_VCPUs_ready", 0);
+  places.outstanding_jobs =
+      std::make_shared<san::TokenPlace>(prefix + "Outstanding_Jobs", 0);
+  places.completed_jobs =
+      std::make_shared<san::TokenPlace>(prefix + "Completed_Jobs", 0);
+  places.workload = std::make_shared<WorkloadPlace>(prefix + "Workload",
+                                                    std::nullopt);
+  for (int k = 0; k < vm_cfg.num_vcpus; ++k) {
+    places.slots.push_back(std::make_shared<SlotPlace>(
+        prefix + "VCPU" + std::to_string(k + 1) + "_slot", VcpuSlotState{}));
+  }
+  if (vm_cfg.spinlock.enabled) {
+    places.lock = std::make_shared<san::TokenPlace>(prefix + "Lock", 0);
+    places.spin_ticks =
+        std::make_shared<san::TokenPlace>(prefix + "Spin_Ticks", 0);
+  }
+
+  build_workload_generator(wg, vm_cfg, places);
+  build_job_scheduler(js, vm_cfg, places);
+
+  std::vector<san::SanModel*> vcpu_models;
+  for (int k = 0; k < vm_cfg.num_vcpus; ++k) {
+    auto& vcpu = model.add_submodel(prefix + "VCPU" + std::to_string(k + 1));
+    build_vcpu(vcpu, k, places);
+    vcpu_models.push_back(&vcpu);
+  }
+
+  // Record the join relation in the format of paper Table 1.
+  std::vector<std::string> blocked_members = {wg.name() + "->Blocked",
+                                              js.name() + "->Blocked"};
+  std::vector<std::string> ready_members = {wg.name() + "->Num_VCPUs_ready",
+                                            js.name() + "->Num_VCPUs_ready"};
+  for (auto* m : vcpu_models) {
+    blocked_members.push_back(m->name() + "->Blocked");
+    ready_members.push_back(m->name() + "->Num_VCPUs_ready");
+  }
+  model.record_join(prefix + "Blocked", places.blocked,
+                    std::move(blocked_members));
+  model.record_join(prefix + "Num_VCPUs_ready", places.num_vcpus_ready,
+                    std::move(ready_members));
+  for (int k = 0; k < vm_cfg.num_vcpus; ++k) {
+    const std::string slot_name = "VCPU" + std::to_string(k + 1) + "_slot";
+    model.record_join(
+        prefix + slot_name, places.slots[static_cast<std::size_t>(k)],
+        {js.name() + "->" + slot_name,
+         vcpu_models[static_cast<std::size_t>(k)]->name() + "->VCPU_slot"});
+  }
+  model.record_join(prefix + "Workload", places.workload,
+                    {wg.name() + "->Workload", js.name() + "->Workload"});
+
+  return places;
+}
+
+}  // namespace vcpusim::vm

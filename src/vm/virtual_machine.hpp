@@ -1,0 +1,72 @@
+// The Virtual Machine composed model (paper III.B.4): a Workload
+// Generator, a Job Scheduler, and N VCPU sub-models, joined through the
+// shared places of Table 1 (Blocked, Num_VCPUs_ready, VCPUx_slot,
+// Workload).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "san/model.hpp"
+#include "vm/config.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::vm {
+
+/// The join places of one VM, handed to the hypervisor model for wiring
+/// (Schedule_In/Out) and to the metrics layer (slots, Blocked).
+struct VmPlaces {
+  std::shared_ptr<san::TokenPlace> blocked;
+  std::shared_ptr<san::TokenPlace> num_vcpus_ready;
+  /// Jobs generated but not yet fully processed; the barrier clears when
+  /// this returns to zero (implementation counter behind the Blocked
+  /// place's semantics).
+  std::shared_ptr<san::TokenPlace> outstanding_jobs;
+  /// Total jobs completed by this VM (throughput metrics).
+  std::shared_ptr<san::TokenPlace> completed_jobs;
+  std::shared_ptr<WorkloadPlace> workload;
+  std::vector<std::shared_ptr<SlotPlace>> slots;          // one per VCPU
+  std::vector<std::shared_ptr<san::TokenPlace>> schedule_in;   // one per VCPU
+  std::vector<std::shared_ptr<san::TokenPlace>> schedule_out;  // one per VCPU
+  /// Each VCPU's processing Clock activity (owned by the VCPU submodel);
+  /// exposed so impulse rewards (e.g. throughput) can attach to it.
+  std::vector<san::Activity*> clocks;
+  /// Spinlock extension places; null when the VM's spinlock is disabled.
+  /// `lock` holds 0 when free, or (holder VCPU index + 1); `spin_ticks`
+  /// counts PCPU ticks burned spin-waiting across all the VM's VCPUs.
+  std::shared_ptr<san::TokenPlace> lock;
+  std::shared_ptr<san::TokenPlace> spin_ticks;
+};
+
+/// Build one VM — Workload Generator + Job Scheduler + VCPU sub-models —
+/// into `model`. Submodels are named `<prefix>Workload_Generator`,
+/// `<prefix>VM_Job_Scheduler` and `<prefix>VCPU<k>` (prefix "" yields the
+/// paper's stand-alone Figure 2 model; the system builder passes
+/// "VM_1." etc.). Joins are recorded in the model's join registry in the
+/// format of Table 1.
+VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
+                               const std::string& prefix);
+
+// --- Individual sub-model builders (used by build_virtual_machine and
+//     exercised directly by unit tests) -------------------------------
+
+/// Workload Generator sub-model (paper III.B.3, Figure 5). Requires
+/// `places` to already hold blocked / num_vcpus_ready / workload /
+/// outstanding_jobs; joins them and adds the Generate activity with the
+/// WL_Output output gate.
+void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
+                              VmPlaces& places);
+
+/// Job Scheduler sub-model (paper III.B.1, Figure 3): the instantaneous
+/// Scheduling activity dispatching workloads to READY VCPUs, distributing
+/// them evenly (round-robin over the VM's VCPUs).
+void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
+                         VmPlaces& places);
+
+/// One VCPU sub-model (paper III.B.2, Figure 4): the per-VCPU Clock with
+/// the Processing_load gate, and the Schedule_In / Schedule_Out handlers.
+/// `index` is the VCPU's position within the VM (0-based).
+void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places);
+
+}  // namespace vcpusim::vm

@@ -1,0 +1,136 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vcpusim::cli {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<const char*> args) {
+  args.insert(args.begin(), "vcpusim");
+  std::ostringstream out, err;
+  const int code =
+      run_cli(static_cast<int>(args.size()), args.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const auto r = run({"--help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("usage: vcpusim"), std::string::npos);
+  EXPECT_NE(r.out.find("--scenario"), std::string::npos);
+}
+
+TEST(Cli, ListAlgorithms) {
+  const auto r = run({"--list-algorithms"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("rrs"), std::string::npos);
+  EXPECT_NE(r.out.find("scs"), std::string::npos);
+  EXPECT_NE(r.out.find("rcs"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  const auto r = run({"--frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  const auto r = run({"--pcpus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, FlagDrivenRunProducesTable) {
+  const auto r = run({"--pcpus", "2", "--vm", "1", "--vm", "1",
+                      "--algorithm", "rrs", "--end-time", "300", "--warmup",
+                      "50", "--max-replications", "4", "--half-width", "0.1"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("mean_vcpu_availability"), std::string::npos);
+  EXPECT_NE(r.out.find("pcpu_utilization"), std::string::npos);
+  EXPECT_NE(r.out.find("| metric"), std::string::npos);
+}
+
+TEST(Cli, CsvOutput) {
+  const auto r = run({"--pcpus", "2", "--vm", "1", "--end-time", "200",
+                      "--warmup", "20", "--max-replications", "3",
+                      "--half-width", "0.2", "--csv"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("metric,mean,ci_half_width"), std::string::npos);
+}
+
+TEST(Cli, CustomMetricSelection) {
+  const auto r = run({"--pcpus", "2", "--vm", "2", "--metric", "throughput",
+                      "--metric", "availability[0]", "--end-time", "200",
+                      "--warmup", "20", "--max-replications", "3",
+                      "--half-width", "0.2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("throughput"), std::string::npos);
+  EXPECT_NE(r.out.find("vcpu_availability[0]"), std::string::npos);
+  EXPECT_EQ(r.out.find("mean_vcpu_availability"), std::string::npos);
+}
+
+TEST(Cli, BadMetricNameFails) {
+  const auto r = run({"--metric", "bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown metric"), std::string::npos);
+}
+
+TEST(Cli, UnknownAlgorithmFails) {
+  const auto r = run({"--vm", "1", "--algorithm", "warp"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown scheduling algorithm"), std::string::npos);
+}
+
+TEST(Cli, InvalidSystemFails) {
+  const auto r = run({"--pcpus", "0", "--vm", "1"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("num_pcpus"), std::string::npos);
+}
+
+TEST(Cli, ScenarioFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vcpusim_test.scn";
+  {
+    std::ofstream file(path);
+    file << "pcpus = 2\nend_time = 300\nwarmup = 50\n"
+         << "max_replications = 3\nhalf_width = 0.2\n"
+         << "metrics = throughput\n"
+         << "[vm only]\nvcpus = 2\nsync_ratio = 3\n";
+  }
+  const auto r = run({"--scenario", path.c_str()});
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("throughput"), std::string::npos);
+}
+
+TEST(Cli, CompareModeRunsAllAlgorithms) {
+  const auto r = run({"--pcpus", "1", "--vm", "1", "--vm", "1", "--compare",
+                      "--metric", "availability", "--end-time", "200",
+                      "--warmup", "20", "--max-replications", "3",
+                      "--half-width", "0.2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("| algorithm"), std::string::npos);
+  EXPECT_NE(r.out.find("rrs"), std::string::npos);
+  EXPECT_NE(r.out.find("scs"), std::string::npos);
+  EXPECT_NE(r.out.find("sedf"), std::string::npos);
+  EXPECT_NE(r.out.find("priority"), std::string::npos);
+}
+
+TEST(Cli, MissingScenarioFileFails) {
+  const auto r = run({"--scenario", "/nonexistent/path.scn"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcpusim::cli

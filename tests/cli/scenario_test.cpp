@@ -1,0 +1,152 @@
+#include "cli/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vcpusim::cli {
+namespace {
+
+Scenario parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse_scenario(is);
+}
+
+TEST(Scenario, MinimalScenario) {
+  const auto s = parse(R"(
+pcpus = 2
+[vm]
+vcpus = 1
+)");
+  EXPECT_EQ(s.spec.system.num_pcpus, 2);
+  ASSERT_EQ(s.spec.system.vms.size(), 1u);
+  EXPECT_EQ(s.spec.system.vms[0].num_vcpus, 1);
+  EXPECT_EQ(s.algorithm, "rrs");
+  EXPECT_EQ(s.metrics.size(), 3u);  // default metric set
+  ASSERT_TRUE(s.spec.scheduler);
+  EXPECT_EQ(s.spec.scheduler()->name(), "RRS");
+}
+
+TEST(Scenario, FullScenario) {
+  const auto s = parse(R"(
+# a cloud host
+pcpus = 4
+timeslice = 10
+algorithm = rcs
+end_time = 1000
+warmup = 100
+seed = 7
+confidence = 0.99
+half_width = 0.01
+min_replications = 4
+max_replications = 16
+metrics = vcpu_utilization, pcpu_utilization, throughput
+
+[vm web]
+vcpus = 2
+load = exponential(0.2)
+sync_ratio = 3
+sync_mode = random
+
+[vm db]
+vcpus = 4
+spinlock = 0.5 0.3
+)");
+  EXPECT_EQ(s.spec.system.num_pcpus, 4);
+  EXPECT_DOUBLE_EQ(s.spec.system.default_timeslice, 10.0);
+  EXPECT_EQ(s.algorithm, "rcs");
+  EXPECT_DOUBLE_EQ(s.spec.end_time, 1000.0);
+  EXPECT_DOUBLE_EQ(s.spec.warmup, 100.0);
+  EXPECT_EQ(s.spec.base_seed, 7u);
+  EXPECT_DOUBLE_EQ(s.spec.policy.confidence, 0.99);
+  EXPECT_EQ(s.spec.policy.max_replications, 16u);
+  EXPECT_EQ(s.metrics.size(), 3u);
+  EXPECT_EQ(s.metrics[0].kind, exp::MetricKind::kMeanVcpuUtilization);
+
+  ASSERT_EQ(s.spec.system.vms.size(), 2u);
+  const auto& web = s.spec.system.vms[0];
+  EXPECT_EQ(web.name, "web");
+  EXPECT_EQ(web.num_vcpus, 2);
+  EXPECT_DOUBLE_EQ(web.load_distribution->mean(), 5.0);
+  EXPECT_EQ(web.sync_ratio_k, 3);
+  EXPECT_EQ(web.sync_mode, vm::SyncMode::kRandom);
+  const auto& db = s.spec.system.vms[1];
+  EXPECT_EQ(db.name, "db");
+  EXPECT_TRUE(db.spinlock.enabled);
+  EXPECT_DOUBLE_EQ(db.spinlock.lock_probability, 0.5);
+  EXPECT_DOUBLE_EQ(db.spinlock.critical_fraction, 0.3);
+}
+
+TEST(Scenario, CommentsAndWhitespaceIgnored) {
+  const auto s = parse(R"(
+  pcpus = 3   # inline comment
+# full-line comment
+
+[ vm   frontend ]
+   vcpus=2
+)");
+  EXPECT_EQ(s.spec.system.num_pcpus, 3);
+  EXPECT_EQ(s.spec.system.vms[0].name, "frontend");
+  EXPECT_EQ(s.spec.system.vms[0].num_vcpus, 2);
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    parse("pcpus = 2\nbogus_key = 1\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(Scenario, RejectsMalformedInput) {
+  EXPECT_THROW(parse("pcpus 2\n[vm]\nvcpus=1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("[host]\n"), std::invalid_argument);
+  EXPECT_THROW(parse("pcpus = two\n[vm]\nvcpus=1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("[vm]\nvcpus = 1\nload = nonsense(1)\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("[vm]\nvcpus = 1\nsync_mode = sometimes\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("[vm]\nvcpus = 1\nspinlock = 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("pcpus = 2\n"), std::invalid_argument);  // no VMs
+  EXPECT_THROW(parse("algorithm = warp\n[vm]\nvcpus=1\n"),
+               std::invalid_argument);  // unknown algorithm
+}
+
+TEST(Scenario, UnknownVmKeyRejected) {
+  EXPECT_THROW(parse("[vm]\ncores = 2\n"), std::invalid_argument);
+}
+
+TEST(ParseMetric, KnownNames) {
+  EXPECT_EQ(parse_metric("availability").kind,
+            exp::MetricKind::kMeanVcpuAvailability);
+  EXPECT_EQ(parse_metric("availability[2]").kind,
+            exp::MetricKind::kVcpuAvailability);
+  EXPECT_EQ(parse_metric("availability[2]").index, 2);
+  EXPECT_EQ(parse_metric("vcpu_utilization").kind,
+            exp::MetricKind::kMeanVcpuUtilization);
+  EXPECT_EQ(parse_metric("utilization[0]").kind,
+            exp::MetricKind::kVcpuUtilization);
+  EXPECT_EQ(parse_metric("busy_fraction").kind,
+            exp::MetricKind::kMeanVcpuBusyFraction);
+  EXPECT_EQ(parse_metric("PCPU").kind, exp::MetricKind::kPcpuUtilization);
+  EXPECT_EQ(parse_metric("blocked_fraction[1]").kind,
+            exp::MetricKind::kVmBlockedFraction);
+  EXPECT_EQ(parse_metric("throughput").kind, exp::MetricKind::kThroughput);
+  EXPECT_EQ(parse_metric("spin_fraction").kind,
+            exp::MetricKind::kMeanSpinFraction);
+  EXPECT_EQ(parse_metric("effective_utilization").kind,
+            exp::MetricKind::kMeanEffectiveUtilization);
+}
+
+TEST(ParseMetric, Errors) {
+  EXPECT_THROW(parse_metric("nope"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("availability[x]"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("availability[1"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("blocked_fraction"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcpusim::cli

@@ -1,0 +1,47 @@
+#include "exp/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace vcpusim::exp {
+namespace {
+
+TEST(Quality, PresetsExistAndAreOrdered) {
+  const auto fast = quality_preset("fast");
+  const auto paper = quality_preset("paper");
+  const auto full = quality_preset("full");
+  EXPECT_LT(fast.end_time, paper.end_time);
+  EXPECT_LT(paper.end_time, full.end_time);
+  EXPECT_GT(fast.policy.target_half_width, paper.policy.target_half_width);
+  EXPECT_GT(paper.policy.target_half_width, full.policy.target_half_width);
+  // The paper preset must meet the paper's stated target (< 0.1 interval
+  // at 95% confidence).
+  EXPECT_DOUBLE_EQ(paper.policy.confidence, 0.95);
+  EXPECT_LT(paper.policy.target_half_width, 0.1);
+}
+
+TEST(Quality, UnknownPresetThrows) {
+  EXPECT_THROW(quality_preset("hyper"), std::invalid_argument);
+  EXPECT_THROW(quality_preset(""), std::invalid_argument);
+}
+
+TEST(Quality, EnvSelection) {
+  setenv("VCPUSIM_QUALITY", "fast", 1);
+  EXPECT_DOUBLE_EQ(quality_from_env().end_time, quality_preset("fast").end_time);
+  unsetenv("VCPUSIM_QUALITY");
+  EXPECT_DOUBLE_EQ(quality_from_env().end_time,
+                   quality_preset("paper").end_time);
+}
+
+TEST(Quality, ApplyCopiesOntoRunSpec) {
+  RunSpec spec;
+  const auto q = quality_preset("fast");
+  apply(q, spec);
+  EXPECT_DOUBLE_EQ(spec.end_time, q.end_time);
+  EXPECT_DOUBLE_EQ(spec.warmup, q.warmup);
+  EXPECT_EQ(spec.policy.max_replications, q.policy.max_replications);
+}
+
+}  // namespace
+}  // namespace vcpusim::exp

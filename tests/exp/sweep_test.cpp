@@ -1,0 +1,94 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+
+namespace vcpusim::exp {
+namespace {
+
+RunSpec quick_base() {
+  RunSpec spec;
+  spec.system = vm::make_symmetric_config(2, {2, 1, 1}, 5);
+  spec.end_time = 400.0;
+  spec.warmup = 50.0;
+  spec.policy.min_replications = 3;
+  spec.policy.max_replications = 5;
+  spec.policy.target_half_width = 0.05;
+  return spec;
+}
+
+std::vector<SweepPoint> pcpu_points() {
+  std::vector<SweepPoint> points;
+  for (int pcpus : {1, 2, 4}) {
+    points.push_back({std::to_string(pcpus) + " PCPUs",
+                      [pcpus](RunSpec& spec) { spec.system.num_pcpus = pcpus; }});
+  }
+  return points;
+}
+
+TEST(Sweep, Validation) {
+  const auto base = quick_base();
+  const MetricRequest metric{MetricKind::kMeanVcpuAvailability, -1, ""};
+  EXPECT_THROW(run_sweep(base, {}, {"rrs"}, metric), std::invalid_argument);
+  EXPECT_THROW(run_sweep(base, pcpu_points(), {}, metric),
+               std::invalid_argument);
+  EXPECT_THROW(run_sweep(base, {{"bad", nullptr}}, {"rrs"}, metric),
+               std::invalid_argument);
+  EXPECT_THROW(run_sweep(base, pcpu_points(), {"warp"}, metric),
+               std::invalid_argument);
+}
+
+TEST(Sweep, GridShapeAndLabels) {
+  const auto result =
+      run_sweep(quick_base(), pcpu_points(), {"rrs", "scs"},
+                {MetricKind::kMeanVcpuAvailability, -1, ""});
+  EXPECT_EQ(result.row_labels,
+            (std::vector<std::string>{"1 PCPUs", "2 PCPUs", "4 PCPUs"}));
+  EXPECT_EQ(result.column_labels, (std::vector<std::string>{"rrs", "scs"}));
+  ASSERT_EQ(result.cells.size(), 3u);
+  ASSERT_EQ(result.cells[0].size(), 2u);
+  for (const auto& row : result.cells) {
+    for (const auto& cell : row) {
+      EXPECT_GE(cell.replications, 3u);
+    }
+  }
+}
+
+TEST(Sweep, ValuesReproduceTheFigure8Shape) {
+  const auto result =
+      run_sweep(quick_base(), pcpu_points(), {"rrs", "scs"},
+                {MetricKind::kMeanVcpuAvailability, -1, ""});
+  // RRS mean availability scales with pcpus/4.
+  EXPECT_NEAR(result.cell(0, 0).ci.mean, 0.25, 0.03);
+  EXPECT_NEAR(result.cell(1, 0).ci.mean, 0.50, 0.03);
+  EXPECT_NEAR(result.cell(2, 0).ci.mean, 1.00, 0.01);
+  // SCS at 1 PCPU starves the wide VM: mean availability ~ (0+0+.5+.5)/4.
+  EXPECT_NEAR(result.cell(0, 1).ci.mean, 0.25, 0.05);
+}
+
+TEST(Sweep, CellsMatchDirectRunPoint) {
+  const auto base = quick_base();
+  const MetricRequest metric{MetricKind::kPcpuUtilization, -1, ""};
+  const auto result = run_sweep(base, pcpu_points(), {"rrs"}, metric);
+  RunSpec direct = base;
+  direct.system.num_pcpus = 2;
+  direct.scheduler = sched::make_factory("rrs");
+  const auto expected = run_point(direct, {metric});
+  EXPECT_DOUBLE_EQ(result.cell(1, 0).ci.mean,
+                   expected.metrics.front().ci.mean);
+}
+
+TEST(Sweep, TableRendering) {
+  const auto result =
+      run_sweep(quick_base(), pcpu_points(), {"rrs"},
+                {MetricKind::kMeanVcpuAvailability, -1, ""});
+  const auto rendered = result.to_table("PCPUs").render();
+  EXPECT_NE(rendered.find("| PCPUs"), std::string::npos);
+  EXPECT_NE(rendered.find("rrs"), std::string::npos);
+  EXPECT_NE(rendered.find("1 PCPUs"), std::string::npos);
+  EXPECT_NE(rendered.find('%'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcpusim::exp

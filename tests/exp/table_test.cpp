@@ -1,0 +1,66 @@
+#include "exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcpusim::exp {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"algorithm", "x"});
+  t.add_row({"rrs", "1"});
+  t.add_row({"relaxed-co", "2"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| algorithm  | x |"), std::string::npos);
+  EXPECT_NE(s.find("| rrs        | 1 |"), std::string::npos);
+  EXPECT_NE(s.find("| relaxed-co | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",\"quote\"\"inside\"\n"),
+            std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.831), "83.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.12345, 2), "12.35%");
+}
+
+TEST(Format, CiPercent) {
+  stats::ConfidenceInterval ci;
+  ci.mean = 0.5;
+  ci.half_width = 0.012;
+  EXPECT_EQ(format_ci_percent(ci), "50.0% ±1.2");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vcpusim::exp

@@ -1,0 +1,83 @@
+// Reproducibility guarantees: identical seeds give bit-identical
+// trajectories and metrics across the whole stack.
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim {
+namespace {
+
+struct RunResult {
+  double avail;
+  double util;
+  double pcpu;
+  std::int64_t jobs;
+  std::uint64_t events;
+};
+
+RunResult run_once_full(const std::string& algorithm, std::uint64_t seed) {
+  auto system = vm::build_system(vm::make_symmetric_config(2, {2, 1}, 4),
+                                 sched::make_factory(algorithm)());
+  auto avail = vm::mean_vcpu_availability(*system, 100.0);
+  auto util = vm::mean_vcpu_utilization(*system, 100.0);
+  auto pcpu = vm::pcpu_utilization(*system, 100.0);
+  const auto stats = testing::run_system(*system, 1500.0, seed,
+                                         {avail.get(), util.get(), pcpu.get()});
+  return {avail->time_averaged(1500.0), util->time_averaged(1500.0),
+          pcpu->time_averaged(1500.0), vm::total_completed_jobs(*system),
+          stats.events};
+}
+
+TEST(Determinism, IdenticalSeedsBitIdenticalForEveryAlgorithm) {
+  for (const auto& name : sched::builtin_algorithms()) {
+    const auto a = run_once_full(name, 12345);
+    const auto b = run_once_full(name, 12345);
+    EXPECT_EQ(a.events, b.events) << name;
+    EXPECT_EQ(a.jobs, b.jobs) << name;
+    EXPECT_DOUBLE_EQ(a.avail, b.avail) << name;
+    EXPECT_DOUBLE_EQ(a.util, b.util) << name;
+    EXPECT_DOUBLE_EQ(a.pcpu, b.pcpu) << name;
+  }
+}
+
+TEST(Determinism, DifferentSeedsDivergeInWorkload) {
+  const auto a = run_once_full("rrs", 1);
+  const auto b = run_once_full("rrs", 2);
+  EXPECT_NE(a.jobs, b.jobs);
+}
+
+TEST(Determinism, RerunOnSameSimulatorObjectReproduces) {
+  auto system = vm::build_system(vm::make_symmetric_config(2, {2, 2}, 5),
+                                 sched::make_factory("rrs")());
+  san::SimulatorConfig config;
+  config.end_time = 500.0;
+  config.seed = 77;
+  san::Simulator sim(config);
+  sim.set_model(*system->model);
+  sim.run();
+  const auto jobs_first = vm::total_completed_jobs(*system);
+  sim.run();
+  // NOTE: the second run reuses the simulator's RNG stream, so it is a
+  // *different* replication — but the marking must have been fully reset
+  // (jobs counter restarts from zero, same order of magnitude).
+  const auto jobs_second = vm::total_completed_jobs(*system);
+  EXPECT_GT(jobs_second, 0);
+  EXPECT_LT(std::abs(jobs_first - jobs_second), jobs_first / 2 + 10);
+}
+
+TEST(Determinism, SchedulerStateIsNotSharedAcrossSystems) {
+  // Two systems built from the same factory must not interfere.
+  const auto factory = sched::make_factory("rcs");
+  auto s1 = vm::build_system(vm::make_symmetric_config(2, {2, 2}, 5), factory());
+  auto s2 = vm::build_system(vm::make_symmetric_config(2, {2, 2}, 5), factory());
+  testing::run_system(*s1, 500.0, 5);
+  const auto jobs_before = vm::total_completed_jobs(*s2);
+  EXPECT_EQ(jobs_before, 0);  // untouched by s1's run
+  testing::run_system(*s2, 500.0, 5);
+  EXPECT_EQ(vm::total_completed_jobs(*s1), vm::total_completed_jobs(*s2));
+}
+
+}  // namespace
+}  // namespace vcpusim

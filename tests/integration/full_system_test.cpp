@@ -1,0 +1,118 @@
+// End-to-end behaviour of the complete composed model (all submodels
+// wired together, real schedulers, long runs).
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(FullSystem, PaperFigure7SystemRunsUnderEveryBuiltin) {
+  // Two 2-VCPU VMs and a VCPU scheduler — Figure 7 — under every
+  // registered algorithm, long enough to exercise barriers, expiry,
+  // dispatch and completion paths.
+  for (const auto& name : sched::builtin_algorithms()) {
+    auto system = build_system(make_symmetric_config(2, {2, 2}, 5),
+                               sched::make_factory(name)());
+    const auto stats = testing::run_system(*system, 2000.0, 17);
+    EXPECT_EQ(stats.end_time, 2000.0) << name;
+    EXPECT_FALSE(stats.hit_event_cap) << name;
+    EXPECT_GT(vm::total_completed_jobs(*system), 100) << name;
+  }
+}
+
+TEST(FullSystem, SingleVmSinglePcpuSingleVcpu) {
+  // Smallest possible system.
+  auto system = build_system(make_symmetric_config(1, {1}, 5),
+                             sched::make_factory("rrs")());
+  auto util = vm::mean_vcpu_utilization(*system, 50.0);
+  testing::run_system(*system, 1050.0, 1, {util.get()});
+  // One VCPU with a saturating generator: essentially always busy.
+  EXPECT_GT(util->time_averaged(1050.0), 0.9);
+}
+
+TEST(FullSystem, SixteenVcpusAcrossEightVms) {
+  // The paper's scheduler model "statically defines 16 VCPU slots"; we
+  // size dynamically — verify a 16-VCPU system works.
+  auto system = build_system(
+      make_symmetric_config(8, {2, 2, 2, 2, 2, 2, 2, 2}, 5),
+      sched::make_factory("rcs")());
+  EXPECT_EQ(system->num_vcpus(), 16);
+  const auto stats = testing::run_system(*system, 500.0, 3);
+  EXPECT_GT(vm::total_completed_jobs(*system), 200);
+  EXPECT_GT(stats.events, 5000u);
+}
+
+TEST(FullSystem, ThirtyTwoVcpusBeyondPaperStaticLimit) {
+  // Larger than the paper's static Mobius model allows: 32 VCPUs.
+  std::vector<int> vms(16, 2);
+  auto system = build_system(make_symmetric_config(16, vms, 5),
+                             sched::make_factory("scs")());
+  EXPECT_EQ(system->num_vcpus(), 32);
+  EXPECT_NO_THROW(testing::run_system(*system, 200.0, 3));
+}
+
+TEST(FullSystem, MixedWorkloadDistributionsPerVm) {
+  auto cfg = make_symmetric_config(2, {1, 1, 1}, 4);
+  cfg.vms[0].load_distribution = stats::make_exponential(0.2);
+  cfg.vms[1].load_distribution = stats::make_deterministic(3.0);
+  cfg.vms[2].load_distribution = stats::make_geometric(0.25);
+  auto system = build_system(cfg, sched::make_factory("rrs")());
+  testing::run_system(*system, 1000.0, 5);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_GT(vm::completed_jobs(*system, v), 10) << "vm " << v;
+  }
+}
+
+TEST(FullSystem, ThrottledGenerationLeavesVcpusIdle) {
+  // Slow Poisson arrivals: VCPU utilization must sit near the offered
+  // load (lambda * mean_load / num_vcpus), well below saturation.
+  auto cfg = make_symmetric_config(2, {2}, 0);
+  cfg.vms[0].inter_generation = stats::make_exponential(0.1);  // 1 job/10 ticks
+  cfg.vms[0].load_distribution = stats::make_deterministic(4.0);
+  auto system = build_system(cfg, sched::make_factory("rrs")());
+  auto util = vm::mean_vcpu_utilization(*system, 500.0);
+  testing::run_system(*system, 10500.0, 7, {util.get()});
+  // Offered per-VCPU load = 0.1 * 4 / 2 = 0.2.
+  EXPECT_NEAR(util->time_averaged(10500.0), 0.2, 0.05);
+}
+
+TEST(FullSystem, BarrierNeverDeadlocksUnderAnyBuiltin) {
+  // Tight sync ratio and heavy overcommit: every algorithm must keep
+  // completing jobs (no absorbing blocked state).
+  for (const auto& name : sched::builtin_algorithms()) {
+    auto system = build_system(make_symmetric_config(2, {2, 4}, 2),
+                               sched::make_factory(name)());
+    testing::run_system(*system, 3000.0, 23);
+    if (name == "scs") {
+      // SCS legitimately starves the 4-VCPU VM on 2 PCPUs...
+      EXPECT_GT(vm::completed_jobs(*system, 0), 50) << name;
+    } else if (name == "priority") {
+      // ...and strict priority legitimately starves the lower VM.
+      EXPECT_GT(vm::total_completed_jobs(*system), 50) << name;
+    } else {
+      EXPECT_GT(vm::completed_jobs(*system, 0), 50) << name;
+      EXPECT_GT(vm::completed_jobs(*system, 1), 50) << name;
+    }
+  }
+}
+
+TEST(FullSystem, EventCountScalesLinearlyWithHorizon) {
+  auto run_events = [](double end) {
+    auto system = build_system(make_symmetric_config(2, {2, 2}, 5),
+                               sched::make_factory("rrs")());
+    return testing::run_system(*system, end, 7).events;
+  };
+  const auto short_run = run_events(500.0);
+  const auto long_run = run_events(5000.0);
+  EXPECT_NEAR(static_cast<double>(long_run) / static_cast<double>(short_run),
+              10.0, 1.5);
+}
+
+}  // namespace
+}  // namespace vcpusim

@@ -1,0 +1,177 @@
+// Parameterized property sweeps: invariants that must hold for every
+// (algorithm, topology, sync-ratio) combination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "sched/registry.hpp"
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+struct PropertyCase {
+  std::string algorithm;
+  int pcpus;
+  std::vector<int> vms;
+  int sync_k;
+
+  friend std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+    os << c.algorithm << "_p" << c.pcpus << "_vms";
+    for (int v : c.vms) os << "_" << v;
+    os << "_sync" << c.sync_k;
+    return os;
+  }
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::ostringstream os;
+  os << info.param;
+  std::string s = os.str();
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class SchedulingProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  std::unique_ptr<vm::VirtualSystem> build() const {
+    const auto& p = GetParam();
+    return build_system(make_symmetric_config(p.pcpus, p.vms, p.sync_k),
+                        sched::make_factory(p.algorithm)());
+  }
+};
+
+TEST_P(SchedulingProperties, PcpuAssignmentsNeverExceedCapacityAndNeverAlias) {
+  auto spy = std::make_unique<testing::SpyScheduler>(
+      sched::make_factory(GetParam().algorithm)());
+  auto ticks = spy->ticks();
+  auto system = build_system(
+      make_symmetric_config(GetParam().pcpus, GetParam().vms, GetParam().sync_k),
+      std::move(spy));
+  testing::run_system(*system, 400.0, 31);
+  for (const auto& t : *ticks) {
+    std::map<int, int> pcpu_owner;
+    int assigned = 0;
+    for (const auto& v : t.before) {
+      if (v.assigned_pcpu >= 0) {
+        ++assigned;
+        EXPECT_LT(v.assigned_pcpu, GetParam().pcpus);
+        auto [it, inserted] = pcpu_owner.emplace(v.assigned_pcpu, v.vcpu_id);
+        EXPECT_TRUE(inserted) << "PCPU " << v.assigned_pcpu
+                              << " owned by VCPUs " << it->second << " and "
+                              << v.vcpu_id << " at tick " << t.timestamp;
+      }
+    }
+    EXPECT_LE(assigned, GetParam().pcpus);
+  }
+}
+
+TEST_P(SchedulingProperties, StatusAndAssignmentAgreeEveryTick) {
+  auto spy = std::make_unique<testing::SpyScheduler>(
+      sched::make_factory(GetParam().algorithm)());
+  auto ticks = spy->ticks();
+  auto system = build_system(
+      make_symmetric_config(GetParam().pcpus, GetParam().vms, GetParam().sync_k),
+      std::move(spy));
+  testing::run_system(*system, 400.0, 37);
+  for (const auto& t : *ticks) {
+    for (const auto& v : t.before) {
+      if (v.assigned_pcpu < 0) {
+        EXPECT_EQ(v.status, static_cast<int>(vm::VcpuStatus::kInactive));
+      } else {
+        EXPECT_NE(v.status, static_cast<int>(vm::VcpuStatus::kInactive));
+      }
+      EXPECT_GE(v.remaining_load, 0.0);
+    }
+  }
+}
+
+TEST_P(SchedulingProperties, MetricsStayInUnitInterval) {
+  auto system = build();
+  auto avail = vm::mean_vcpu_availability(*system, 50.0);
+  auto pcpu = vm::pcpu_utilization(*system, 50.0);
+  auto util = vm::mean_vcpu_utilization(*system, 50.0);
+  testing::run_system(*system, 1050.0, 41, {avail.get(), pcpu.get(), util.get()});
+  for (const auto* r : {avail.get(), pcpu.get(), util.get()}) {
+    const double x = r->time_averaged(1050.0);
+    EXPECT_GE(x, 0.0) << r->name();
+    EXPECT_LE(x, 1.0 + 1e-9) << r->name();
+  }
+}
+
+TEST_P(SchedulingProperties, UtilizationBoundedByAvailability) {
+  auto system = build();
+  auto avail = vm::mean_vcpu_availability(*system, 50.0);
+  auto util = vm::mean_vcpu_utilization(*system, 50.0);
+  testing::run_system(*system, 1050.0, 43, {avail.get(), util.get()});
+  EXPECT_LE(util->time_averaged(1050.0),
+            avail->time_averaged(1050.0) + 1e-9);
+}
+
+TEST_P(SchedulingProperties, WorkConservation) {
+  // Completed work (sum of loads) can never exceed PCPU capacity, and
+  // unless the algorithm legitimately starves someone it should be well
+  // above zero.
+  auto system = build();
+  auto thr = vm::system_throughput(*system, 0.0);
+  auto pcpu = vm::pcpu_utilization(*system, 0.0);
+  testing::run_system(*system, 1000.0, 47, {thr.get(), pcpu.get()});
+  const double jobs_per_tick = thr->time_averaged(1000.0);
+  // Mean load is 5.5 (uniformint 1..10): busy vcpu-ticks <= pcpu-ticks.
+  EXPECT_LE(jobs_per_tick * 5.5, GetParam().pcpus * 1.15);
+  EXPECT_GT(jobs_per_tick, 0.0);
+}
+
+TEST_P(SchedulingProperties, VcpuAvailabilitySumMatchesPcpuUsage) {
+  // Sum over VCPUs of availability == (PCPU utilization * num_pcpus):
+  // both count the same assigned pcpu-ticks.
+  auto system = build();
+  auto pcpu = vm::pcpu_utilization(*system, 50.0);
+  std::vector<std::unique_ptr<san::RewardVariable>> per;
+  std::vector<san::RewardVariable*> raw{pcpu.get()};
+  for (int v = 0; v < system->num_vcpus(); ++v) {
+    per.push_back(vm::vcpu_availability(*system, v, 50.0));
+    raw.push_back(per.back().get());
+  }
+  testing::run_system(*system, 1050.0, 53, raw);
+  double total_avail = 0;
+  for (auto& r : per) total_avail += r->time_averaged(1050.0);
+  EXPECT_NEAR(total_avail,
+              pcpu->time_averaged(1050.0) * GetParam().pcpus, 1e-6);
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  const std::vector<std::vector<int>> topologies = {{2, 1, 1}, {2, 2}, {2, 3}};
+  for (const auto& algorithm :
+       {"rrs", "scs", "rcs", "balance", "credit", "fifo"}) {
+    for (const auto& vms : topologies) {
+      for (const int pcpus : {1, 2, 4}) {
+        // SCS genuinely schedules nothing when no VM fits the machine;
+        // that configuration is covered by the dedicated SCS starvation
+        // tests, not the generic liveness properties.
+        const int smallest = *std::min_element(vms.begin(), vms.end());
+        if (std::string(algorithm) == "scs" && smallest > pcpus) continue;
+        cases.push_back(PropertyCase{algorithm, pcpus, vms, 5});
+      }
+    }
+    cases.push_back(PropertyCase{algorithm, 2, {2, 2}, 2});  // tight sync
+    cases.push_back(PropertyCase{algorithm, 2, {2, 2}, 0});  // no sync
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulingProperties,
+                         ::testing::ValuesIn(property_cases()), case_name);
+
+}  // namespace
+}  // namespace vcpusim

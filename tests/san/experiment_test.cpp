@@ -1,0 +1,121 @@
+#include "san/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+/// Factory for a Poisson counter model: reward = busy fraction of an
+/// M/M/1 queue with configurable load.
+ReplicaFactory mm1_factory(double lambda, double mu) {
+  return [lambda, mu](std::size_t) {
+    Replica replica;
+    replica.model = std::make_unique<ComposedModel>("MM1");
+    auto& sub = replica.model->add_submodel("Q");
+    auto queue = sub.add_place<std::int64_t>("queue", 0);
+    auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(lambda));
+    arrive.add_output_gate({"a", [queue](GateContext&) { queue->mut() += 1; }});
+    auto& serve = sub.add_timed_activity("serve", stats::make_exponential(mu));
+    serve.add_input_gate(
+        {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+    serve.add_output_gate({"s", [queue](GateContext&) { queue->mut() -= 1; }});
+    replica.rewards.push_back(std::make_unique<RewardVariable>(
+        "busy", [queue]() { return queue->get() > 0 ? 1.0 : 0.0; }, 100.0));
+    return replica;
+  };
+}
+
+TEST(Experiment, EstimatesMM1UtilizationWithConfidence) {
+  ExperimentConfig config;
+  config.end_time = 5000.0;
+  config.policy.target_half_width = 0.02;
+  config.policy.min_replications = 5;
+  config.policy.max_replications = 60;
+  const auto result =
+      run_experiment({"busy"}, mm1_factory(0.4, 1.0), config);
+  EXPECT_TRUE(result.converged);
+  const auto& m = result.metric("busy");
+  EXPECT_NEAR(m.ci.mean, 0.4, 0.03);
+  EXPECT_LT(m.ci.half_width, 0.02);
+}
+
+TEST(Experiment, ReplicationSeedsAreDistinctAndDeterministic) {
+  EXPECT_EQ(replication_seed(42, 0), replication_seed(42, 0));
+  EXPECT_NE(replication_seed(42, 0), replication_seed(42, 1));
+  EXPECT_NE(replication_seed(42, 0), replication_seed(43, 0));
+}
+
+TEST(Experiment, SameBaseSeedReproducesResult) {
+  ExperimentConfig config;
+  config.end_time = 500.0;
+  config.policy.min_replications = 3;
+  config.policy.max_replications = 3;
+  config.policy.target_half_width = 1e9;
+  const auto r1 = run_experiment({"busy"}, mm1_factory(0.5, 1.0), config);
+  const auto r2 = run_experiment({"busy"}, mm1_factory(0.5, 1.0), config);
+  EXPECT_DOUBLE_EQ(r1.metric("busy").ci.mean, r2.metric("busy").ci.mean);
+}
+
+TEST(Experiment, DifferentBaseSeedChangesResult) {
+  ExperimentConfig a;
+  a.end_time = 500.0;
+  a.policy.min_replications = 2;
+  a.policy.max_replications = 2;
+  a.policy.target_half_width = 1e9;
+  ExperimentConfig b = a;
+  b.base_seed = 777;
+  const auto r1 = run_experiment({"busy"}, mm1_factory(0.5, 1.0), a);
+  const auto r2 = run_experiment({"busy"}, mm1_factory(0.5, 1.0), b);
+  EXPECT_NE(r1.metric("busy").ci.mean, r2.metric("busy").ci.mean);
+}
+
+TEST(Experiment, NullFactoryThrows) {
+  EXPECT_THROW(run_experiment({"m"}, nullptr, {}), std::invalid_argument);
+}
+
+TEST(Experiment, FactoryReturningNullModelThrows) {
+  const ReplicaFactory bad = [](std::size_t) { return Replica{}; };
+  EXPECT_THROW(run_experiment({"m"}, bad, {}), std::runtime_error);
+}
+
+TEST(Experiment, RewardCountMismatchThrows) {
+  const ReplicaFactory bad = [](std::size_t) {
+    Replica r;
+    r.model = std::make_unique<ComposedModel>("M");
+    return r;  // zero rewards, one metric expected
+  };
+  EXPECT_THROW(run_experiment({"m"}, bad, {}), std::runtime_error);
+}
+
+TEST(Experiment, ContextKeepsExternalStateAlive) {
+  // The model's gates reference state owned by the replica context; the
+  // run must complete without touching freed memory.
+  struct External {
+    std::int64_t hits = 0;
+  };
+  const ReplicaFactory factory = [](std::size_t) {
+    Replica replica;
+    auto external = std::make_shared<External>();
+    replica.model = std::make_unique<ComposedModel>("M");
+    auto& sub = replica.model->add_submodel("S");
+    auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+    clock.add_output_gate(
+        {"hit", [external](GateContext&) { external->hits += 1; }});
+    replica.rewards.push_back(std::make_unique<RewardVariable>(
+        "hits", [external]() { return static_cast<double>(external->hits); }));
+    replica.context = external;
+    return replica;
+  };
+  ExperimentConfig config;
+  config.end_time = 50.0;
+  config.policy.min_replications = 2;
+  config.policy.max_replications = 2;
+  config.policy.target_half_width = 1e9;
+  const auto result = run_experiment({"hits"}, factory, config);
+  EXPECT_GT(result.metric("hits").ci.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::san

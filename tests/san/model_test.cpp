@@ -1,0 +1,126 @@
+#include "san/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+TEST(SanModel, AddPlaceQualifiesGlobalName) {
+  SanModel m("M");
+  auto p = m.add_place<std::int64_t>("tokens", 1);
+  EXPECT_EQ(p->name(), "M->tokens");
+  EXPECT_EQ(m.local_place_names().front(), "tokens");
+}
+
+TEST(SanModel, FindPlaceByLocalName) {
+  SanModel m("M");
+  auto p = m.add_place<std::int64_t>("tokens", 1);
+  EXPECT_EQ(m.find_place("tokens"), p);
+  EXPECT_EQ(m.find_place("missing"), nullptr);
+}
+
+TEST(SanModel, JoinPlaceSharesState) {
+  SanModel a("A"), b("B");
+  auto p = a.add_place<std::int64_t>("shared", 0);
+  b.join_place("local_alias", p);
+  p->set(9);
+  auto found = std::static_pointer_cast<TokenPlace>(b.find_place("local_alias"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->get(), 9);
+}
+
+TEST(SanModel, JoinNullPlaceThrows) {
+  SanModel m("M");
+  EXPECT_THROW(m.join_place("x", nullptr), std::invalid_argument);
+}
+
+TEST(SanModel, ActivityNamesQualified) {
+  SanModel m("M");
+  auto& a = m.add_timed_activity("act", stats::make_deterministic(1.0));
+  EXPECT_EQ(a.name(), "M->act");
+  auto& i = m.add_instantaneous_activity("inst");
+  EXPECT_EQ(i.name(), "M->inst");
+  EXPECT_EQ(m.activities().size(), 2u);
+}
+
+TEST(SanModel, ResetMarkingRestoresAllPlaces) {
+  SanModel m("M");
+  auto p1 = m.add_place<std::int64_t>("a", 1);
+  auto p2 = m.add_place<std::int64_t>("b", 2);
+  p1->set(10);
+  p2->set(20);
+  m.reset_marking();
+  EXPECT_EQ(p1->get(), 1);
+  EXPECT_EQ(p2->get(), 2);
+}
+
+TEST(ComposedModel, OwnsSubmodels) {
+  ComposedModel cm("System");
+  auto& a = cm.add_submodel("A");
+  auto& b = cm.add_submodel("B");
+  EXPECT_EQ(cm.submodels().size(), 2u);
+  EXPECT_EQ(cm.find_submodel("A"), &a);
+  EXPECT_EQ(cm.find_submodel("B"), &b);
+  EXPECT_EQ(cm.find_submodel("C"), nullptr);
+}
+
+TEST(ComposedModel, AllActivitiesAggregates) {
+  ComposedModel cm("System");
+  auto& a = cm.add_submodel("A");
+  auto& b = cm.add_submodel("B");
+  a.add_timed_activity("x", stats::make_deterministic(1.0));
+  b.add_timed_activity("y", stats::make_deterministic(1.0));
+  b.add_instantaneous_activity("z");
+  EXPECT_EQ(cm.all_activities().size(), 3u);
+}
+
+TEST(ComposedModel, ResetMarkingCascades) {
+  ComposedModel cm("System");
+  auto& a = cm.add_submodel("A");
+  auto p = a.add_place<std::int64_t>("tokens", 5);
+  p->set(0);
+  cm.reset_marking();
+  EXPECT_EQ(p->get(), 5);
+}
+
+TEST(ComposedModel, SharedPlaceResetIsIdempotent) {
+  ComposedModel cm("System");
+  auto& a = cm.add_submodel("A");
+  auto& b = cm.add_submodel("B");
+  auto p = a.add_place<std::int64_t>("shared", 3);
+  b.join_place("shared", p);
+  p->set(42);
+  cm.reset_marking();  // resets p twice, via A and via B
+  EXPECT_EQ(p->get(), 3);
+}
+
+TEST(ComposedModel, JoinRegistryRendersTableFormat) {
+  ComposedModel cm("VM_2VCPU");
+  auto& a = cm.add_submodel("Workload_Generator");
+  auto p = a.add_place<std::int64_t>("Blocked", 0);
+  cm.record_join("Blocked", p,
+                 {"Workload_Generator->Blocked", "VM_Job_Scheduler->Blocked",
+                  "VCPU1->Blocked", "VCPU2->Blocked"});
+  const std::string table = cm.render_join_table();
+  EXPECT_NE(table.find("State Variable Name"), std::string::npos);
+  EXPECT_NE(table.find("Blocked"), std::string::npos);
+  EXPECT_NE(table.find("Workload_Generator->Blocked"), std::string::npos);
+  EXPECT_NE(table.find("VCPU2->Blocked"), std::string::npos);
+}
+
+TEST(ComposedModel, JoinRegistryKeepsInsertionOrder) {
+  ComposedModel cm("S");
+  auto& a = cm.add_submodel("A");
+  auto p1 = a.add_place<std::int64_t>("p1", 0);
+  auto p2 = a.add_place<std::int64_t>("p2", 0);
+  cm.record_join("first", p1, {"A->p1"});
+  cm.record_join("second", p2, {"A->p2"});
+  ASSERT_EQ(cm.join_registry().size(), 2u);
+  EXPECT_EQ(cm.join_registry()[0].shared_name, "first");
+  EXPECT_EQ(cm.join_registry()[1].shared_name, "second");
+}
+
+}  // namespace
+}  // namespace vcpusim::san

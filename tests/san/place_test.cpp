@@ -1,0 +1,75 @@
+#include "san/place.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vcpusim::san {
+namespace {
+
+TEST(Place, HoldsInitialMarking) {
+  TokenPlace p("tokens", 3);
+  EXPECT_EQ(p.get(), 3);
+  EXPECT_EQ(p.name(), "tokens");
+}
+
+TEST(Place, SetAndMutate) {
+  TokenPlace p("tokens", 0);
+  p.set(5);
+  EXPECT_EQ(p.get(), 5);
+  p.mut() += 2;
+  EXPECT_EQ(p.get(), 7);
+}
+
+TEST(Place, ResetRestoresInitialMarking) {
+  TokenPlace p("tokens", 2);
+  p.set(99);
+  p.reset();
+  EXPECT_EQ(p.get(), 2);
+}
+
+TEST(Place, StructMarking) {
+  struct State {
+    int a = 1;
+    double b = 2.5;
+  };
+  Place<State> p("state", State{});
+  p.mut().a = 10;
+  p.mut().b = -1.0;
+  EXPECT_EQ(p.get().a, 10);
+  p.reset();
+  EXPECT_EQ(p.get().a, 1);
+  EXPECT_EQ(p.get().b, 2.5);
+}
+
+TEST(Place, VectorMarkingDeepResets) {
+  Place<std::vector<int>> p("vec", {1, 2, 3});
+  p.mut().push_back(4);
+  p.mut()[0] = 9;
+  p.reset();
+  EXPECT_EQ(p.get(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Place, ToStringStreamableType) {
+  TokenPlace p("tokens", 42);
+  EXPECT_EQ(p.to_string(), "tokens=42");
+}
+
+TEST(Place, ToStringNonStreamableTypeFallsBack) {
+  struct Opaque {
+    int x = 0;
+  };
+  Place<Opaque> p("opaque", Opaque{});
+  EXPECT_EQ(p.to_string(), "opaque=<struct>");
+}
+
+TEST(Place, SharedAliasingSeesMutations) {
+  auto p = std::make_shared<TokenPlace>("shared", 0);
+  PlacePtr alias = p;  // the Join operation: same object, two holders
+  p->set(7);
+  EXPECT_EQ(std::static_pointer_cast<TokenPlace>(alias)->get(), 7);
+}
+
+}  // namespace
+}  // namespace vcpusim::san

@@ -1,0 +1,122 @@
+#include "san/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "san/reward.hpp"
+#include "san/simulator.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+TEST(Replicate, ValidatesArguments) {
+  ComposedModel model("M");
+  EXPECT_THROW(replicate(model, "R", 0, [](SanModel&, std::size_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(replicate(model, "R", 2, nullptr), std::invalid_argument);
+}
+
+TEST(Replicate, CreatesNamedReplicas) {
+  ComposedModel model("M");
+  std::vector<std::size_t> indices;
+  const auto replicas = replicate(model, "Machine", 3,
+                                  [&indices](SanModel& sub, std::size_t i) {
+                                    indices.push_back(i);
+                                    sub.add_place<std::int64_t>("p", 0);
+                                  });
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0]->name(), "Machine_1");
+  EXPECT_EQ(replicas[2]->name(), "Machine_3");
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(model.find_submodel("Machine_2"), replicas[1]);
+}
+
+TEST(Replicate, MachineRepairmanModelMatchesAnalytic) {
+  // The classic machine-repairman model as Replicate + shared place:
+  // N = 3 machines, each failing at rate lambda = 0.1 while up; a single
+  // shared repairman place serializes repairs at rate mu = 1.0.
+  // Analytic (birth-death): with rho = lambda/mu,
+  //   P(k down) ~ N!/(N-k)! * rho^k; E[#up] = N - E[k].
+  constexpr int kMachines = 3;
+  constexpr double kLambda = 0.1;
+  constexpr double kMu = 1.0;
+
+  ComposedModel model("Shop");
+  auto& common = model.add_submodel("Common");
+  auto repairman_busy = common.add_place<std::int64_t>("repairman_busy", 0);
+
+  std::vector<std::shared_ptr<TokenPlace>> up_places;
+  replicate(model, "Machine", kMachines, [&](SanModel& sub, std::size_t) {
+    auto up = sub.add_place<std::int64_t>("up", 1);
+    auto in_repair = sub.add_place<std::int64_t>("in_repair", 0);
+    up_places.push_back(up);
+    sub.join_place("repairman_busy", repairman_busy);
+
+    auto& fail = sub.add_timed_activity("fail", stats::make_exponential(kLambda));
+    fail.add_input_gate({"is_up", [up]() { return up->get() == 1; }, nullptr});
+    fail.add_output_gate({"down", [up](GateContext&) { up->set(0); }});
+
+    // Seize the (single) repairman.
+    auto& seize = sub.add_instantaneous_activity("seize");
+    seize.add_input_gate({"down_and_free",
+                          [up, in_repair, repairman_busy]() {
+                            return up->get() == 0 && in_repair->get() == 0 &&
+                                   repairman_busy->get() == 0;
+                          },
+                          nullptr});
+    seize.add_output_gate({"start", [in_repair, repairman_busy](GateContext&) {
+                             in_repair->set(1);
+                             repairman_busy->set(1);
+                           }});
+
+    auto& repair = sub.add_timed_activity("repair", stats::make_exponential(kMu));
+    repair.add_input_gate(
+        {"repairing", [in_repair]() { return in_repair->get() == 1; }, nullptr});
+    repair.add_output_gate({"done",
+                            [up, in_repair, repairman_busy](GateContext&) {
+                              up->set(1);
+                              in_repair->set(0);
+                              repairman_busy->set(0);
+                            }});
+  });
+
+  RewardVariable mean_up(
+      "mean_up",
+      [up_places]() {
+        double up = 0;
+        for (const auto& p : up_places) up += static_cast<double>(p->get());
+        return up;
+      },
+      2000.0);
+
+  SimulatorConfig config;
+  config.end_time = 300000.0;
+  config.seed = 17;
+  Simulator sim(config);
+  sim.set_model(model);
+  sim.add_reward(mean_up);
+  sim.run();
+
+  // Analytic stationary distribution of machines down.
+  const double rho = kLambda / kMu;
+  double weights[kMachines + 1];
+  double total = 0;
+  for (int k = 0; k <= kMachines; ++k) {
+    double w = std::pow(rho, k);
+    for (int j = 0; j < k; ++j) w *= (kMachines - j);  // N!/(N-k)!
+    weights[k] = w;
+    total += w;
+  }
+  double expected_down = 0;
+  for (int k = 0; k <= kMachines; ++k) {
+    expected_down += k * weights[k] / total;
+  }
+  const double expected_up = kMachines - expected_down;
+
+  EXPECT_NEAR(mean_up.time_averaged(300000.0), expected_up, 0.03);
+}
+
+}  // namespace
+}  // namespace vcpusim::san

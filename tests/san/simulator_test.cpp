@@ -1,0 +1,424 @@
+#include "san/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+/// Records every completion for trajectory assertions.
+class Recorder final : public TraceObserver {
+ public:
+  struct Entry {
+    Time time;
+    std::string activity;
+    std::size_t case_index;
+  };
+  void on_fire(Time now, const Activity& activity,
+               std::size_t case_index) override {
+    entries.push_back({now, activity.name(), case_index});
+  }
+  std::vector<Entry> entries;
+};
+
+SimulatorConfig config_for(Time end, std::uint64_t seed = 1) {
+  SimulatorConfig c;
+  c.end_time = end;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Simulator, RequiresModel) {
+  Simulator sim(config_for(10));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, RejectsNonPositiveEndTime) {
+  SimulatorConfig c;
+  c.end_time = 0;
+  EXPECT_THROW(Simulator{c}, std::invalid_argument);
+}
+
+TEST(Simulator, SettingModelTwiceThrows) {
+  ComposedModel m("M");
+  Simulator sim(config_for(10));
+  sim.set_model(m);
+  EXPECT_THROW(sim.set_model(m), std::logic_error);
+}
+
+TEST(Simulator, DeterministicClockFiresEveryUnit) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto counter = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate(
+      {"inc", [counter](GateContext&) { counter->mut() += 1; }});
+
+  Simulator sim(config_for(10.0));
+  sim.set_model(cm);
+  const auto stats = sim.run();
+  EXPECT_EQ(counter->get(), 10);  // fires at t=1..10
+  EXPECT_EQ(stats.events, 10u);
+  EXPECT_EQ(stats.end_time, 10.0);
+}
+
+TEST(Simulator, TokenFlowProducerConsumer) {
+  // Producer adds a token every 2 time units; consumer (period 1) removes
+  // one whenever available. At the end the buffer must be nearly empty.
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto buffer = sub.add_place<std::int64_t>("buffer", 0);
+  auto produced = sub.add_place<std::int64_t>("produced", 0);
+  auto consumed = sub.add_place<std::int64_t>("consumed", 0);
+
+  auto& producer =
+      sub.add_timed_activity("produce", stats::make_deterministic(2.0));
+  producer.add_output_gate({"p", [buffer, produced](GateContext&) {
+                              buffer->mut() += 1;
+                              produced->mut() += 1;
+                            }});
+  auto& consumer =
+      sub.add_timed_activity("consume", stats::make_deterministic(1.0));
+  consumer.add_input_gate(
+      {"nonempty", [buffer]() { return buffer->get() > 0; }, nullptr});
+  consumer.add_output_gate({"c", [buffer, consumed](GateContext&) {
+                              buffer->mut() -= 1;
+                              consumed->mut() += 1;
+                            }});
+
+  Simulator sim(config_for(100.0));
+  sim.set_model(cm);
+  sim.run();
+  EXPECT_EQ(produced->get(), 50);
+  EXPECT_EQ(produced->get() - consumed->get(), buffer->get());
+  EXPECT_LE(buffer->get(), 1);
+  EXPECT_GE(consumed->get(), 49);
+}
+
+TEST(Simulator, InstantaneousFiresBeforeTimeAdvances) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto trigger = sub.add_place<std::int64_t>("trigger", 0);
+  auto fired_at = sub.add_place<std::int64_t>("fired_at", -1);
+
+  auto& timed = sub.add_timed_activity("timed", stats::make_deterministic(3.0));
+  timed.add_output_gate(
+      {"set", [trigger](GateContext&) { trigger->set(1); }});
+
+  auto& inst = sub.add_instantaneous_activity("inst");
+  inst.add_input_gate(
+      {"armed", [trigger]() { return trigger->get() > 0; }, nullptr});
+  inst.add_output_gate({"react", [trigger, fired_at](GateContext& ctx) {
+                          trigger->set(0);
+                          fired_at->set(static_cast<std::int64_t>(ctx.now));
+                        }});
+
+  Simulator sim(config_for(3.5));
+  sim.set_model(cm);
+  Recorder rec;
+  sim.add_observer(rec);
+  sim.run();
+  EXPECT_EQ(fired_at->get(), 3);  // same instant as the timed firing
+  ASSERT_EQ(rec.entries.size(), 2u);
+  EXPECT_EQ(rec.entries[0].activity, "S->timed");
+  EXPECT_EQ(rec.entries[1].activity, "S->inst");
+  EXPECT_EQ(rec.entries[0].time, rec.entries[1].time);
+}
+
+TEST(Simulator, InstantaneousEnabledAtTimeZeroFiresBeforeAnything) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto tokens = sub.add_place<std::int64_t>("tokens", 3);
+  auto& inst = sub.add_instantaneous_activity("drain");
+  inst.add_input_gate(
+      {"nonempty", [tokens]() { return tokens->get() > 0; }, nullptr});
+  inst.add_output_gate(
+      {"dec", [tokens](GateContext&) { tokens->mut() -= 1; }});
+
+  Simulator sim(config_for(1.0));
+  sim.set_model(cm);
+  const auto stats = sim.run();
+  EXPECT_EQ(tokens->get(), 0);
+  EXPECT_EQ(stats.events, 3u);  // all at t=0
+}
+
+TEST(Simulator, InstantaneousPriorityOrdering) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto gate_open = sub.add_place<std::int64_t>("gate_open", 1);
+  auto order = std::make_shared<std::vector<std::string>>();
+
+  auto& low = sub.add_instantaneous_activity("low", 1);
+  low.add_input_gate(
+      {"open", [gate_open]() { return gate_open->get() == 1; }, nullptr});
+  low.add_output_gate({"l", [gate_open, order](GateContext&) {
+                         gate_open->set(2);
+                         order->push_back("low");
+                       }});
+  auto& high = sub.add_instantaneous_activity("high", 5);
+  high.add_input_gate(
+      {"open", [gate_open]() { return gate_open->get() >= 1; }, nullptr});
+  high.add_output_gate({"h", [gate_open, order](GateContext&) {
+                          gate_open->mut() -= (gate_open->get() == 2 ? 2 : 1);
+                          order->push_back("high");
+                        }});
+
+  // high (priority 5) must fire before low even though both are enabled.
+  Simulator sim(config_for(1.0));
+  sim.set_model(cm);
+  sim.run();
+  ASSERT_FALSE(order->empty());
+  EXPECT_EQ(order->front(), "high");
+}
+
+TEST(Simulator, InstantaneousLivelockDetected) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto& inst = sub.add_instantaneous_activity("spin");
+  // Always enabled, never changes the marking: zero-time livelock.
+  inst.add_output_gate({"noop", [](GateContext&) {}});
+
+  SimulatorConfig c = config_for(1.0);
+  c.max_instantaneous_chain = 100;
+  Simulator sim(c);
+  sim.set_model(cm);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, DisabledActivationIsAborted) {
+  // A slow activity is disabled by a faster one before completing: the
+  // slow activity must never fire (race/abort semantics).
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto armed = sub.add_place<std::int64_t>("armed", 1);
+  auto slow_fired = sub.add_place<std::int64_t>("slow_fired", 0);
+
+  auto& fast = sub.add_timed_activity("fast", stats::make_deterministic(1.0));
+  fast.add_input_gate(
+      {"armed", [armed]() { return armed->get() == 1; }, nullptr});
+  fast.add_output_gate({"disarm", [armed](GateContext&) { armed->set(0); }});
+
+  auto& slow = sub.add_timed_activity("slow", stats::make_deterministic(5.0));
+  slow.add_input_gate(
+      {"armed", [armed]() { return armed->get() == 1; }, nullptr});
+  slow.add_output_gate(
+      {"mark", [slow_fired](GateContext&) { slow_fired->set(1); }});
+
+  Simulator sim(config_for(20.0));
+  sim.set_model(cm);
+  sim.run();
+  EXPECT_EQ(slow_fired->get(), 0);
+}
+
+TEST(Simulator, ReEnabledActivitySamplesFreshDelay) {
+  // enable -> disable -> re-enable: the activity fires relative to its
+  // re-activation, not its first activation.
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto phase = sub.add_place<std::int64_t>("phase", 1);
+  auto fired_at = sub.add_place<std::int64_t>("fired_at", -1);
+
+  // Phase driver: disables "watched" during [1, 2).
+  auto& driver = sub.add_timed_activity("driver", stats::make_deterministic(1.0));
+  driver.add_output_gate({"advance", [phase](GateContext&) {
+                            phase->mut() += 1;  // 1->2 at t=1, 2->3 at t=2, ...
+                          }});
+
+  auto& watched =
+      sub.add_timed_activity("watched", stats::make_deterministic(1.5));
+  watched.add_input_gate(
+      {"enabled_phase", [phase]() { return phase->get() != 2; }, nullptr});
+  watched.add_output_gate({"mark", [fired_at, phase](GateContext& ctx) {
+                             if (fired_at->get() < 0) {
+                               fired_at->set(static_cast<std::int64_t>(
+                                   ctx.now * 10));  // tenths of a tick
+                             }
+                           }});
+
+  // Timeline: activated at t=0 (due t=1.5), disabled at t=1 (phase 2),
+  // re-enabled at t=2 (phase 3) -> fires at t=3.5, not 1.5 or 2.5.
+  Simulator sim(config_for(10.0));
+  sim.set_model(cm);
+  sim.run();
+  EXPECT_EQ(fired_at->get(), 35);
+}
+
+TEST(Simulator, SameTimePriorityOrderingOfTimedActivities) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto order = std::make_shared<std::vector<std::string>>();
+  auto once = sub.add_place<std::int64_t>("once", 1);
+
+  auto& lo = sub.add_timed_activity("lo", stats::make_deterministic(1.0), 0);
+  lo.add_input_gate({"g", [once]() { return once->get() == 1; }, nullptr});
+  lo.add_output_gate({"o", [order](GateContext&) { order->push_back("lo"); }});
+  auto& hi = sub.add_timed_activity("hi", stats::make_deterministic(1.0), 10);
+  hi.add_input_gate({"g", [once]() { return once->get() == 1; }, nullptr});
+  hi.add_output_gate({"o", [order, once](GateContext&) {
+                        order->push_back("hi");
+                      }});
+
+  Simulator sim(config_for(1.0));
+  sim.set_model(cm);
+  sim.run();
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], "hi");
+  EXPECT_EQ((*order)[1], "lo");
+}
+
+TEST(Simulator, SameSeedSameTrajectory) {
+  const auto build = [](ComposedModel& cm,
+                        std::shared_ptr<TokenPlace>& queue_out) {
+    auto& sub = cm.add_submodel("S");
+    auto queue = sub.add_place<std::int64_t>("queue", 0);
+    auto& arrive =
+        sub.add_timed_activity("arrive", stats::make_exponential(0.7));
+    arrive.add_output_gate(
+        {"a", [queue](GateContext&) { queue->mut() += 1; }});
+    auto& serve = sub.add_timed_activity("serve", stats::make_exponential(1.0));
+    serve.add_input_gate(
+        {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+    serve.add_output_gate({"s", [queue](GateContext&) { queue->mut() -= 1; }});
+    queue_out = queue;
+  };
+
+  std::vector<Recorder::Entry> first;
+  for (int run = 0; run < 2; ++run) {
+    ComposedModel cm("M");
+    std::shared_ptr<TokenPlace> queue;
+    build(cm, queue);
+    Simulator sim(config_for(200.0, 42));
+    sim.set_model(cm);
+    Recorder rec;
+    sim.add_observer(rec);
+    sim.run();
+    if (run == 0) {
+      first = rec.entries;
+    } else {
+      ASSERT_EQ(first.size(), rec.entries.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].time, rec.entries[i].time);
+        EXPECT_EQ(first[i].activity, rec.entries[i].activity);
+      }
+    }
+  }
+}
+
+TEST(Simulator, DifferentSeedsDifferentTrajectories) {
+  const auto run_once_count = [](std::uint64_t seed) {
+    ComposedModel cm("M");
+    auto& sub = cm.add_submodel("S");
+    auto count = sub.add_place<std::int64_t>("count", 0);
+    auto& a = sub.add_timed_activity("a", stats::make_exponential(1.0));
+    a.add_output_gate({"o", [count](GateContext&) { count->mut() += 1; }});
+    Simulator sim(config_for(500.0, seed));
+    sim.set_model(cm);
+    sim.run();
+    return count->get();
+  };
+  EXPECT_NE(run_once_count(1), run_once_count(2));
+}
+
+TEST(Simulator, EventCapStopsRun) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate({"noop", [](GateContext&) {}});
+  SimulatorConfig c = config_for(1e9);
+  c.max_events = 100;
+  Simulator sim(c);
+  sim.set_model(cm);
+  const auto stats = sim.run();
+  EXPECT_TRUE(stats.hit_event_cap);
+  EXPECT_EQ(stats.events, 100u);
+}
+
+TEST(Simulator, MM1QueueMatchesAnalyticMeanLength) {
+  // M/M/1, lambda=0.5, mu=1.0: E[N] = rho/(1-rho) = 1.0.
+  ComposedModel cm("MM1");
+  auto& sub = cm.add_submodel("Q");
+  auto queue = sub.add_place<std::int64_t>("queue", 0);
+  auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(0.5));
+  arrive.add_output_gate({"a", [queue](GateContext&) { queue->mut() += 1; }});
+  auto& serve = sub.add_timed_activity("serve", stats::make_exponential(1.0));
+  serve.add_input_gate(
+      {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+  serve.add_output_gate({"s", [queue](GateContext&) { queue->mut() -= 1; }});
+
+  RewardVariable mean_n(
+      "queue_len", [queue]() { return static_cast<double>(queue->get()); },
+      1000.0);
+
+  Simulator sim(config_for(120000.0, 7));
+  sim.set_model(cm);
+  sim.add_reward(mean_n);
+  sim.run();
+  EXPECT_NEAR(mean_n.time_averaged(120000.0), 1.0, 0.08);
+}
+
+TEST(Simulator, MM1UtilizationMatchesRho) {
+  ComposedModel cm("MM1");
+  auto& sub = cm.add_submodel("Q");
+  auto queue = sub.add_place<std::int64_t>("queue", 0);
+  auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(0.3));
+  arrive.add_output_gate({"a", [queue](GateContext&) { queue->mut() += 1; }});
+  auto& serve = sub.add_timed_activity("serve", stats::make_exponential(1.0));
+  serve.add_input_gate(
+      {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+  serve.add_output_gate({"s", [queue](GateContext&) { queue->mut() -= 1; }});
+
+  RewardVariable busy("busy", [queue]() { return queue->get() > 0 ? 1.0 : 0.0; },
+                      1000.0);
+  Simulator sim(config_for(100000.0, 11));
+  sim.set_model(cm);
+  sim.add_reward(busy);
+  sim.run();
+  EXPECT_NEAR(busy.time_averaged(100000.0), 0.3, 0.02);
+}
+
+TEST(Simulator, ProbabilisticCasesViaSimulator) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto heads = sub.add_place<std::int64_t>("heads", 0);
+  auto tails = sub.add_place<std::int64_t>("tails", 0);
+  auto& flip = sub.add_timed_activity("flip", stats::make_deterministic(1.0));
+  Case h{0.7, {}};
+  h.output_gates.push_back({"h", [heads](GateContext&) { heads->mut() += 1; }});
+  Case t{0.3, {}};
+  t.output_gates.push_back({"t", [tails](GateContext&) { tails->mut() += 1; }});
+  flip.add_case(std::move(h));
+  flip.add_case(std::move(t));
+
+  Simulator sim(config_for(20000.0, 13));
+  sim.set_model(cm);
+  sim.run();
+  const double total = static_cast<double>(heads->get() + tails->get());
+  EXPECT_EQ(total, 20000.0);
+  EXPECT_NEAR(heads->get() / total, 0.7, 0.02);
+}
+
+TEST(Simulator, RunResetsMarkingAndRewards) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto count = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate({"inc", [count](GateContext&) { count->mut() += 1; }});
+
+  RewardVariable reward("count", [count]() { return 1.0; });
+  Simulator sim(config_for(10.0));
+  sim.set_model(cm);
+  sim.add_reward(reward);
+  sim.run();
+  const auto after_first = count->get();
+  const auto reward_first = reward.accumulated();
+  sim.run();  // second replication re-resets
+  EXPECT_EQ(count->get(), after_first);
+  EXPECT_EQ(reward.accumulated(), reward_first);
+}
+
+}  // namespace
+}  // namespace vcpusim::san

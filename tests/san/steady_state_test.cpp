@@ -1,0 +1,164 @@
+#include "san/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "san/simulator.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+struct Mm1 {
+  ComposedModel model{"MM1"};
+  std::shared_ptr<TokenPlace> queue;
+
+  explicit Mm1(double lambda, double mu) {
+    auto& sub = model.add_submodel("Q");
+    queue = sub.add_place<std::int64_t>("queue", 0);
+    auto q = queue;
+    auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(lambda));
+    arrive.add_output_gate({"a", [q](GateContext&) { q->mut() += 1; }});
+    auto& serve = sub.add_timed_activity("serve", stats::make_exponential(mu));
+    serve.add_input_gate({"busy", [q]() { return q->get() > 0; }, nullptr});
+    serve.add_output_gate({"s", [q](GateContext&) { q->mut() -= 1; }});
+  }
+};
+
+TEST(SteadyState, ValidatesConfigAndReward) {
+  Mm1 mm1(0.5, 1.0);
+  RewardVariable busy("busy", [&]() { return mm1.queue->get() > 0 ? 1.0 : 0.0; });
+  SteadyStateConfig config;
+  config.batch_length = 0;
+  EXPECT_THROW(run_steady_state(mm1.model, busy, config), std::invalid_argument);
+  config = {};
+  config.min_batches = 1;
+  EXPECT_THROW(run_steady_state(mm1.model, busy, config), std::invalid_argument);
+  RewardVariable late("late", []() { return 1.0; }, /*start=*/10.0);
+  EXPECT_THROW(run_steady_state(mm1.model, late, SteadyStateConfig{}),
+               std::invalid_argument);
+}
+
+TEST(SteadyState, Mm1UtilizationMatchesAnalytic) {
+  Mm1 mm1(0.6, 1.0);
+  RewardVariable busy("busy",
+                      [&]() { return mm1.queue->get() > 0 ? 1.0 : 0.0; });
+  SteadyStateConfig config;
+  config.warmup = 2000.0;
+  config.batch_length = 2000.0;
+  config.target_half_width = 0.01;
+  config.seed = 5;
+  const auto result = run_steady_state(mm1.model, busy, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.ci.mean, 0.6, 0.02);
+  EXPECT_LT(std::fabs(result.lag1_autocorrelation), 0.5);
+  EXPECT_GT(result.events, 1000u);
+}
+
+TEST(SteadyState, Mm1QueueLengthMatchesAnalytic) {
+  // E[N] = rho / (1 - rho) = 0.5/0.5 = 1.
+  Mm1 mm1(0.5, 1.0);
+  RewardVariable len("len",
+                     [&]() { return static_cast<double>(mm1.queue->get()); });
+  SteadyStateConfig config;
+  config.warmup = 2000.0;
+  config.batch_length = 4000.0;
+  config.target_half_width = 0.03;
+  config.seed = 9;
+  const auto result = run_steady_state(mm1.model, len, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.ci.mean, 1.0, 0.08);
+}
+
+TEST(SteadyState, StopsAtMaxBatchesWithoutConvergence) {
+  Mm1 mm1(0.5, 1.0);
+  RewardVariable len("len",
+                     [&]() { return static_cast<double>(mm1.queue->get()); });
+  SteadyStateConfig config;
+  config.warmup = 100.0;
+  config.batch_length = 50.0;
+  config.min_batches = 4;
+  config.max_batches = 8;
+  config.target_half_width = 1e-9;  // unreachable
+  const auto result = run_steady_state(mm1.model, len, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.batches, 8u);
+}
+
+TEST(SimulatorIncremental, AdvanceUntilMatchesSingleRun) {
+  const auto build = [](Mm1& mm1, RewardVariable& busy, bool stepwise) {
+    SimulatorConfig config;
+    config.end_time = 5000.0;
+    config.seed = 21;
+    Simulator sim(config);
+    sim.set_model(mm1.model);
+    sim.add_reward(busy);
+    if (stepwise) {
+      sim.reset();
+      for (int step = 1; step <= 10; ++step) {
+        sim.advance_until(500.0 * step);
+      }
+      return busy.accumulated();
+    }
+    sim.run();
+    return busy.accumulated();
+  };
+  Mm1 a(0.4, 1.0);
+  RewardVariable busy_a("busy", [&]() { return a.queue->get() > 0 ? 1.0 : 0.0; });
+  const double whole = build(a, busy_a, false);
+  Mm1 b(0.4, 1.0);
+  RewardVariable busy_b("busy", [&]() { return b.queue->get() > 0 ? 1.0 : 0.0; });
+  const double stepped = build(b, busy_b, true);
+  EXPECT_DOUBLE_EQ(whole, stepped);
+}
+
+TEST(SimulatorIncremental, AdvanceBeforeResetThrows) {
+  Mm1 mm1(0.5, 1.0);
+  SimulatorConfig config;
+  config.end_time = 100.0;
+  Simulator sim(config);
+  sim.set_model(mm1.model);
+  EXPECT_THROW(sim.advance_until(10.0), std::logic_error);
+}
+
+TEST(SimulatorIncremental, AdvanceIsCappedAtEndTime) {
+  Mm1 mm1(0.5, 1.0);
+  SimulatorConfig config;
+  config.end_time = 100.0;
+  Simulator sim(config);
+  sim.set_model(mm1.model);
+  sim.reset();
+  const auto stats = sim.advance_until(1e9);
+  EXPECT_DOUBLE_EQ(stats.end_time, 100.0);
+}
+
+TEST(SimulatorIncremental, RewardsAccrueToEachBoundary) {
+  // A flag that turns on at t=1 and stays: after advance_until(10) the
+  // rate reward must read exactly 9 accumulated units.
+  ComposedModel model("M");
+  auto& sub = model.add_submodel("S");
+  auto flag = sub.add_place<std::int64_t>("flag", 0);
+  auto armed = sub.add_place<std::int64_t>("armed", 1);
+  auto& once = sub.add_timed_activity("once", stats::make_deterministic(1.0));
+  once.add_input_gate({"g", [armed]() { return armed->get() == 1; }, nullptr});
+  once.add_output_gate({"o", [flag, armed](GateContext&) {
+                          flag->set(1);
+                          armed->set(0);
+                        }});
+  RewardVariable r("flag", [flag]() { return static_cast<double>(flag->get()); });
+  SimulatorConfig config;
+  config.end_time = 100.0;
+  Simulator sim(config);
+  sim.set_model(model);
+  sim.add_reward(r);
+  sim.reset();
+  sim.advance_until(10.0);
+  EXPECT_DOUBLE_EQ(r.accumulated(), 9.0);
+  sim.advance_until(20.0);
+  EXPECT_DOUBLE_EQ(r.accumulated(), 19.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::san

@@ -1,0 +1,111 @@
+#include "sched/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(Balance, Names) {
+  EXPECT_EQ(make_stacked_round_robin()->name(), "RRS-stacked");
+  EXPECT_EQ(make_balance()->name(), "Balance");
+}
+
+TEST(Balance, StackedRrPinsVcpusToHashedQueue) {
+  // With per-PCPU queues and static hashing, a VCPU only ever runs on
+  // pcpu (vcpu_id mod num_pcpus).
+  auto spy =
+      std::make_unique<testing::SpyScheduler>(make_stacked_round_robin());
+  auto ticks = spy->ticks();
+  auto system =
+      build_system(make_symmetric_config(2, {2, 2}, 5), std::move(spy));
+  testing::run_system(*system, 300.0, 3);
+  for (const auto& t : *ticks) {
+    for (const auto& v : t.after) {
+      if (v.schedule_in >= 0) {
+        EXPECT_EQ(v.schedule_in, v.vcpu_id % 2)
+            << "VCPU " << v.vcpu_id << " at tick " << t.timestamp;
+      }
+    }
+  }
+}
+
+TEST(Balance, BalancePlacesSiblingsOnDistinctPcpus) {
+  // A 4-VCPU VM on 3 PCPUs: under balance, two siblings never run on the
+  // same PCPU *simultaneously* is trivially true; the sharper check is
+  // that sibling assignments cover distinct PCPUs whenever >= 2 run.
+  auto spy = std::make_unique<testing::SpyScheduler>(make_balance());
+  auto ticks = spy->ticks();
+  auto system =
+      build_system(make_symmetric_config(3, {4}, 5), std::move(spy));
+  testing::run_system(*system, 300.0, 3);
+  for (const auto& t : *ticks) {
+    std::set<int> pcpus_used;
+    int running = 0;
+    for (const auto& v : t.before) {
+      if (v.assigned_pcpu >= 0) {
+        ++running;
+        pcpus_used.insert(v.assigned_pcpu);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(pcpus_used.size()), running);
+  }
+}
+
+TEST(Balance, AllVcpusEventuallyRun) {
+  for (auto factory : {make_stacked_round_robin, make_balance}) {
+    auto system = build_system(make_symmetric_config(2, {2, 2}, 5), factory());
+    std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+    std::vector<san::RewardVariable*> raw;
+    for (int v = 0; v < 4; ++v) {
+      rewards.push_back(vm::vcpu_availability(*system, v, 100.0));
+      raw.push_back(rewards.back().get());
+    }
+    testing::run_system(*system, 2100.0, 5, raw);
+    for (auto& r : rewards) {
+      EXPECT_GT(r->time_averaged(2100.0), 0.2) << r->name();
+    }
+  }
+}
+
+TEST(Balance, StackingHurtsVcpuUtilization) {
+  // The Sukwong & Kim observation: stacking siblings on one run queue
+  // inflates synchronization latency. Configuration chosen so hashing
+  // stacks VM_1's two VCPUs on PCPU 0 (ids 0 and 2 with 2 PCPUs... use a
+  // 3-VCPU VM on 2 PCPUs: ids 0,1,2 -> queues 0,1,0: stacked).
+  const auto cfg = make_symmetric_config(2, {3}, 3);
+  auto stacked_system = build_system(cfg, make_stacked_round_robin());
+  auto stacked_util = vm::mean_vcpu_utilization(*stacked_system, 200.0);
+  testing::run_system(*stacked_system, 4200.0, 7, {stacked_util.get()});
+
+  auto balance_system = build_system(cfg, make_balance());
+  auto balance_util = vm::mean_vcpu_utilization(*balance_system, 200.0);
+  testing::run_system(*balance_system, 4200.0, 7, {balance_util.get()});
+
+  EXPECT_GE(balance_util->time_averaged(4200.0),
+            stacked_util->time_averaged(4200.0) - 0.02);
+}
+
+TEST(Balance, IdlePcpuWithEmptyQueueStaysIdle) {
+  // 1 VCPU on 2 PCPUs under stacked RR: queue 1 is always empty, so
+  // PCPU 1 is never assigned.
+  auto spy =
+      std::make_unique<testing::SpyScheduler>(make_stacked_round_robin());
+  auto ticks = spy->ticks();
+  auto system = build_system(make_symmetric_config(2, {1}, 0), std::move(spy));
+  testing::run_system(*system, 100.0);
+  for (const auto& t : *ticks) {
+    EXPECT_EQ(t.pcpus[1].state, 0) << "tick " << t.timestamp;
+  }
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

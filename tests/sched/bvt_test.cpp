@@ -1,0 +1,107 @@
+#include "sched/bvt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(Bvt, Name) { EXPECT_EQ(make_bvt()->name(), "BVT"); }
+
+TEST(Bvt, OptionValidation) {
+  BvtOptions bad_weight;
+  bad_weight.vm_weights = {0.0};
+  EXPECT_THROW(make_bvt(bad_weight), std::invalid_argument);
+  BvtOptions bad_allowance;
+  bad_allowance.switch_allowance = -1.0;
+  EXPECT_THROW(make_bvt(bad_allowance), std::invalid_argument);
+}
+
+TEST(Bvt, EqualWeightsShareEqually) {
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0), make_bvt());
+  auto a0 = vm::vcpu_availability(*system, 0, 200.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 200.0);
+  testing::run_system(*system, 4200.0, 1, {a0.get(), a1.get()});
+  EXPECT_NEAR(a0->time_averaged(4200.0), 0.5, 0.03);
+  EXPECT_NEAR(a1->time_averaged(4200.0), 0.5, 0.03);
+}
+
+TEST(Bvt, WeightsProduceProportionalShares) {
+  BvtOptions options;
+  options.vm_weights = {3.0, 1.0};
+  auto system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), make_bvt(options));
+  auto a0 = vm::vcpu_availability(*system, 0, 300.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 300.0);
+  testing::run_system(*system, 6300.0, 3, {a0.get(), a1.get()});
+  const double share0 = a0->time_averaged(6300.0);
+  const double share1 = a1->time_averaged(6300.0);
+  // Virtual-time race: shares proportional to weights (3:1), work-conserving.
+  EXPECT_NEAR(share0 / (share0 + share1), 0.75, 0.05);
+  EXPECT_NEAR(share0 + share1, 1.0, 0.02);
+}
+
+TEST(Bvt, WarpIsALatencyBoostNotAShareBoost) {
+  // Warp shifts EVT by a constant: the warped VM wins the dispatch race
+  // early (it monopolizes the PCPU until its AVT burns through the warp)
+  // but the *long-run* share is unchanged — the defining BVT property.
+  BvtOptions options;
+  options.vm_warps = {50.0, 0.0};
+
+  // Short horizon: the warped VM dominates its warp window.
+  auto early_system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), make_bvt(options));
+  auto early_warped = vm::vcpu_availability(*early_system, 0, 0.0);
+  auto early_plain = vm::vcpu_availability(*early_system, 1, 0.0);
+  testing::run_system(*early_system, 60.0, 5,
+                      {early_warped.get(), early_plain.get()});
+  EXPECT_GT(early_warped->time_averaged(60.0), 0.75);
+  EXPECT_LT(early_plain->time_averaged(60.0), 0.25);
+
+  // Long horizon: shares converge to the (equal) weights.
+  auto late_system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), make_bvt(options));
+  auto late_warped = vm::vcpu_availability(*late_system, 0, 500.0);
+  auto late_plain = vm::vcpu_availability(*late_system, 1, 500.0);
+  testing::run_system(*late_system, 4500.0, 5,
+                      {late_warped.get(), late_plain.get()});
+  EXPECT_NEAR(late_warped->time_averaged(4500.0),
+              late_plain->time_averaged(4500.0), 0.05);
+}
+
+TEST(Bvt, WorkConservingUnderContention) {
+  auto system = build_system(make_symmetric_config(2, {2, 2}, 0), make_bvt());
+  auto util = vm::pcpu_utilization(*system, 100.0);
+  testing::run_system(*system, 2100.0, 1, {util.get()});
+  EXPECT_GT(util->time_averaged(2100.0), 0.95);
+}
+
+TEST(Bvt, SwitchAllowanceLimitsChurn) {
+  // With a huge allowance the first-scheduled VCPU is never preempted by
+  // virtual time; with allowance ~0 the PCPU alternates every tick.
+  BvtOptions sticky;
+  sticky.switch_allowance = 1e9;
+  auto spy = std::make_unique<testing::SpyScheduler>(make_bvt(sticky));
+  auto ticks = spy->ticks();
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0), std::move(spy));
+  testing::run_system(*system, 100.0, 3);
+  int switches = 0;
+  int prev_owner = -1;
+  for (const auto& t : *ticks) {
+    for (const auto& v : t.after) {
+      if (v.assigned_pcpu >= 0 || v.schedule_in >= 0) {
+        if (prev_owner != -1 && v.vcpu_id != prev_owner) ++switches;
+        prev_owner = v.vcpu_id;
+      }
+    }
+  }
+  EXPECT_LE(switches, 1);
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

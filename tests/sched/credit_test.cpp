@@ -1,0 +1,91 @@
+#include "sched/credit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(Credit, Name) { EXPECT_EQ(make_credit()->name(), "Credit"); }
+
+TEST(Credit, OptionValidation) {
+  CreditOptions bad_period;
+  bad_period.accounting_period = 0;
+  EXPECT_THROW(make_credit(bad_period), std::invalid_argument);
+  CreditOptions bad_pool;
+  bad_pool.credit_per_period = 0.0;
+  EXPECT_THROW(make_credit(bad_pool), std::invalid_argument);
+  CreditOptions bad_weight;
+  bad_weight.vm_weights = {1.0, -2.0};
+  EXPECT_THROW(make_credit(bad_weight), std::invalid_argument);
+}
+
+TEST(Credit, EqualWeightsShareEqually) {
+  auto system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), make_credit());
+  auto a0 = vm::vcpu_availability(*system, 0, 300.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 300.0);
+  testing::run_system(*system, 6300.0, 1, {a0.get(), a1.get()});
+  EXPECT_NEAR(a0->time_averaged(6300.0), 0.5, 0.05);
+  EXPECT_NEAR(a1->time_averaged(6300.0), 0.5, 0.05);
+}
+
+TEST(Credit, WeightsSkewShares) {
+  CreditOptions options;
+  options.vm_weights = {3.0, 1.0};
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0),
+                             make_credit(options));
+  auto a0 = vm::vcpu_availability(*system, 0, 300.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 300.0);
+  testing::run_system(*system, 6300.0, 3, {a0.get(), a1.get()});
+  const double share0 = a0->time_averaged(6300.0);
+  const double share1 = a1->time_averaged(6300.0);
+  EXPECT_GT(share0, share1 + 0.15);  // 3:1 weights separate clearly
+  EXPECT_NEAR(share0 + share1, 1.0, 0.05);  // work-conserving
+}
+
+TEST(Credit, MissingWeightsDefaultToOne) {
+  CreditOptions options;
+  options.vm_weights = {2.0};  // second VM unspecified -> 1.0
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0),
+                             make_credit(options));
+  auto a0 = vm::vcpu_availability(*system, 0, 300.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 300.0);
+  testing::run_system(*system, 6300.0, 5, {a0.get(), a1.get()});
+  EXPECT_GT(a0->time_averaged(6300.0), a1->time_averaged(6300.0));
+}
+
+TEST(Credit, VmCreditSplitsOverItsVcpus) {
+  // Equal VM weights but different widths: the 2-VCPU VM's VCPUs each
+  // get roughly half of what the 1-VCPU VM's VCPU gets.
+  auto system =
+      build_system(make_symmetric_config(1, {2, 1}, 0), make_credit());
+  std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+  std::vector<san::RewardVariable*> raw;
+  for (int v = 0; v < 3; ++v) {
+    rewards.push_back(vm::vcpu_availability(*system, v, 300.0));
+    raw.push_back(rewards.back().get());
+  }
+  testing::run_system(*system, 9300.0, 7, raw);
+  const double wide0 = rewards[0]->time_averaged(9300.0);
+  const double wide1 = rewards[1]->time_averaged(9300.0);
+  const double narrow = rewards[2]->time_averaged(9300.0);
+  EXPECT_NEAR(wide0, wide1, 0.08);          // siblings equal
+  EXPECT_GT(narrow, wide0 + 0.10);          // per-VM fairness, not per-VCPU
+}
+
+TEST(Credit, WorkConservingUnderContention) {
+  auto system =
+      build_system(make_symmetric_config(2, {2, 2}, 0), make_credit());
+  auto util = vm::pcpu_utilization(*system, 100.0);
+  testing::run_system(*system, 2100.0, 1, {util.get()});
+  EXPECT_GT(util->time_averaged(2100.0), 0.95);
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

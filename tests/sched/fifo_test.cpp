@@ -1,0 +1,104 @@
+#include "sched/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(Fifo, Name) { EXPECT_EQ(make_fifo()->name(), "FIFO"); }
+
+TEST(Fifo, OptionValidation) {
+  FifoOptions bad;
+  bad.max_timeslice = 0.0;
+  EXPECT_THROW(make_fifo(bad), std::invalid_argument);
+}
+
+TEST(Fifo, JobsRunToCompletionWithoutPreemption) {
+  // Property: a BUSY VCPU is never descheduled mid-job (snapshot never
+  // shows an unassigned VCPU with remaining load under FIFO's cap).
+  auto spy = std::make_unique<testing::SpyScheduler>(make_fifo());
+  auto ticks = spy->ticks();
+  auto cfg = make_symmetric_config(1, {1, 1}, 0);
+  cfg.vms[0].load_distribution = stats::make_deterministic(20.0);
+  cfg.vms[1].load_distribution = stats::make_deterministic(20.0);
+  auto system = build_system(cfg, std::move(spy));
+  testing::run_system(*system, 300.0, 3);
+  for (const auto& t : *ticks) {
+    for (const auto& v : t.before) {
+      if (v.assigned_pcpu < 0) {
+        EXPECT_LE(v.remaining_load, 0.0)
+            << "VCPU " << v.vcpu_id << " preempted mid-job at tick "
+            << t.timestamp;
+      }
+    }
+  }
+}
+
+TEST(Fifo, YieldsWhenVmIsBlocked) {
+  // A 2-VCPU VM on 1 PCPU with a tight barrier: when the VM blocks, the
+  // READY VCPU must release the PCPU, so PCPU utilization < 1 is
+  // impossible here (the sibling takes over) — instead check that
+  // no tick shows a READY VCPU still holding a PCPU while another VCPU
+  // with pending load waits.
+  auto spy = std::make_unique<testing::SpyScheduler>(make_fifo());
+  auto ticks = spy->ticks();
+  auto system = build_system(make_symmetric_config(1, {2}, 2), std::move(spy));
+  testing::run_system(*system, 500.0, 5);
+  int ready_holding = 0;
+  for (const auto& t : *ticks) {
+    for (const auto& v : t.before) {
+      if (v.assigned_pcpu >= 0 &&
+          v.status == static_cast<int>(vm::VcpuStatus::kReady)) {
+        ++ready_holding;
+      }
+    }
+  }
+  // A READY snapshot can appear for at most the single tick before the
+  // yield is applied; it must never persist.
+  EXPECT_LT(ready_holding, static_cast<int>(ticks->size()) / 4);
+}
+
+TEST(Fifo, LongJobMonopolizesUntilDone) {
+  // VM1's job is 50 ticks long; VM2 must wait the full job duration
+  // (no timeslice preemption), then run. Generation is throttled (one
+  // job every 2 ticks) so the completing VCPU actually turns READY and
+  // yields instead of being re-dispatched in the same instant.
+  auto cfg = make_symmetric_config(1, {1, 1}, 0);
+  cfg.vms[0].load_distribution = stats::make_deterministic(50.0);
+  cfg.vms[1].load_distribution = stats::make_deterministic(50.0);
+  cfg.vms[0].inter_generation = stats::make_deterministic(2.0);
+  cfg.vms[1].inter_generation = stats::make_deterministic(2.0);
+  auto system = build_system(cfg, make_fifo());
+  auto a0 = vm::vcpu_availability(*system, 0, 0.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 0.0);
+  testing::run_system(*system, 1000.0, 1, {a0.get(), a1.get()});
+  // Alternating 50-tick blocks: both near 50%.
+  EXPECT_NEAR(a0->time_averaged(1000.0), 0.5, 0.07);
+  EXPECT_NEAR(a1->time_averaged(1000.0), 0.5, 0.07);
+}
+
+TEST(Fifo, CapBoundsOccupancy) {
+  // With a 10-tick cap and 100-tick jobs, the holder is preempted at the
+  // cap: both VCPUs make progress well before any job completes.
+  FifoOptions options;
+  options.max_timeslice = 10.0;
+  auto cfg = make_symmetric_config(1, {1, 1}, 0);
+  cfg.vms[0].load_distribution = stats::make_deterministic(100.0);
+  cfg.vms[1].load_distribution = stats::make_deterministic(100.0);
+  auto system = build_system(cfg, make_fifo(options));
+  auto a0 = vm::vcpu_availability(*system, 0, 0.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 0.0);
+  testing::run_system(*system, 100.0, 1, {a0.get(), a1.get()});
+  EXPECT_GT(a0->time_averaged(100.0), 0.3);
+  EXPECT_GT(a1->time_averaged(100.0), 0.3);
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

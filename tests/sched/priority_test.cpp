@@ -1,0 +1,88 @@
+#include "sched/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(Priority, Name) { EXPECT_EQ(make_priority()->name(), "Priority"); }
+
+TEST(Priority, HigherPriorityVmMonopolizesUnderContention) {
+  PriorityOptions options;
+  options.vm_priorities = {10, 1};
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0),
+                             make_priority(options));
+  auto a_high = vm::vcpu_availability(*system, 0, 100.0);
+  auto a_low = vm::vcpu_availability(*system, 1, 100.0);
+  testing::run_system(*system, 2100.0, 1, {a_high.get(), a_low.get()});
+  EXPECT_GT(a_high->time_averaged(2100.0), 0.97);
+  EXPECT_LT(a_low->time_averaged(2100.0), 0.03);
+}
+
+TEST(Priority, EqualPrioritiesShareLikeRoundRobin) {
+  auto system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), make_priority());
+  auto a0 = vm::vcpu_availability(*system, 0, 200.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 200.0);
+  testing::run_system(*system, 4200.0, 1, {a0.get(), a1.get()});
+  EXPECT_NEAR(a0->time_averaged(4200.0), 0.5, 0.03);
+  EXPECT_NEAR(a1->time_averaged(4200.0), 0.5, 0.03);
+}
+
+TEST(Priority, PreemptionHappensImmediately) {
+  // The low-priority VCPU is running (only contender at t=1)… except the
+  // high-priority one is also queued from the start, so instead check the
+  // steady state: the high VM is always assigned in every snapshot after
+  // the first few ticks.
+  PriorityOptions options;
+  options.vm_priorities = {1, 10};
+  auto spy =
+      std::make_unique<testing::SpyScheduler>(make_priority(options));
+  auto ticks = spy->ticks();
+  auto system =
+      build_system(make_symmetric_config(1, {1, 1}, 0), std::move(spy));
+  testing::run_system(*system, 50.0, 1);
+  for (const auto& t : *ticks) {
+    if (t.timestamp < 3) continue;
+    // Check the post-decision state: the high-priority VM either already
+    // holds a PCPU or is (re-)granted one this very tick (at simultaneous
+    // expiry ticks the pre-decision snapshot shows everyone unassigned).
+    bool high_running = false;
+    for (const auto& v : t.after) {
+      if (v.vm_id == 1 && (v.assigned_pcpu >= 0 || v.schedule_in >= 0)) {
+        high_running = true;
+      }
+    }
+    EXPECT_TRUE(high_running) << "tick " << t.timestamp;
+  }
+}
+
+TEST(Priority, LowPriorityRunsWhenHighIsSatisfied) {
+  // 2 PCPUs, high VM has 1 VCPU: the second PCPU goes to the low VM.
+  PriorityOptions options;
+  options.vm_priorities = {10, 1};
+  auto system = build_system(make_symmetric_config(2, {1, 1}, 0),
+                             make_priority(options));
+  auto a_low = vm::vcpu_availability(*system, 1, 50.0);
+  testing::run_system(*system, 1050.0, 1, {a_low.get()});
+  EXPECT_GT(a_low->time_averaged(1050.0), 0.95);
+}
+
+TEST(Priority, MissingPrioritiesDefaultToZero) {
+  PriorityOptions options;
+  options.vm_priorities = {5};  // VM 2 defaults to 0
+  auto system = build_system(make_symmetric_config(1, {1, 1}, 0),
+                             make_priority(options));
+  auto a0 = vm::vcpu_availability(*system, 0, 100.0);
+  testing::run_system(*system, 1100.0, 1, {a0.get()});
+  EXPECT_GT(a0->time_averaged(1100.0), 0.95);
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

@@ -1,0 +1,48 @@
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcpusim::sched {
+namespace {
+
+TEST(Registry, AllBuiltinsResolve) {
+  for (const auto& name : builtin_algorithms()) {
+    const auto factory = make_factory(name);
+    ASSERT_TRUE(factory) << name;
+    auto scheduler = factory();
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_FALSE(scheduler->name().empty()) << name;
+  }
+}
+
+TEST(Registry, PaperAlgorithmsComeFirst) {
+  const auto names = builtin_algorithms();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "rrs");
+  EXPECT_EQ(names[1], "scs");
+  EXPECT_EQ(names[2], "rcs");
+}
+
+TEST(Registry, AliasesAndCaseInsensitivity) {
+  EXPECT_EQ(make_factory("RRS")()->name(), "RRS");
+  EXPECT_EQ(make_factory("round-robin")()->name(), "RRS");
+  EXPECT_EQ(make_factory("rr")()->name(), "RRS");
+  EXPECT_EQ(make_factory("Strict-Co")()->name(), "SCS");
+  EXPECT_EQ(make_factory("RELAXED-CO")()->name(), "RCS");
+  EXPECT_EQ(make_factory("stacked")()->name(), "RRS-stacked");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_factory("nope"), std::invalid_argument);
+  EXPECT_THROW(make_factory(""), std::invalid_argument);
+}
+
+TEST(Registry, FactoryProducesFreshInstances) {
+  const auto factory = make_factory("rrs");
+  auto a = factory();
+  auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

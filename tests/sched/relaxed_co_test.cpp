@@ -1,0 +1,139 @@
+#include "sched/relaxed_co.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(RelaxedCo, Name) { EXPECT_EQ(make_relaxed_co()->name(), "RCS"); }
+
+TEST(RelaxedCo, OptionValidation) {
+  RcsOptions bad;
+  bad.skew_threshold = 0.0;
+  EXPECT_THROW(make_relaxed_co(bad), std::invalid_argument);
+  RcsOptions inverted;
+  inverted.skew_threshold = 5.0;
+  inverted.resume_threshold = 10.0;
+  EXPECT_THROW(make_relaxed_co(inverted), std::invalid_argument);
+  RcsOptions ok;
+  ok.skew_threshold = 5.0;
+  ok.resume_threshold = 2.0;
+  EXPECT_NO_THROW(make_relaxed_co(ok));
+}
+
+TEST(RelaxedCo, SchedulesWideVmOnOnePcpuUnlikeScs) {
+  // Paper IV.A: "RCS is able to schedule the 2-VCPU VM" with 1 PCPU.
+  auto system =
+      build_system(make_symmetric_config(1, {2, 1, 1}, 5), make_relaxed_co());
+  auto avail0 = vm::vcpu_availability(*system, 0, 200.0);
+  auto avail1 = vm::vcpu_availability(*system, 1, 200.0);
+  testing::run_system(*system, 4200.0, 1, {avail0.get(), avail1.get()});
+  EXPECT_GT(avail0->time_averaged(4200.0), 0.03);
+  EXPECT_GT(avail1->time_averaged(4200.0), 0.03);
+}
+
+TEST(RelaxedCo, BusyProgressSkewStaysBounded) {
+  // Property: the cumulative BUSY-time gap between siblings never grows
+  // far beyond skew_threshold (+ one timeslice of slack).
+  RcsOptions options;
+  options.skew_threshold = 8.0;
+  auto spy =
+      std::make_unique<testing::SpyScheduler>(make_relaxed_co(options));
+  auto ticks = spy->ticks();
+  auto cfg = make_symmetric_config(2, {2, 1, 1}, 4);
+  cfg.default_timeslice = 5.0;
+  auto system = build_system(cfg, std::move(spy));
+  testing::run_system(*system, 2000.0, 9);
+
+  // Recompute the differential skew of the 2-VCPU VM (globals 0 and 1)
+  // from the spy's snapshots, exactly as the algorithm defines it: skew
+  // grows by 1 while a sibling makes guest progress and this (runnable)
+  // VCPU does not, shrinks while catching up, and resets while idle.
+  std::vector<int> assigned_prev(system->vcpus.size(), -1);
+  std::map<int, double> skew;
+  double max_skew_seen = 0;
+  for (const auto& t : *ticks) {
+    std::map<int, bool> made, engaged;
+    for (const auto& v : t.before) {
+      if (v.vcpu_id > 1) continue;
+      const bool was_busy =
+          v.status == static_cast<int>(vm::VcpuStatus::kBusy) ||
+          (v.assigned_pcpu < 0 && v.remaining_load > 0);
+      made[v.vcpu_id] =
+          assigned_prev[static_cast<std::size_t>(v.vcpu_id)] >= 0 && was_busy;
+      engaged[v.vcpu_id] =
+          v.status == static_cast<int>(vm::VcpuStatus::kBusy) ||
+          v.remaining_load > 0;
+    }
+    for (const int v : {0, 1}) {
+      const bool sibling_progressed = made[1 - v];
+      if (!engaged[v]) {
+        skew[v] = 0;
+      } else {
+        skew[v] = std::max(0.0, skew[v] + (sibling_progressed ? 1.0 : 0.0) -
+                                    (made[v] ? 1.0 : 0.0));
+      }
+      max_skew_seen = std::max(max_skew_seen, skew[v]);
+    }
+    for (const auto& v : t.after) {
+      assigned_prev[static_cast<std::size_t>(v.vcpu_id)] =
+          v.schedule_in >= 0          ? v.schedule_in
+          : (v.schedule_out != 0 ? -1 : v.assigned_pcpu);
+    }
+  }
+  // The enforced bound is threshold plus slack: one timeslice of lead can
+  // accrue before the co-stop lands, plus laggard catch-up wait.
+  EXPECT_LE(max_skew_seen, options.skew_threshold + 2.0 * cfg.default_timeslice);
+}
+
+TEST(RelaxedCo, CoStartsWholeGangWhenPcpusAvailable) {
+  // With 4 PCPUs and VMs {2,2}, RCS behaves like co-scheduling: full
+  // availability, full utilization of demand.
+  auto system =
+      build_system(make_symmetric_config(4, {2, 2}, 5), make_relaxed_co());
+  auto avail = vm::mean_vcpu_availability(*system, 10.0);
+  testing::run_system(*system, 500.0, 1, {avail.get()});
+  EXPECT_NEAR(avail->time_averaged(500.0), 1.0, 1e-9);
+}
+
+TEST(RelaxedCo, BetterPcpuUtilizationThanScsUnderFragmentation) {
+  // Paper IV.B: RCS "can always achieve more than 90% PCPU utilization"
+  // where SCS fragments.
+  auto rcs_system =
+      build_system(make_symmetric_config(4, {2, 3}, 5), make_relaxed_co());
+  auto rcs_util = vm::pcpu_utilization(*rcs_system, 100.0);
+  testing::run_system(*rcs_system, 2100.0, 3, {rcs_util.get()});
+  EXPECT_GT(rcs_util->time_averaged(2100.0), 0.90);
+}
+
+TEST(RelaxedCo, ConstrainedLeadersWaitForLaggards) {
+  // Two siblings on one PCPU: neither can run away; availability of the
+  // two siblings stays close.
+  auto system =
+      build_system(make_symmetric_config(1, {2}, 4), make_relaxed_co());
+  auto a0 = vm::vcpu_availability(*system, 0, 200.0);
+  auto a1 = vm::vcpu_availability(*system, 1, 200.0);
+  testing::run_system(*system, 4200.0, 11, {a0.get(), a1.get()});
+  EXPECT_NEAR(a0->time_averaged(4200.0), a1->time_averaged(4200.0), 0.10);
+}
+
+TEST(RelaxedCo, ResumeDefaultsToHalfThreshold) {
+  RcsOptions options;
+  options.skew_threshold = 12.0;
+  // No explicit resume: must construct fine and run.
+  auto system =
+      build_system(make_symmetric_config(2, {2, 2}, 5), make_relaxed_co(options));
+  EXPECT_NO_THROW(testing::run_system(*system, 100.0));
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

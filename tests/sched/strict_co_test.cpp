@@ -1,0 +1,124 @@
+#include "sched/strict_co.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using vm::build_system;
+using vm::make_symmetric_config;
+
+TEST(StrictCo, Name) { EXPECT_EQ(make_strict_co()->name(), "SCS"); }
+
+TEST(StrictCo, GangInvariantHoldsEveryTick) {
+  // Property: in the pre-decision snapshot of every tick, each VM's
+  // VCPUs are either all assigned or all unassigned (co-start/co-stop).
+  auto spy = std::make_unique<testing::SpyScheduler>(make_strict_co());
+  auto ticks = spy->ticks();
+  auto system =
+      build_system(make_symmetric_config(3, {2, 2, 1}, 5), std::move(spy));
+  testing::run_system(*system, 500.0, 7);
+  ASSERT_FALSE(ticks->empty());
+  for (const auto& t : *ticks) {
+    std::map<int, std::pair<int, int>> per_vm;  // vm -> (assigned, total)
+    for (const auto& v : t.before) {
+      auto& [assigned, total] = per_vm[v.vm_id];
+      ++total;
+      if (v.assigned_pcpu >= 0) ++assigned;
+    }
+    for (const auto& [vm_id, counts] : per_vm) {
+      EXPECT_TRUE(counts.first == 0 || counts.first == counts.second)
+          << "tick " << t.timestamp << " VM " << vm_id << " has "
+          << counts.first << "/" << counts.second << " VCPUs assigned";
+    }
+  }
+}
+
+TEST(StrictCo, VmWiderThanMachineStarves) {
+  // Paper IV.A: with 1 PCPU, SCS cannot schedule the 2-VCPU VM at all.
+  auto system =
+      build_system(make_symmetric_config(1, {2, 1, 1}, 5), make_strict_co());
+  std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+  std::vector<san::RewardVariable*> raw;
+  for (int v = 0; v < 4; ++v) {
+    rewards.push_back(vm::vcpu_availability(*system, v, 100.0));
+    raw.push_back(rewards.back().get());
+  }
+  testing::run_system(*system, 2100.0, 1, raw);
+  EXPECT_DOUBLE_EQ(rewards[0]->time_averaged(2100.0), 0.0);  // VM1 VCPU1
+  EXPECT_DOUBLE_EQ(rewards[1]->time_averaged(2100.0), 0.0);  // VM1 VCPU2
+  // The two 1-VCPU VMs split the PCPU.
+  EXPECT_NEAR(rewards[2]->time_averaged(2100.0), 0.5, 0.02);
+  EXPECT_NEAR(rewards[3]->time_averaged(2100.0), 0.5, 0.02);
+}
+
+TEST(StrictCo, FragmentationLeavesPcpusIdle) {
+  // Paper IV.B: {2,3}-VCPU VMs on 4 PCPUs cannot both run; utilization
+  // is visibly below 1 while RRS would pin it at 1.
+  auto system =
+      build_system(make_symmetric_config(4, {2, 3}, 5), make_strict_co());
+  auto util = vm::pcpu_utilization(*system, 100.0);
+  testing::run_system(*system, 2100.0, 3, {util.get()});
+  const double u = util->time_averaged(2100.0);
+  EXPECT_LT(u, 0.90);
+  EXPECT_GT(u, 0.40);
+}
+
+TEST(StrictCo, PacksMultipleGangsWhenTheyFit) {
+  // {2,2} on 4 PCPUs: both gangs run simultaneously at all times.
+  auto system =
+      build_system(make_symmetric_config(4, {2, 2}, 5), make_strict_co());
+  auto avail = vm::mean_vcpu_availability(*system, 10.0);
+  auto util = vm::pcpu_utilization(*system, 10.0);
+  testing::run_system(*system, 500.0, 1, {avail.get(), util.get()});
+  EXPECT_NEAR(avail->time_averaged(500.0), 1.0, 1e-9);
+  EXPECT_NEAR(util->time_averaged(500.0), 1.0, 1e-9);
+}
+
+TEST(StrictCo, NonFittingVmDoesNotBlockQueue) {
+  // {3,1} on 2 PCPUs: the 3-VCPU VM never fits, but the 1-VCPU VM must
+  // still be scheduled (non-blocking queue scan).
+  auto system =
+      build_system(make_symmetric_config(2, {3, 1}, 5), make_strict_co());
+  auto avail_small = vm::vcpu_availability(*system, 3, 100.0);
+  testing::run_system(*system, 1100.0, 1, {avail_small.get()});
+  EXPECT_GT(avail_small->time_averaged(1100.0), 0.9);
+}
+
+TEST(StrictCo, GangsAlternateFairly) {
+  // Two identical 2-VCPU VMs on 2 PCPUs alternate gang-wise: equal
+  // availability for all four VCPUs.
+  auto system =
+      build_system(make_symmetric_config(2, {2, 2}, 5), make_strict_co());
+  std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+  std::vector<san::RewardVariable*> raw;
+  for (int v = 0; v < 4; ++v) {
+    rewards.push_back(vm::vcpu_availability(*system, v, 200.0));
+    raw.push_back(rewards.back().get());
+  }
+  testing::run_system(*system, 4200.0, 2, raw);
+  for (auto& r : rewards) {
+    EXPECT_NEAR(r->time_averaged(4200.0), 0.5, 0.02) << r->name();
+  }
+}
+
+TEST(StrictCo, EliminatesSynchronizationLatencyWhenGangFits) {
+  // Paper IV.C: with co-scheduling, sibling jobs of a barrier phase run
+  // simultaneously, so the blocked fraction is small compared to RRS
+  // under the same over-committed setup. Here: the gang runs all its
+  // VCPUs together whenever scheduled.
+  auto spy = std::make_unique<testing::SpyScheduler>(make_strict_co());
+  auto ticks = spy->ticks();
+  auto system = build_system(make_symmetric_config(2, {2, 2}, 2), std::move(spy));
+  auto util = vm::mean_vcpu_utilization(*system, 100.0);
+  testing::run_system(*system, 2100.0, 5, {util.get()});
+  EXPECT_GT(util->time_averaged(2100.0), 0.35);
+}
+
+}  // namespace
+}  // namespace vcpusim::sched

@@ -1,0 +1,82 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(BatchMeans, RejectsZeroBatchLength) {
+  EXPECT_THROW(BatchMeans(0), std::invalid_argument);
+}
+
+TEST(BatchMeans, BatchesFormAtBatchLength) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 25; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batches(), 2u);       // 5 observations still pending
+  EXPECT_EQ(bm.observations(), 25u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, WarmupObservationsDiscarded) {
+  BatchMeans bm(5, /*warmup=*/10);
+  // Transient: ten 100s, then steady 1s.
+  for (int i = 0; i < 10; ++i) bm.add(100.0);
+  for (int i = 0; i < 20; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batches(), 4u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, BatchMeanValuesAreAveraged) {
+  BatchMeans bm(2);
+  bm.add(1.0);
+  bm.add(3.0);  // batch mean 2
+  bm.add(5.0);
+  bm.add(7.0);  // batch mean 6
+  EXPECT_EQ(bm.batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+}
+
+TEST(BatchMeans, IntervalCoversIidMean) {
+  Rng rng(5);
+  BatchMeans bm(100, 200);
+  for (int i = 0; i < 20000; ++i) bm.add(rng.uniform01());
+  const auto ci = bm.interval(0.95);
+  EXPECT_GT(ci.count, 100u);
+  EXPECT_NEAR(ci.mean, 0.5, 0.01);
+  EXPECT_LE(ci.lower(), 0.5);
+  EXPECT_GE(ci.upper(), 0.5);
+}
+
+TEST(BatchMeans, AutocorrelationNearZeroForIid) {
+  Rng rng(7);
+  BatchMeans bm(50);
+  for (int i = 0; i < 50000; ++i) bm.add(rng.uniform01());
+  EXPECT_LT(std::fabs(bm.lag1_autocorrelation()), 0.12);
+}
+
+TEST(BatchMeans, AutocorrelationDetectsCorrelatedProcess) {
+  // AR(1)-like drift: x_{t+1} = 0.999 x_t + noise. Tiny batches keep the
+  // batch means heavily correlated.
+  Rng rng(9);
+  BatchMeans bm(5);
+  double x = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    x = 0.999 * x + (rng.uniform01() - 0.5);
+    bm.add(x);
+  }
+  EXPECT_GT(bm.lag1_autocorrelation(), 0.5);
+}
+
+TEST(BatchMeans, FewBatchesGiveNoAutocorrelation) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 10; ++i) bm.add(static_cast<double>(i));
+  EXPECT_EQ(bm.batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.lag1_autocorrelation(), 0.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,89 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(ConfidenceInterval, UndefinedBelowTwoSamples) {
+  Welford w;
+  auto ci = confidence_interval(w);
+  EXPECT_EQ(ci.count, 0u);
+  EXPECT_EQ(ci.half_width, 0.0);
+  EXPECT_FALSE(ci.converged(1.0));
+
+  w.add(5.0);
+  ci = confidence_interval(w);
+  EXPECT_EQ(ci.count, 1u);
+  EXPECT_FALSE(ci.converged(1.0));
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  // x = {1, 2, 3}: mean 2, s = 1, hw = t_{0.975,2} * 1/sqrt(3).
+  Welford w;
+  for (const double x : {1.0, 2.0, 3.0}) w.add(x);
+  const auto ci = confidence_interval(w, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_NEAR(ci.half_width, 4.3027 / std::sqrt(3.0), 1e-3);
+  EXPECT_NEAR(ci.lower(), 2.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.upper(), 2.0 + ci.half_width, 1e-12);
+}
+
+TEST(ConfidenceInterval, ZeroVarianceGivesZeroWidth) {
+  Welford w;
+  for (int i = 0; i < 10; ++i) w.add(7.0);
+  const auto ci = confidence_interval(w);
+  EXPECT_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.converged(0.001));
+}
+
+TEST(ConfidenceInterval, HigherConfidenceIsWider) {
+  Welford w;
+  for (const double x : {1.0, 2.0, 4.0, 8.0}) w.add(x);
+  const auto ci95 = confidence_interval(w, 0.95);
+  const auto ci99 = confidence_interval(w, 0.99);
+  EXPECT_GT(ci99.half_width, ci95.half_width);
+}
+
+TEST(ConfidenceInterval, ShrinksWithSampleSize) {
+  Rng rng(3);
+  Welford small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform01());
+  Rng rng2(3);
+  for (int i = 0; i < 1000; ++i) large.add(rng2.uniform01());
+  EXPECT_LT(confidence_interval(large).half_width,
+            confidence_interval(small).half_width);
+}
+
+TEST(ConfidenceInterval, CoverageNearNominal) {
+  // Property: the 95% CI for the mean of U(0,1) (true mean 0.5) should
+  // cover 0.5 in roughly 95% of experiments.
+  Rng master(99);
+  int covered = 0;
+  constexpr int kExperiments = 400;
+  for (int e = 0; e < kExperiments; ++e) {
+    Rng rng = master.split(static_cast<std::uint64_t>(e));
+    Welford w;
+    for (int i = 0; i < 30; ++i) w.add(rng.uniform01());
+    const auto ci = confidence_interval(w, 0.95);
+    if (ci.lower() <= 0.5 && 0.5 <= ci.upper()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kExperiments;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(ConfidenceInterval, ToStringMentionsParts) {
+  Welford w;
+  for (const double x : {1.0, 2.0, 3.0}) w.add(x);
+  const auto s = confidence_interval(w).to_string();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,93 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(Histogram, BucketsPartitionRange) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionsSumToOneWithinRange) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform01());
+  double sum = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_NEAR(h.fraction(b), 0.1, 0.02);
+  }
+}
+
+TEST(Histogram, QuantileOfUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(6);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto s = h.render(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("[0, 1)"), std::string::npos);
+}
+
+TEST(Histogram, OutOfRangeBucketAccessThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), std::out_of_range);
+  EXPECT_THROW(h.bucket_lo(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,82 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(P2Quantile, RejectsInvalidOrder) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact) {
+  P2Quantile p50(0.5);
+  p50.add(3.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 3.0);
+  p50.add(1.0);
+  p50.add(2.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);  // median of {1,2,3}
+  EXPECT_EQ(p50.count(), 3u);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  Rng rng(3);
+  P2Quantile p50(0.5);
+  for (int i = 0; i < 100000; ++i) p50.add(rng.uniform01());
+  EXPECT_NEAR(p50.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantilesOfUniform) {
+  Rng rng(5);
+  P2Quantile p95(0.95);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform01();
+    p95.add(u);
+    p99.add(u);
+  }
+  EXPECT_NEAR(p95.value(), 0.95, 0.01);
+  EXPECT_NEAR(p99.value(), 0.99, 0.005);
+}
+
+TEST(P2Quantile, ExponentialQuantileMatchesAnalytic) {
+  // q-quantile of Exp(lambda) = -ln(1-q)/lambda.
+  Rng rng(7);
+  P2Quantile p90(0.9);
+  const double lambda = 0.5;
+  for (int i = 0; i < 200000; ++i) {
+    p90.add(-std::log(1.0 - rng.uniform01()) / lambda);
+  }
+  EXPECT_NEAR(p90.value(), -std::log(0.1) / lambda, 0.1);
+}
+
+TEST(P2Quantile, AgreesWithExactQuantileOnModerateSample) {
+  Rng rng(9);
+  std::vector<double> xs;
+  P2Quantile p75(0.75);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform01() * rng.uniform01();  // skewed
+    xs.push_back(x);
+    p75.add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  const double exact = xs[static_cast<std::size_t>(0.75 * xs.size())];
+  EXPECT_NEAR(p75.value(), exact, 0.02);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 1000; ++i) p95.add(42.0);
+  EXPECT_DOUBLE_EQ(p95.value(), 42.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,121 @@
+#include "stats/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(Replication, ConstantMetricConvergesAtMinReplications) {
+  ReplicationPolicy policy;
+  policy.min_replications = 5;
+  policy.target_half_width = 0.01;
+  const auto result = run_replications(
+      {"m"}, [](std::size_t) { return std::vector<double>{1.0}; }, policy);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.replications, 5u);
+  EXPECT_DOUBLE_EQ(result.metric("m").ci.mean, 1.0);
+}
+
+TEST(Replication, StopsAtMaxWhenNeverConverging) {
+  ReplicationPolicy policy;
+  policy.min_replications = 2;
+  policy.max_replications = 7;
+  policy.target_half_width = 1e-12;
+  std::size_t calls = 0;
+  const auto result = run_replications(
+      {"m"},
+      [&calls](std::size_t rep) {
+        ++calls;
+        return std::vector<double>{rep % 2 == 0 ? 0.0 : 100.0};
+      },
+      policy);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.replications, 7u);
+  EXPECT_EQ(calls, 7u);
+}
+
+TEST(Replication, AllMetricsMustConverge) {
+  // Metric "noisy" needs more replications than "steady".
+  ReplicationPolicy policy;
+  policy.min_replications = 3;
+  policy.max_replications = 200;
+  policy.target_half_width = 0.15;
+  Rng rng(1);
+  const auto result = run_replications(
+      {"steady", "noisy"},
+      [&rng](std::size_t) {
+        return std::vector<double>{0.5, rng.uniform01()};
+      },
+      policy);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.metric("steady").ci.converged(policy.target_half_width));
+  EXPECT_TRUE(result.metric("noisy").ci.converged(policy.target_half_width));
+  EXPECT_GT(result.replications, 3u);
+}
+
+TEST(Replication, ReplicationIndicesArePassedInOrder) {
+  std::vector<std::size_t> seen;
+  ReplicationPolicy policy;
+  policy.min_replications = 4;
+  policy.target_half_width = 1.0;
+  run_replications(
+      {"m"},
+      [&seen](std::size_t rep) {
+        seen.push_back(rep);
+        return std::vector<double>{0.0};
+      },
+      policy);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Replication, MeanAggregatesAcrossReplications) {
+  ReplicationPolicy policy;
+  policy.min_replications = 4;
+  policy.max_replications = 4;
+  policy.target_half_width = 1e9;
+  const auto result = run_replications(
+      {"m"},
+      [](std::size_t rep) {
+        return std::vector<double>{static_cast<double>(rep)};
+      },
+      policy);
+  EXPECT_DOUBLE_EQ(result.metric("m").ci.mean, 1.5);  // mean of 0..3
+  EXPECT_EQ(result.metric("m").samples.count(), 4u);
+}
+
+TEST(Replication, RejectsEmptyMetricList) {
+  EXPECT_THROW(run_replications({}, [](std::size_t) {
+                 return std::vector<double>{};
+               }),
+               std::invalid_argument);
+}
+
+TEST(Replication, RejectsWrongObservationCount) {
+  EXPECT_THROW(run_replications({"a", "b"},
+                                [](std::size_t) {
+                                  return std::vector<double>{1.0};
+                                }),
+               std::runtime_error);
+}
+
+TEST(Replication, RejectsMinBelowTwo) {
+  ReplicationPolicy policy;
+  policy.min_replications = 1;
+  EXPECT_THROW(run_replications({"m"},
+                                [](std::size_t) {
+                                  return std::vector<double>{1.0};
+                                },
+                                policy),
+               std::invalid_argument);
+}
+
+TEST(Replication, UnknownMetricNameThrows) {
+  const auto result = run_replications(
+      {"m"}, [](std::size_t) { return std::vector<double>{1.0}; });
+  EXPECT_THROW(result.metric("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,119 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, ZeroSeedProducesNonZeroStream) {
+  SplitMix64 sm(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    if (sm() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, -1);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child1() == child2()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitSameIdFromSameStateIsDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.split(9);
+  Rng cb = b.split(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

@@ -1,0 +1,118 @@
+#include "stats/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCaseHalf) {
+  // I_{1/2}(a, a) = 1/2.
+  for (const double a : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  const double x = 0.3;
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x),
+              1e-10);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (const double df : {1.0, 2.0, 5.0, 30.0, 100.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, df), 0.5, 1e-12) << df;
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (const double t : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentT, CdfDfOneIsCauchy) {
+  // For df=1 (Cauchy): F(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-3.0, -1.0, 0.5, 2.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10) << t;
+  }
+}
+
+TEST(StudentT, CdfMonotone) {
+  double prev = 0.0;
+  for (double t = -5.0; t <= 5.0; t += 0.25) {
+    const double p = student_t_cdf(t, 4.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (const double df : {1.0, 3.0, 10.0, 50.0}) {
+    for (const double p : {0.01, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+      const double t = student_t_quantile(p, df);
+      EXPECT_NEAR(student_t_cdf(t, df), p, 1e-9) << df << " " << p;
+    }
+  }
+}
+
+// Critical values against standard tables (two-sided 95%).
+struct CriticalCase {
+  double df;
+  double expected;
+};
+
+class StudentTCritical : public ::testing::TestWithParam<CriticalCase> {};
+
+TEST_P(StudentTCritical, MatchesTable95) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(student_t_critical(0.95, c.df), c.expected, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, StudentTCritical,
+                         ::testing::Values(CriticalCase{1, 12.7062},
+                                           CriticalCase{2, 4.3027},
+                                           CriticalCase{4, 2.7764},
+                                           CriticalCase{9, 2.2622},
+                                           CriticalCase{29, 2.0452},
+                                           CriticalCase{99, 1.9842}));
+
+TEST(StudentT, Critical99) {
+  EXPECT_NEAR(student_t_critical(0.99, 9.0), 3.2498, 5e-4);
+  EXPECT_NEAR(student_t_critical(0.99, 29.0), 2.7564, 5e-4);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  // z_{0.975} = 1.959964
+  EXPECT_NEAR(student_t_critical(0.95, 1e6), 1.95996, 1e-3);
+}
+
+TEST(StudentT, RejectsInvalidArguments) {
+  EXPECT_THROW(student_t_cdf(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(student_t_quantile(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(student_t_quantile(1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(student_t_quantile(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(1.0, 5.0), std::invalid_argument);
+}
+
+TEST(StudentT, MedianQuantileIsZero) {
+  EXPECT_EQ(student_t_quantile(0.5, 7.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

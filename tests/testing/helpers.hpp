@@ -1,0 +1,93 @@
+// Shared test utilities: a scriptable scheduler test-double and helpers
+// to build and run small virtualization systems deterministically.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "san/simulator.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim::testing {
+
+/// Scheduler driven by a lambda — lets tests script hypervisor decisions
+/// tick by tick and observe the exact snapshots the framework passes.
+class LambdaScheduler final : public vm::Scheduler {
+ public:
+  using Fn = std::function<bool(std::span<vm::VCPU_host_external>,
+                                std::span<vm::PCPU_external>, long)>;
+
+  explicit LambdaScheduler(Fn fn, std::string name = "lambda")
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+
+  bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                std::span<vm::PCPU_external> pcpus, long timestamp) override {
+    return fn_(vcpus, pcpus, timestamp);
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  Fn fn_;
+  std::string name_;
+};
+
+inline vm::SchedulerPtr make_lambda_scheduler(LambdaScheduler::Fn fn,
+                                              std::string name = "lambda") {
+  return std::make_unique<LambdaScheduler>(std::move(fn), std::move(name));
+}
+
+/// A scheduler that never assigns anything (all VCPUs stay INACTIVE).
+inline vm::SchedulerPtr make_null_scheduler() {
+  return make_lambda_scheduler(
+      [](auto, auto, long) { return true; }, "null");
+}
+
+/// Decorator recording the snapshot passed to (and decisions returned
+/// by) an inner scheduler at every tick — used for per-tick invariant
+/// checks (gang co-start, skew bounds, run-to-completion, ...).
+class SpyScheduler final : public vm::Scheduler {
+ public:
+  struct Tick {
+    long timestamp;
+    std::vector<vm::VCPU_host_external> before;  ///< snapshot pre-decision
+    std::vector<vm::VCPU_host_external> after;   ///< with decisions filled in
+    std::vector<vm::PCPU_external> pcpus;
+  };
+
+  explicit SpyScheduler(vm::SchedulerPtr inner) : inner_(std::move(inner)) {}
+
+  bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                std::span<vm::PCPU_external> pcpus, long timestamp) override {
+    Tick tick;
+    tick.timestamp = timestamp;
+    tick.before.assign(vcpus.begin(), vcpus.end());
+    tick.pcpus.assign(pcpus.begin(), pcpus.end());
+    const bool ok = inner_->schedule(vcpus, pcpus, timestamp);
+    tick.after.assign(vcpus.begin(), vcpus.end());
+    ticks_->push_back(std::move(tick));
+    return ok;
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  /// Shared so the recording survives the system taking ownership.
+  std::shared_ptr<std::vector<Tick>> ticks() const { return ticks_; }
+
+ private:
+  vm::SchedulerPtr inner_;
+  std::shared_ptr<std::vector<Tick>> ticks_ =
+      std::make_shared<std::vector<Tick>>();
+};
+
+/// Run `system`'s model for `end_time` ticks with the given rewards.
+inline san::RunStats run_system(vm::VirtualSystem& system, san::Time end_time,
+                                std::uint64_t seed = 1,
+                                std::vector<san::RewardVariable*> rewards = {}) {
+  san::SimulatorConfig config;
+  config.end_time = end_time;
+  config.seed = seed;
+  return san::run_once(*system.model, config, std::move(rewards));
+}
+
+}  // namespace vcpusim::testing

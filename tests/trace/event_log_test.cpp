@@ -1,0 +1,77 @@
+#include "trace/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "san/simulator.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::trace {
+namespace {
+
+san::RunStats run_clock_model(EventLog& log, double end) {
+  san::ComposedModel model("M");
+  auto& sub = model.add_submodel("S");
+  auto count = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate(
+      {"inc", [count](san::GateContext&) { count->mut() += 1; }});
+  san::SimulatorConfig config;
+  config.end_time = end;
+  san::Simulator sim(config);
+  sim.set_model(model);
+  sim.add_observer(log);
+  return sim.run();
+}
+
+TEST(EventLog, RecordsEveryCompletion) {
+  EventLog log;
+  const auto stats = run_clock_model(log, 10.0);
+  EXPECT_EQ(log.entries().size(), stats.events);
+  EXPECT_EQ(log.total_events(), stats.events);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.entries().front().activity, "S->clock");
+  EXPECT_EQ(log.entries().front().time, 1.0);
+  EXPECT_EQ(log.entries().back().time, 10.0);
+}
+
+TEST(EventLog, BoundedCapacityKeepsTail) {
+  EventLog log(3);
+  run_clock_model(log, 10.0);
+  EXPECT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.total_events(), 10u);
+  EXPECT_EQ(log.dropped(), 7u);
+  EXPECT_EQ(log.entries().front().time, 8.0);
+  EXPECT_EQ(log.entries().back().time, 10.0);
+}
+
+TEST(EventLog, CountMatching) {
+  EventLog log;
+  run_clock_model(log, 5.0);
+  EXPECT_EQ(log.count_matching("clock"), 5u);
+  EXPECT_EQ(log.count_matching("S->"), 5u);
+  EXPECT_EQ(log.count_matching("missing"), 0u);
+}
+
+TEST(EventLog, CsvFormat) {
+  EventLog log;
+  run_clock_model(log, 2.0);
+  std::ostringstream os;
+  log.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,activity,case\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,S->clock,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,S->clock,0\n"), std::string::npos);
+}
+
+TEST(EventLog, ClearResets) {
+  EventLog log;
+  run_clock_model(log, 5.0);
+  log.clear();
+  EXPECT_TRUE(log.entries().empty());
+  EXPECT_EQ(log.total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace vcpusim::trace

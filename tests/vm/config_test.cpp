@@ -1,0 +1,74 @@
+#include "vm/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcpusim::vm {
+namespace {
+
+TEST(VmConfig, ApplyDefaultsFillsDistributions) {
+  VmConfig cfg;
+  EXPECT_EQ(cfg.load_distribution, nullptr);
+  cfg.apply_defaults();
+  ASSERT_NE(cfg.load_distribution, nullptr);
+  ASSERT_NE(cfg.inter_generation, nullptr);
+  EXPECT_DOUBLE_EQ(cfg.load_distribution->mean(), 5.5);  // uniformint(1,10)
+  EXPECT_DOUBLE_EQ(cfg.inter_generation->mean(), 0.0);   // saturating
+}
+
+TEST(VmConfig, ApplyDefaultsKeepsExplicitDistributions) {
+  VmConfig cfg;
+  cfg.load_distribution = stats::make_deterministic(3.0);
+  cfg.apply_defaults();
+  EXPECT_DOUBLE_EQ(cfg.load_distribution->mean(), 3.0);
+}
+
+TEST(SystemConfig, TotalVcpus) {
+  const auto cfg = make_symmetric_config(4, {2, 3, 1});
+  EXPECT_EQ(cfg.total_vcpus(), 6);
+  EXPECT_EQ(cfg.vms.size(), 3u);
+  EXPECT_EQ(cfg.num_pcpus, 4);
+}
+
+TEST(SystemConfig, SymmetricConfigSetsSyncRatio) {
+  const auto cfg = make_symmetric_config(2, {1, 1}, 3);
+  for (const auto& vm : cfg.vms) EXPECT_EQ(vm.sync_ratio_k, 3);
+}
+
+TEST(SystemConfig, ValidateAcceptsPaperSetups) {
+  // The three evaluation setups of the paper must all validate.
+  EXPECT_NO_THROW(make_symmetric_config(1, {2, 1, 1}).validate());
+  EXPECT_NO_THROW(make_symmetric_config(4, {2, 3}).validate());
+  EXPECT_NO_THROW(make_symmetric_config(4, {2, 4}).validate());
+}
+
+TEST(SystemConfig, ValidateRejectsNoPcpus) {
+  auto cfg = make_symmetric_config(0, {1});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidateRejectsNoVms) {
+  SystemConfig cfg;
+  cfg.num_pcpus = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidateRejectsZeroVcpuVm) {
+  auto cfg = make_symmetric_config(2, {1});
+  cfg.vms[0].num_vcpus = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidateRejectsNonPositiveTimeslice) {
+  auto cfg = make_symmetric_config(2, {1});
+  cfg.default_timeslice = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SystemConfig, OvercommitIsAllowed) {
+  // The paper's own evaluation over-commits (6 VCPUs on 4 PCPUs).
+  auto cfg = make_symmetric_config(4, {2, 4});
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

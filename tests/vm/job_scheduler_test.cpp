@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "san/simulator.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+/// Harness around a lone Job Scheduler sub-model with manually controlled
+/// slot states and a workload injector firing once per tick.
+struct JsHarness {
+  san::ComposedModel model{"JS_Test"};
+  VmPlaces places;
+
+  JsHarness(int num_vcpus, std::vector<VcpuSlotState> initial_slots,
+            std::vector<Workload> to_inject) {
+    VmConfig cfg;
+    cfg.num_vcpus = num_vcpus;
+    cfg.apply_defaults();
+    places.blocked = std::make_shared<san::TokenPlace>("Blocked", 0);
+    std::int64_t ready = 0;
+    for (const auto& s : initial_slots) {
+      if (s.status == VcpuStatus::kReady) ++ready;
+    }
+    places.num_vcpus_ready =
+        std::make_shared<san::TokenPlace>("Num_VCPUs_ready", ready);
+    places.outstanding_jobs =
+        std::make_shared<san::TokenPlace>("Outstanding_Jobs", 0);
+    places.completed_jobs =
+        std::make_shared<san::TokenPlace>("Completed_Jobs", 0);
+    places.workload = std::make_shared<WorkloadPlace>("Workload", std::nullopt);
+    for (int k = 0; k < num_vcpus; ++k) {
+      places.slots.push_back(std::make_shared<SlotPlace>(
+          "VCPU" + std::to_string(k + 1) + "_slot",
+          initial_slots[static_cast<std::size_t>(k)]));
+    }
+    auto& js = model.add_submodel("VM_Job_Scheduler");
+    build_job_scheduler(js, cfg, places);
+
+    // Injector: feeds one queued workload per tick while any remain.
+    auto& injector = model.add_submodel("Injector");
+    auto pending = injector.add_place<std::vector<Workload>>(
+        "pending", std::move(to_inject));
+    auto& inject =
+        injector.add_timed_activity("inject", stats::make_deterministic(1.0));
+    auto workload = places.workload;
+    inject.add_input_gate(
+        {"has_pending",
+         [pending, workload]() {
+           return !pending->get().empty() && !workload->get().has_value();
+         },
+         nullptr});
+    inject.add_output_gate({"push", [pending, workload](san::GateContext&) {
+                              workload->set(pending->get().front());
+                              pending->mut().erase(pending->mut().begin());
+                            }});
+  }
+
+  void run(san::Time end) {
+    san::SimulatorConfig config;
+    config.end_time = end;
+    san::run_once(model, config);
+  }
+};
+
+TEST(JobScheduler, DispatchesToReadyVcpu) {
+  JsHarness h(2, {{0, false, VcpuStatus::kReady}, {0, false, VcpuStatus::kInactive}},
+              {{4.0, false}});
+  h.run(2.0);
+  const auto& slot0 = h.places.slots[0]->get();
+  EXPECT_EQ(slot0.status, VcpuStatus::kBusy);
+  EXPECT_DOUBLE_EQ(slot0.remaining_load, 4.0);
+  EXPECT_FALSE(slot0.sync_point);
+  EXPECT_EQ(h.places.num_vcpus_ready->get(), 0);
+  EXPECT_FALSE(h.places.workload->get().has_value());
+}
+
+TEST(JobScheduler, SyncPointFieldIsCopiedToSlot) {
+  JsHarness h(1, {{0, false, VcpuStatus::kReady}}, {{2.0, true}});
+  h.run(2.0);
+  EXPECT_TRUE(h.places.slots[0]->get().sync_point);
+}
+
+TEST(JobScheduler, HoldsWorkloadWhenNoReadyVcpu) {
+  JsHarness h(2,
+              {{3.0, false, VcpuStatus::kBusy}, {1.0, false, VcpuStatus::kInactive}},
+              {{4.0, false}});
+  h.run(3.0);
+  EXPECT_TRUE(h.places.workload->get().has_value());
+  EXPECT_EQ(h.places.slots[0]->get().status, VcpuStatus::kBusy);
+  EXPECT_DOUBLE_EQ(h.places.slots[0]->get().remaining_load, 3.0);
+}
+
+TEST(JobScheduler, DistributesEvenlyRoundRobin) {
+  // Three READY VCPUs, three workloads: each VCPU gets exactly one.
+  JsHarness h(3,
+              {{0, false, VcpuStatus::kReady},
+               {0, false, VcpuStatus::kReady},
+               {0, false, VcpuStatus::kReady}},
+              {{1.0, false}, {2.0, false}, {3.0, false}});
+  h.run(5.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[0]->get().remaining_load, 1.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[1]->get().remaining_load, 2.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[2]->get().remaining_load, 3.0);
+  for (const auto& slot : h.places.slots) {
+    EXPECT_EQ(slot->get().status, VcpuStatus::kBusy);
+  }
+}
+
+TEST(JobScheduler, RoundRobinSkipsNonReadyVcpus) {
+  // VCPU2 is busy; two workloads go to VCPU1 and VCPU3.
+  JsHarness h(3,
+              {{0, false, VcpuStatus::kReady},
+               {9.0, false, VcpuStatus::kBusy},
+               {0, false, VcpuStatus::kReady}},
+              {{1.0, false}, {2.0, false}});
+  h.run(5.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[0]->get().remaining_load, 1.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[1]->get().remaining_load, 9.0);
+  EXPECT_DOUBLE_EQ(h.places.slots[2]->get().remaining_load, 2.0);
+}
+
+TEST(JobScheduler, SlotCountMismatchRejected) {
+  san::ComposedModel model{"Bad"};
+  VmConfig cfg;
+  cfg.num_vcpus = 2;
+  cfg.apply_defaults();
+  VmPlaces places;
+  places.blocked = std::make_shared<san::TokenPlace>("B", 0);
+  places.num_vcpus_ready = std::make_shared<san::TokenPlace>("R", 0);
+  places.outstanding_jobs = std::make_shared<san::TokenPlace>("O", 0);
+  places.completed_jobs = std::make_shared<san::TokenPlace>("C", 0);
+  places.workload = std::make_shared<WorkloadPlace>("W", std::nullopt);
+  places.slots.push_back(std::make_shared<SlotPlace>("S1", VcpuSlotState{}));
+  auto& js = model.add_submodel("JS");
+  EXPECT_THROW(build_job_scheduler(js, cfg, places), std::invalid_argument);
+}
+
+TEST(JobScheduler, InconsistentReadyCountDetected) {
+  // Num_VCPUs_ready says 1 but no slot is READY: the dispatch gate must
+  // fail loudly instead of corrupting the marking.
+  san::ComposedModel model{"Inconsistent"};
+  VmConfig cfg;
+  cfg.num_vcpus = 1;
+  cfg.apply_defaults();
+  VmPlaces places;
+  places.blocked = std::make_shared<san::TokenPlace>("B", 0);
+  places.num_vcpus_ready = std::make_shared<san::TokenPlace>("R", 1);  // lie
+  places.outstanding_jobs = std::make_shared<san::TokenPlace>("O", 0);
+  places.completed_jobs = std::make_shared<san::TokenPlace>("C", 0);
+  places.workload = std::make_shared<WorkloadPlace>(
+      "W", Workload{1.0, false});
+  places.slots.push_back(std::make_shared<SlotPlace>(
+      "S1", VcpuSlotState{0, false, VcpuStatus::kInactive}));
+  auto& js = model.add_submodel("JS");
+  build_job_scheduler(js, cfg, places);
+  san::SimulatorConfig config;
+  config.end_time = 1.0;
+  EXPECT_THROW(san::run_once(model, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

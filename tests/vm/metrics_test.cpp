@@ -1,0 +1,120 @@
+#include "vm/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/round_robin.hpp"
+#include "testing/helpers.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+using testing::run_system;
+
+std::unique_ptr<VirtualSystem> rr_system(int pcpus, std::vector<int> vms,
+                                         int sync_k = 0) {
+  return build_system(make_symmetric_config(pcpus, vms, sync_k),
+                      sched::make_round_robin());
+}
+
+TEST(Metrics, AvailabilityIsOneWhenPcpusCoverVcpus) {
+  auto system = rr_system(4, {2, 2});
+  auto avail = mean_vcpu_availability(*system, 10.0);
+  run_system(*system, 200.0, 1, {avail.get()});
+  EXPECT_NEAR(avail->time_averaged(200.0), 1.0, 1e-9);
+}
+
+TEST(Metrics, AvailabilityIsShareWhenOvercommitted) {
+  // 4 identical single-VCPU VMs on 1 PCPU under RR: 25% each.
+  auto system = rr_system(1, {1, 1, 1, 1});
+  std::vector<std::unique_ptr<san::RewardVariable>> rewards;
+  std::vector<san::RewardVariable*> raw;
+  for (int v = 0; v < 4; ++v) {
+    rewards.push_back(vcpu_availability(*system, v, 100.0));
+    raw.push_back(rewards.back().get());
+  }
+  run_system(*system, 4100.0, 1, raw);
+  for (auto& r : rewards) {
+    EXPECT_NEAR(r->time_averaged(4100.0), 0.25, 0.01) << r->name();
+  }
+}
+
+TEST(Metrics, PcpuUtilizationFullUnderSaturatingRoundRobin) {
+  auto system = rr_system(2, {1, 1, 1});
+  auto util = pcpu_utilization(*system, 10.0);
+  run_system(*system, 500.0, 1, {util.get()});
+  EXPECT_NEAR(util->time_averaged(500.0), 1.0, 0.02);
+}
+
+TEST(Metrics, PcpuUtilizationPartialWhenUnderloaded) {
+  // 1 VCPU on 4 PCPUs: at most a quarter of PCPU capacity is usable.
+  auto system = rr_system(4, {1});
+  auto util = pcpu_utilization(*system, 10.0);
+  run_system(*system, 500.0, 1, {util.get()});
+  EXPECT_NEAR(util->time_averaged(500.0), 0.25, 0.02);
+}
+
+TEST(Metrics, VcpuUtilizationBoundedByAvailability) {
+  auto system = rr_system(2, {2, 2}, 5);
+  auto avail = mean_vcpu_availability(*system, 50.0);
+  auto util = mean_vcpu_utilization(*system, 50.0);
+  run_system(*system, 1000.0, 3, {avail.get(), util.get()});
+  EXPECT_LE(util->time_averaged(1000.0), avail->time_averaged(1000.0) + 1e-9);
+  EXPECT_GT(util->time_averaged(1000.0), 0.0);
+}
+
+TEST(Metrics, NoSyncMeansNoBlockedTime) {
+  auto system = rr_system(2, {2}, 0);
+  auto blocked = vm_blocked_fraction(*system, 0, 0.0);
+  run_system(*system, 500.0, 1, {blocked.get()});
+  EXPECT_DOUBLE_EQ(blocked->time_averaged(500.0), 0.0);
+}
+
+TEST(Metrics, FrequentSyncProducesBlockedTime) {
+  auto system = rr_system(1, {2}, 2);  // starved siblings + tight barrier
+  auto blocked = vm_blocked_fraction(*system, 0, 50.0);
+  run_system(*system, 1000.0, 1, {blocked.get()});
+  EXPECT_GT(blocked->time_averaged(1000.0), 0.05);
+}
+
+TEST(Metrics, ThroughputMatchesCompletedJobCounter) {
+  auto system = rr_system(2, {1, 1}, 0);
+  auto thr = system_throughput(*system, 0.0);
+  run_system(*system, 1000.0, 2, {thr.get()});
+  const double jobs = static_cast<double>(total_completed_jobs(*system));
+  EXPECT_NEAR(thr->time_averaged(1000.0), jobs / 1000.0, 1e-9);
+}
+
+TEST(Metrics, CompletedJobsPerVmSumsToTotal) {
+  auto system = rr_system(2, {2, 1}, 5);
+  run_system(*system, 800.0);
+  EXPECT_EQ(completed_jobs(*system, 0) + completed_jobs(*system, 1),
+            total_completed_jobs(*system));
+  EXPECT_GT(completed_jobs(*system, 0), 0);
+  EXPECT_GT(completed_jobs(*system, 1), 0);
+}
+
+TEST(Metrics, PerVcpuUtilizationAveragesToMean) {
+  auto system = rr_system(2, {2, 1}, 5);
+  auto mean_util = mean_vcpu_utilization(*system, 100.0);
+  std::vector<std::unique_ptr<san::RewardVariable>> per;
+  std::vector<san::RewardVariable*> raw{mean_util.get()};
+  for (int v = 0; v < 3; ++v) {
+    per.push_back(vcpu_utilization(*system, v, 100.0));
+    raw.push_back(per.back().get());
+  }
+  run_system(*system, 2000.0, 5, raw);
+  double sum = 0;
+  for (auto& r : per) sum += r->time_averaged(2000.0);
+  EXPECT_NEAR(sum / 3.0, mean_util->time_averaged(2000.0), 1e-9);
+}
+
+TEST(Metrics, OutOfRangeIdsThrow) {
+  auto system = rr_system(2, {1}, 0);
+  EXPECT_THROW(vcpu_availability(*system, 5), std::out_of_range);
+  EXPECT_THROW(vcpu_utilization(*system, -1), std::out_of_range);
+  EXPECT_THROW(vm_blocked_fraction(*system, 3), std::out_of_range);
+  EXPECT_THROW(completed_jobs(*system, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

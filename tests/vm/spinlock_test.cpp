@@ -1,0 +1,163 @@
+// Spinlock extension (paper Section V): critical sections guarded by a
+// VM-wide lock; spin-waiting burns PCPU time; lock-holder preemption.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "sched/registry.hpp"
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+SystemConfig spinlock_config(int pcpus, int vcpus, double lock_probability,
+                             double critical_fraction, int sync_k = 0) {
+  auto cfg = make_symmetric_config(pcpus, {vcpus}, sync_k);
+  cfg.vms[0].spinlock.enabled = true;
+  cfg.vms[0].spinlock.lock_probability = lock_probability;
+  cfg.vms[0].spinlock.critical_fraction = critical_fraction;
+  return cfg;
+}
+
+TEST(Spinlock, ValidationRejectsBadParameters) {
+  auto cfg = spinlock_config(2, 2, 0.5, 0.3);
+  cfg.vms[0].spinlock.lock_probability = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = spinlock_config(2, 2, 0.5, 0.3);
+  cfg.vms[0].spinlock.critical_fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Disabled spinlock ignores bad values.
+  cfg = make_symmetric_config(2, {2}, 0);
+  cfg.vms[0].spinlock.lock_probability = 99.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Spinlock, PlacesOnlyExistWhenEnabled) {
+  auto off = build_system(make_symmetric_config(2, {2}, 0),
+                          sched::make_factory("rrs")());
+  EXPECT_EQ(off->vms[0].places.lock, nullptr);
+  EXPECT_EQ(off->vms[0].places.spin_ticks, nullptr);
+  EXPECT_EQ(spin_ticks(*off, 0), 0);
+
+  auto on = build_system(spinlock_config(2, 2, 0.5, 0.3),
+                         sched::make_factory("rrs")());
+  ASSERT_NE(on->vms[0].places.lock, nullptr);
+  ASSERT_NE(on->vms[0].places.spin_ticks, nullptr);
+}
+
+TEST(Spinlock, MutualExclusionInvariant) {
+  // At every instant at most one VCPU of the VM holds the lock, and the
+  // lock place agrees with the slots.
+  auto system = build_system(spinlock_config(4, 4, 1.0, 0.5),
+                             sched::make_factory("rrs")());
+  auto lock = system->vms[0].places.lock;
+  auto slots = system->vms[0].places.slots;
+  // Probe via a reward variable evaluated at every state change.
+  san::RewardVariable checker("invariant", [lock, slots]() {
+    int holders = 0;
+    int holder_index = -1;
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (slots[k]->get().holds_lock) {
+        ++holders;
+        holder_index = static_cast<int>(k);
+      }
+    }
+    EXPECT_LE(holders, 1);
+    if (holders == 1) {
+      EXPECT_EQ(lock->get(), holder_index + 1);
+    } else {
+      EXPECT_EQ(lock->get(), 0);
+    }
+    return 0.0;
+  });
+  testing::run_system(*system, 500.0, 3, {&checker});
+}
+
+TEST(Spinlock, NoContentionMeansNoSpinning) {
+  // A single VCPU can never contend with itself.
+  auto system = build_system(spinlock_config(1, 1, 1.0, 0.5),
+                             sched::make_factory("rrs")());
+  testing::run_system(*system, 500.0, 5);
+  EXPECT_EQ(spin_ticks(*system, 0), 0);
+  EXPECT_GT(completed_jobs(*system, 0), 50);
+}
+
+TEST(Spinlock, ZeroCriticalFractionNeverLocks) {
+  auto system = build_system(spinlock_config(2, 2, 1.0, 0.0),
+                             sched::make_factory("rrs")());
+  testing::run_system(*system, 500.0, 5);
+  EXPECT_EQ(spin_ticks(*system, 0), 0);
+}
+
+TEST(Spinlock, ContentionProducesSpinTicks) {
+  // Whole jobs are critical sections, 4 sibling VCPUs on 4 PCPUs:
+  // serialization through the lock forces heavy spinning.
+  auto system = build_system(spinlock_config(4, 4, 1.0, 1.0),
+                             sched::make_factory("rrs")());
+  auto spin = mean_spin_fraction(*system, 50.0);
+  testing::run_system(*system, 1050.0, 7, {spin.get()});
+  EXPECT_GT(spin_ticks(*system, 0), 500);
+  EXPECT_GT(spin->time_averaged(1050.0), 0.3);
+}
+
+TEST(Spinlock, SpinningBurnsTimeWithoutProgress) {
+  // With full-critical jobs, 4 VCPUs on 4 PCPUs complete work at
+  // essentially the rate of 1 VCPU (plus pipelining slack): the lock
+  // serializes everything.
+  auto serialized = build_system(spinlock_config(4, 4, 1.0, 1.0),
+                                 sched::make_factory("rrs")());
+  testing::run_system(*serialized, 1000.0, 9);
+  auto independent = build_system(spinlock_config(4, 4, 0.0, 1.0),
+                                  sched::make_factory("rrs")());
+  testing::run_system(*independent, 1000.0, 9);
+  const auto lock_bound = completed_jobs(*serialized, 0);
+  const auto parallel = completed_jobs(*independent, 0);
+  EXPECT_LT(lock_bound, parallel / 2);
+  EXPECT_GT(lock_bound, parallel / 8);
+}
+
+TEST(Spinlock, HolderKeepsLockAcrossPreemption) {
+  // 2 sibling VCPUs on 1 PCPU, everything critical: the holder gets
+  // preempted mid-section regularly; the lock place must keep naming it
+  // while INACTIVE, and the sibling spins when scheduled.
+  auto system = build_system(spinlock_config(1, 2, 1.0, 1.0),
+                             sched::make_factory("rrs")());
+  auto lock = system->vms[0].places.lock;
+  auto slots = system->vms[0].places.slots;
+  san::RewardVariable checker("holder_consistency", [lock, slots]() {
+    const auto holder = lock->get();
+    if (holder != 0) {
+      const auto& s = slots[static_cast<std::size_t>(holder - 1)]->get();
+      EXPECT_TRUE(s.holds_lock);
+      EXPECT_GT(s.remaining_load, 0.0);
+    }
+    return 0.0;
+  });
+  testing::run_system(*system, 1000.0, 11, {&checker});
+  // Lock-holder preemption must actually produce spinning here.
+  EXPECT_GT(spin_ticks(*system, 0), 50);
+}
+
+TEST(Spinlock, EffectiveUtilizationMetricDiscountsSpinning) {
+  exp::RunSpec spec;
+  spec.system = spinlock_config(4, 4, 1.0, 1.0);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.end_time = 1000.0;
+  spec.warmup = 100.0;
+  spec.policy.min_replications = 3;
+  spec.policy.max_replications = 6;
+  spec.policy.target_half_width = 0.05;
+  const auto result = exp::run_point(
+      spec, {{exp::MetricKind::kMeanVcpuUtilization, -1, "util"},
+             {exp::MetricKind::kMeanEffectiveUtilization, -1, "effective"},
+             {exp::MetricKind::kMeanSpinFraction, -1, "spin"}});
+  const double util = result.metric("util").ci.mean;
+  const double effective = result.metric("effective").ci.mean;
+  const double spin = result.metric("spin").ci.mean;
+  EXPECT_GT(spin, 0.2);
+  EXPECT_LT(effective, util - 0.2);  // spinning discounted
+  EXPECT_GT(effective, 0.0);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

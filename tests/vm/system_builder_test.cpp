@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sched/round_robin.hpp"
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+TEST(SystemBuilder, GlobalVcpuIdsAreDenseAndOrdered) {
+  auto system = build_system(make_symmetric_config(4, {2, 3, 1}, 5),
+                             testing::make_null_scheduler());
+  ASSERT_EQ(system->num_vcpus(), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(system->vcpus[static_cast<std::size_t>(i)].vcpu_id, i);
+  }
+  EXPECT_EQ(system->vcpus[0].vm_id, 0);
+  EXPECT_EQ(system->vcpus[1].vm_id, 0);
+  EXPECT_EQ(system->vcpus[2].vm_id, 1);
+  EXPECT_EQ(system->vcpus[5].vm_id, 2);
+  EXPECT_EQ(system->vcpus[2].vcpu_index_in_vm, 0);
+  EXPECT_EQ(system->vcpus[4].vcpu_index_in_vm, 2);
+  EXPECT_EQ(system->vcpus[4].num_siblings, 3);
+}
+
+TEST(SystemBuilder, VmHandlesTrackTheirVcpus) {
+  auto system = build_system(make_symmetric_config(2, {2, 1}, 5),
+                             testing::make_null_scheduler());
+  EXPECT_EQ(system->vms[0].vcpu_ids, (std::vector<int>{0, 1}));
+  EXPECT_EQ(system->vms[1].vcpu_ids, (std::vector<int>{2}));
+  EXPECT_EQ(system->vm_of(1).vm_id, 0);
+  EXPECT_EQ(system->vm_of(2).vm_id, 1);
+}
+
+TEST(SystemBuilder, DefaultVmNamesAreSequential) {
+  auto system = build_system(make_symmetric_config(2, {1, 1}, 5),
+                             testing::make_null_scheduler());
+  EXPECT_EQ(system->vms[0].name, "VM_1");
+  EXPECT_EQ(system->vms[1].name, "VM_2");
+}
+
+TEST(SystemBuilder, CustomVmNameRespected) {
+  auto cfg = make_symmetric_config(2, {1}, 5);
+  cfg.vms[0].name = "web_server";
+  auto system = build_system(cfg, testing::make_null_scheduler());
+  EXPECT_EQ(system->vms[0].name, "web_server");
+  EXPECT_NE(system->model->find_submodel("web_server.Workload_Generator"),
+            nullptr);
+}
+
+TEST(SystemBuilder, SchedulerSubmodelExists) {
+  auto system = build_system(make_symmetric_config(3, {1}, 5),
+                             testing::make_null_scheduler());
+  EXPECT_NE(system->model->find_submodel("VCPU_Scheduler"), nullptr);
+  EXPECT_EQ(system->scheduler_places.num_pcpus->get(), 3);
+  EXPECT_EQ(system->scheduler_places.pcpus->get().size(), 3u);
+  EXPECT_EQ(system->scheduler_places.hosts.size(), 1u);
+}
+
+TEST(SystemBuilder, Table2JoinNamesFollowPaperConvention) {
+  // Figure 7 / Table 2 system: two VMs with two VCPUs each.
+  auto system = build_system(make_symmetric_config(4, {2, 2}, 5),
+                             testing::make_null_scheduler());
+  const auto& joins = system->model->join_registry();
+  auto find = [&joins](const std::string& name) -> const san::JoinEntry* {
+    for (const auto& e : joins) {
+      if (e.shared_name == name) return &e;
+    }
+    return nullptr;
+  };
+  const auto* in11 = find("Schedule_In1_1");
+  ASSERT_NE(in11, nullptr);
+  EXPECT_EQ(in11->member_names,
+            (std::vector<std::string>{"VM_1->Schedule_In1",
+                                      "VCPU_Scheduler->VCPU1->Schedule_In"}));
+  const auto* out12 = find("Schedule_Out1_2");
+  ASSERT_NE(out12, nullptr);
+  EXPECT_EQ(out12->member_names,
+            (std::vector<std::string>{"VM_1->Schedule_Out2",
+                                      "VCPU_Scheduler->VCPU2->Schedule_Out"}));
+  // Second VM's VCPUs are global 3 and 4 on the scheduler side.
+  const auto* in21 = find("Schedule_In2_1");
+  ASSERT_NE(in21, nullptr);
+  EXPECT_EQ(in21->member_names[1], "VCPU_Scheduler->VCPU3->Schedule_In");
+  EXPECT_NE(find("Schedule_Out2_2"), nullptr);
+}
+
+TEST(SystemBuilder, JoinedPlacesAreActuallyShared) {
+  auto system = build_system(make_symmetric_config(2, {1}, 5),
+                             testing::make_null_scheduler());
+  // The binding's schedule_in place and the join-registry entry's place
+  // must be the same object.
+  const auto& joins = system->model->join_registry();
+  for (const auto& e : joins) {
+    if (e.shared_name == "Schedule_In1_1") {
+      EXPECT_EQ(e.place.get(), system->vcpus[0].schedule_in.get());
+      return;
+    }
+  }
+  FAIL() << "Schedule_In1_1 join not recorded";
+}
+
+TEST(SystemBuilder, NullSchedulerRejected) {
+  EXPECT_THROW(build_system(make_symmetric_config(2, {1}, 5), nullptr),
+               std::invalid_argument);
+}
+
+TEST(SystemBuilder, InvalidConfigRejected) {
+  EXPECT_THROW(
+      build_system(make_symmetric_config(0, {1}, 5), sched::make_round_robin()),
+      std::invalid_argument);
+}
+
+TEST(SystemBuilder, BuiltSystemRunsImmediately) {
+  auto system = build_system(make_symmetric_config(2, {2, 1}, 5),
+                             sched::make_round_robin());
+  const auto stats = testing::run_system(*system, 100.0);
+  EXPECT_EQ(stats.end_time, 100.0);
+  EXPECT_GT(stats.events, 100u);
+  EXPECT_GT(total_completed_jobs(*system), 0);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/helpers.hpp"
+#include "vm/metrics.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+using testing::make_lambda_scheduler;
+using testing::make_null_scheduler;
+using testing::run_system;
+
+SystemConfig two_vm_config(int pcpus = 2, double timeslice = 5.0) {
+  auto cfg = make_symmetric_config(pcpus, {1, 1}, /*sync_k=*/0);
+  cfg.default_timeslice = timeslice;
+  return cfg;
+}
+
+TEST(VcpuScheduler, SnapshotCarriesIdentityFields) {
+  bool checked = false;
+  auto scheduler = make_lambda_scheduler(
+      [&checked](std::span<VCPU_host_external> vcpus,
+                 std::span<PCPU_external> pcpus, long) {
+        if (!checked) {
+          EXPECT_EQ(vcpus.size(), 3u);
+          EXPECT_EQ(vcpus[0].vm_id, 0);
+          EXPECT_EQ(vcpus[0].vcpu_index_in_vm, 0);
+          EXPECT_EQ(vcpus[0].num_siblings, 2);
+          EXPECT_EQ(vcpus[1].vm_id, 0);
+          EXPECT_EQ(vcpus[1].vcpu_index_in_vm, 1);
+          EXPECT_EQ(vcpus[2].vm_id, 1);
+          EXPECT_EQ(vcpus[2].num_siblings, 1);
+          EXPECT_EQ(pcpus.size(), 2u);
+          EXPECT_EQ(pcpus[0].pcpu_id, 0);
+          EXPECT_EQ(pcpus[1].pcpu_id, 1);
+          checked = true;
+        }
+        return true;
+      });
+  auto system = build_system(make_symmetric_config(2, {2, 1}, 0),
+                             std::move(scheduler));
+  run_system(*system, 3.0);
+  EXPECT_TRUE(checked);
+}
+
+TEST(VcpuScheduler, ClockInvokesFunctionOncePerTick) {
+  int calls = 0;
+  auto scheduler = make_lambda_scheduler([&calls](auto, auto, long) {
+    ++calls;
+    return true;
+  });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  run_system(*system, 10.0);
+  EXPECT_EQ(calls, 10);  // ticks 1..10
+}
+
+TEST(VcpuScheduler, TimestampMatchesTicks) {
+  std::vector<long> stamps;
+  auto scheduler = make_lambda_scheduler([&stamps](auto, auto, long t) {
+    stamps.push_back(t);
+    return true;
+  });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  run_system(*system, 4.0);
+  EXPECT_EQ(stamps, (std::vector<long>{1, 2, 3, 4}));
+}
+
+TEST(VcpuScheduler, ScheduleInAssignsPcpuAndNotifiesVcpu) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external> pcpus,
+         long) {
+        if (pcpus[0].state == 0 && vcpus[0].assigned_pcpu < 0) {
+          vcpus[0].schedule_in = 0;
+        }
+        return true;
+      });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  run_system(*system, 1.5);  // one scheduler tick at t=1
+  const auto& host = system->scheduler_places.hosts[0]->get();
+  EXPECT_EQ(host.assigned_pcpu, 0);
+  EXPECT_EQ(host.last_scheduled_in, 1);
+  const auto& pcpus = system->scheduler_places.pcpus->get();
+  EXPECT_EQ(pcpus[0].assigned_vcpu, 0);
+  EXPECT_TRUE(is_active(system->vcpus[0].slot->get().status));
+}
+
+TEST(VcpuScheduler, DefaultTimesliceGrantedOnScheduleIn) {
+  double seen_timeslice = -1;
+  auto scheduler = make_lambda_scheduler(
+      [&seen_timeslice](std::span<VCPU_host_external> vcpus,
+                        std::span<PCPU_external>, long t) {
+        if (t == 1) vcpus[0].schedule_in = 0;
+        if (t == 2) seen_timeslice = vcpus[0].timeslice;
+        return true;
+      });
+  auto cfg = two_vm_config(2, 7.0);
+  auto system = build_system(cfg, std::move(scheduler));
+  run_system(*system, 3.0);
+  // Granted 7 at t=1; decremented once at the t=2 tick before the call.
+  EXPECT_DOUBLE_EQ(seen_timeslice, 6.0);
+}
+
+TEST(VcpuScheduler, NewTimesliceOverridesDefault) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long t) {
+        if (t == 1) {
+          vcpus[0].schedule_in = 0;
+          vcpus[0].new_timeslice = 50.0;
+        }
+        return true;
+      });
+  auto system = build_system(two_vm_config(2, 5.0), std::move(scheduler));
+  run_system(*system, 2.5);
+  EXPECT_DOUBLE_EQ(system->scheduler_places.hosts[0]->get().timeslice, 49.0);
+}
+
+TEST(VcpuScheduler, TimesliceExpiryForcesScheduleOut) {
+  // Assign once with timeslice 3 and never again: the framework must
+  // deschedule the VCPU at the expiry tick.
+  std::map<long, int> status_by_tick;
+  auto scheduler = make_lambda_scheduler(
+      [&status_by_tick](std::span<VCPU_host_external> vcpus,
+                        std::span<PCPU_external>, long t) {
+        status_by_tick[t] = vcpus[0].assigned_pcpu;
+        if (t == 1) {
+          vcpus[0].schedule_in = 0;
+          vcpus[0].new_timeslice = 3.0;
+        }
+        return true;
+      });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  run_system(*system, 6.0);
+  EXPECT_EQ(status_by_tick[1], -1);  // before assignment
+  EXPECT_EQ(status_by_tick[2], 0);   // running
+  EXPECT_EQ(status_by_tick[3], 0);
+  EXPECT_EQ(status_by_tick[4], -1);  // expired (3 ticks elapsed) and freed
+  EXPECT_EQ(system->vcpus[0].slot->get().status, VcpuStatus::kInactive);
+}
+
+TEST(VcpuScheduler, ExpiredVcpuReadsInactiveInSameSnapshot) {
+  int observed_status = -99;
+  auto scheduler = make_lambda_scheduler(
+      [&observed_status](std::span<VCPU_host_external> vcpus,
+                         std::span<PCPU_external>, long t) {
+        if (t == 1) {
+          vcpus[0].schedule_in = 0;
+          vcpus[0].new_timeslice = 1.0;  // expires at the very next tick
+        }
+        if (t == 2) observed_status = vcpus[0].status;
+        return true;
+      });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  run_system(*system, 2.5);
+  EXPECT_EQ(observed_status, static_cast<int>(VcpuStatus::kInactive));
+}
+
+TEST(VcpuScheduler, PreemptAndGrantSamePcpuInOneTick) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long t) {
+        if (t == 1) vcpus[0].schedule_in = 0;
+        if (t == 3) {
+          vcpus[0].schedule_out = 1;
+          vcpus[1].schedule_in = 0;  // same PCPU, same tick
+        }
+        return true;
+      });
+  auto system = build_system(two_vm_config(2, 100.0), std::move(scheduler));
+  run_system(*system, 4.0);
+  const auto& pcpus = system->scheduler_places.pcpus->get();
+  EXPECT_EQ(pcpus[0].assigned_vcpu, 1);
+  EXPECT_EQ(system->scheduler_places.hosts[0]->get().assigned_pcpu, -1);
+  EXPECT_EQ(system->scheduler_places.hosts[1]->get().assigned_pcpu, 0);
+}
+
+TEST(VcpuScheduler, AssigningBusyPcpuThrows) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long t) {
+        if (t == 1) vcpus[0].schedule_in = 0;
+        if (t == 2) vcpus[1].schedule_in = 0;  // PCPU 0 is taken
+        return true;
+      });
+  auto system = build_system(two_vm_config(2, 100.0), std::move(scheduler));
+  EXPECT_THROW(run_system(*system, 3.0), ScheduleError);
+}
+
+TEST(VcpuScheduler, AssigningOutOfRangePcpuThrows) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long) {
+        vcpus[0].schedule_in = 99;
+        return true;
+      });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  EXPECT_THROW(run_system(*system, 2.0), ScheduleError);
+}
+
+TEST(VcpuScheduler, DoubleAssignmentOfVcpuThrows) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long t) {
+        if (t == 1) vcpus[0].schedule_in = 0;
+        if (t == 2) vcpus[0].schedule_in = 1;  // already on PCPU 0
+        return true;
+      });
+  auto system = build_system(two_vm_config(2, 100.0), std::move(scheduler));
+  EXPECT_THROW(run_system(*system, 3.0), ScheduleError);
+}
+
+TEST(VcpuScheduler, ScheduleOutWithoutAssignmentThrows) {
+  auto scheduler = make_lambda_scheduler(
+      [](std::span<VCPU_host_external> vcpus, std::span<PCPU_external>, long) {
+        vcpus[0].schedule_out = 1;
+        return true;
+      });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  EXPECT_THROW(run_system(*system, 2.0), ScheduleError);
+}
+
+TEST(VcpuScheduler, FunctionReturningFalseRaisesScheduleError) {
+  auto scheduler =
+      make_lambda_scheduler([](auto, auto, long) { return false; });
+  auto system = build_system(two_vm_config(), std::move(scheduler));
+  EXPECT_THROW(run_system(*system, 2.0), ScheduleError);
+}
+
+TEST(VcpuScheduler, NullSchedulerKeepsEverythingInactive) {
+  auto system = build_system(two_vm_config(), make_null_scheduler());
+  auto avail = mean_vcpu_availability(*system);
+  run_system(*system, 50.0, 1, {avail.get()});
+  EXPECT_DOUBLE_EQ(avail->time_averaged(50.0), 0.0);
+  for (const auto& b : system->vcpus) {
+    EXPECT_EQ(b.slot->get().status, VcpuStatus::kInactive);
+  }
+}
+
+TEST(VcpuScheduler, WrapCFunctionPassesThrough) {
+  // The paper's headline interface: a plain C function.
+  static int call_count;
+  call_count = 0;
+  vcpu_schedule_fn fn = [](VCPU_host_external* vcpus, int num_vcpu,
+                           PCPU_external* pcpus, int num_pcpu,
+                           long) -> bool {
+    ++call_count;
+    if (num_vcpu > 0 && num_pcpu > 0 && pcpus[0].state == 0 &&
+        vcpus[0].assigned_pcpu < 0) {
+      vcpus[0].schedule_in = 0;
+    }
+    return true;
+  };
+  auto system =
+      build_system(two_vm_config(), wrap_c_function(fn, "my_c_sched"));
+  EXPECT_EQ(system->scheduler->name(), "my_c_sched");
+  run_system(*system, 5.0);
+  EXPECT_EQ(call_count, 5);
+  EXPECT_EQ(system->scheduler_places.hosts[0]->get().assigned_pcpu, 0);
+}
+
+TEST(VcpuScheduler, WrapNullCFunctionThrows) {
+  EXPECT_THROW(wrap_c_function(nullptr, "bad"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "san/simulator.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+/// A stand-alone VM model (paper Figure 2) plus a trivial "hypervisor"
+/// that grants every VCPU a PCPU at t=0 and never revokes it — isolating
+/// the intra-VM behaviour (generation, dispatch, barriers).
+struct VmHarness {
+  san::ComposedModel model{"VM_2VCPU"};
+  VmPlaces places;
+
+  explicit VmHarness(VmConfig cfg) {
+    places = build_virtual_machine(model, cfg, /*prefix=*/"");
+    auto& hyper = model.add_submodel("Always_On_Hypervisor");
+    auto armed = hyper.add_place<std::int64_t>("armed", 1);
+    auto& grant = hyper.add_instantaneous_activity("grant_all", 1000);
+    grant.add_input_gate(
+        {"armed", [armed]() { return armed->get() == 1; }, nullptr});
+    auto ins = places.schedule_in;
+    grant.add_output_gate({"grant", [ins, armed](san::GateContext&) {
+                             for (const auto& in : ins) in->mut() += 1;
+                             armed->set(0);
+                           }});
+  }
+
+  void run(san::Time end, std::uint64_t seed = 1) {
+    san::SimulatorConfig config;
+    config.end_time = end;
+    config.seed = seed;
+    san::run_once(model, config);
+  }
+};
+
+VmConfig deterministic_vm(int vcpus, int sync_k, double load = 2.0) {
+  VmConfig cfg;
+  cfg.num_vcpus = vcpus;
+  cfg.sync_ratio_k = sync_k;
+  cfg.load_distribution = stats::make_deterministic(load);
+  cfg.inter_generation = stats::make_deterministic(0.0);
+  return cfg;
+}
+
+TEST(VirtualMachine, BuildsPaperSubmodelStructure) {
+  VmHarness h(deterministic_vm(2, 5));
+  EXPECT_NE(h.model.find_submodel("Workload_Generator"), nullptr);
+  EXPECT_NE(h.model.find_submodel("VM_Job_Scheduler"), nullptr);
+  EXPECT_NE(h.model.find_submodel("VCPU1"), nullptr);
+  EXPECT_NE(h.model.find_submodel("VCPU2"), nullptr);
+  EXPECT_EQ(h.model.find_submodel("VCPU3"), nullptr);
+  EXPECT_EQ(h.places.slots.size(), 2u);
+  EXPECT_EQ(h.places.schedule_in.size(), 2u);
+  EXPECT_EQ(h.places.clocks.size(), 2u);
+}
+
+TEST(VirtualMachine, JoinRegistryMatchesPaperTable1) {
+  // Table 1: Blocked, Num_VCPUs_ready, VCPU1_slot, VCPU2_slot, Workload.
+  VmHarness h(deterministic_vm(2, 5));
+  const auto& joins = h.model.join_registry();
+  auto find = [&joins](const std::string& name) -> const san::JoinEntry* {
+    for (const auto& e : joins) {
+      if (e.shared_name == name) return &e;
+    }
+    return nullptr;
+  };
+  const auto* blocked = find("Blocked");
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_EQ(blocked->member_names,
+            (std::vector<std::string>{
+                "Workload_Generator->Blocked", "VM_Job_Scheduler->Blocked",
+                "VCPU1->Blocked", "VCPU2->Blocked"}));
+  const auto* ready = find("Num_VCPUs_ready");
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->member_names.size(), 4u);
+  const auto* slot1 = find("VCPU1_slot");
+  ASSERT_NE(slot1, nullptr);
+  EXPECT_EQ(slot1->member_names,
+            (std::vector<std::string>{"VM_Job_Scheduler->VCPU1_slot",
+                                      "VCPU1->VCPU_slot"}));
+  const auto* workload = find("Workload");
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->member_names,
+            (std::vector<std::string>{"Workload_Generator->Workload",
+                                      "VM_Job_Scheduler->Workload"}));
+}
+
+TEST(VirtualMachine, PrefixPropagatesToSubmodelsAndJoins) {
+  san::ComposedModel model{"System"};
+  build_virtual_machine(model, deterministic_vm(1, 0), "VM_7.");
+  EXPECT_NE(model.find_submodel("VM_7.Workload_Generator"), nullptr);
+  EXPECT_NE(model.find_submodel("VM_7.VCPU1"), nullptr);
+  EXPECT_EQ(model.join_registry().front().shared_name, "VM_7.Blocked");
+}
+
+TEST(VirtualMachine, SaturatingGenerationKeepsVcpusBusy) {
+  // No sync points, always-on VCPUs: both VCPUs should be busy forever.
+  VmHarness h(deterministic_vm(2, /*sync_k=*/0));
+  h.run(50.0);
+  EXPECT_EQ(h.places.slots[0]->get().status, VcpuStatus::kBusy);
+  EXPECT_EQ(h.places.slots[1]->get().status, VcpuStatus::kBusy);
+  // 2 VCPUs x 50 ticks / load 2 = ~50 jobs completed.
+  EXPECT_GE(h.places.completed_jobs->get(), 48);
+}
+
+TEST(VirtualMachine, BarrierBlocksUntilDrain) {
+  // sync 1:3, load 2, 1 VCPU: jobs at t=0: J1..J3 can't queue at once —
+  // generation is gated on READY, so J1 starts, completes at t=2, J2 at
+  // t=4, J3 (sync, generated at t=4) completes at t=6 and unblocks.
+  VmHarness h(deterministic_vm(1, 3));
+  h.run(5.0);
+  EXPECT_EQ(h.places.blocked->get(), 1);  // barrier pending at t=5
+  h.run(7.0);
+  EXPECT_EQ(h.places.blocked->get(), 0);  // drained by t=6, next phase on
+}
+
+TEST(VirtualMachine, ThroughputMatchesLoadArithmetic) {
+  // 1 VCPU, load deterministic 4, no sync: one job per 4 ticks.
+  VmHarness h(deterministic_vm(1, 0, 4.0));
+  h.run(100.0);
+  EXPECT_EQ(h.places.completed_jobs->get(), 25);
+}
+
+TEST(VirtualMachine, SyncSlowsSingleVcpuThroughputOnlyViaBlocking) {
+  // With 1 VCPU the barrier drains immediately at job completion, so
+  // throughput matches the no-sync case.
+  VmHarness no_sync(deterministic_vm(1, 0, 2.0));
+  VmHarness with_sync(deterministic_vm(1, 4, 2.0));
+  no_sync.run(100.0);
+  with_sync.run(100.0);
+  EXPECT_EQ(no_sync.places.completed_jobs->get(),
+            with_sync.places.completed_jobs->get());
+}
+
+TEST(VirtualMachine, OutstandingNeverNegativeAndConsistent) {
+  VmHarness h(deterministic_vm(2, 3));
+  h.run(200.0);
+  EXPECT_GE(h.places.outstanding_jobs->get(), 0);
+  EXPECT_LE(h.places.outstanding_jobs->get(), 3);  // bounded by one phase
+}
+
+TEST(VirtualMachine, RejectsZeroVcpus) {
+  san::ComposedModel model{"Bad"};
+  VmConfig cfg;
+  cfg.num_vcpus = 0;
+  EXPECT_THROW(build_virtual_machine(model, cfg, ""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "san/simulator.hpp"
+#include "vm/priorities.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vcpusim::vm {
+namespace {
+
+/// Harness around a lone Workload Generator sub-model: a consumer
+/// activity drains the Workload place, recording what was generated, and
+/// decrements Num_VCPUs_ready to emulate dispatch (bounding the
+/// zero-delay generation cascade exactly as the Job Scheduler would).
+struct WgHarness {
+  san::ComposedModel model{"WG_Test"};
+  VmPlaces places;
+  std::shared_ptr<std::vector<Workload>> seen =
+      std::make_shared<std::vector<Workload>>();
+
+  explicit WgHarness(VmConfig cfg, std::int64_t initial_ready = 4) {
+    cfg.apply_defaults();
+    places.blocked = std::make_shared<san::TokenPlace>("Blocked", 0);
+    places.num_vcpus_ready =
+        std::make_shared<san::TokenPlace>("Num_VCPUs_ready", initial_ready);
+    places.outstanding_jobs =
+        std::make_shared<san::TokenPlace>("Outstanding_Jobs", 0);
+    places.completed_jobs =
+        std::make_shared<san::TokenPlace>("Completed_Jobs", 0);
+    places.workload =
+        std::make_shared<WorkloadPlace>("Workload", std::nullopt);
+
+    auto& wg = model.add_submodel("Workload_Generator");
+    build_workload_generator(wg, cfg, places);
+
+    auto& consumer_model = model.add_submodel("Consumer");
+    auto& consume = consumer_model.add_instantaneous_activity(
+        "Consume", kJobSchedulingPriority);
+    auto workload = places.workload;
+    auto ready = places.num_vcpus_ready;
+    consume.add_input_gate({"has_workload",
+                            [workload]() { return workload->get().has_value(); },
+                            nullptr});
+    auto seen_copy = seen;
+    consume.add_output_gate(
+        {"record", [workload, ready, seen_copy](san::GateContext&) {
+           seen_copy->push_back(*workload->get());
+           workload->set(std::nullopt);
+           ready->mut() -= 1;
+         }});
+  }
+
+  san::RunStats run(san::Time end, std::uint64_t seed = 1) {
+    san::SimulatorConfig config;
+    config.end_time = end;
+    config.seed = seed;
+    return san::run_once(model, config);
+  }
+};
+
+VmConfig basic_config(int sync_k = 0) {
+  VmConfig cfg;
+  cfg.num_vcpus = 4;
+  cfg.sync_ratio_k = sync_k;
+  cfg.load_distribution = stats::make_deterministic(2.0);
+  cfg.inter_generation = stats::make_deterministic(0.0);
+  return cfg;
+}
+
+TEST(WorkloadGenerator, GeneratesWhileReadyVcpusExist) {
+  WgHarness h(basic_config(), /*initial_ready=*/3);
+  h.run(5.0);
+  // Saturating generation: one workload per initially READY VCPU, then
+  // the generator is disabled (no READY VCPUs remain).
+  EXPECT_EQ(h.seen->size(), 3u);
+  EXPECT_EQ(h.places.num_vcpus_ready->get(), 0);
+}
+
+TEST(WorkloadGenerator, SilentWhenNoReadyVcpus) {
+  WgHarness h(basic_config(), /*initial_ready=*/0);
+  h.run(5.0);
+  EXPECT_TRUE(h.seen->empty());
+}
+
+TEST(WorkloadGenerator, SilentWhenBlocked) {
+  // A harness whose Blocked place starts at 1 (run() resets markings to
+  // their initial values, so the block is encoded in the initial marking).
+  VmConfig cfg = basic_config();
+  cfg.apply_defaults();
+  san::ComposedModel model{"WG_Blocked"};
+  VmPlaces places;
+  places.blocked = std::make_shared<san::TokenPlace>("Blocked", 1);
+  places.num_vcpus_ready = std::make_shared<san::TokenPlace>("R", 3);
+  places.outstanding_jobs = std::make_shared<san::TokenPlace>("O", 0);
+  places.completed_jobs = std::make_shared<san::TokenPlace>("C", 0);
+  places.workload = std::make_shared<WorkloadPlace>("W", std::nullopt);
+  auto& wg = model.add_submodel("Workload_Generator");
+  build_workload_generator(wg, cfg, places);
+  san::SimulatorConfig config;
+  config.end_time = 5.0;
+  san::run_once(model, config);
+  EXPECT_FALSE(places.workload->get().has_value());
+  EXPECT_EQ(places.outstanding_jobs->get(), 0);
+}
+
+TEST(WorkloadGenerator, LoadsComeFromConfiguredDistribution) {
+  VmConfig cfg = basic_config();
+  cfg.load_distribution = stats::make_uniform_int(3, 7);
+  WgHarness h(cfg, 50);
+  h.run(5.0);
+  ASSERT_GT(h.seen->size(), 10u);
+  for (const auto& w : *h.seen) {
+    EXPECT_GE(w.load, 3.0);
+    EXPECT_LE(w.load, 7.0);
+  }
+}
+
+TEST(WorkloadGenerator, EveryKthWorkloadIsSyncPoint) {
+  VmConfig cfg = basic_config(/*sync_k=*/5);
+  WgHarness h(cfg, 100);
+  h.run(20.0);
+  // Generation stops at the first sync point (VM blocks), so exactly the
+  // 5th workload is a barrier and nothing follows while blocked.
+  ASSERT_EQ(h.seen->size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE((*h.seen)[i].sync_point);
+  EXPECT_TRUE((*h.seen)[4].sync_point);
+  EXPECT_EQ(h.places.blocked->get(), 1);
+}
+
+TEST(WorkloadGenerator, GenerationResumesWhenUnblockedByDrain) {
+  // Emulate the barrier drain: a side activity clears Blocked at t=3.
+  VmConfig cfg = basic_config(/*sync_k=*/2);
+  WgHarness h(cfg, 100);
+  auto& unblocker = h.model.add_submodel("Unblocker");
+  auto armed = unblocker.add_place<std::int64_t>("armed", 1);
+  auto& fire = unblocker.add_timed_activity("unblock",
+                                            stats::make_deterministic(3.0));
+  auto blocked = h.places.blocked;
+  fire.add_input_gate({"armed", [armed]() { return armed->get() == 1; },
+                       nullptr});
+  fire.add_output_gate({"clear", [blocked, armed](san::GateContext&) {
+                          blocked->set(0);
+                          armed->set(0);
+                        }});
+  h.run(10.0);
+  // First burst: 2 workloads (2nd is sync). After t=3: 2 more.
+  ASSERT_EQ(h.seen->size(), 4u);
+  EXPECT_TRUE((*h.seen)[1].sync_point);
+  EXPECT_TRUE((*h.seen)[3].sync_point);
+}
+
+TEST(WorkloadGenerator, OutstandingCountsGeneratedJobs) {
+  WgHarness h(basic_config(), 7);
+  h.run(5.0);
+  EXPECT_EQ(h.places.outstanding_jobs->get(), 7);
+}
+
+TEST(WorkloadGenerator, RandomSyncModeProducesApproximateRatio) {
+  VmConfig cfg = basic_config(/*sync_k=*/4);
+  cfg.sync_mode = SyncMode::kRandom;
+  // Count sync points over many generations; unblock instantly so
+  // generation continues.
+  san::ComposedModel model{"WG_Random"};
+  VmPlaces places;
+  places.blocked = std::make_shared<san::TokenPlace>("Blocked", 0);
+  places.num_vcpus_ready = std::make_shared<san::TokenPlace>("R", 1);
+  places.outstanding_jobs = std::make_shared<san::TokenPlace>("O", 0);
+  places.completed_jobs = std::make_shared<san::TokenPlace>("C", 0);
+  places.workload = std::make_shared<WorkloadPlace>("W", std::nullopt);
+  cfg.inter_generation = stats::make_deterministic(1.0);
+  cfg.apply_defaults();
+  auto& wg = model.add_submodel("Workload_Generator");
+  build_workload_generator(wg, cfg, places);
+
+  auto& consumer = model.add_submodel("Consumer");
+  auto syncs = consumer.add_place<std::int64_t>("syncs", 0);
+  auto total = consumer.add_place<std::int64_t>("total", 0);
+  auto& consume = consumer.add_instantaneous_activity("Consume");
+  auto workload = places.workload;
+  auto blocked = places.blocked;
+  consume.add_input_gate({"has",
+                          [workload]() { return workload->get().has_value(); },
+                          nullptr});
+  consume.add_output_gate(
+      {"drain", [workload, blocked, syncs, total](san::GateContext&) {
+         if (workload->get()->sync_point) syncs->mut() += 1;
+         total->mut() += 1;
+         workload->set(std::nullopt);
+         blocked->set(0);  // immediately release the barrier
+       }});
+
+  san::SimulatorConfig config;
+  config.end_time = 20000.0;
+  config.seed = 3;
+  san::run_once(model, config);
+  ASSERT_GT(total->get(), 10000);
+  const double ratio =
+      static_cast<double>(syncs->get()) / static_cast<double>(total->get());
+  EXPECT_NEAR(ratio, 0.25, 0.02);
+}
+
+TEST(WorkloadGenerator, SyncDisabledNeverBlocks) {
+  VmConfig cfg = basic_config(/*sync_k=*/0);
+  WgHarness h(cfg, 50);
+  h.run(5.0);
+  EXPECT_EQ(h.places.blocked->get(), 0);
+  for (const auto& w : *h.seen) EXPECT_FALSE(w.sync_point);
+}
+
+}  // namespace
+}  // namespace vcpusim::vm
