@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skew_threshold.dir/ablation_skew_threshold.cpp.o"
+  "CMakeFiles/ablation_skew_threshold.dir/ablation_skew_threshold.cpp.o.d"
+  "ablation_skew_threshold"
+  "ablation_skew_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

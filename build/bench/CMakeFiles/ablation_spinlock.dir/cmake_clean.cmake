@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spinlock.dir/ablation_spinlock.cpp.o"
+  "CMakeFiles/ablation_spinlock.dir/ablation_spinlock.cpp.o.d"
+  "ablation_spinlock"
+  "ablation_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

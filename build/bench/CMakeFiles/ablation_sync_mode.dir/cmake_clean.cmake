@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_mode.dir/ablation_sync_mode.cpp.o"
+  "CMakeFiles/ablation_sync_mode.dir/ablation_sync_mode.cpp.o.d"
+  "ablation_sync_mode"
+  "ablation_sync_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

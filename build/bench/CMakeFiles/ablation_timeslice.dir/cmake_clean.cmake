@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeslice.dir/ablation_timeslice.cpp.o"
+  "CMakeFiles/ablation_timeslice.dir/ablation_timeslice.cpp.o.d"
+  "ablation_timeslice"
+  "ablation_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_workload_dist.cpp" "bench/CMakeFiles/ablation_workload_dist.dir/ablation_workload_dist.cpp.o" "gcc" "bench/CMakeFiles/ablation_workload_dist.dir/ablation_workload_dist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workload_dist.dir/ablation_workload_dist.cpp.o"
+  "CMakeFiles/ablation_workload_dist.dir/ablation_workload_dist.cpp.o.d"
+  "ablation_workload_dist"
+  "ablation_workload_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

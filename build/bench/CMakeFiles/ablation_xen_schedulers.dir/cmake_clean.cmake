@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xen_schedulers.dir/ablation_xen_schedulers.cpp.o"
+  "CMakeFiles/ablation_xen_schedulers.dir/ablation_xen_schedulers.cpp.o.d"
+  "ablation_xen_schedulers"
+  "ablation_xen_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xen_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_availability.dir/fig8_availability.cpp.o"
+  "CMakeFiles/fig8_availability.dir/fig8_availability.cpp.o.d"
+  "fig8_availability"
+  "fig8_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_system_join_places.dir/table2_system_join_places.cpp.o"
+  "CMakeFiles/table2_system_join_places.dir/table2_system_join_places.cpp.o.d"
+  "table2_system_join_places"
+  "table2_system_join_places.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_system_join_places.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

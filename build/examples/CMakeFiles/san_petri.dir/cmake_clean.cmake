@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_petri.dir/san_petri.cpp.o"
+  "CMakeFiles/san_petri.dir/san_petri.cpp.o.d"
+  "san_petri"
+  "san_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

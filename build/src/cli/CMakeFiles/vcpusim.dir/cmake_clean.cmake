@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim.dir/main.cpp.o"
+  "CMakeFiles/vcpusim.dir/main.cpp.o.d"
+  "vcpusim"
+  "vcpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_cli.dir/cli.cpp.o"
+  "CMakeFiles/vcpusim_cli.dir/cli.cpp.o.d"
+  "CMakeFiles/vcpusim_cli.dir/scenario.cpp.o"
+  "CMakeFiles/vcpusim_cli.dir/scenario.cpp.o.d"
+  "libvcpusim_cli.a"
+  "libvcpusim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

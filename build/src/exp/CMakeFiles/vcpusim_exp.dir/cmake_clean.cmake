@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_exp.dir/quality.cpp.o"
+  "CMakeFiles/vcpusim_exp.dir/quality.cpp.o.d"
+  "CMakeFiles/vcpusim_exp.dir/runner.cpp.o"
+  "CMakeFiles/vcpusim_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/vcpusim_exp.dir/sweep.cpp.o"
+  "CMakeFiles/vcpusim_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/vcpusim_exp.dir/table.cpp.o"
+  "CMakeFiles/vcpusim_exp.dir/table.cpp.o.d"
+  "libvcpusim_exp.a"
+  "libvcpusim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/san/activity.cpp" "src/san/CMakeFiles/vcpusim_san.dir/activity.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/activity.cpp.o.d"
+  "/root/repo/src/san/experiment.cpp" "src/san/CMakeFiles/vcpusim_san.dir/experiment.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/experiment.cpp.o.d"
+  "/root/repo/src/san/model.cpp" "src/san/CMakeFiles/vcpusim_san.dir/model.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/model.cpp.o.d"
+  "/root/repo/src/san/place.cpp" "src/san/CMakeFiles/vcpusim_san.dir/place.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/place.cpp.o.d"
+  "/root/repo/src/san/replicate.cpp" "src/san/CMakeFiles/vcpusim_san.dir/replicate.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/replicate.cpp.o.d"
+  "/root/repo/src/san/reward.cpp" "src/san/CMakeFiles/vcpusim_san.dir/reward.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/reward.cpp.o.d"
+  "/root/repo/src/san/simulator.cpp" "src/san/CMakeFiles/vcpusim_san.dir/simulator.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/simulator.cpp.o.d"
+  "/root/repo/src/san/steady_state.cpp" "src/san/CMakeFiles/vcpusim_san.dir/steady_state.cpp.o" "gcc" "src/san/CMakeFiles/vcpusim_san.dir/steady_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

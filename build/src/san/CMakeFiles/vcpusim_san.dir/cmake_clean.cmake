@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_san.dir/activity.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/activity.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/experiment.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/experiment.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/model.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/model.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/place.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/place.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/replicate.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/replicate.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/reward.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/reward.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/simulator.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/simulator.cpp.o.d"
+  "CMakeFiles/vcpusim_san.dir/steady_state.cpp.o"
+  "CMakeFiles/vcpusim_san.dir/steady_state.cpp.o.d"
+  "libvcpusim_san.a"
+  "libvcpusim_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/balance.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/balance.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/balance.cpp.o.d"
+  "/root/repo/src/sched/bvt.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/bvt.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/bvt.cpp.o.d"
+  "/root/repo/src/sched/credit.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/credit.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/credit.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/priority.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/priority.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/registry.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/registry.cpp.o.d"
+  "/root/repo/src/sched/relaxed_co.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/relaxed_co.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/relaxed_co.cpp.o.d"
+  "/root/repo/src/sched/round_robin.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/round_robin.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/round_robin.cpp.o.d"
+  "/root/repo/src/sched/sedf.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/sedf.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/sedf.cpp.o.d"
+  "/root/repo/src/sched/strict_co.cpp" "src/sched/CMakeFiles/vcpusim_sched.dir/strict_co.cpp.o" "gcc" "src/sched/CMakeFiles/vcpusim_sched.dir/strict_co.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_sched.dir/balance.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/balance.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/bvt.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/bvt.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/credit.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/credit.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/fifo.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/priority.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/priority.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/registry.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/registry.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/relaxed_co.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/relaxed_co.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/round_robin.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/round_robin.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/sedf.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/sedf.cpp.o.d"
+  "CMakeFiles/vcpusim_sched.dir/strict_co.cpp.o"
+  "CMakeFiles/vcpusim_sched.dir/strict_co.cpp.o.d"
+  "libvcpusim_sched.a"
+  "libvcpusim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

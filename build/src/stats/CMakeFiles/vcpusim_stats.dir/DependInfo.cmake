@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/replication.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/replication.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/replication.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/student_t.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/student_t.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/student_t.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/stats/CMakeFiles/vcpusim_stats.dir/welford.cpp.o" "gcc" "src/stats/CMakeFiles/vcpusim_stats.dir/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/confidence.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/distribution.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/replication.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/replication.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/rng.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/student_t.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/student_t.cpp.o.d"
+  "CMakeFiles/vcpusim_stats.dir/welford.cpp.o"
+  "CMakeFiles/vcpusim_stats.dir/welford.cpp.o.d"
+  "libvcpusim_stats.a"
+  "libvcpusim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

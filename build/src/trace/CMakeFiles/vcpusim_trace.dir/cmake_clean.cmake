@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_trace.dir/event_log.cpp.o"
+  "CMakeFiles/vcpusim_trace.dir/event_log.cpp.o.d"
+  "CMakeFiles/vcpusim_trace.dir/latency.cpp.o"
+  "CMakeFiles/vcpusim_trace.dir/latency.cpp.o.d"
+  "CMakeFiles/vcpusim_trace.dir/timeline.cpp.o"
+  "CMakeFiles/vcpusim_trace.dir/timeline.cpp.o.d"
+  "libvcpusim_trace.a"
+  "libvcpusim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/config.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/config.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/config.cpp.o.d"
+  "/root/repo/src/vm/metrics.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/metrics.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/metrics.cpp.o.d"
+  "/root/repo/src/vm/sched_interface.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/sched_interface.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/sched_interface.cpp.o.d"
+  "/root/repo/src/vm/system_builder.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/system_builder.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/system_builder.cpp.o.d"
+  "/root/repo/src/vm/validation.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/validation.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/validation.cpp.o.d"
+  "/root/repo/src/vm/vcpu_scheduler.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/vcpu_scheduler.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/vcpu_scheduler.cpp.o.d"
+  "/root/repo/src/vm/virtual_machine.cpp" "src/vm/CMakeFiles/vcpusim_vm.dir/virtual_machine.cpp.o" "gcc" "src/vm/CMakeFiles/vcpusim_vm.dir/virtual_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

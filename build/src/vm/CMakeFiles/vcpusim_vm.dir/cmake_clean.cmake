@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpusim_vm.dir/config.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/config.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/metrics.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/metrics.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/sched_interface.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/sched_interface.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/system_builder.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/system_builder.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/validation.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/validation.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/vcpu_scheduler.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/vcpu_scheduler.cpp.o.d"
+  "CMakeFiles/vcpusim_vm.dir/virtual_machine.cpp.o"
+  "CMakeFiles/vcpusim_vm.dir/virtual_machine.cpp.o.d"
+  "libvcpusim_vm.a"
+  "libvcpusim_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpusim_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

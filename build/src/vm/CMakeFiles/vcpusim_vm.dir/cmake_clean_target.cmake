@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcpusim_vm.a"
+)

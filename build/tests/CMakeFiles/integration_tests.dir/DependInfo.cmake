@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/full_system_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/full_system_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/full_system_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_shapes_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/paper_shapes_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/paper_shapes_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/san/activity_test.cpp" "tests/CMakeFiles/san_tests.dir/san/activity_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/activity_test.cpp.o.d"
+  "/root/repo/tests/san/experiment_test.cpp" "tests/CMakeFiles/san_tests.dir/san/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/experiment_test.cpp.o.d"
+  "/root/repo/tests/san/model_test.cpp" "tests/CMakeFiles/san_tests.dir/san/model_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/model_test.cpp.o.d"
+  "/root/repo/tests/san/place_test.cpp" "tests/CMakeFiles/san_tests.dir/san/place_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/place_test.cpp.o.d"
+  "/root/repo/tests/san/replicate_test.cpp" "tests/CMakeFiles/san_tests.dir/san/replicate_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/replicate_test.cpp.o.d"
+  "/root/repo/tests/san/reward_test.cpp" "tests/CMakeFiles/san_tests.dir/san/reward_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/reward_test.cpp.o.d"
+  "/root/repo/tests/san/simulator_test.cpp" "tests/CMakeFiles/san_tests.dir/san/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/simulator_test.cpp.o.d"
+  "/root/repo/tests/san/steady_state_test.cpp" "tests/CMakeFiles/san_tests.dir/san/steady_state_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/steady_state_test.cpp.o.d"
+  "/root/repo/tests/san/stress_test.cpp" "tests/CMakeFiles/san_tests.dir/san/stress_test.cpp.o" "gcc" "tests/CMakeFiles/san_tests.dir/san/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_tests.dir/san/activity_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/activity_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/experiment_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/experiment_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/model_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/model_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/place_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/place_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/replicate_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/replicate_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/reward_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/reward_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/simulator_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/simulator_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/steady_state_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/steady_state_test.cpp.o.d"
+  "CMakeFiles/san_tests.dir/san/stress_test.cpp.o"
+  "CMakeFiles/san_tests.dir/san/stress_test.cpp.o.d"
+  "san_tests"
+  "san_tests.pdb"
+  "san_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/balance_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/balance_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/balance_test.cpp.o.d"
+  "/root/repo/tests/sched/bvt_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/bvt_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/bvt_test.cpp.o.d"
+  "/root/repo/tests/sched/credit_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/credit_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/credit_test.cpp.o.d"
+  "/root/repo/tests/sched/fifo_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/fifo_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/fifo_test.cpp.o.d"
+  "/root/repo/tests/sched/priority_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/priority_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/priority_test.cpp.o.d"
+  "/root/repo/tests/sched/registry_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/registry_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/registry_test.cpp.o.d"
+  "/root/repo/tests/sched/relaxed_co_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/relaxed_co_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/relaxed_co_test.cpp.o.d"
+  "/root/repo/tests/sched/round_robin_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/round_robin_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/round_robin_test.cpp.o.d"
+  "/root/repo/tests/sched/sedf_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/sedf_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/sedf_test.cpp.o.d"
+  "/root/repo/tests/sched/strict_co_test.cpp" "tests/CMakeFiles/sched_tests.dir/sched/strict_co_test.cpp.o" "gcc" "tests/CMakeFiles/sched_tests.dir/sched/strict_co_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

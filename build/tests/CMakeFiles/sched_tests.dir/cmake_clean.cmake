@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/balance_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/balance_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/bvt_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/bvt_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/credit_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/credit_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/fifo_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/fifo_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/priority_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/priority_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/registry_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/registry_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/relaxed_co_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/relaxed_co_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/round_robin_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/round_robin_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/sedf_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/sedf_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/strict_co_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/strict_co_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

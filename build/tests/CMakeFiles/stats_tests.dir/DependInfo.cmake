@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/batch_means_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/batch_means_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/batch_means_test.cpp.o.d"
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/distribution_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/distribution_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/p2_quantile_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/p2_quantile_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/p2_quantile_test.cpp.o.d"
+  "/root/repo/tests/stats/replication_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/replication_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/replication_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  "/root/repo/tests/stats/student_t_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/student_t_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/student_t_test.cpp.o.d"
+  "/root/repo/tests/stats/welford_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/welford_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/welford_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

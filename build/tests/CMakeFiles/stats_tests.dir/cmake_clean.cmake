@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/batch_means_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/batch_means_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/distribution_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/distribution_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/p2_quantile_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/p2_quantile_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/replication_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/replication_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/student_t_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/student_t_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/welford_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/welford_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

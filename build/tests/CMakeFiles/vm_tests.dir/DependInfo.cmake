@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/config_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/config_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/config_test.cpp.o.d"
+  "/root/repo/tests/vm/job_scheduler_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/job_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/job_scheduler_test.cpp.o.d"
+  "/root/repo/tests/vm/metrics_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/metrics_test.cpp.o.d"
+  "/root/repo/tests/vm/spinlock_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/spinlock_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/spinlock_test.cpp.o.d"
+  "/root/repo/tests/vm/system_builder_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/system_builder_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/system_builder_test.cpp.o.d"
+  "/root/repo/tests/vm/validation_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/validation_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/validation_test.cpp.o.d"
+  "/root/repo/tests/vm/vcpu_scheduler_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/vcpu_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/vcpu_scheduler_test.cpp.o.d"
+  "/root/repo/tests/vm/vcpu_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/vcpu_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/vcpu_test.cpp.o.d"
+  "/root/repo/tests/vm/virtual_machine_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/virtual_machine_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/virtual_machine_test.cpp.o.d"
+  "/root/repo/tests/vm/workload_generator_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/workload_generator_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/workload_generator_test.cpp.o.d"
+  "/root/repo/tests/vm/workload_trace_test.cpp" "tests/CMakeFiles/vm_tests.dir/vm/workload_trace_test.cpp.o" "gcc" "tests/CMakeFiles/vm_tests.dir/vm/workload_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vcpusim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vcpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vcpusim_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/vcpusim_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcpusim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tests.dir/vm/config_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/config_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/job_scheduler_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/job_scheduler_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/metrics_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/metrics_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/spinlock_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/spinlock_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/system_builder_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/system_builder_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/validation_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/validation_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/vcpu_scheduler_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/vcpu_scheduler_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/vcpu_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/vcpu_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/virtual_machine_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/virtual_machine_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/workload_generator_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/workload_generator_test.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/workload_trace_test.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/workload_trace_test.cpp.o.d"
+  "vm_tests"
+  "vm_tests.pdb"
+  "vm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

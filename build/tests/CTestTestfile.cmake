@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/san_tests[1]_include.cmake")
+include("/root/repo/build/tests/vm_tests[1]_include.cmake")
+include("/root/repo/build/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/exp_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
