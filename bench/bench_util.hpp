@@ -44,6 +44,7 @@ inline stats::MetricEstimate run_metric(const std::string& algorithm,
   spec.system = system;
   spec.scheduler = sched::make_factory(algorithm);
   spec.base_seed = base_seed;
+  spec.lint = true;  // figure runs are long — fail on wiring mistakes early
   exp::apply(exp::quality_from_env(), spec);
   auto result = exp::run_point(spec, {metric});
   return result.metrics.front();
@@ -58,6 +59,7 @@ inline stats::ReplicationResult run_metrics(
   spec.system = system;
   spec.scheduler = sched::make_factory(algorithm);
   spec.base_seed = base_seed;
+  spec.lint = true;  // figure runs are long — fail on wiring mistakes early
   exp::apply(exp::quality_from_env(), spec);
   return exp::run_point(spec, metrics);
 }

@@ -11,6 +11,10 @@
 // pinning": PCPUs go to the VCPUs with the most pending work, and a
 // VCPU holding a synchronization point (a lock holder, in the paper's
 // motivation) is never preempted by this policy while work remains.
+//
+// Before evaluating, the scheduler-contract checker vets the function
+// statically (replication safety, snapshot read-only discipline) — the
+// same check `vcpusim lint` runs; see docs/ANALYZER.md.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -18,6 +22,7 @@
 #include "exp/quality.hpp"
 #include "exp/runner.hpp"
 #include "exp/table.hpp"
+#include "sched/contract.hpp"
 #include "sched/registry.hpp"
 #include "vm/sched_interface.hpp"
 
@@ -92,12 +97,22 @@ int main() {
                    exp::format_fixed(result.metric("t").ci.mean, 3)});
   };
 
+  // Vet the user function statically before spending simulation time
+  // (the same check `vcpusim lint` runs; see docs/ANALYZER.md).
+  const vm::SchedulerFactory llf_factory = [] {
+    return vm::wrap_c_function(&llf_schedule, "llf");
+  };
+  if (const auto diags = sched::check_scheduler_contract("llf", llf_factory);
+      !diags.empty()) {
+    for (const auto& d : diags) std::cerr << d.to_text() << "\n";
+    return 1;
+  }
+  std::cout << "scheduler contract: llf passes\n\n";
+
   for (const std::string& name : {"rrs", "scs", "rcs"}) {
     evaluate(name, sched::make_factory(name));
   }
-  evaluate("llf (user C fn)", [] {
-    return vm::wrap_c_function(&llf_schedule, "llf");
-  });
+  evaluate("llf (user C fn)", llf_factory);
 
   std::cout << table.render()
             << "\n(4 PCPUs, VMs {2,4} VCPUs, sync ratio 1:3, 95% CIs)\n";

@@ -1,19 +1,25 @@
 #include "cli/cli.hpp"
 
 #include <cstdlib>
+#include <iterator>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "cli/scenario.hpp"
 #include "exp/table.hpp"
+#include "san/analyze/analyzer.hpp"
+#include "sched/contract.hpp"
 #include "sched/registry.hpp"
+#include "vm/system_builder.hpp"
 
 namespace vcpusim::cli {
 
 namespace {
 
 constexpr const char* kUsage = R"(usage: vcpusim [options]
+       vcpusim lint [SCENARIO] [options] [--json] [--strict]
+                    [--all-algorithms]
 
   --scenario FILE        run the experiment described by FILE
   --pcpus N              number of physical CPUs (default 4)
@@ -38,6 +44,17 @@ constexpr const char* kUsage = R"(usage: vcpusim [options]
                          system and print one row per algorithm
   --list-algorithms      print registered algorithms and exit
   --help                 this text
+
+The lint verb statically analyzes the composed SAN model the options
+describe — dead activities, orphan places, join defects, unserialized
+shared writes, instantaneous cycles, case probabilities — and checks
+the selected algorithm's scheduler contract, WITHOUT running the
+simulation. Exit status is 1 when error-severity diagnostics (or, with
+--strict, warnings) are present. See docs/ANALYZER.md.
+
+  --json                 emit the lint report as JSON
+  --strict               treat lint warnings as errors
+  --all-algorithms       contract-check every registered algorithm
 )";
 
 struct Options {
@@ -133,10 +150,106 @@ int parse_args(int argc, const char* const* argv, Options& options,
   return 0;
 }
 
+/// Resolve the system config + metrics defaults shared by the run and
+/// lint paths (CLI flags describe a symmetric system when no scenario
+/// file was given).
+void finalize_scenario(Options& options) {
+  auto& scenario = options.scenario;
+  if (!options.have_scenario_file) {
+    if (options.vm_sizes.empty()) options.vm_sizes = {2, 2};
+    const double timeslice = scenario.spec.system.default_timeslice;
+    const int pcpus = scenario.spec.system.num_pcpus;
+    scenario.spec.system =
+        vm::make_symmetric_config(pcpus, options.vm_sizes, options.sync_k);
+    scenario.spec.system.default_timeslice = timeslice;
+    if (scenario.metrics.empty()) {
+      scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},
+                          {exp::MetricKind::kPcpuUtilization, -1, ""},
+                          {exp::MetricKind::kMeanVcpuUtilization, -1, ""}};
+    }
+  }
+  scenario.spec.system.validate();
+}
+
+/// The `vcpusim lint` verb: build the composed model the options
+/// describe, statically analyze it, contract-check the scheduler, and
+/// render the report. Never runs the simulation.
+int run_lint(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  bool json = false;
+  bool strict = false;
+  bool all_algorithms = false;
+
+  // Peel off lint-only flags and promote a bare SCENARIO argument to
+  // --scenario, then reuse the standard option parser for the rest.
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--all-algorithms") {
+      all_algorithms = true;
+    } else if (!arg.empty() && arg[0] != '-' && rest.size() == 1) {
+      rest.push_back("--scenario");
+      rest.push_back(argv[i]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  Options options;
+  if (const int rc = parse_args(static_cast<int>(rest.size()), rest.data(),
+                                options, err);
+      rc != 0) {
+    return rc;
+  }
+  if (options.help) {
+    out << kUsage;
+    return 0;
+  }
+
+  try {
+    finalize_scenario(options);
+    auto& scenario = options.scenario;
+
+    const auto factory = sched::make_factory(scenario.algorithm);
+    const auto system = vm::build_system(scenario.spec.system, factory());
+
+    auto report = san::analyze::Analyzer().analyze(*system->model);
+
+    if (all_algorithms) {
+      auto contract = sched::check_builtin_contracts();
+      report.diagnostics.insert(report.diagnostics.end(),
+                                std::make_move_iterator(contract.begin()),
+                                std::make_move_iterator(contract.end()));
+    } else {
+      auto contract =
+          sched::check_scheduler_contract(scenario.algorithm, factory);
+      report.diagnostics.insert(report.diagnostics.end(),
+                                std::make_move_iterator(contract.begin()),
+                                std::make_move_iterator(contract.end()));
+    }
+
+    out << (json ? report.render_json() : report.render_text());
+    if (report.errors() > 0) return 1;
+    if (strict && report.warnings() > 0) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    err << "vcpusim: lint failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
+  if (argc > 1 && std::string(argv[1]) == "lint") {
+    return run_lint(argc, argv, out, err);
+  }
+
   Options options;
   if (const int rc = parse_args(argc, argv, options, err); rc != 0) return rc;
 
@@ -150,21 +263,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   }
 
   try {
+    finalize_scenario(options);
     auto& scenario = options.scenario;
-    if (!options.have_scenario_file) {
-      if (options.vm_sizes.empty()) options.vm_sizes = {2, 2};
-      const double timeslice = scenario.spec.system.default_timeslice;
-      const int pcpus = scenario.spec.system.num_pcpus;
-      scenario.spec.system =
-          vm::make_symmetric_config(pcpus, options.vm_sizes, options.sync_k);
-      scenario.spec.system.default_timeslice = timeslice;
-      if (scenario.metrics.empty()) {
-        scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},
-                            {exp::MetricKind::kPcpuUtilization, -1, ""},
-                            {exp::MetricKind::kMeanVcpuUtilization, -1, ""}};
-      }
-    }
-    scenario.spec.system.validate();
 
     if (options.compare) {
       // One row per algorithm, one column per metric.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "san/analyze/analyzer.hpp"
 #include "san/experiment.hpp"
 #include "san/simulator.hpp"
 #include "vm/metrics.hpp"
@@ -125,6 +126,11 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   }
   if (!(spec.warmup >= 0) || spec.warmup >= spec.end_time) {
     throw std::invalid_argument("run_point: warmup must be in [0, end_time)");
+  }
+  if (spec.lint) {
+    // Fail fast on structural defects before spending replication time.
+    const auto system = vm::build_system(spec.system, spec.scheduler());
+    san::analyze::Analyzer().check_or_throw(*system->model);
   }
 
   std::vector<std::string> names;

@@ -45,6 +45,13 @@ struct RunSpec {
   vm::SystemConfig system;
   vm::SchedulerFactory scheduler;  ///< fresh scheduler per replication
 
+  /// Opt-in fail-fast: statically analyze the composed model (a
+  /// throwaway build) before the first replication and throw
+  /// san::analyze::ModelAnalysisError on error-severity diagnostics —
+  /// so a mis-wired model or scheduler aborts in milliseconds instead of
+  /// deep into a replication run. See docs/ANALYZER.md.
+  bool lint = false;
+
   san::Time end_time = 3000.0;
   san::Time warmup = 200.0;  ///< rewards start accruing here
   std::uint64_t base_seed = 42;

@@ -12,13 +12,13 @@ Activity::Activity(std::string name, stats::DistributionPtr delay,
                                 "': null delay distribution (use "
                                 "make_instantaneous for zero-time activities)");
   }
-  cases_.push_back(Case{});
+  cases_.emplace_back();
   total_weight_ = 1.0;
 }
 
 Activity::Activity(std::string name, int priority)
     : name_(std::move(name)), delay_(nullptr), priority_(priority) {
-  cases_.push_back(Case{});
+  cases_.emplace_back();
   total_weight_ = 1.0;
 }
 

@@ -55,6 +55,16 @@ class Activity {
 
   std::size_t case_count() const noexcept;
 
+  // --- Structural introspection (san::analyze) ----------------------
+  const std::vector<InputGate>& input_gates() const noexcept {
+    return input_gates_;
+  }
+  const std::vector<Case>& cases() const noexcept { return cases_; }
+  /// True once add_case() replaced the implicit default case.
+  bool has_explicit_cases() const noexcept { return explicit_cases_; }
+  /// Sum of case weights (1.0 for the implicit default case).
+  double total_case_weight() const noexcept { return total_weight_; }
+
   /// All input gate predicates hold (an activity with no gates is always
   /// enabled — used for free-running clocks).
   bool enabled() const;

@@ -1,0 +1,89 @@
+// Static structural analysis of composed SAN models.
+//
+// The Analyzer walks a ComposedModel — places, timed/instantaneous
+// activities, gates, and the join relation — without firing a single
+// activity, and reports Diagnostics for patterns that make a model
+// malformed or that almost always indicate a wiring mistake:
+//
+//   dead-activity              enabling predicate unsatisfiable under the
+//                              token-range abstraction of its read places
+//   orphan-place               place never read by any gate and never
+//                              written by any gate function
+//   join-collision             duplicate shared name in the join registry
+//   duplicate-join             the same place joined into one submodel
+//                              twice (two local names, one state variable)
+//   broken-join                a join-registry member naming a submodel
+//                              that does not exist or does not hold the
+//                              shared place
+//   unserialized-shared-write  a place written by same-priority activities
+//                              of two submodels with nothing serializing
+//                              the order (the SAN analogue of a data race)
+//   instantaneous-cycle        instantaneous activities feeding each
+//                              other's enabling places (zero-time livelock
+//                              risk); an ungated instantaneous activity is
+//                              a guaranteed livelock and reported as error
+//   case-probability           explicit case weights not summing to 1
+//   duplicate-name             colliding submodel / place / activity names
+//
+// The behavioural checks rely on gates declaring their marking footprint
+// (GateAccess); see gate.hpp. Predicate satisfiability is probed by
+// temporarily setting each read TokenPlace to values from the interval
+// abstraction [0, ceiling] ∪ {initial} and evaluating the predicate —
+// markings are restored before analyze() returns, no activity fires.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "san/analyze/diagnostic.hpp"
+#include "san/model.hpp"
+
+namespace vcpusim::san::analyze {
+
+struct AnalyzerOptions {
+  /// Upper bound of the token-range abstraction used when probing
+  /// enabling predicates: each read TokenPlace ranges over
+  /// {0..ceiling} ∪ {initial marking}.
+  std::int64_t token_probe_ceiling = 4;
+  /// Probe budget per activity; activities whose joint read domain
+  /// exceeds it are skipped (never misreported).
+  std::size_t max_probe_combinations = 4096;
+  /// Check identifiers (see diagnostic.hpp check::) to drop from the
+  /// report — the suppression mechanism documented in docs/ANALYZER.md.
+  std::vector<std::string> suppress;
+  /// Include info-severity notes (analysis-limitation reporting).
+  bool include_info = true;
+};
+
+/// Raised by Analyzer::check_or_throw when error-severity diagnostics
+/// are present. Carries the full report.
+class ModelAnalysisError : public std::runtime_error {
+ public:
+  explicit ModelAnalysisError(Report report);
+  const Report& report() const noexcept { return *report_; }
+
+ private:
+  std::shared_ptr<const Report> report_;  // exceptions must stay copyable
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Analyze `model` and return every diagnostic found. The model's
+  /// marking is probed in place but restored before returning; no
+  /// activity fires and no RNG is consumed.
+  Report analyze(const ComposedModel& model) const;
+
+  /// analyze(), then throw ModelAnalysisError if any error-severity
+  /// diagnostic was produced. The fail-fast hook used by exp::run_point
+  /// (RunSpec::lint) and the `vcpusim lint` CLI verb.
+  Report check_or_throw(const ComposedModel& model) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace vcpusim::san::analyze

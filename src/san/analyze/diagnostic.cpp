@@ -1,0 +1,110 @@
+#include "san/analyze/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vcpusim::san::analyze {
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_field(std::ostringstream& os, const char* key,
+                const std::string& value, bool trailing_comma = true) {
+  os << '"' << key << "\":\"" << json_escape(value) << '"';
+  if (trailing_comma) os << ',';
+}
+
+}  // namespace
+
+std::string Diagnostic::to_text() const {
+  std::ostringstream os;
+  os << to_string(severity) << ": " << check << ": " << model;
+  if (!submodel.empty()) os << "/" << submodel;
+  if (!activity.empty()) os << " [" << activity << "]";
+  if (!place.empty()) os << " (" << place << ")";
+  os << ": " << message;
+  return os.str();
+}
+
+std::string Diagnostic::to_json() const {
+  std::ostringstream os;
+  os << '{';
+  json_field(os, "severity", to_string(severity));
+  json_field(os, "check", check);
+  json_field(os, "model", model);
+  json_field(os, "submodel", submodel);
+  json_field(os, "place", place);
+  json_field(os, "activity", activity);
+  json_field(os, "message", message);
+  json_field(os, "explanation", explanation, false);
+  os << '}';
+  return os.str();
+}
+
+std::size_t Report::count(Severity severity) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string Report::render_text() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) os << d.to_text() << "\n";
+  os << model << ": " << errors() << " error(s), " << warnings()
+     << " warning(s), " << count(Severity::kInfo) << " note(s)";
+  if (!footprints_complete) {
+    os << " [" << gates_declared << "/" << gates_total
+       << " gate footprints declared; whole-model checks limited]";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string Report::render_json() const {
+  std::ostringstream os;
+  os << "{\"model\":\"" << model << "\",\"errors\":" << errors()
+     << ",\"warnings\":" << warnings()
+     << ",\"footprints_complete\":" << (footprints_complete ? "true" : "false")
+     << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) os << ',';
+    os << diagnostics[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace vcpusim::san::analyze

@@ -1,0 +1,75 @@
+// Structured diagnostics emitted by the static model analyzer.
+//
+// A Diagnostic pinpoints one structural defect of a composed SAN model:
+// which check fired, how severe it is, and where in the model hierarchy
+// (submodel / place / activity) the defect lives, plus a one-line message
+// and a longer explanation of why the pattern is a problem. The Report
+// aggregates a full analysis pass and renders as text (one line per
+// diagnostic, compiler style) or JSON (for tooling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vcpusim::san::analyze {
+
+enum class Severity {
+  kInfo,     ///< analysis limitation or noteworthy structure; never fails
+  kWarning,  ///< very likely a modeling mistake; simulation still runs
+  kError,    ///< the model is malformed; simulation results are meaningless
+};
+
+const char* to_string(Severity severity) noexcept;
+
+/// Stable kebab-case identifiers of the analyzer's checks. Used in text /
+/// JSON output and accepted by AnalyzerOptions::suppress.
+namespace check {
+inline constexpr const char* kDeadActivity = "dead-activity";
+inline constexpr const char* kOrphanPlace = "orphan-place";
+inline constexpr const char* kJoinCollision = "join-collision";
+inline constexpr const char* kDuplicateJoin = "duplicate-join";
+inline constexpr const char* kBrokenJoin = "broken-join";
+inline constexpr const char* kSharedWriteRace = "unserialized-shared-write";
+inline constexpr const char* kInstantaneousCycle = "instantaneous-cycle";
+inline constexpr const char* kCaseProbability = "case-probability";
+inline constexpr const char* kDuplicateName = "duplicate-name";
+inline constexpr const char* kIncompleteFootprints = "incomplete-footprints";
+inline constexpr const char* kSchedulerContract = "scheduler-contract";
+}  // namespace check
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string check;      ///< one of the check:: identifiers
+  std::string model;      ///< composed model name
+  std::string submodel;   ///< submodel name ("" for model-level findings)
+  std::string place;      ///< qualified place name ("" if not place-bound)
+  std::string activity;   ///< qualified activity name ("" if none)
+  std::string message;    ///< one-line finding
+  std::string explanation;///< why this matters / how to fix or suppress
+
+  /// "error: dead-activity: Virtual_System/VCPU1 [Clock]: ..." style line.
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+struct Report {
+  std::string model;  ///< name of the analyzed composed model
+  std::vector<Diagnostic> diagnostics;
+  /// True when every gate of the model declared its marking footprint —
+  /// the whole-model checks (orphans, races, cycles) only run then.
+  bool footprints_complete = false;
+  std::size_t gates_total = 0;
+  std::size_t gates_declared = 0;
+
+  std::size_t count(Severity severity) const noexcept;
+  std::size_t errors() const noexcept { return count(Severity::kError); }
+  std::size_t warnings() const noexcept { return count(Severity::kWarning); }
+  bool clean() const noexcept { return diagnostics.empty(); }
+
+  /// One line per diagnostic plus a summary trailer.
+  std::string render_text() const;
+  /// {"model":..., "diagnostics":[...], "errors":N, "warnings":N}
+  std::string render_json() const;
+};
+
+}  // namespace vcpusim::san::analyze

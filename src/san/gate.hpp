@@ -15,7 +15,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "san/place.hpp"
 #include "stats/rng.hpp"
 
 namespace vcpusim::san {
@@ -28,6 +30,34 @@ struct GateContext {
   Time now;
 };
 
+/// Declared marking footprint of a gate, consumed by san::analyze. Gate
+/// predicates and functions are opaque closures, so the places they touch
+/// cannot be discovered by inspection; a gate that declares its access
+/// sets becomes visible to the static analyzer (orphan places, dead
+/// activities, shared-write races, zero-time cycles). Undeclared gates
+/// are analyzed conservatively: the whole-model checks that need
+/// complete information are skipped and reported as such.
+struct GateAccess {
+  /// Places the predicate / function reads.
+  std::vector<PlacePtr> reads;
+  /// Places the function mutates (in submodel-serialization order).
+  std::vector<PlacePtr> writes;
+  /// Subset of `writes` whose updates are order-independent across
+  /// concurrent writers (commutative increments, convergent stores, or
+  /// first-writer-wins races that are valid under any order — e.g. a
+  /// spinlock acquire). Exempt from the unserialized-shared-write check.
+  std::vector<PlacePtr> commutes;
+  bool declared = false;
+};
+
+/// Convenience builder: declare a gate's read and write sets.
+inline GateAccess access(std::vector<PlacePtr> reads,
+                         std::vector<PlacePtr> writes = {},
+                         std::vector<PlacePtr> commutes = {}) {
+  return GateAccess{std::move(reads), std::move(writes), std::move(commutes),
+                    true};
+}
+
 struct InputGate {
   std::string name;
   /// Enabling predicate evaluated against the current marking. An
@@ -36,12 +66,16 @@ struct InputGate {
   /// Executed (before output gates) when the activity completes. May be
   /// null for pure-predicate gates.
   std::function<void(GateContext&)> input_function;
+  /// Optional declared marking footprint (see GateAccess).
+  GateAccess footprint;
 };
 
 struct OutputGate {
   std::string name;
   /// Marking-update function executed on activity completion.
   std::function<void(GateContext&)> function;
+  /// Optional declared marking footprint (see GateAccess).
+  GateAccess footprint;
 };
 
 }  // namespace vcpusim::san

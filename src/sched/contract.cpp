@@ -1,0 +1,329 @@
+#include "sched/contract.hpp"
+
+#include <array>
+#include <iterator>
+
+#include "sched/registry.hpp"
+#include "vm/types.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using san::analyze::Diagnostic;
+using san::analyze::Severity;
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+using vm::VcpuStatus;
+
+constexpr int kVcpus = 4;
+constexpr int kPcpus = 2;
+constexpr double kDefaultTimeslice = 5.0;
+constexpr long kTicks = 48;
+
+/// Deterministic per-VCPU workload refill pattern: enough variety to
+/// exercise preemption, idling and sync points, zero randomness so two
+/// fresh instances must produce identical decision logs.
+constexpr std::array<double, 8> kLoads = {6, 3, 9, 4, 7, 2, 8, 5};
+
+Diagnostic make_diag(const std::string& algorithm, std::string message,
+                     std::string explanation) {
+  return Diagnostic{Severity::kError,
+                    san::analyze::check::kSchedulerContract,
+                    "scheduler",
+                    algorithm,
+                    "",
+                    algorithm,
+                    std::move(message),
+                    std::move(explanation)};
+}
+
+/// One applied decision, for the replication-safety comparison.
+struct Decision {
+  long tick;
+  int vcpu;
+  int schedule_in;
+  int schedule_out;
+  double new_timeslice;
+
+  bool operator==(const Decision&) const = default;
+};
+
+/// Mirror of the framework state the Scheduling_Func gate maintains.
+struct Harness {
+  std::array<double, kVcpus> remaining_load{};
+  std::array<bool, kVcpus> sync_point{};
+  std::array<long, kVcpus> last_in;
+  std::array<double, kVcpus> timeslice{};
+  std::array<int, kVcpus> assigned{};
+  std::array<int, kPcpus> pcpu_vcpu{};
+  std::array<std::size_t, kVcpus> next_job{};
+  std::size_t jobs_issued = 0;
+
+  Harness() {
+    last_in.fill(-1);
+    assigned.fill(-1);
+    pcpu_vcpu.fill(-1);
+    for (int i = 0; i < kVcpus; ++i) {
+      remaining_load[static_cast<std::size_t>(i)] =
+          kLoads[static_cast<std::size_t>(i) % kLoads.size()];
+    }
+  }
+
+  /// Drive one tick; returns false when a violation was diagnosed and
+  /// the drive should stop.
+  bool tick(vm::Scheduler& scheduler, const std::string& algorithm, long t,
+            std::vector<Decision>& log, std::vector<Diagnostic>& out) {
+    // Step 1: timeslice accounting + forced expiry (framework step 1).
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (assigned[u] >= 0) {
+        timeslice[u] -= 1.0;
+        if (timeslice[u] <= 1e-9) {
+          pcpu_vcpu[static_cast<std::size_t>(assigned[u])] = -1;
+          assigned[u] = -1;
+          timeslice[u] = 0.0;
+        }
+      }
+    }
+
+    // Step 2: snapshot.
+    std::array<VCPU_host_external, kVcpus> vx{};
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      auto& x = vx[u];
+      x.vcpu_id = i;
+      x.vm_id = i / 2;
+      x.vcpu_index_in_vm = i % 2;
+      x.num_siblings = 2;
+      x.status = assigned[u] < 0 ? static_cast<int>(VcpuStatus::kInactive)
+                 : remaining_load[u] > 0
+                     ? static_cast<int>(VcpuStatus::kBusy)
+                     : static_cast<int>(VcpuStatus::kReady);
+      x.remaining_load = remaining_load[u];
+      x.sync_point = sync_point[u] ? 1 : 0;
+      x.last_scheduled_in = last_in[u];
+      x.timeslice = assigned[u] < 0 ? 0.0 : timeslice[u];
+      x.assigned_pcpu = assigned[u];
+      x.schedule_in = -1;
+      x.schedule_out = 0;
+      x.new_timeslice = 0.0;
+    }
+    std::array<PCPU_external, kPcpus> px{};
+    for (int p = 0; p < kPcpus; ++p) {
+      const auto u = static_cast<std::size_t>(p);
+      px[u].pcpu_id = p;
+      px[u].assigned_vcpu = pcpu_vcpu[u];
+      px[u].state = pcpu_vcpu[u] >= 0 ? 1 : 0;
+    }
+    const auto vx_before = vx;
+    const auto px_before = px;
+
+    // Step 3: the algorithm.
+    bool ok = false;
+    try {
+      ok = scheduler.schedule(std::span<VCPU_host_external>(vx),
+                              std::span<PCPU_external>(px), t);
+    } catch (const std::exception& e) {
+      out.push_back(make_diag(
+          algorithm,
+          "schedule() threw on a well-formed synthetic snapshot at t=" +
+              std::to_string(t) + ": " + e.what(),
+          "The framework treats an exception from the scheduling function "
+          "as a fatal model error; the algorithm must handle every legal "
+          "snapshot."));
+      return false;
+    }
+    if (!ok) {
+      out.push_back(make_diag(
+          algorithm,
+          "schedule() reported failure (returned false) at t=" +
+              std::to_string(t) + " on a well-formed synthetic snapshot",
+          "Returning false aborts the simulation; a contract-clean "
+          "algorithm only fails on genuinely invalid input."));
+      return false;
+    }
+
+    // Interface discipline: only decision fields may change.
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const auto& before = vx_before[u];
+      const auto& after = vx[u];
+      if (after.vcpu_id != before.vcpu_id || after.vm_id != before.vm_id ||
+          after.vcpu_index_in_vm != before.vcpu_index_in_vm ||
+          after.num_siblings != before.num_siblings ||
+          after.status != before.status ||
+          after.remaining_load != before.remaining_load ||
+          after.sync_point != before.sync_point ||
+          after.last_scheduled_in != before.last_scheduled_in ||
+          after.timeslice != before.timeslice ||
+          after.assigned_pcpu != before.assigned_pcpu) {
+        out.push_back(make_diag(
+            algorithm,
+            "schedule() mutated a read-only snapshot field of VCPU " +
+                std::to_string(i) + " at t=" + std::to_string(t),
+            "Only schedule_in, schedule_out and new_timeslice belong to "
+            "the algorithm; the identity and pre-call state fields are the "
+            "framework's interface places."));
+        return false;
+      }
+    }
+    for (int p = 0; p < kPcpus; ++p) {
+      const auto u = static_cast<std::size_t>(p);
+      if (px[u].pcpu_id != px_before[u].pcpu_id ||
+          px[u].state != px_before[u].state ||
+          px[u].assigned_vcpu != px_before[u].assigned_vcpu) {
+        out.push_back(make_diag(
+            algorithm,
+            "schedule() mutated the PCPU snapshot array at t=" +
+                std::to_string(t),
+            "The PCPU array is read-only input; assignments are expressed "
+            "through the per-VCPU schedule_in field."));
+        return false;
+      }
+    }
+
+    // Step 4: validate + apply, relinquishments before assignments.
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (vx[u].schedule_out != 0) {
+        if (assigned[u] < 0) {
+          out.push_back(make_diag(
+              algorithm,
+              "schedule_out for VCPU " + std::to_string(i) +
+                  " which holds no PCPU (t=" + std::to_string(t) + ")",
+              "Relinquishing an unassigned VCPU raises ScheduleError in "
+              "the framework."));
+          return false;
+        }
+        pcpu_vcpu[static_cast<std::size_t>(assigned[u])] = -1;
+        assigned[u] = -1;
+        timeslice[u] = 0.0;
+      }
+    }
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const int target = vx[u].schedule_in;
+      if (target < 0) continue;
+      std::string violation;
+      if (target >= kPcpus) {
+        violation = "out-of-range PCPU " + std::to_string(target);
+      } else if (assigned[u] >= 0) {
+        violation = "VCPU already holds PCPU " + std::to_string(assigned[u]);
+      } else if (pcpu_vcpu[static_cast<std::size_t>(target)] >= 0) {
+        violation = "PCPU " + std::to_string(target) +
+                    " already assigned to VCPU " +
+                    std::to_string(pcpu_vcpu[static_cast<std::size_t>(target)]);
+      }
+      if (!violation.empty()) {
+        out.push_back(make_diag(
+            algorithm,
+            "invalid schedule_in for VCPU " + std::to_string(i) + " at t=" +
+                std::to_string(t) + ": " + violation,
+            "The framework validates every decision and raises "
+            "ScheduleError on violations; the harness applies the same "
+            "rules."));
+        return false;
+      }
+      pcpu_vcpu[static_cast<std::size_t>(target)] = i;
+      assigned[u] = target;
+      last_in[u] = t;
+      timeslice[u] =
+          vx[u].new_timeslice > 0 ? vx[u].new_timeslice : kDefaultTimeslice;
+    }
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (vx[u].schedule_in >= 0 || vx[u].schedule_out != 0) {
+        log.push_back(Decision{t, i, vx[u].schedule_in, vx[u].schedule_out,
+                               vx[u].new_timeslice});
+      }
+    }
+
+    // Step 5: guest progress — one load unit per scheduled BUSY VCPU,
+    // deterministic refill when a job completes.
+    for (int i = 0; i < kVcpus; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (assigned[u] >= 0 && remaining_load[u] > 0) {
+        remaining_load[u] -= 1.0;
+        if (remaining_load[u] <= 0) {
+          ++next_job[u];
+          ++jobs_issued;
+          remaining_load[u] =
+              kLoads[(u + next_job[u]) % kLoads.size()];
+          sync_point[u] = jobs_issued % 5 == 0;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+/// Drive a fresh-or-warm instance for kTicks; false if diagnostics fired.
+bool drive(vm::Scheduler& scheduler, const std::string& algorithm,
+           std::vector<Decision>& log, std::vector<Diagnostic>& out) {
+  Harness harness;
+  for (long t = 0; t < kTicks; ++t) {
+    if (!harness.tick(scheduler, algorithm, t, log, out)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_scheduler_contract(
+    const std::string& name, const vm::SchedulerFactory& factory) {
+  std::vector<Diagnostic> out;
+  if (!factory) {
+    out.push_back(make_diag(name, "null scheduler factory",
+                            "The factory must be callable."));
+    return out;
+  }
+  vm::SchedulerPtr first = factory();
+  vm::SchedulerPtr second = factory();
+  if (!first || !second) {
+    out.push_back(make_diag(name, "factory returned a null scheduler",
+                            "Every factory call must yield a usable "
+                            "instance (one per replication)."));
+    return out;
+  }
+  if (first->name().empty()) {
+    out.push_back(Diagnostic{Severity::kWarning,
+                             san::analyze::check::kSchedulerContract,
+                             "scheduler", name, "", name,
+                             "scheduler reports an empty name()",
+                             "Result tables and traces label runs by "
+                             "Scheduler::name()."});
+  }
+
+  // Replication safety: drive the first instance to warm its internal
+  // state, then a second fresh instance. Fresh state per factory call
+  // implies the fresh instance reproduces the first instance's cold run.
+  std::vector<Decision> cold_log;
+  if (!drive(*first, name, cold_log, out)) return out;
+  std::vector<Decision> warm_discard;
+  if (!drive(*first, name, warm_discard, out)) return out;
+  std::vector<Decision> fresh_log;
+  if (!drive(*second, name, fresh_log, out)) return out;
+  if (cold_log != fresh_log) {
+    out.push_back(make_diag(
+        name,
+        "factory is not replication-safe: a fresh instance diverges from "
+        "the first instance's cold run on the identical snapshot sequence",
+        "Run-queue or skew state is leaking across factory calls (shared "
+        "instance, static variables, or hidden nondeterminism). Each "
+        "replication must get a genuinely fresh scheduler."));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_builtin_contracts() {
+  std::vector<Diagnostic> out;
+  for (const auto& name : builtin_algorithms()) {
+    auto diags = check_scheduler_contract(name, make_factory(name));
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+}  // namespace vcpusim::sched

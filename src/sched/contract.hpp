@@ -1,0 +1,39 @@
+// Static contract checks for scheduling-algorithm factories.
+//
+// A scheduler plugged into the framework must honor two contracts that
+// only surface as corrupted results (not crashes) when violated:
+//
+//  * replication safety — every SchedulerFactory call must yield a fresh
+//    instance with fresh state. A factory reusing one instance (or an
+//    algorithm keeping static state) leaks run-queue state across
+//    replications, silently correlating what the statistics layer treats
+//    as independent observations.
+//  * interface discipline — schedule() may write only the decision
+//    fields of the snapshot (schedule_in, schedule_out, new_timeslice).
+//    The identity and pre-call state fields, and the PCPU array, are the
+//    framework's; mutating them means the algorithm is scheduling against
+//    a state the model does not hold.
+//
+// check_scheduler_contract drives the factory on a synthetic 4-VCPU /
+// 2-PCPU snapshot sequence — no SAN model is built and no activity fires
+// — and reports violations as san::analyze Diagnostics, so `vcpusim
+// lint` and the analyzer test-suite share one diagnostic vocabulary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "san/analyze/diagnostic.hpp"
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+/// Exercise `factory` under the synthetic harness; `name` labels the
+/// diagnostics. Returns an empty vector when the contract holds.
+std::vector<san::analyze::Diagnostic> check_scheduler_contract(
+    const std::string& name, const vm::SchedulerFactory& factory);
+
+/// check_scheduler_contract over every builtin_algorithms() entry.
+std::vector<san::analyze::Diagnostic> check_builtin_contracts();
+
+}  // namespace vcpusim::sched

@@ -51,7 +51,13 @@ vm::SchedulerFactory make_factory(const std::string& algorithm) {
   if (key == "priority") {
     return [] { return make_priority(); };
   }
-  throw std::invalid_argument("unknown scheduling algorithm: " + algorithm);
+  std::string valid;
+  for (const auto& name : builtin_algorithms()) {
+    if (!valid.empty()) valid += ", ";
+    valid += name;
+  }
+  throw std::invalid_argument("unknown scheduling algorithm: " + algorithm +
+                              " (valid algorithms: " + valid + ")");
 }
 
 std::vector<std::string> builtin_algorithms() {

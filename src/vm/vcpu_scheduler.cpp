@@ -33,7 +33,7 @@ struct SchedulerContext {
   }
 
   void assign(std::size_t i, int pcpu, double new_timeslice, long timestamp) {
-    const int num_pcpu = cfg.num_pcpus;
+    const auto num_pcpu = static_cast<int>(places.num_pcpus->get());
     if (pcpu < 0 || pcpu >= num_pcpu) {
       throw ScheduleError("schedule_in: VCPU " + std::to_string(i) +
                           " given out-of-range PCPU " + std::to_string(pcpu));
@@ -98,7 +98,7 @@ struct SchedulerContext {
       x.schedule_out = 0;
       x.new_timeslice = 0.0;
     }
-    const auto num_pcpu = static_cast<std::size_t>(cfg.num_pcpus);
+    const auto num_pcpu = static_cast<std::size_t>(places.num_pcpus->get());
     std::vector<PCPU_external> px(num_pcpu);
     const auto& pcpus = places.pcpus->get();
     for (std::size_t p = 0; p < num_pcpu; ++p) {
@@ -168,9 +168,25 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
 
   auto& clock = submodel.add_timed_activity(
       "Clock", stats::make_deterministic(1.0), kSchedulerClockPriority);
+  // The bridge gate snapshots every interface place and applies the
+  // decisions back — the declared footprint is exactly the paper's
+  // published scheduling interface.
+  std::vector<san::PlacePtr> func_reads = {context->places.num_pcpus,
+                                           context->places.pcpus};
+  std::vector<san::PlacePtr> func_writes = {context->places.pcpus};
+  for (const auto& host : context->places.hosts) {
+    func_reads.push_back(host);
+    func_writes.push_back(host);
+  }
+  for (const auto& binding : context->bindings) {
+    func_reads.push_back(binding.slot);
+    func_writes.push_back(binding.schedule_in);
+    func_writes.push_back(binding.schedule_out);
+  }
   clock.add_output_gate(san::OutputGate{
       "Scheduling_Func",
-      [context](san::GateContext& ctx) { context->tick(ctx); }});
+      [context](san::GateContext& ctx) { context->tick(ctx); },
+      san::access(std::move(func_reads), std::move(func_writes))});
   context->places.clock = &clock;
 
   return context->places;

@@ -24,9 +24,15 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
   submodel.join_place("Outstanding_Jobs", places.outstanding_jobs);
 
   // Countdown to the next synchronization point (1:k ratio, III.B.3).
+  // Only the live every-kth mode keeps a countdown; creating the place
+  // unconditionally would leave untouched state the analyzer flags.
   const int sync_k = cfg.sync_ratio_k;
-  auto jobs_until_sync =
-      submodel.add_place<std::int64_t>("Jobs_Until_Sync", sync_k);
+  std::shared_ptr<san::TokenPlace> jobs_until_sync;
+  if (cfg.workload_trace.empty() && sync_k > 0 &&
+      cfg.sync_mode == SyncMode::kEveryKth) {
+    jobs_until_sync =
+        submodel.add_place<std::int64_t>("Jobs_Until_Sync", sync_k);
+  }
 
   auto& generate = submodel.add_timed_activity(
       "Generate", cfg.inter_generation, kGeneratePriority);
@@ -42,13 +48,21 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
         return blocked->get() == 0 && num_ready->get() > 0 &&
                !workload->get().has_value();
       },
-      nullptr});
+      nullptr,
+      san::access({blocked, num_ready, workload})});
 
   auto outstanding = places.outstanding_jobs;
   auto load_dist = cfg.load_distribution;
   const SyncMode sync_mode = cfg.sync_mode;
   const SpinlockConfig spinlock = cfg.spinlock;
   if (cfg.workload_trace.empty()) {
+    std::vector<san::PlacePtr> reads;
+    std::vector<san::PlacePtr> writes = {workload, outstanding};
+    if (sync_k > 0) writes.push_back(blocked);
+    if (jobs_until_sync) {
+      reads.push_back(jobs_until_sync);
+      writes.push_back(jobs_until_sync);
+    }
     generate.add_output_gate(san::OutputGate{
         "WL_Output",
         [blocked, workload, outstanding, jobs_until_sync, load_dist, sync_k,
@@ -73,7 +87,8 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
           if (w.sync_point) blocked->set(1);
           workload->set(w);
           outstanding->mut() += 1;
-        }});
+        },
+        san::access(std::move(reads), std::move(writes), {outstanding})});
   } else {
     // Trace replay: deterministic job sequence, cycled. The cursor is a
     // place so each replication restarts the trace from the beginning.
@@ -89,7 +104,9 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
           if (w.sync_point) blocked->set(1);
           workload->set(w);
           outstanding->mut() += 1;
-        }});
+        },
+        san::access({cursor}, {cursor, blocked, workload, outstanding},
+                    {outstanding})});
   }
 }
 
@@ -120,8 +137,16 @@ void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
       [workload, num_ready]() {
         return workload->get().has_value() && num_ready->get() > 0;
       },
-      nullptr});
+      nullptr,
+      san::access({workload, num_ready})});
 
+  std::vector<san::PlacePtr> dispatch_reads = {workload, next_vcpu};
+  std::vector<san::PlacePtr> dispatch_writes = {workload, num_ready,
+                                                next_vcpu};
+  for (const auto& slot : places.slots) {
+    dispatch_reads.push_back(slot);
+    dispatch_writes.push_back(slot);
+  }
   auto slots = places.slots;  // copy of shared_ptr vector
   scheduling.add_output_gate(san::OutputGate{
       "JS_Dispatch", [workload, num_ready, slots, next_vcpu](san::GateContext&) {
@@ -148,7 +173,9 @@ void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
         // marking and Num_VCPUs_ready disagree.
         throw std::logic_error(
             "Job Scheduler: Num_VCPUs_ready > 0 but no READY VCPU slot");
-      }});
+      },
+      san::access(std::move(dispatch_reads), std::move(dispatch_writes),
+                  {num_ready})});
 }
 
 void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
@@ -177,7 +204,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
   clock.add_input_gate(san::InputGate{
       "Processing_enabled",
       [slot]() { return slot->get().status == VcpuStatus::kBusy; },
-      nullptr});
+      nullptr,
+      san::access({slot})});
 
   auto blocked = places.blocked;
   auto num_ready = places.num_vcpus_ready;
@@ -185,6 +213,22 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
   auto completed = places.completed_jobs;
   auto lock = places.lock;            // null when spinlock disabled
   auto spin_ticks = places.spin_ticks;
+  // Footprint: the per-tick counters are commutative increments; the
+  // barrier release is a convergent store (every writer stores 0); the
+  // lock acquire is a first-writer-wins race that is valid under any
+  // firing order (that IS spinlock semantics) — all order-independent.
+  std::vector<san::PlacePtr> clock_reads = {slot, outstanding, blocked};
+  std::vector<san::PlacePtr> clock_writes = {slot, num_ready, completed,
+                                             outstanding, blocked};
+  std::vector<san::PlacePtr> clock_commutes = {num_ready, completed,
+                                               outstanding, blocked};
+  if (places.lock != nullptr) {
+    clock_reads.push_back(lock);
+    clock_writes.push_back(lock);
+    clock_writes.push_back(spin_ticks);
+    clock_commutes.push_back(lock);
+    clock_commutes.push_back(spin_ticks);
+  }
   clock.add_output_gate(san::OutputGate{
       "Processing_load",
       [slot, blocked, num_ready, outstanding, completed, lock, spin_ticks,
@@ -229,7 +273,9 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
             blocked->set(0);
           }
         }
-      }});
+      },
+      san::access(std::move(clock_reads), std::move(clock_writes),
+                  std::move(clock_commutes))});
 
   // Schedule_In: the hypervisor granted a PCPU. An INACTIVE VCPU resumes
   // its interrupted workload (BUSY) or becomes READY for new work.
@@ -237,7 +283,7 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
       "Schedule_In_Handler", kScheduleInHandlerPriority);
   in_handler.add_input_gate(san::InputGate{
       "Schedule_In_pending", [schedule_in]() { return schedule_in->get() > 0; },
-      nullptr});
+      nullptr, san::access({schedule_in})});
   in_handler.add_output_gate(san::OutputGate{
       "Apply_Schedule_In",
       [schedule_in, slot, num_ready](san::GateContext&) {
@@ -251,7 +297,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
             num_ready->mut() += 1;
           }
         }
-      }});
+      },
+      san::access({slot}, {schedule_in, slot, num_ready}, {num_ready})});
 
   // Schedule_Out: the hypervisor revoked the PCPU; the VCPU keeps its
   // remaining_load and sync_point (paper III.B.2 INACTIVE note).
@@ -259,7 +306,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
       "Schedule_Out_Handler", kScheduleOutHandlerPriority);
   out_handler.add_input_gate(san::InputGate{
       "Schedule_Out_pending",
-      [schedule_out]() { return schedule_out->get() > 0; }, nullptr});
+      [schedule_out]() { return schedule_out->get() > 0; }, nullptr,
+      san::access({schedule_out})});
   out_handler.add_output_gate(san::OutputGate{
       "Apply_Schedule_Out",
       [schedule_out, slot, num_ready](san::GateContext&) {
@@ -269,7 +317,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
         s.status = VcpuStatus::kInactive;
         s.spinning = false;  // a descheduled VCPU burns no cycles
         // holds_lock deliberately persists: lock-holder preemption.
-      }});
+      },
+      san::access({slot}, {schedule_out, slot, num_ready}, {num_ready})});
 }
 
 VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,

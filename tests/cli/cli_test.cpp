@@ -92,6 +92,16 @@ TEST(Cli, UnknownAlgorithmFails) {
   EXPECT_NE(r.err.find("unknown scheduling algorithm"), std::string::npos);
 }
 
+TEST(Cli, UnknownAlgorithmErrorListsValidNames) {
+  const auto r = run({"--vm", "1", "--algorithm", "warp"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("warp"), std::string::npos);
+  EXPECT_NE(r.err.find("valid algorithms"), std::string::npos);
+  EXPECT_NE(r.err.find("rrs"), std::string::npos);
+  EXPECT_NE(r.err.find("rcs"), std::string::npos);
+  EXPECT_NE(r.err.find("sedf"), std::string::npos);
+}
+
 TEST(Cli, InvalidSystemFails) {
   const auto r = run({"--pcpus", "0", "--vm", "1"});
   EXPECT_EQ(r.exit_code, 1);
@@ -130,6 +140,58 @@ TEST(Cli, MissingScenarioFileFails) {
   const auto r = run({"--scenario", "/nonexistent/path.scn"});
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, LintDefaultSystemIsClean) {
+  const auto r = run({"lint"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(Cli, LintJsonOutput) {
+  const auto r = run({"lint", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"model\":\"Virtual_System\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"errors\":0"), std::string::npos);
+}
+
+TEST(Cli, LintAllAlgorithmsIsClean) {
+  const auto r = run({"lint", "--all-algorithms", "--strict"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+}
+
+TEST(Cli, LintFlagDrivenSystem) {
+  const auto r = run({"lint", "--pcpus", "2", "--vm", "3", "--algorithm",
+                      "scs", "--sync", "0"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+}
+
+TEST(Cli, LintScenarioFilePositional) {
+  const std::string path = ::testing::TempDir() + "/vcpusim_lint.scn";
+  {
+    std::ofstream file(path);
+    file << "pcpus = 2\n[vm only]\nvcpus = 2\nsync_ratio = 3\n";
+  }
+  const auto r = run({"lint", path.c_str()});
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("0 error(s)"), std::string::npos);
+}
+
+TEST(Cli, LintUnknownAlgorithmFailsWithValidNames) {
+  const auto r = run({"lint", "--algorithm", "warp"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown scheduling algorithm"), std::string::npos);
+  EXPECT_NE(r.err.find("valid algorithms"), std::string::npos);
+}
+
+TEST(Cli, LintHelpShowsVerb) {
+  const auto r = run({"--help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("vcpusim lint"), std::string::npos);
+  EXPECT_NE(r.out.find("--strict"), std::string::npos);
+  EXPECT_NE(r.out.find("--all-algorithms"), std::string::npos);
 }
 
 }  // namespace

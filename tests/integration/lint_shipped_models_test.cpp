@@ -1,0 +1,70 @@
+// Whole-repo lint gate: every shipped system configuration, built under
+// every registered algorithm, must pass static analysis with zero
+// diagnostics, and the exp runner's opt-in lint hook must accept them.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "san/analyze/analyzer.hpp"
+#include "sched/contract.hpp"
+#include "sched/registry.hpp"
+#include "vm/config.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim {
+namespace {
+
+std::vector<vm::SystemConfig> shipped_configs() {
+  std::vector<vm::SystemConfig> configs;
+  // The paper's experiment: 4 PCPUs, 2 VMs x 2 VCPUs, 1:5 sync ratio.
+  configs.push_back(vm::make_symmetric_config(4, {2, 2}, 5));
+  // No synchronization at all.
+  configs.push_back(vm::make_symmetric_config(2, {2, 2}, 0));
+  // Asymmetric consolidation with a spinlock-extended VM.
+  auto mixed = vm::make_symmetric_config(4, {4, 2, 1}, 3);
+  mixed.vms[0].spinlock.enabled = true;
+  mixed.vms[0].spinlock.lock_probability = 0.5;
+  configs.push_back(mixed);
+  return configs;
+}
+
+TEST(LintShippedModels, EveryAlgorithmOnEveryConfigIsClean) {
+  for (const auto& config : shipped_configs()) {
+    for (const auto& algorithm : sched::builtin_algorithms()) {
+      const auto factory = sched::make_factory(algorithm);
+      const auto system = vm::build_system(config, factory());
+      const auto report = san::analyze::Analyzer().analyze(*system->model);
+      EXPECT_TRUE(report.footprints_complete) << algorithm;
+      EXPECT_TRUE(report.clean())
+          << algorithm << " on " << config.vms.size() << " VMs:\n"
+          << report.render_text();
+    }
+  }
+}
+
+TEST(LintShippedModels, BuiltinContractsAreClean) {
+  const auto diags = sched::check_builtin_contracts();
+  std::string rendered;
+  for (const auto& d : diags) rendered += d.to_text() + "\n";
+  EXPECT_TRUE(diags.empty()) << rendered;
+}
+
+TEST(LintShippedModels, RunnerLintOptInAcceptsShippedModels) {
+  exp::RunSpec spec;
+  spec.system = vm::make_symmetric_config(2, {1, 1}, 5);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.lint = true;
+  spec.end_time = 120.0;
+  spec.warmup = 20.0;
+  spec.policy.min_replications = 2;
+  spec.policy.max_replications = 2;
+
+  const auto result = exp::run_point(
+      spec, {{exp::MetricKind::kMeanVcpuAvailability, -1, ""}});
+  EXPECT_EQ(result.replications, 2u);
+}
+
+}  // namespace
+}  // namespace vcpusim

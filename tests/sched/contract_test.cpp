@@ -1,0 +1,188 @@
+// Scheduler-contract checker tests: every builtin passes; deliberately
+// broken factories / algorithms produce the exact diagnostic.
+#include "sched/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sched/round_robin.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using san::analyze::Diagnostic;
+using san::analyze::Severity;
+
+bool any_message_contains(const std::vector<Diagnostic>& diags,
+                          const std::string& needle) {
+  for (const auto& d : diags) {
+    if (d.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SchedulerContract, AllBuiltinsPass) {
+  const auto diagnostics = check_builtin_contracts();
+  std::string rendered;
+  for (const auto& d : diagnostics) rendered += d.to_text() + "\n";
+  EXPECT_TRUE(diagnostics.empty()) << rendered;
+}
+
+TEST(SchedulerContract, NullFactoryDiagnosed) {
+  const auto diags = check_scheduler_contract("null", vm::SchedulerFactory{});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.front().severity, Severity::kError);
+  EXPECT_EQ(diags.front().check, san::analyze::check::kSchedulerContract);
+  EXPECT_TRUE(any_message_contains(diags, "null scheduler factory"));
+}
+
+TEST(SchedulerContract, NullInstanceDiagnosed) {
+  const auto diags = check_scheduler_contract(
+      "broken", [] { return vm::SchedulerPtr{}; });
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(any_message_contains(diags, "returned a null scheduler"));
+}
+
+/// Keeps ONE stateful instance across factory calls — the
+/// replication-safety violation the checker must catch. The internal
+/// call counter has period 5, coprime to the checker's drive length, so
+/// a warmed instance is guaranteed to diverge from a cold run.
+TEST(SchedulerContract, SharedInstanceFactoryIsNotReplicationSafe) {
+  struct Skewed : vm::Scheduler {
+    long calls = 0;
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      const auto pick = static_cast<std::size_t>(calls++ % 5);
+      if (pick < vcpus.size() && vcpus[pick].assigned_pcpu < 0) {
+        for (const auto& p : pcpus) {
+          if (p.assigned_vcpu < 0) {
+            vcpus[pick].schedule_in = p.pcpu_id;
+            break;
+          }
+        }
+      }
+      return true;
+    }
+    std::string name() const override { return "skewed"; }
+  };
+  auto shared = std::make_shared<Skewed>();
+
+  struct Proxy : vm::Scheduler {
+    std::shared_ptr<vm::Scheduler> inner;
+    explicit Proxy(std::shared_ptr<vm::Scheduler> s) : inner(std::move(s)) {}
+    bool schedule(std::span<vm::VCPU_host_external> v,
+                  std::span<vm::PCPU_external> p, long t) override {
+      return inner->schedule(v, p, t);
+    }
+    std::string name() const override { return inner->name(); }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "shared-skewed", [shared] { return std::make_unique<Proxy>(shared); });
+  EXPECT_TRUE(any_message_contains(diags, "not replication-safe"))
+      << "the warmed shared instance must diverge from a cold run";
+}
+
+TEST(SchedulerContract, SnapshotMutationDiagnosed) {
+  struct Vandal : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external>, long) override {
+      vcpus[0].remaining_load = -1.0;  // read-only field
+      return true;
+    }
+    std::string name() const override { return "vandal"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "vandal", [] { return std::make_unique<Vandal>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().severity, Severity::kError);
+  EXPECT_TRUE(any_message_contains(diags, "mutated a read-only snapshot"));
+}
+
+TEST(SchedulerContract, PcpuArrayMutationDiagnosed) {
+  struct Vandal : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external>,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      pcpus[0].state = 1;
+      pcpus[0].assigned_vcpu = 3;
+      return true;
+    }
+    std::string name() const override { return "pcpu-vandal"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "pcpu-vandal", [] { return std::make_unique<Vandal>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "PCPU snapshot array"));
+}
+
+TEST(SchedulerContract, OutOfRangeAssignmentDiagnosed) {
+  struct Rogue : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external>, long) override {
+      vcpus[0].schedule_in = 99;  // no such PCPU
+      return true;
+    }
+    std::string name() const override { return "rogue"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "rogue", [] { return std::make_unique<Rogue>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "out-of-range PCPU 99"));
+}
+
+TEST(SchedulerContract, ThrowingSchedulerDiagnosed) {
+  struct Thrower : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external>,
+                  std::span<vm::PCPU_external>, long) override {
+      throw std::runtime_error("boom");
+    }
+    std::string name() const override { return "thrower"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "thrower", [] { return std::make_unique<Thrower>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "threw"));
+  EXPECT_TRUE(any_message_contains(diags, "boom"));
+}
+
+TEST(SchedulerContract, FailureReturnDiagnosed) {
+  struct Refuser : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external>,
+                  std::span<vm::PCPU_external>, long) override {
+      return false;
+    }
+    std::string name() const override { return "refuser"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "refuser", [] { return std::make_unique<Refuser>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "reported failure"));
+}
+
+TEST(SchedulerContract, EmptyNameWarned) {
+  struct Nameless : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external>,
+                  std::span<vm::PCPU_external>, long) override {
+      return true;  // idles forever: decision log stays empty but equal
+    }
+    std::string name() const override { return ""; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "nameless", [] { return std::make_unique<Nameless>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().severity, Severity::kWarning);
+  EXPECT_TRUE(any_message_contains(diags, "empty name()"));
+}
+
+}  // namespace
+}  // namespace vcpusim::sched
