@@ -2,6 +2,7 @@
 // handling, headers, and the common (algorithm x configuration) runner.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,6 +35,16 @@ inline void print_header(const std::string& title,
             << "==============================================================\n";
 }
 
+/// Replication worker threads from the environment (VCPUSIM_JOBS;
+/// 0 = all hardware threads). Estimates are bit-identical for every
+/// value, so this only changes wall-clock time — see docs/PERFORMANCE.md.
+inline std::size_t jobs_from_env() {
+  const char* v = std::getenv("VCPUSIM_JOBS");
+  if (v == nullptr || *v == '\0') return 1;
+  const long long n = std::atoll(v);
+  return n < 0 ? 1 : static_cast<std::size_t>(n);
+}
+
 /// Evaluate one metric for one algorithm on one system configuration,
 /// under the environment-selected quality preset.
 inline stats::MetricEstimate run_metric(const std::string& algorithm,
@@ -45,6 +56,7 @@ inline stats::MetricEstimate run_metric(const std::string& algorithm,
   spec.scheduler = sched::make_factory(algorithm);
   spec.base_seed = base_seed;
   spec.lint = true;  // figure runs are long — fail on wiring mistakes early
+  spec.jobs = jobs_from_env();
   exp::apply(exp::quality_from_env(), spec);
   auto result = exp::run_point(spec, {metric});
   return result.metrics.front();
@@ -60,6 +72,7 @@ inline stats::ReplicationResult run_metrics(
   spec.scheduler = sched::make_factory(algorithm);
   spec.base_seed = base_seed;
   spec.lint = true;  // figure runs are long — fail on wiring mistakes early
+  spec.jobs = jobs_from_env();
   exp::apply(exp::quality_from_env(), spec);
   return exp::run_point(spec, metrics);
 }

@@ -1,8 +1,12 @@
 // google-benchmark microbenchmarks of the discrete-event SAN kernel:
-// events/second across system sizes, plus the primitive building blocks
-// (RNG, distribution sampling, event queue churn via an M/M/1 model).
+// events/second across system sizes, the primitive building blocks
+// (RNG, distribution sampling, event queue churn via an M/M/1 model),
+// replication-level parallel speedup, and incremental-enabling settle
+// throughput. CI publishes the parallel/settle numbers as
+// BENCH_parallel.json (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include "exp/runner.hpp"
 #include "san/simulator.hpp"
 #include "sched/registry.hpp"
 #include "stats/distribution.hpp"
@@ -101,6 +105,61 @@ BENCHMARK_CAPTURE(BM_SchedulerTick, rcs, std::string("rcs"))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SchedulerTick, credit, std::string("credit"))
     ->Unit(benchmark::kMillisecond);
+
+/// Parallel replication speedup: a fig8-style run_point with a fixed
+/// replication count (min == max, unreachable CI target, so every jobs
+/// value does identical work) at arg = worker threads. The 8-job row
+/// over the 1-job row is the speedup figure the CI perf-smoke job
+/// records; results are bit-identical across rows by construction.
+void BM_ParallelRunPoint(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  exp::RunSpec spec;
+  spec.system = vm::make_symmetric_config(2, {2, 1, 1}, 5);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.end_time = 1500.0;
+  spec.warmup = 200.0;
+  spec.jobs = jobs;
+  spec.policy.min_replications = 16;
+  spec.policy.max_replications = 16;
+  spec.policy.target_half_width = 1e-12;  // never converges early
+  double total_replications = 0;
+  for (auto _ : state) {
+    const auto result = exp::run_point(
+        spec, {{exp::MetricKind::kMeanVcpuAvailability, -1, ""}});
+    total_replications += static_cast<double>(result.replications);
+  }
+  state.counters["replications_per_s"] =
+      benchmark::Counter(total_replications, benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_ParallelRunPoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Incremental vs full-scan enabling on a large composed system: the
+/// same trajectory, with settle() either re-evaluating every activity
+/// after each firing (arg = 0) or only the footprint-affected ones
+/// (arg = 1). events_per_s is the settle-throughput figure.
+void BM_SettleEnabling(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const int vms = 12;  // 24 VCPUs on 12 PCPUs: wide activity fan-out
+  double total_events = 0;
+  for (auto _ : state) {
+    auto system = vm::build_system(
+        vm::make_symmetric_config(
+            vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5),
+        sched::make_factory("rrs")());
+    san::SimulatorConfig config;
+    config.end_time = 600.0;
+    config.seed = 17;
+    config.incremental_enabling = incremental;
+    const auto stats_out = san::run_once(*system->model, config);
+    total_events += static_cast<double>(stats_out.events);
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+  state.counters["incremental"] = incremental ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SettleEnabling)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -39,6 +39,9 @@ constexpr const char* kUsage = R"(usage: vcpusim [options]
   --seed S               base seed (default 42)
   --half-width W         CI half-width convergence target (default 0.02)
   --max-replications N   replication cap (default 40)
+  --jobs N               worker threads for replication batches
+                         (default 1; 0 = all hardware threads). Results
+                         are identical for every value of N
   --csv                  emit CSV instead of an aligned table
   --compare              run ALL registered algorithms on the configured
                          system and print one row per algorithm
@@ -138,6 +141,15 @@ int parse_args(int argc, const char* const* argv, Options& options,
         const char* v = need_value("--max-replications");
         if (v == nullptr) return 1;
         spec.policy.max_replications = static_cast<std::size_t>(std::atoll(v));
+      } else if (arg == "--jobs") {
+        const char* v = need_value("--jobs");
+        if (v == nullptr) return 1;
+        const long long n = std::atoll(v);
+        if (n < 0) {
+          err << "vcpusim: --jobs must be >= 0\n";
+          return 1;
+        }
+        spec.jobs = static_cast<std::size_t>(n);
       } else {
         err << "vcpusim: unknown option '" << arg << "' (--help for usage)\n";
         return 1;

@@ -166,6 +166,10 @@ Scenario parse_scenario(std::istream& in) {
       } else if (key == "max_replications") {
         scenario.spec.policy.max_replications =
             static_cast<std::size_t>(parse_number(line, key, value));
+      } else if (key == "jobs") {
+        const double n = parse_number(line, key, value);
+        if (n < 0) fail(line, "jobs must be >= 0");
+        scenario.spec.jobs = static_cast<std::size_t>(n);
       } else if (key == "metrics") {
         for (const auto& m : split(value, ',')) {
           try {

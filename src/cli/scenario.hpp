@@ -12,6 +12,7 @@
 //   half_width = 0.02
 //   min_replications = 6
 //   max_replications = 40
+//   jobs = 4                     # replication worker threads (0 = all)
 //   metrics = vcpu_utilization, pcpu_utilization, throughput
 //
 //   [vm web]

@@ -161,7 +161,8 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     return obs;
   };
 
-  return stats::run_replications(names, one_replication, spec.policy);
+  return stats::run_replications(names, one_replication, spec.policy,
+                                 spec.jobs);
 }
 
 }  // namespace vcpusim::exp

@@ -55,6 +55,13 @@ struct RunSpec {
   san::Time end_time = 3000.0;
   san::Time warmup = 200.0;  ///< rewards start accruing here
   std::uint64_t base_seed = 42;
+
+  /// Worker threads for the replication batches (0 = hardware
+  /// concurrency). Replications are independently seeded and folded in
+  /// index order, so every value of `jobs` yields the same
+  /// ReplicationResult bit for bit. See docs/PERFORMANCE.md.
+  std::size_t jobs = 1;
+
   stats::ReplicationPolicy policy{
       .confidence = 0.95,
       .target_half_width = 0.02,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sched/registry.hpp"
+#include "stats/executor.hpp"
 
 namespace vcpusim::exp {
 
@@ -26,7 +27,7 @@ Table SweepResult::to_table(const std::string& axis_name) const {
 
 SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points,
                       const std::vector<std::string>& algorithms,
-                      const MetricRequest& metric) {
+                      const MetricRequest& metric, std::size_t jobs) {
   if (points.empty()) {
     throw std::invalid_argument("run_sweep: no sweep points");
   }
@@ -43,21 +44,24 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
   }
   result.column_labels = algorithms;
 
-  for (const auto& point : points) {
-    std::vector<SweepCell> row;
-    for (const auto& algorithm : algorithms) {
-      RunSpec spec = base;
-      point.apply(spec);
-      spec.scheduler = sched::make_factory(algorithm);
-      const auto outcome = run_point(spec, {metric});
-      SweepCell cell;
-      cell.ci = outcome.metrics.front().ci;
-      cell.replications = outcome.replications;
-      cell.converged = outcome.converged;
-      row.push_back(cell);
-    }
-    result.cells.push_back(std::move(row));
-  }
+  // Every cell is an independent experiment (fresh RunSpec, its own seed
+  // stream), so the grid can be dispatched in any order: workers write
+  // disjoint preallocated [row][column] slots.
+  const std::size_t columns = algorithms.size();
+  result.cells.assign(points.size(), std::vector<SweepCell>(columns));
+  stats::ParallelExecutor executor(jobs);
+  executor.run_indexed(points.size() * columns, [&](std::size_t i) {
+    const std::size_t row = i / columns;
+    const std::size_t column = i % columns;
+    RunSpec spec = base;
+    points[row].apply(spec);
+    spec.scheduler = sched::make_factory(algorithms[column]);
+    const auto outcome = run_point(spec, {metric});
+    SweepCell& cell = result.cells[row][column];
+    cell.ci = outcome.metrics.front().ci;
+    cell.replications = outcome.replications;
+    cell.converged = outcome.converged;
+  });
   return result;
 }
 

@@ -42,8 +42,14 @@ struct SweepResult {
 /// mutates a copy. Algorithms are registry names (sched::make_factory).
 /// Throws std::invalid_argument on empty points/algorithms or a point
 /// without an `apply` function.
+///
+/// `jobs` spreads the grid's cells over worker threads (0 = hardware
+/// concurrency). Cells are independent experiments with their own seeds,
+/// so the result is identical for every value of `jobs`; it composes
+/// with `base.jobs`, which parallelizes the replications *inside* each
+/// cell. See docs/PERFORMANCE.md for guidance on picking the split.
 SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points,
                       const std::vector<std::string>& algorithms,
-                      const MetricRequest& metric);
+                      const MetricRequest& metric, std::size_t jobs = 1);
 
 }  // namespace vcpusim::exp

@@ -42,7 +42,8 @@ stats::ReplicationResult run_experiment(
     return obs;
   };
 
-  return stats::run_replications(metric_names, one_rep, config.policy);
+  return stats::run_replications(metric_names, one_rep, config.policy,
+                                 config.jobs);
 }
 
 }  // namespace vcpusim::san

@@ -36,6 +36,10 @@ struct ExperimentConfig {
   Time end_time = 10'000.0;
   std::uint64_t base_seed = 42;  ///< replication r runs with a seed derived from this
   stats::ReplicationPolicy policy{};
+  /// Worker threads for replication batches (0 = hardware concurrency).
+  /// Results are bit-identical for every value; with jobs > 1 the
+  /// ReplicaFactory must be safe to call concurrently.
+  std::size_t jobs = 1;
 };
 
 /// Run replications of the model produced by `factory` until every

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace vcpusim::san {
 
@@ -26,6 +27,85 @@ void Simulator::set_model(ComposedModel& model) {
       activities_.push_back(a);
     }
   }
+  timed_marked_.assign(activities_.size(), 0);
+  inst_marked_.assign(instantaneous_.size(), 0);
+  inst_enabled_.assign(instantaneous_.size(), 0);
+  use_incremental_ = config_.incremental_enabling;
+  if (use_incremental_) build_dependency_index();
+}
+
+void Simulator::build_dependency_index() {
+  place_deps_.clear();
+  timed_writes_.assign(activities_.size(), {});
+  inst_writes_.assign(instantaneous_.size(), {});
+  timed_writes_declared_.assign(activities_.size(), 1);
+  inst_writes_declared_.assign(instantaneous_.size(), 1);
+  always_timed_.clear();
+  always_inst_.clear();
+
+  std::unordered_map<const PlaceBase*, std::uint32_t> place_ids;
+  const auto id_of = [&](const PlacePtr& place) {
+    const auto [it, inserted] = place_ids.emplace(
+        place.get(), static_cast<std::uint32_t>(place_deps_.size()));
+    if (inserted) place_deps_.emplace_back();
+    return it->second;
+  };
+  const auto add_unique = [](std::vector<std::uint32_t>& v, std::uint32_t id) {
+    if (std::find(v.begin(), v.end(), id) == v.end()) v.push_back(id);
+  };
+
+  const auto index_activity = [&](const Activity& a, bool timed,
+                                  std::uint32_t index) {
+    // Enabling depends on the input-gate predicates, so the read set is
+    // the union of the input gates' declared reads; one undeclared input
+    // gate makes the activity's enabling opaque (re-evaluate always).
+    // The write set unions the input functions' and every case's output
+    // gates' declared writes; one undeclared gate makes the firing's
+    // effect opaque (full re-scan after it fires).
+    bool reads_declared = true;
+    bool writes_declared = true;
+    std::vector<std::uint32_t> reads;
+    auto& writes = timed ? timed_writes_[index] : inst_writes_[index];
+    for (const InputGate& gate : a.input_gates()) {
+      if (!gate.footprint.declared) {
+        reads_declared = false;
+        writes_declared = false;
+        continue;
+      }
+      for (const PlacePtr& p : gate.footprint.reads) add_unique(reads, id_of(p));
+      for (const PlacePtr& p : gate.footprint.writes)
+        add_unique(writes, id_of(p));
+    }
+    for (const Case& c : a.cases()) {
+      for (const OutputGate& gate : c.output_gates) {
+        if (!gate.footprint.declared) {
+          writes_declared = false;
+          continue;
+        }
+        for (const PlacePtr& p : gate.footprint.writes)
+          add_unique(writes, id_of(p));
+      }
+    }
+    (timed ? timed_writes_declared_ : inst_writes_declared_)[index] =
+        writes_declared ? 1 : 0;
+    if (!reads_declared) {
+      // Kept out of place_deps_ so the settle-round merge sees each
+      // activity at most twice (dirty + always), never more.
+      (timed ? always_timed_ : always_inst_).push_back(index);
+      return;
+    }
+    for (const std::uint32_t place : reads) {
+      auto& deps = place_deps_[place];
+      add_unique(timed ? deps.timed : deps.inst, index);
+    }
+  };
+
+  for (std::uint32_t t = 0; t < activities_.size(); ++t) {
+    index_activity(*activities_[t], true, t);
+  }
+  for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
+    index_activity(*instantaneous_[j], false, j);
+  }
 }
 
 void Simulator::add_reward(RewardVariable& reward) {
@@ -42,15 +122,74 @@ void Simulator::advance_time(Time to) {
   now_ = to;
 }
 
-void Simulator::schedule(Activity& activity) {
+void Simulator::schedule(std::uint32_t timed_index) {
+  Activity& activity = *activities_[timed_index];
   const Time delay = activity.sample_delay(rng_);
   if (delay < 0) {
     throw std::logic_error("Simulator: negative delay sampled for activity " +
                            activity.name());
   }
   activity.mark_scheduled();
-  queue_.push(Event{now_ + delay, activity.priority(), seq_++, &activity,
-                    activity.activation_id()});
+  queue_.push_back(Event{now_ + delay, activity.priority(), seq_++, &activity,
+                         activity.activation_id(), timed_index});
+  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+}
+
+void Simulator::transition_timed(std::uint32_t timed_index) {
+  Activity& a = *activities_[timed_index];
+  const bool en = a.enabled();
+  if (en && !a.scheduled()) {
+    schedule(timed_index);
+  } else if (!en && a.scheduled()) {
+    a.cancel_activation();
+  }
+}
+
+void Simulator::mark_timed(std::uint32_t timed_index) {
+  if (timed_marked_[timed_index]) return;
+  timed_marked_[timed_index] = 1;
+  dirty_timed_.push_back(timed_index);
+}
+
+void Simulator::mark_inst(std::uint32_t inst_index) {
+  if (inst_marked_[inst_index]) return;
+  inst_marked_[inst_index] = 1;
+  dirty_inst_.push_back(inst_index);
+}
+
+void Simulator::mark_place(std::uint32_t place_id) {
+  const PlaceDeps& deps = place_deps_[place_id];
+  for (const std::uint32_t t : deps.timed) mark_timed(t);
+  for (const std::uint32_t j : deps.inst) mark_inst(j);
+}
+
+void Simulator::mark_fired(bool timed, std::uint32_t index) {
+  if (!use_incremental_ || dirty_all_) return;
+  // The fired activity itself always needs a fresh look: a timed one may
+  // still be enabled and must re-activate even if it reads nothing.
+  if (timed) {
+    mark_timed(index);
+  } else {
+    mark_inst(index);
+  }
+  const bool declared = timed ? timed_writes_declared_[index] != 0
+                              : inst_writes_declared_[index] != 0;
+  if (!declared) {
+    dirty_all_ = true;  // unknown write set: rescan everything
+    return;
+  }
+  for (const std::uint32_t place :
+       timed ? timed_writes_[index] : inst_writes_[index]) {
+    mark_place(place);
+  }
+}
+
+void Simulator::clear_dirty() {
+  for (const std::uint32_t t : dirty_timed_) timed_marked_[t] = 0;
+  for (const std::uint32_t j : dirty_inst_) inst_marked_[j] = 0;
+  dirty_timed_.clear();
+  dirty_inst_.clear();
+  dirty_all_ = false;
 }
 
 void Simulator::complete(Activity& activity) {
@@ -64,21 +203,58 @@ void Simulator::complete(Activity& activity) {
 void Simulator::settle() {
   std::uint32_t chain = 0;
   for (;;) {
-    // Abort activations of timed activities the new marking disables and
-    // activate the newly enabled ones.
-    for (Activity* a : activities_) {
-      const bool en = a->enabled();
-      if (en && !a->scheduled()) {
-        schedule(*a);
-      } else if (!en && a->scheduled()) {
-        a->cancel_activation();
+    if (!use_incremental_ || dirty_all_) {
+      // Full scan: re-evaluate every activity's enabling.
+      for (std::uint32_t t = 0; t < activities_.size(); ++t) {
+        transition_timed(t);
       }
+      for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
+        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+      }
+      if (use_incremental_) clear_dirty();
+    } else {
+      // Incremental: only activities whose read set intersects the places
+      // written since the last round, plus the undeclared-footprint ones.
+      // Timed re-evaluation must run in ascending activity order — the
+      // order schedule() consumes the RNG in a full scan — to keep
+      // trajectories bit-identical.
+      std::sort(dirty_timed_.begin(), dirty_timed_.end());
+      std::size_t di = 0;
+      std::size_t ai = 0;
+      while (di < dirty_timed_.size() || ai < always_timed_.size()) {
+        std::uint32_t t;
+        if (ai == always_timed_.size()) {
+          t = dirty_timed_[di++];
+        } else if (di == dirty_timed_.size()) {
+          t = always_timed_[ai++];
+        } else if (dirty_timed_[di] < always_timed_[ai]) {
+          t = dirty_timed_[di++];
+        } else if (always_timed_[ai] < dirty_timed_[di]) {
+          t = always_timed_[ai++];
+        } else {
+          t = dirty_timed_[di++];
+          ++ai;
+        }
+        transition_timed(t);
+      }
+      for (const std::uint32_t j : dirty_inst_) {
+        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+      }
+      for (const std::uint32_t j : always_inst_) {
+        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+      }
+      clear_dirty();
     }
-    // Fire the highest-priority enabled instantaneous activity, if any.
+    // Fire the highest-priority enabled instantaneous activity, if any
+    // (cached flags; ties resolve to the lowest index, as the full
+    // predicate scan always did).
     Activity* next = nullptr;
-    for (Activity* a : instantaneous_) {
-      if (a->enabled() && (next == nullptr || a->priority() > next->priority())) {
-        next = a;
+    std::uint32_t next_index = 0;
+    for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
+      if (!inst_enabled_[j]) continue;
+      if (next == nullptr || instantaneous_[j]->priority() > next->priority()) {
+        next = instantaneous_[j];
+        next_index = j;
       }
     }
     if (next == nullptr) return;
@@ -88,6 +264,7 @@ void Simulator::settle() {
           " still enabled after " + std::to_string(chain) + " zero-time firings)");
     }
     complete(*next);
+    mark_fired(false, next_index);
   }
 }
 
@@ -97,12 +274,17 @@ void Simulator::reset() {
   }
   model_->reset_marking();
   for (RewardVariable* r : rewards_) r->reset();
-  queue_ = {};
+  queue_.clear();
+  // Steady state holds ~one live event per timed activity plus aborted
+  // stragglers; reserving up front keeps the hot loop reallocation-free.
+  queue_.reserve(4 * activities_.size() + 16);
   now_ = 0.0;
   events_ = 0;
   hit_event_cap_ = false;
   started_ = true;
-  settle();  // initial activations + zero-time transient
+  clear_dirty();
+  dirty_all_ = true;  // initial activations: everything gets a first look
+  settle();
 }
 
 RunStats Simulator::advance_until(Time t) {
@@ -115,13 +297,15 @@ RunStats Simulator::advance_until(Time t) {
       hit_event_cap_ = true;
       break;
     }
-    const Event ev = queue_.top();
+    const Event ev = queue_.front();
     if (ev.time > horizon) break;
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
+    queue_.pop_back();
     if (ev.activation != ev.activity->activation_id()) continue;  // aborted
     advance_time(ev.time);
     ev.activity->cancel_activation();  // consume this activation
     complete(*ev.activity);
+    mark_fired(true, ev.timed_index);
     settle();
   }
   advance_time(horizon);

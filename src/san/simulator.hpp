@@ -10,15 +10,22 @@
 //    highest priority fires first.
 //  * Timed completions at the same instant fire in descending priority,
 //    FIFO within equal priority.
-//  * After every completion the enabling of all activities is
-//    re-evaluated (models here are small; O(activities) per event).
+//  * After every completion the enabling of affected activities is
+//    re-evaluated. When gates declare their marking footprints
+//    (GateAccess), a place -> dependent-activities index built at
+//    set_model() time restricts re-evaluation to activities whose read
+//    set intersects the fired activity's write set — O(affected) instead
+//    of O(all activities). Activities with undeclared read footprints are
+//    re-evaluated every time, and a fired activity with an undeclared
+//    write footprint forces a full re-scan, so partially annotated models
+//    stay correct. See docs/PERFORMANCE.md.
 //
 // Rate rewards are accrued over each dwell interval before the marking
 // changes; impulse rewards on each completion.
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "san/model.hpp"
@@ -36,6 +43,10 @@ struct SimulatorConfig {
   /// Max instantaneous completions at one instant before the simulator
   /// declares the model ill-formed (zero-time livelock).
   std::uint32_t max_instantaneous_chain = 1'000'000;
+  /// Use the footprint-driven enabling index (identical trajectories to
+  /// the full scan as long as declared footprints are complete; the flag
+  /// exists for benchmarking and for distrusting annotations).
+  bool incremental_enabling = true;
 };
 
 struct RunStats {
@@ -48,8 +59,10 @@ class Simulator {
  public:
   explicit Simulator(SimulatorConfig config);
 
-  /// Register the model to execute. The model's marking is reset at the
-  /// start of run(). Must be called exactly once before run().
+  /// Register the model to execute. Builds the enabling-dependency index
+  /// from the model's declared gate footprints. The model's marking is
+  /// reset at the start of run(). Must be called exactly once before
+  /// run().
   void set_model(ComposedModel& model);
 
   /// Register a reward variable (reset at the start of run()).
@@ -83,7 +96,11 @@ class Simulator {
     std::uint64_t seq;  // FIFO tie-break
     Activity* activity;
     std::uint64_t activation;
+    std::uint32_t timed_index;  // into activities_, for the dirty index
   };
+  static_assert(std::is_trivially_copyable_v<Event>,
+                "Event must stay a trivially copyable POD: the queue is a "
+                "flat vector churned in the hot loop");
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -91,14 +108,29 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// Dependents of one place: the activities whose enabling may change
+  /// when its marking does.
+  struct PlaceDeps {
+    std::vector<std::uint32_t> timed;
+    std::vector<std::uint32_t> inst;
+  };
 
+  void build_dependency_index();
   void advance_time(Time to);
   void complete(Activity& activity);
   /// (Re)activate / abort timed activities after a marking change and
   /// fire any enabled instantaneous activities (in priority order) until
   /// quiescent.
   void settle();
-  void schedule(Activity& activity);
+  void schedule(std::uint32_t timed_index);
+  /// Re-evaluate one timed activity's enabling (activate / abort).
+  void transition_timed(std::uint32_t timed_index);
+  /// Record the marking changes of a completed activity in the dirty set.
+  void mark_fired(bool timed, std::uint32_t index);
+  void mark_place(std::uint32_t place_id);
+  void mark_timed(std::uint32_t timed_index);
+  void mark_inst(std::uint32_t inst_index);
+  void clear_dirty();
 
   SimulatorConfig config_;
   ComposedModel* model_ = nullptr;
@@ -106,13 +138,33 @@ class Simulator {
   std::vector<Activity*> instantaneous_;
   std::vector<RewardVariable*> rewards_;
   std::vector<TraceObserver*> observers_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<Event> queue_;  // binary heap under EventOrder
   stats::Rng rng_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   bool started_ = false;
   bool hit_event_cap_ = false;
+
+  // --- footprint-driven enabling index (built by set_model) ----------
+  bool use_incremental_ = false;
+  std::vector<PlaceDeps> place_deps_;
+  std::vector<std::vector<std::uint32_t>> timed_writes_;  // place ids
+  std::vector<std::vector<std::uint32_t>> inst_writes_;
+  std::vector<std::uint8_t> timed_writes_declared_;
+  std::vector<std::uint8_t> inst_writes_declared_;
+  /// Activities with an undeclared read footprint: re-evaluated on every
+  /// settle round (ascending index, disjoint from place_deps_ entries).
+  std::vector<std::uint32_t> always_timed_;
+  std::vector<std::uint32_t> always_inst_;
+
+  // --- per-round dirty state -----------------------------------------
+  bool dirty_all_ = true;
+  std::vector<std::uint32_t> dirty_timed_;
+  std::vector<std::uint32_t> dirty_inst_;
+  std::vector<std::uint8_t> timed_marked_;
+  std::vector<std::uint8_t> inst_marked_;
+  std::vector<std::uint8_t> inst_enabled_;  // cached enabling flags
 };
 
 /// Convenience: reset `model`, run it once with `config`, return stats.

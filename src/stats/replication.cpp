@@ -1,6 +1,9 @@
 #include "stats/replication.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "stats/executor.hpp"
 
 namespace vcpusim::stats {
 
@@ -11,9 +14,39 @@ const MetricEstimate& ReplicationResult::metric(const std::string& name) const {
   throw std::out_of_range("ReplicationResult: no metric named " + name);
 }
 
+namespace {
+
+/// Fold one replication's observations and decide whether the stopping
+/// rule fires at this replication. Exactly the sequential controller's
+/// per-replication step, so calling it in index order reproduces the
+/// sequential trajectory bit for bit.
+bool fold_and_check(ReplicationResult& result, const std::vector<double>& obs,
+                    std::size_t rep, const ReplicationPolicy& policy) {
+  if (obs.size() != result.metrics.size()) {
+    throw std::runtime_error("run_replications: replication returned " +
+                             std::to_string(obs.size()) + " values, expected " +
+                             std::to_string(result.metrics.size()));
+  }
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    result.metrics[i].samples.add(obs[i]);
+  }
+  result.replications = rep + 1;
+
+  if (result.replications < policy.min_replications) return false;
+  bool all_tight = true;
+  for (auto& m : result.metrics) {
+    m.ci = confidence_interval(m.samples, policy.confidence);
+    if (!m.ci.converged(policy.target_half_width)) all_tight = false;
+  }
+  return all_tight;
+}
+
+}  // namespace
+
 ReplicationResult run_replications(const std::vector<std::string>& metric_names,
                                    const ReplicationFn& fn,
-                                   const ReplicationPolicy& policy) {
+                                   const ReplicationPolicy& policy,
+                                   ParallelExecutor& executor) {
   if (metric_names.empty()) {
     throw std::invalid_argument("run_replications: no metrics");
   }
@@ -26,34 +59,38 @@ ReplicationResult run_replications(const std::vector<std::string>& metric_names,
     result.metrics[i].name = metric_names[i];
   }
 
-  for (std::size_t rep = 0; rep < policy.max_replications; ++rep) {
-    const std::vector<double> obs = fn(rep);
-    if (obs.size() != metric_names.size()) {
-      throw std::runtime_error("run_replications: replication returned " +
-                               std::to_string(obs.size()) + " values, expected " +
-                               std::to_string(metric_names.size()));
-    }
-    for (std::size_t i = 0; i < obs.size(); ++i) {
-      result.metrics[i].samples.add(obs[i]);
-    }
-    result.replications = rep + 1;
+  std::vector<std::vector<double>> batch_obs;
+  for (std::size_t next = 0; next < policy.max_replications;) {
+    // Truncate the final batch so `fn` never sees an index past the cap.
+    const std::size_t batch =
+        std::min(executor.jobs(), policy.max_replications - next);
+    batch_obs.assign(batch, {});
+    executor.run_indexed(
+        batch, [&](std::size_t b) { batch_obs[b] = fn(next + b); });
 
-    if (result.replications < policy.min_replications) continue;
-    bool all_tight = true;
-    for (auto& m : result.metrics) {
-      m.ci = confidence_interval(m.samples, policy.confidence);
-      if (!m.ci.converged(policy.target_half_width)) all_tight = false;
+    // Sequential fold: replications past the stopping point within the
+    // batch were speculative work and are discarded.
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (fold_and_check(result, batch_obs[b], next + b, policy)) {
+        result.converged = true;
+        return result;
+      }
     }
-    if (all_tight) {
-      result.converged = true;
-      return result;
-    }
+    next += batch;
   }
   for (auto& m : result.metrics) {
     m.ci = confidence_interval(m.samples, policy.confidence);
   }
   result.converged = false;
   return result;
+}
+
+ReplicationResult run_replications(const std::vector<std::string>& metric_names,
+                                   const ReplicationFn& fn,
+                                   const ReplicationPolicy& policy,
+                                   std::size_t jobs) {
+  ParallelExecutor executor(jobs);
+  return run_replications(metric_names, fn, policy, executor);
 }
 
 }  // namespace vcpusim::stats

@@ -1,8 +1,17 @@
 // Replication controller: run independent replications of a terminating
 // simulation until every reported metric's confidence interval is tight
 // enough (the Mobius-style stopping rule the paper relies on).
+//
+// Replications can be dispatched to a ParallelExecutor in batches of
+// `jobs`. The stopping rule stays deterministic and thread-count
+// invariant: observations are folded into the Welford accumulators in
+// replication-index order and the convergence decision is re-evaluated
+// in that same order, so the controller stops at exactly the replication
+// a sequential run would have stopped at. Replications of a batch beyond
+// the stopping point are speculative and their observations discarded.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -11,6 +20,8 @@
 #include "stats/welford.hpp"
 
 namespace vcpusim::stats {
+
+class ParallelExecutor;
 
 struct ReplicationPolicy {
   double confidence = 0.95;        ///< confidence level of the intervals
@@ -37,13 +48,29 @@ struct ReplicationResult {
 /// One replication: given the replication index (0-based, usable as an RNG
 /// stream id), produce one observation per metric. The vector size and
 /// ordering must match `metric_names` on every call.
+///
+/// With jobs > 1 the function is invoked concurrently from multiple
+/// threads and speculatively for indices past the stopping point, so it
+/// must be thread-safe and a pure function of the replication index
+/// (derive all randomness from `rep`, e.g. via san::replication_seed).
 using ReplicationFn = std::function<std::vector<double>(std::size_t rep)>;
 
-/// Run replications of `fn` under `policy`. Throws std::invalid_argument
-/// if metric_names is empty, std::runtime_error if fn returns a vector of
+/// Run replications of `fn` under `policy`, dispatching batches of `jobs`
+/// replications to a private ParallelExecutor (jobs == 0 selects the
+/// hardware concurrency). The result is bit-identical for every value of
+/// `jobs`. The final batch is truncated so `fn` is never called with an
+/// index >= policy.max_replications. Throws std::invalid_argument if
+/// metric_names is empty, std::runtime_error if fn returns a vector of
 /// the wrong size.
 ReplicationResult run_replications(const std::vector<std::string>& metric_names,
                                    const ReplicationFn& fn,
-                                   const ReplicationPolicy& policy = {});
+                                   const ReplicationPolicy& policy = {},
+                                   std::size_t jobs = 1);
+
+/// Same, reusing a caller-owned executor (batch size = executor.jobs()).
+ReplicationResult run_replications(const std::vector<std::string>& metric_names,
+                                   const ReplicationFn& fn,
+                                   const ReplicationPolicy& policy,
+                                   ParallelExecutor& executor);
 
 }  // namespace vcpusim::stats

@@ -61,6 +61,25 @@ TEST(Cli, FlagDrivenRunProducesTable) {
   EXPECT_NE(r.out.find("| metric"), std::string::npos);
 }
 
+TEST(Cli, JobsFlagReproducesSequentialOutput) {
+  const std::vector<const char*> base = {
+      "--pcpus", "2", "--vm", "1", "--vm", "1", "--end-time", "300",
+      "--warmup", "50", "--max-replications", "4", "--half-width", "1e-9"};
+  auto with_jobs = base;
+  with_jobs.insert(with_jobs.end(), {"--jobs", "4"});
+  const auto sequential = run(base);
+  const auto parallel = run(with_jobs);
+  EXPECT_EQ(sequential.exit_code, 0) << sequential.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(sequential.out, parallel.out);
+}
+
+TEST(Cli, NegativeJobsFails) {
+  const auto r = run({"--jobs", "-2"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
 TEST(Cli, CsvOutput) {
   const auto r = run({"--pcpus", "2", "--vm", "1", "--end-time", "200",
                       "--warmup", "20", "--max-replications", "3",

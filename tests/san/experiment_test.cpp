@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "stats/distribution.hpp"
+#include "stats/rng.hpp"
 
 namespace vcpusim::san {
 namespace {
@@ -87,6 +91,65 @@ TEST(Experiment, RewardCountMismatchThrows) {
     return r;  // zero rewards, one metric expected
   };
   EXPECT_THROW(run_experiment({"m"}, bad, {}), std::runtime_error);
+}
+
+TEST(Experiment, ReplicationSeedsCollisionFreeOverTenThousandStreams) {
+  // Every replication owns one RNG stream; a seed collision would make
+  // two "independent" replications identical and silently shrink the CI.
+  std::set<std::uint64_t> seeds;
+  constexpr std::size_t kReps = 10'000;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    seeds.insert(replication_seed(42, rep));
+  }
+  EXPECT_EQ(seeds.size(), kReps);
+  // Nearby base seeds must not alias each other's streams either.
+  for (std::size_t rep = 0; rep < 1000; ++rep) {
+    seeds.insert(replication_seed(43, rep));
+  }
+  EXPECT_EQ(seeds.size(), kReps + 1000);
+}
+
+TEST(Experiment, AdjacentReplicationStreamsAreUncorrelated) {
+  // Pearson correlation between the uniform streams of adjacent
+  // replications: with 4096 paired draws, |r| for truly independent
+  // streams concentrates well below 0.05.
+  constexpr std::size_t kDraws = 4096;
+  for (const std::size_t rep : {0u, 1u, 500u, 9998u}) {
+    stats::Rng a(replication_seed(42, rep));
+    stats::Rng b(replication_seed(42, rep + 1));
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const double x = a.uniform01();
+      const double y = b.uniform01();
+      sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+    }
+    const double n = static_cast<double>(kDraws);
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    const double r = cov / std::sqrt(vx * vy);
+    EXPECT_LT(std::abs(r), 0.05) << "rep " << rep;
+  }
+}
+
+TEST(Experiment, ParallelJobsReproduceSequentialEstimates) {
+  ExperimentConfig sequential_config;
+  sequential_config.end_time = 400.0;
+  sequential_config.policy.min_replications = 4;
+  sequential_config.policy.max_replications = 12;
+  sequential_config.policy.target_half_width = 1e-9;  // run to the cap
+  const auto sequential =
+      run_experiment({"busy"}, mm1_factory(0.5, 1.0), sequential_config);
+
+  ExperimentConfig parallel_config = sequential_config;
+  parallel_config.jobs = 4;
+  const auto parallel =
+      run_experiment({"busy"}, mm1_factory(0.5, 1.0), parallel_config);
+
+  EXPECT_EQ(sequential.replications, parallel.replications);
+  EXPECT_EQ(sequential.metric("busy").ci.mean, parallel.metric("busy").ci.mean);
+  EXPECT_EQ(sequential.metric("busy").ci.half_width,
+            parallel.metric("busy").ci.half_width);
 }
 
 TEST(Experiment, ContextKeepsExternalStateAlive) {

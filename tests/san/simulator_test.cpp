@@ -401,6 +401,134 @@ TEST(Simulator, ProbabilisticCasesViaSimulator) {
   EXPECT_NEAR(heads->get() / total, 0.7, 0.02);
 }
 
+// ---------------------------------------------------------------------
+// Footprint-driven incremental enabling: for any mix of declared and
+// undeclared gate footprints, incremental settle must reproduce the
+// full-scan trajectory bit for bit (same RNG consumption order).
+// ---------------------------------------------------------------------
+
+enum class Footprints { kNone, kPartial, kAll };
+
+struct TandemOutcome {
+  std::vector<Recorder::Entry> entries;
+  std::int64_t done = 0;
+  std::uint64_t events = 0;
+};
+
+/// Tandem queue with an instantaneous overflow drain — couples several
+/// activities through shared places so incremental marking has real
+/// propagation to get right.
+TandemOutcome run_tandem(Footprints footprints, bool incremental,
+                         std::uint64_t seed) {
+  const bool declare_most = footprints != Footprints::kNone;
+  const bool declare_all = footprints == Footprints::kAll;
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto q1 = sub.add_place<std::int64_t>("q1", 0);
+  auto q2 = sub.add_place<std::int64_t>("q2", 0);
+  auto done = sub.add_place<std::int64_t>("done", 0);
+
+  auto& arrive = sub.add_timed_activity("arrive", stats::make_exponential(0.9));
+  arrive.add_output_gate({"a", [q1](GateContext&) { q1->mut() += 1; },
+                          declare_most ? access({}, {q1}) : GateAccess{}});
+
+  auto& stage1 = sub.add_timed_activity("stage1", stats::make_exponential(1.1));
+  stage1.add_input_gate({"g1", [q1]() { return q1->get() > 0; }, nullptr,
+                         declare_most ? access({q1}) : GateAccess{}});
+  stage1.add_output_gate({"o1",
+                          [q1, q2](GateContext&) {
+                            q1->mut() -= 1;
+                            q2->mut() += 1;
+                          },
+                          declare_most ? access({}, {q1, q2}) : GateAccess{}});
+
+  // In kPartial mode this activity's gates stay opaque: completing it
+  // must fall back to a full rescan while the rest uses the index.
+  auto& stage2 = sub.add_timed_activity("stage2", stats::make_exponential(1.3));
+  stage2.add_input_gate({"g2", [q2]() { return q2->get() > 0; }, nullptr,
+                         declare_all ? access({q2}) : GateAccess{}});
+  stage2.add_output_gate({"o2",
+                          [q2, done](GateContext&) {
+                            q2->mut() -= 1;
+                            done->mut() += 1;
+                          },
+                          declare_all ? access({}, {q2, done}) : GateAccess{}});
+
+  auto& drain = sub.add_instantaneous_activity("drain");
+  drain.add_input_gate({"gd", [q2]() { return q2->get() > 3; }, nullptr,
+                        declare_most ? access({q2}) : GateAccess{}});
+  drain.add_output_gate({"od",
+                         [q2, done](GateContext&) {
+                           q2->mut() -= 1;
+                           done->mut() += 1;
+                         },
+                         declare_most ? access({}, {q2, done}) : GateAccess{}});
+
+  SimulatorConfig config = config_for(400.0, seed);
+  config.incremental_enabling = incremental;
+  Simulator sim(config);
+  sim.set_model(cm);
+  Recorder rec;
+  sim.add_observer(rec);
+  const auto stats = sim.run();
+  return {std::move(rec.entries), done->get(), stats.events};
+}
+
+TEST(SimulatorIncremental, MatchesFullScanTrajectoryForEveryFootprintMix) {
+  for (const auto footprints :
+       {Footprints::kNone, Footprints::kPartial, Footprints::kAll}) {
+    for (const std::uint64_t seed : {1u, 42u, 9001u}) {
+      const auto full = run_tandem(footprints, false, seed);
+      const auto incremental = run_tandem(footprints, true, seed);
+      SCOPED_TRACE("footprints=" + std::to_string(static_cast<int>(footprints)) +
+                   " seed=" + std::to_string(seed));
+      EXPECT_EQ(full.events, incremental.events);
+      EXPECT_EQ(full.done, incremental.done);
+      ASSERT_EQ(full.entries.size(), incremental.entries.size());
+      for (std::size_t i = 0; i < full.entries.size(); ++i) {
+        EXPECT_EQ(full.entries[i].time, incremental.entries[i].time) << i;
+        EXPECT_EQ(full.entries[i].activity, incremental.entries[i].activity)
+            << i;
+        EXPECT_EQ(full.entries[i].case_index, incremental.entries[i].case_index)
+            << i;
+      }
+    }
+  }
+}
+
+TEST(SimulatorIncremental, FreeRunningClockKeepsFiringWithDeclaredWrites) {
+  // A clock with no input gates reads nothing, so no marking change ever
+  // marks it dirty — completing it must still re-activate it.
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto count = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate({"inc", [count](GateContext&) { count->mut() += 1; },
+                         access({}, {count})});
+  SimulatorConfig config = config_for(10.0);
+  config.incremental_enabling = true;
+  Simulator sim(config);
+  sim.set_model(cm);
+  const auto stats = sim.run();
+  EXPECT_EQ(count->get(), 10);
+  EXPECT_EQ(stats.events, 10u);
+}
+
+TEST(SimulatorIncremental, DisabledByConfigUsesFullScan) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto count = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(2.0));
+  clock.add_output_gate({"inc", [count](GateContext&) { count->mut() += 1; },
+                         access({}, {count})});
+  SimulatorConfig config = config_for(10.0);
+  config.incremental_enabling = false;
+  Simulator sim(config);
+  sim.set_model(cm);
+  sim.run();
+  EXPECT_EQ(count->get(), 5);
+}
+
 TEST(Simulator, RunResetsMarkingAndRewards) {
   ComposedModel cm("M");
   auto& sub = cm.add_submodel("S");
