@@ -81,30 +81,43 @@ void BM_VirtualSystemScale(benchmark::State& state) {
 BENCHMARK(BM_VirtualSystemScale)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
-/// Per-algorithm scheduling-function overhead on a fixed system.
+/// Per-algorithm scheduling-function overhead across system sizes:
+/// arg = total VCPUs (2-VCPU VMs, PCPUs = VMs, i.e. 50% over-commit).
+/// enabling_evals_per_event is the tell-tale for the Scheduling_Func
+/// gate's dynamic write footprint: it stays roughly flat as the system
+/// grows, whereas a full enabling rescan on every scheduler tick would
+/// make it grow linearly with the VCPU count. CI asserts on this (see
+/// the perf-smoke job).
 void BM_SchedulerTick(benchmark::State& state,
                       const std::string& algorithm) {
+  const int vms = static_cast<int>(state.range(0)) / 2;
   double total_events = 0;
+  double total_evals = 0;
   for (auto _ : state) {
-    auto system = vm::build_system(vm::make_symmetric_config(4, {2, 2, 2}, 5),
-                                   sched::make_factory(algorithm)());
+    auto system = vm::build_system(
+        vm::make_symmetric_config(
+            vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5),
+        sched::make_factory(algorithm)());
     san::SimulatorConfig config;
-    config.end_time = 2000.0;
+    config.end_time = 1000.0;
     config.seed = 3;
     const auto stats_out = san::run_once(*system->model, config);
     total_events += static_cast<double>(stats_out.events);
+    total_evals += static_cast<double>(stats_out.enabling_evals);
   }
   state.counters["events_per_s"] =
       benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+  state.counters["enabling_evals_per_event"] = total_evals / total_events;
+  state.counters["vcpus"] = static_cast<double>(state.range(0));
 }
 BENCHMARK_CAPTURE(BM_SchedulerTick, rrs, std::string("rrs"))
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SchedulerTick, scs, std::string("scs"))
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SchedulerTick, rcs, std::string("rcs"))
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SchedulerTick, credit, std::string("credit"))
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 /// Parallel replication speedup: a fig8-style run_point with a fixed
 /// replication count (min == max, unreachable CI target, so every jobs

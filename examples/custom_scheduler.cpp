@@ -12,6 +12,17 @@
 // VCPU holding a synchronization point (a lock holder, in the paper's
 // motivation) is never preempted by this policy while work remains.
 //
+// The plug-in also uses the C attach hook (the C analogue of
+// Scheduler::on_attach, see docs/SCHEDULING.md): the framework calls it
+// once at build time with the static topology, so the function can
+// pre-size its scratch buffers instead of allocating on every tick and
+// never needs lazily-initialized "first call" paths. Note the
+// replication-safety line this walks: the scratch statics are fine
+// because attach re-sizes them identically for every replication and
+// schedule() recomputes their contents from the snapshot alone; a
+// static that *accumulated* state across ticks would leak between
+// replications and be rejected by the contract checker.
+//
 // Before evaluating, the scheduler-contract checker vets the function
 // statically (replication safety, snapshot read-only discipline) — the
 // same check `vcpusim lint` runs; see docs/ANALYZER.md.
@@ -30,30 +41,48 @@ namespace {
 
 using vcpusim::vm::PCPU_external;
 using vcpusim::vm::VCPU_host_external;
+using vcpusim::vm::VCPU_topology_external;
 
-// Plain C-style function, static state only — exactly what a user of the
-// paper's framework would hand to the Scheduling_Func output gate.
+// Scratch buffers reused across ticks. Sized once by llf_attach;
+// cleared and refilled from the snapshot on every call, so they carry
+// no state between ticks or replications.
+std::vector<int> g_free_pcpus;
+std::vector<int> g_waiting;
+
+// Called once per replication at build_system time, before the first
+// schedule() call — reserve to topology capacity so the per-tick path
+// below never allocates.
+void llf_attach(const VCPU_topology_external* /*vcpus*/, int num_vcpu,
+                int num_pcpu) {
+  g_free_pcpus.clear();
+  g_free_pcpus.reserve(static_cast<std::size_t>(num_pcpu));
+  g_waiting.clear();
+  g_waiting.reserve(static_cast<std::size_t>(num_vcpu));
+}
+
+// Plain C-style function — exactly what a user of the paper's framework
+// would hand to the Scheduling_Func output gate.
 bool llf_schedule(VCPU_host_external* vcpus, int num_vcpu,
                   PCPU_external* pcpus, int num_pcpu, long /*timestamp*/) {
   // 1. Preempt active VCPUs that have no work (yield idle), unless they
   //    hold a sync point.
-  std::vector<int> free_pcpus;
+  g_free_pcpus.clear();
   for (int p = 0; p < num_pcpu; ++p) {
-    if (pcpus[p].state == 0) free_pcpus.push_back(p);
+    if (pcpus[p].state == 0) g_free_pcpus.push_back(p);
   }
   for (int i = 0; i < num_vcpu; ++i) {
     if (vcpus[i].assigned_pcpu >= 0 && vcpus[i].remaining_load <= 0 &&
         vcpus[i].sync_point == 0) {
       vcpus[i].schedule_out = 1;
-      free_pcpus.push_back(vcpus[i].assigned_pcpu);
+      g_free_pcpus.push_back(vcpus[i].assigned_pcpu);
     }
   }
   // 2. Rank waiting VCPUs by remaining load, longest first.
-  std::vector<int> waiting;
+  g_waiting.clear();
   for (int i = 0; i < num_vcpu; ++i) {
-    if (vcpus[i].assigned_pcpu < 0) waiting.push_back(i);
+    if (vcpus[i].assigned_pcpu < 0) g_waiting.push_back(i);
   }
-  std::sort(waiting.begin(), waiting.end(), [&](int a, int b) {
+  std::sort(g_waiting.begin(), g_waiting.end(), [&](int a, int b) {
     if (vcpus[a].remaining_load != vcpus[b].remaining_load) {
       return vcpus[a].remaining_load > vcpus[b].remaining_load;
     }
@@ -61,9 +90,9 @@ bool llf_schedule(VCPU_host_external* vcpus, int num_vcpu,
   });
   // 3. Hand out the free PCPUs; sync-point holders get a longer slice.
   std::size_t next = 0;
-  for (const int v : waiting) {
-    if (next >= free_pcpus.size()) break;
-    vcpus[v].schedule_in = free_pcpus[next++];
+  for (const int v : g_waiting) {
+    if (next >= g_free_pcpus.size()) break;
+    vcpus[v].schedule_in = g_free_pcpus[next++];
     if (vcpus[v].sync_point != 0) vcpus[v].new_timeslice = 50.0;
   }
   return true;
@@ -100,7 +129,7 @@ int main() {
   // Vet the user function statically before spending simulation time
   // (the same check `vcpusim lint` runs; see docs/ANALYZER.md).
   const vm::SchedulerFactory llf_factory = [] {
-    return vm::wrap_c_function(&llf_schedule, "llf");
+    return vm::wrap_c_function(&llf_schedule, "llf", &llf_attach);
   };
   if (const auto diags = sched::check_scheduler_contract("llf", llf_factory);
       !diags.empty()) {
@@ -109,7 +138,7 @@ int main() {
   }
   std::cout << "scheduler contract: llf passes\n\n";
 
-  for (const std::string& name : {"rrs", "scs", "rcs"}) {
+  for (const char* name : {"rrs", "scs", "rcs"}) {
     evaluate(name, sched::make_factory(name));
   }
   evaluate("llf (user C fn)", llf_factory);

@@ -18,6 +18,7 @@ namespace vcpusim::cli {
 namespace {
 
 constexpr const char* kUsage = R"(usage: vcpusim [options]
+       vcpusim algorithms [--json]
        vcpusim lint [SCENARIO] [options] [--json] [--strict]
                     [--all-algorithms]
 
@@ -47,6 +48,12 @@ constexpr const char* kUsage = R"(usage: vcpusim [options]
                          system and print one row per algorithm
   --list-algorithms      print registered algorithms and exit
   --help                 this text
+
+The algorithms verb prints the catalog of built-in scheduling
+algorithms — canonical name, Scheduler::name(), accepted aliases, a
+one-line summary, and each algorithm's option keys with their
+construction-time defaults (set through the C++ make_* option structs;
+see docs/SCHEDULING.md). With --json the catalog is emitted as JSON.
 
 The lint verb statically analyzes the composed SAN model the options
 describe — dead activities, orphan places, join defects, unserialized
@@ -183,6 +190,80 @@ void finalize_scenario(Options& options) {
   scenario.spec.system.validate();
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// The `vcpusim algorithms` verb: render the registry catalog, without
+/// building or running anything.
+int run_algorithms(int argc, const char* const* argv, std::ostream& out,
+                   std::ostream& err) {
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      err << "vcpusim: unknown option '" << arg
+          << "' (usage: vcpusim algorithms [--json])\n";
+      return 1;
+    }
+  }
+
+  const auto& catalog = sched::algorithm_catalog();
+  if (json) {
+    out << "[\n";
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const auto& a = catalog[i];
+      out << "  {\n    \"name\": \"" << json_escape(a.name)
+          << "\",\n    \"display_name\": \"" << json_escape(a.display_name)
+          << "\",\n    \"aliases\": [";
+      for (std::size_t k = 0; k < a.aliases.size(); ++k) {
+        out << (k != 0 ? ", " : "") << '"' << json_escape(a.aliases[k]) << '"';
+      }
+      out << "],\n    \"summary\": \"" << json_escape(a.summary)
+          << "\",\n    \"options_struct\": \"" << json_escape(a.options_struct)
+          << "\",\n    \"options\": [";
+      for (std::size_t k = 0; k < a.options.size(); ++k) {
+        const auto& o = a.options[k];
+        out << (k != 0 ? "," : "") << "\n      {\"key\": \""
+            << json_escape(o.key) << "\", \"default\": \""
+            << json_escape(o.default_value) << "\", \"summary\": \""
+            << json_escape(o.summary) << "\"}";
+      }
+      out << (a.options.empty() ? "]" : "\n    ]") << "\n  }"
+          << (i + 1 < catalog.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return 0;
+  }
+
+  for (const auto& a : catalog) {
+    out << a.name << " (" << a.display_name << ")";
+    if (!a.aliases.empty()) {
+      out << "  aliases:";
+      for (const auto& alias : a.aliases) out << " " << alias;
+    }
+    out << "\n  " << a.summary << "\n";
+    if (a.options.empty()) {
+      out << "  options: none\n";
+    } else {
+      out << "  options (" << a.options_struct << "):\n";
+      for (const auto& o : a.options) {
+        out << "    " << o.key << " = " << o.default_value << "  # "
+            << o.summary << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
 /// The `vcpusim lint` verb: build the composed model the options
 /// describe, statically analyze it, contract-check the scheduler, and
 /// render the report. Never runs the simulation.
@@ -260,6 +341,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   if (argc > 1 && std::string(argv[1]) == "lint") {
     return run_lint(argc, argv, out, err);
+  }
+  if (argc > 1 && std::string(argv[1]) == "algorithms") {
+    return run_algorithms(argc, argv, out, err);
   }
 
   Options options;

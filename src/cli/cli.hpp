@@ -2,7 +2,7 @@
 // scenario file or by flags, print a result table (or CSV).
 //
 //   vcpusim --scenario cloud.scn
-//   vcpusim --pcpus 4 --vm 2 --vm 4 --algorithm rcs --sync 3 \
+//   vcpusim --pcpus 4 --vm 2 --vm 4 --algorithm rcs --sync 3
 //           --metric vcpu_utilization --metric pcpu_utilization
 //   vcpusim --list-algorithms
 //

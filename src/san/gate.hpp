@@ -28,6 +28,17 @@ using Time = double;
 struct GateContext {
   stats::Rng& rng;
   Time now;
+  /// Collector for dynamic write footprints (see GateAccess::dynamic_writes);
+  /// null when the engine is not collecting. Gates call touch(), never
+  /// this pointer directly.
+  std::vector<const PlaceBase*>* touched = nullptr;
+
+  /// Report that `place` was actually written during this firing. Only
+  /// meaningful from gates declared with access_dynamic(); a no-op when
+  /// the engine is not collecting (full-scan enabling, analyzers).
+  void touch(const PlaceBase* place) {
+    if (touched != nullptr) touched->push_back(place);
+  }
 };
 
 /// Declared marking footprint of a gate, consumed by san::analyze. Gate
@@ -48,6 +59,13 @@ struct GateAccess {
   /// spinlock acquire). Exempt from the unserialized-shared-write check.
   std::vector<PlacePtr> commutes;
   bool declared = false;
+  /// Tick-accurate footprint: `writes` stays the conservative superset
+  /// (what static analysis sees), but on each firing the gate reports the
+  /// places it actually wrote via GateContext::touch(), and incremental
+  /// enabling dirties only those. A dynamic gate that writes a place
+  /// without touching it causes missed re-evaluations — same trust model
+  /// as the declared sets themselves.
+  bool dynamic_writes = false;
 };
 
 /// Convenience builder: declare a gate's read and write sets.
@@ -55,7 +73,16 @@ inline GateAccess access(std::vector<PlacePtr> reads,
                          std::vector<PlacePtr> writes = {},
                          std::vector<PlacePtr> commutes = {}) {
   return GateAccess{std::move(reads), std::move(writes), std::move(commutes),
-                    true};
+                    true, false};
+}
+
+/// Like access(), but the gate reports its per-firing write set through
+/// GateContext::touch() (see GateAccess::dynamic_writes).
+inline GateAccess access_dynamic(std::vector<PlacePtr> reads,
+                                 std::vector<PlacePtr> writes = {},
+                                 std::vector<PlacePtr> commutes = {}) {
+  return GateAccess{std::move(reads), std::move(writes), std::move(commutes),
+                    true, true};
 }
 
 struct InputGate {

@@ -36,16 +36,18 @@ void Simulator::set_model(ComposedModel& model) {
 
 void Simulator::build_dependency_index() {
   place_deps_.clear();
+  place_ids_.clear();
   timed_writes_.assign(activities_.size(), {});
   inst_writes_.assign(instantaneous_.size(), {});
   timed_writes_declared_.assign(activities_.size(), 1);
   inst_writes_declared_.assign(instantaneous_.size(), 1);
+  timed_dynamic_.assign(activities_.size(), 0);
+  inst_dynamic_.assign(instantaneous_.size(), 0);
   always_timed_.clear();
   always_inst_.clear();
 
-  std::unordered_map<const PlaceBase*, std::uint32_t> place_ids;
   const auto id_of = [&](const PlacePtr& place) {
-    const auto [it, inserted] = place_ids.emplace(
+    const auto [it, inserted] = place_ids_.emplace(
         place.get(), static_cast<std::uint32_t>(place_deps_.size()));
     if (inserted) place_deps_.emplace_back();
     return it->second;
@@ -64,8 +66,20 @@ void Simulator::build_dependency_index() {
     // effect opaque (full re-scan after it fires).
     bool reads_declared = true;
     bool writes_declared = true;
+    bool dynamic = false;
     std::vector<std::uint32_t> reads;
     auto& writes = timed ? timed_writes_[index] : inst_writes_[index];
+    // A dynamic-writes gate keeps its static write set out of the fired
+    // dirty list: the per-firing touch() reports stand in for it. The
+    // places still get ids so touch lookups resolve.
+    const auto add_writes = [&](const GateAccess& fp) {
+      if (fp.dynamic_writes) {
+        dynamic = true;
+        for (const PlacePtr& p : fp.writes) id_of(p);
+      } else {
+        for (const PlacePtr& p : fp.writes) add_unique(writes, id_of(p));
+      }
+    };
     for (const InputGate& gate : a.input_gates()) {
       if (!gate.footprint.declared) {
         reads_declared = false;
@@ -73,8 +87,7 @@ void Simulator::build_dependency_index() {
         continue;
       }
       for (const PlacePtr& p : gate.footprint.reads) add_unique(reads, id_of(p));
-      for (const PlacePtr& p : gate.footprint.writes)
-        add_unique(writes, id_of(p));
+      add_writes(gate.footprint);
     }
     for (const Case& c : a.cases()) {
       for (const OutputGate& gate : c.output_gates) {
@@ -82,12 +95,13 @@ void Simulator::build_dependency_index() {
           writes_declared = false;
           continue;
         }
-        for (const PlacePtr& p : gate.footprint.writes)
-          add_unique(writes, id_of(p));
+        add_writes(gate.footprint);
       }
     }
     (timed ? timed_writes_declared_ : inst_writes_declared_)[index] =
         writes_declared ? 1 : 0;
+    (timed ? timed_dynamic_ : inst_dynamic_)[index] =
+        (dynamic && writes_declared) ? 1 : 0;
     if (!reads_declared) {
       // Kept out of place_deps_ so the settle-round merge sees each
       // activity at most twice (dirty + always), never more.
@@ -182,6 +196,13 @@ void Simulator::mark_fired(bool timed, std::uint32_t index) {
        timed ? timed_writes_[index] : inst_writes_[index]) {
     mark_place(place);
   }
+  // Dynamic gates: dirty exactly the places this firing reported.
+  if (timed ? timed_dynamic_[index] != 0 : inst_dynamic_[index] != 0) {
+    for (const PlaceBase* p : touched_) {
+      const auto it = place_ids_.find(p);
+      if (it != place_ids_.end()) mark_place(it->second);
+    }
+  }
 }
 
 void Simulator::clear_dirty() {
@@ -195,6 +216,10 @@ void Simulator::clear_dirty() {
 void Simulator::complete(Activity& activity) {
   ++events_;
   GateContext ctx{rng_, now_};
+  if (use_incremental_) {
+    touched_.clear();
+    ctx.touched = &touched_;
+  }
   const std::size_t case_index = activity.fire(ctx);
   for (RewardVariable* r : rewards_) r->on_completion(activity, now_);
   for (TraceObserver* o : observers_) o->on_fire(now_, activity, case_index);
@@ -211,6 +236,7 @@ void Simulator::settle() {
       for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
         inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
       }
+      enabling_evals_ += activities_.size() + instantaneous_.size();
       if (use_incremental_) clear_dirty();
     } else {
       // Incremental: only activities whose read set intersects the places
@@ -236,6 +262,7 @@ void Simulator::settle() {
           ++ai;
         }
         transition_timed(t);
+        ++enabling_evals_;
       }
       for (const std::uint32_t j : dirty_inst_) {
         inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
@@ -243,6 +270,7 @@ void Simulator::settle() {
       for (const std::uint32_t j : always_inst_) {
         inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
       }
+      enabling_evals_ += dirty_inst_.size() + always_inst_.size();
       clear_dirty();
     }
     // Fire the highest-priority enabled instantaneous activity, if any
@@ -280,6 +308,7 @@ void Simulator::reset() {
   queue_.reserve(4 * activities_.size() + 16);
   now_ = 0.0;
   events_ = 0;
+  enabling_evals_ = 0;
   hit_event_cap_ = false;
   started_ = true;
   clear_dirty();
@@ -313,6 +342,7 @@ RunStats Simulator::advance_until(Time t) {
   stats.end_time = now_;
   stats.events = events_;
   stats.hit_event_cap = hit_event_cap_;
+  stats.enabling_evals = enabling_evals_;
   return stats;
 }
 

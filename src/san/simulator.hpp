@@ -18,7 +18,11 @@
 //    of O(all activities). Activities with undeclared read footprints are
 //    re-evaluated every time, and a fired activity with an undeclared
 //    write footprint forces a full re-scan, so partially annotated models
-//    stay correct. See docs/PERFORMANCE.md.
+//    stay correct. Gates declared with access_dynamic() narrow this
+//    further: each firing dirties only the places the gate reported via
+//    GateContext::touch(), so a wide-footprint gate (e.g. the scheduler
+//    bridge) that leaves most slots untouched on a given firing does not
+//    dirty them. See docs/PERFORMANCE.md.
 //
 // Rate rewards are accrued over each dwell interval before the marking
 // changes; impulse rewards on each completion.
@@ -26,6 +30,7 @@
 
 #include <cstdint>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "san/model.hpp"
@@ -53,6 +58,12 @@ struct RunStats {
   Time end_time = 0.0;        ///< time the run stopped at
   std::uint64_t events = 0;   ///< total activity completions
   bool hit_event_cap = false; ///< stopped by max_events, not end_time
+  /// Enabling re-evaluations performed by settle() (predicate checks of
+  /// timed and instantaneous activities). With incremental enabling this
+  /// is the direct measure of how much rescan work the declared (and
+  /// dynamic) footprints avoid: a full scan costs one eval per activity
+  /// per settle round.
+  std::uint64_t enabling_evals = 0;
 };
 
 class Simulator {
@@ -143,16 +154,26 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t enabling_evals_ = 0;
   bool started_ = false;
   bool hit_event_cap_ = false;
 
   // --- footprint-driven enabling index (built by set_model) ----------
   bool use_incremental_ = false;
   std::vector<PlaceDeps> place_deps_;
+  std::unordered_map<const PlaceBase*, std::uint32_t> place_ids_;
   std::vector<std::vector<std::uint32_t>> timed_writes_;  // place ids
   std::vector<std::vector<std::uint32_t>> inst_writes_;
   std::vector<std::uint8_t> timed_writes_declared_;
   std::vector<std::uint8_t> inst_writes_declared_;
+  /// Activities with a dynamic-writes gate (GateAccess::dynamic_writes):
+  /// after such an activity fires, the places it reported through
+  /// GateContext::touch() are dirtied instead of the gate's full static
+  /// write set. timed_writes_ / inst_writes_ then hold only the writes of
+  /// the activity's non-dynamic gates.
+  std::vector<std::uint8_t> timed_dynamic_;
+  std::vector<std::uint8_t> inst_dynamic_;
+  std::vector<const PlaceBase*> touched_;  // per-firing touch collector
   /// Activities with an undeclared read footprint: re-evaluated on every
   /// settle round (ascending index, disjoint from place_deps_ entries).
   std::vector<std::uint32_t> always_timed_;

@@ -1,11 +1,9 @@
 #include "sched/balance.hpp"
 
-#include <algorithm>
-#include <deque>
 #include <limits>
 #include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -19,42 +17,50 @@ using vm::VCPU_host_external;
 /// the subclass hook that distinguishes stacking-prone RR from balance.
 class PerQueueScheduler : public vm::Scheduler {
  public:
+  void on_attach(const vm::SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    const auto m = static_cast<std::size_t>(topology.num_pcpus);
+    gangs_.attach(topology);
+    queues_.resize(m);
+    for (auto& q : queues_) q.attach(n);
+    queue_of_.assign(n, -1);
+    running_.assign(n, 0);
+    idle_.attach(m);
+    // Initial placement: nothing runs yet, so has_sibling never consults
+    // the (empty) snapshot.
+    for (std::size_t i = 0; i < n; ++i) {
+      place({}, static_cast<int>(i), m);
+    }
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
     const std::size_t n = vcpus.size();
     const std::size_t m = pcpus.size();
-    if (!initialized_) {
-      queues_.assign(m, {});
-      queue_of_.assign(n, -1);
-      running_.assign(n, false);
-      for (std::size_t i = 0; i < n; ++i) {
-        place(vcpus, static_cast<int>(i), m);
-      }
-      initialized_ = true;
-    }
 
     for (std::size_t i = 0; i < n; ++i) {
       if (running_[i] && vcpus[i].assigned_pcpu < 0) {
-        running_[i] = false;
+        running_[i] = 0;
         place(vcpus, static_cast<int>(i), m);
       }
     }
 
-    for (const int pcpu : detail::idle_pcpus(pcpus)) {
+    idle_.reset(pcpus);
+    while (idle_.available()) {
+      const int pcpu = idle_.take();
       auto& q = queues_[static_cast<std::size_t>(pcpu)];
       if (q.empty()) continue;
-      const int next = q.front();
-      q.pop_front();
+      const int next = q.pop_front();
       queue_of_[static_cast<std::size_t>(next)] = -1;
       vcpus[static_cast<std::size_t>(next)].schedule_in = pcpu;
-      running_[static_cast<std::size_t>(next)] = true;
+      running_[static_cast<std::size_t>(next)] = 1;
     }
     return true;
   }
 
  protected:
   /// Enqueue VCPU `v` into some PCPU's run queue.
-  virtual void place(std::span<VCPU_host_external> vcpus, int v,
+  virtual void place(std::span<const VCPU_host_external> vcpus, int v,
                      std::size_t num_pcpus) = 0;
 
   void enqueue(int v, std::size_t pcpu) {
@@ -63,29 +69,32 @@ class PerQueueScheduler : public vm::Scheduler {
   }
 
   /// True if a sibling of `v` currently waits in `pcpu`'s queue or runs
-  /// on `pcpu`.
-  bool has_sibling(std::span<VCPU_host_external> vcpus, int v,
+  /// on `pcpu`. Gang identity comes from the topology; only the runner
+  /// check needs the live snapshot (guarded by running_, so the empty
+  /// attach-time span is never dereferenced).
+  bool has_sibling(std::span<const VCPU_host_external> vcpus, int v,
                    std::size_t pcpu) const {
-    const int vm_id = vcpus[static_cast<std::size_t>(v)].vm_id;
-    for (const int other : queues_[pcpu]) {
-      if (other != v && vcpus[static_cast<std::size_t>(other)].vm_id == vm_id) {
-        return true;
-      }
+    const int vm_id = gangs_.vm_of(v);
+    const auto& q = queues_[pcpu];
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      const int other = q.at(k);
+      if (other != v && gangs_.vm_of(other) == vm_id) return true;
     }
-    for (std::size_t i = 0; i < vcpus.size(); ++i) {
+    for (std::size_t i = 0; i < gangs_.num_vcpus(); ++i) {
       if (static_cast<int>(i) != v && running_[i] &&
           vcpus[i].assigned_pcpu == static_cast<int>(pcpu) &&
-          vcpus[i].vm_id == vm_id) {
+          gangs_.vm_of(static_cast<int>(i)) == vm_id) {
         return true;
       }
     }
     return false;
   }
 
-  bool initialized_ = false;
-  std::vector<std::deque<int>> queues_;
+  core::GangSet gangs_;
+  core::IdlePcpus idle_;
+  std::vector<core::RunQueue> queues_;
   std::vector<int> queue_of_;  ///< queue a waiting VCPU sits in, -1 if none
-  std::vector<bool> running_;
+  std::vector<char> running_;
 };
 
 class StackedRoundRobin final : public PerQueueScheduler {
@@ -93,7 +102,7 @@ class StackedRoundRobin final : public PerQueueScheduler {
   std::string name() const override { return "RRS-stacked"; }
 
  protected:
-  void place(std::span<VCPU_host_external> /*vcpus*/, int v,
+  void place(std::span<const VCPU_host_external> /*vcpus*/, int v,
              std::size_t num_pcpus) override {
     enqueue(v, static_cast<std::size_t>(v) % num_pcpus);
   }
@@ -104,7 +113,7 @@ class Balance final : public PerQueueScheduler {
   std::string name() const override { return "Balance"; }
 
  protected:
-  void place(std::span<VCPU_host_external> vcpus, int v,
+  void place(std::span<const VCPU_host_external> vcpus, int v,
              std::size_t num_pcpus) override {
     // Shortest queue without a sibling; otherwise shortest queue.
     std::size_t best = 0;

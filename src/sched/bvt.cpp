@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -25,14 +25,19 @@ class Bvt final : public vm::Scheduler {
     }
   }
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    gangs_.attach(topology);
+    avt_.assign(n, 0.0);
+    running_.assign(n, 0);
+    order_.resize(n);
+    should_run_.assign(n, 0);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
     const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      avt_.assign(n, 0.0);
-      running_.assign(n, false);
-      initialized_ = true;
-    }
 
     // Advance actual virtual time of everything that ran the last tick.
     for (std::size_t i = 0; i < n; ++i) {
@@ -40,60 +45,56 @@ class Bvt final : public vm::Scheduler {
         avt_[i] += 1.0 / weight_of(vcpus[i].vm_id);
       }
       // Track framework expiry.
-      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = false;
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = 0;
     }
 
     // Rank all VCPUs by EVT; the m smallest should hold the m PCPUs.
-    std::vector<int> order(n);
-    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
-    std::sort(order.begin(), order.end(), [this, &vcpus](int a, int b) {
-      const double ea = evt(a, vcpus[static_cast<std::size_t>(a)].vm_id);
-      const double eb = evt(b, vcpus[static_cast<std::size_t>(b)].vm_id);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<int>(i);
+    std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+      const double ea = evt(a);
+      const double eb = evt(b);
       if (ea != eb) return ea < eb;
       return a < b;
     });
     const std::size_t m = std::min(pcpus.size(), n);
-    std::vector<char> should_run(n, 0);
+    for (std::size_t i = 0; i < n; ++i) should_run_[i] = 0;
     for (std::size_t r = 0; r < m; ++r) {
-      should_run[static_cast<std::size_t>(order[r])] = 1;
+      should_run_[static_cast<std::size_t>(order_[r])] = 1;
     }
 
     // Preempt runners outside the top-m, but only past the allowance:
     // the cheapest winner must lead them by switch_allowance.
     double worst_winner = -std::numeric_limits<double>::infinity();
     for (std::size_t r = 0; r < m; ++r) {
-      const int v = order[r];
+      const int v = order_[r];
       if (!running_[static_cast<std::size_t>(v)]) {
-        worst_winner = std::max(
-            worst_winner, evt(v, vcpus[static_cast<std::size_t>(v)].vm_id));
+        worst_winner = std::max(worst_winner, evt(v));
       }
     }
-    std::vector<int> freed;
+    idle_.reset(pcpus);
     for (std::size_t i = 0; i < n; ++i) {
-      if (running_[i] && !should_run[i]) {
-        const double mine = evt(static_cast<int>(i), vcpus[i].vm_id);
+      if (running_[i] && !should_run_[i]) {
+        const double mine = evt(static_cast<int>(i));
         if (mine - worst_winner >= options_.switch_allowance) {
           vcpus[i].schedule_out = 1;
-          running_[i] = false;
-          freed.push_back(vcpus[i].assigned_pcpu);
+          running_[i] = 0;
+          idle_.push(vcpus[i].assigned_pcpu);
         } else {
-          should_run[i] = 1;  // stays within the allowance: keep running
+          should_run_[i] = 1;  // stays within the allowance: keep running
         }
       }
     }
 
-    // Assign idle PCPUs to the not-yet-running winners, best EVT first.
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
-    idle.insert(idle.end(), freed.begin(), freed.end());
-    std::size_t next_idle = 0;
-    for (const int v : order) {
+    // Assign idle (and just-freed) PCPUs to the not-yet-running winners,
+    // best EVT first.
+    for (const int v : order_) {
       const auto i = static_cast<std::size_t>(v);
-      if (!should_run[i] || running_[i]) continue;
-      if (next_idle >= idle.size()) break;
-      vcpus[i].schedule_in = idle[next_idle++];
+      if (!should_run_[i] || running_[i]) continue;
+      if (!idle_.available()) break;
+      vcpus[i].schedule_in = idle_.take();
       // Long timeslice: BVT preempts by virtual time, not by quantum.
       vcpus[i].new_timeslice = 1e6;
-      running_[i] = true;
+      running_[i] = 1;
     }
     return true;
   }
@@ -109,14 +110,17 @@ class Bvt final : public vm::Scheduler {
     const auto v = static_cast<std::size_t>(vm);
     return v < options_.vm_warps.size() ? options_.vm_warps[v] : 0.0;
   }
-  double evt(int vcpu, int vm) const {
-    return avt_[static_cast<std::size_t>(vcpu)] - warp_of(vm);
+  double evt(int vcpu) const {
+    return avt_[static_cast<std::size_t>(vcpu)] - warp_of(gangs_.vm_of(vcpu));
   }
 
   BvtOptions options_;
-  bool initialized_ = false;
+  core::GangSet gangs_;
+  core::IdlePcpus idle_;
   std::vector<double> avt_;
-  std::vector<bool> running_;
+  std::vector<char> running_;
+  std::vector<int> order_;
+  std::vector<char> should_run_;
 };
 
 }  // namespace

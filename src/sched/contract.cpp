@@ -3,6 +3,7 @@
 #include <array>
 #include <iterator>
 
+#include "sched/core/core.hpp"
 #include "sched/registry.hpp"
 #include "vm/types.hpp"
 
@@ -38,6 +39,19 @@ Diagnostic make_diag(const std::string& algorithm, std::string message,
                     std::move(explanation)};
 }
 
+/// The synthetic 2-VM x 2-sibling, 2-PCPU system every instance is
+/// attached to before its first drive (mirrors build_system's call to
+/// Scheduler::on_attach).
+vm::SystemTopology harness_topology() {
+  vm::SystemTopology topology;
+  topology.num_pcpus = kPcpus;
+  for (int i = 0; i < kVcpus; ++i) {
+    topology.vcpus.push_back({i / 2, i % 2});
+  }
+  topology.vm_members = {{0, 1}, {2, 3}};
+  return topology;
+}
+
 /// One applied decision, for the replication-safety comparison.
 struct Decision {
   long tick;
@@ -59,8 +73,10 @@ struct Harness {
   std::array<int, kPcpus> pcpu_vcpu{};
   std::array<std::size_t, kVcpus> next_job{};
   std::size_t jobs_issued = 0;
+  vm::ContractValidator validator;
 
   Harness() {
+    validator.attach(kVcpus, kPcpus);
     last_in.fill(-1);
     assigned.fill(-1);
     pcpu_vcpu.fill(-1);
@@ -183,19 +199,47 @@ struct Harness {
       }
     }
 
-    // Step 4: validate + apply, relinquishments before assignments.
+    // Step 4: validate through the framework's own ContractValidator
+    // (the exact replay the per-tick bridge runs), then apply the
+    // known-valid decisions: relinquishments before assignments.
+    if (const auto violation = validator.validate(vx, assigned, pcpu_vcpu)) {
+      using Kind = vm::ScheduleViolation::Kind;
+      if (violation->kind == Kind::kOutNotAssigned) {
+        out.push_back(make_diag(
+            algorithm,
+            "schedule_out for VCPU " + std::to_string(violation->vcpu) +
+                " which holds no PCPU (t=" + std::to_string(t) + ")",
+            "Relinquishing an unassigned VCPU raises ScheduleError in "
+            "the framework."));
+      } else {
+        std::string detail;
+        switch (violation->kind) {
+          case Kind::kInOutOfRange:
+            detail = "out-of-range PCPU " + std::to_string(violation->pcpu);
+            break;
+          case Kind::kInAlreadyAssigned:
+            detail =
+                "VCPU already holds PCPU " + std::to_string(violation->other);
+            break;
+          default:
+            detail = "PCPU " + std::to_string(violation->pcpu) +
+                     " already assigned to VCPU " +
+                     std::to_string(violation->other);
+            break;
+        }
+        out.push_back(make_diag(
+            algorithm,
+            "invalid schedule_in for VCPU " + std::to_string(violation->vcpu) +
+                " at t=" + std::to_string(t) + ": " + detail,
+            "The framework validates every decision and raises "
+            "ScheduleError on violations; the harness applies the same "
+            "rules."));
+      }
+      return false;
+    }
     for (int i = 0; i < kVcpus; ++i) {
       const auto u = static_cast<std::size_t>(i);
       if (vx[u].schedule_out != 0) {
-        if (assigned[u] < 0) {
-          out.push_back(make_diag(
-              algorithm,
-              "schedule_out for VCPU " + std::to_string(i) +
-                  " which holds no PCPU (t=" + std::to_string(t) + ")",
-              "Relinquishing an unassigned VCPU raises ScheduleError in "
-              "the framework."));
-          return false;
-        }
         pcpu_vcpu[static_cast<std::size_t>(assigned[u])] = -1;
         assigned[u] = -1;
         timeslice[u] = 0.0;
@@ -205,26 +249,6 @@ struct Harness {
       const auto u = static_cast<std::size_t>(i);
       const int target = vx[u].schedule_in;
       if (target < 0) continue;
-      std::string violation;
-      if (target >= kPcpus) {
-        violation = "out-of-range PCPU " + std::to_string(target);
-      } else if (assigned[u] >= 0) {
-        violation = "VCPU already holds PCPU " + std::to_string(assigned[u]);
-      } else if (pcpu_vcpu[static_cast<std::size_t>(target)] >= 0) {
-        violation = "PCPU " + std::to_string(target) +
-                    " already assigned to VCPU " +
-                    std::to_string(pcpu_vcpu[static_cast<std::size_t>(target)]);
-      }
-      if (!violation.empty()) {
-        out.push_back(make_diag(
-            algorithm,
-            "invalid schedule_in for VCPU " + std::to_string(i) + " at t=" +
-                std::to_string(t) + ": " + violation,
-            "The framework validates every decision and raises "
-            "ScheduleError on violations; the harness applies the same "
-            "rules."));
-        return false;
-      }
       pcpu_vcpu[static_cast<std::size_t>(target)] = i;
       assigned[u] = target;
       last_in[u] = t;
@@ -294,6 +318,13 @@ std::vector<Diagnostic> check_scheduler_contract(
                              "Result tables and traces label runs by "
                              "Scheduler::name()."});
   }
+
+  // Attach mirrors build_system: once per instance, before its first
+  // tick. Deliberately NOT repeated before the warm re-drive — state that
+  // survives between drives is exactly what the replication check hunts.
+  const vm::SystemTopology topology = harness_topology();
+  first->on_attach(topology);
+  second->on_attach(topology);
 
   // Replication safety: drive the first instance to warm its internal
   // state, then a second fresh instance. Fresh state per factory call

@@ -1,0 +1,59 @@
+// VM sibling groups in a flat, allocation-free-to-iterate layout
+// (policy layer). Copied once from the SystemTopology at attach time —
+// this replaces every algorithm's private group_by_vm(first snapshot)
+// re-derivation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/topology.hpp"
+
+namespace vcpusim::sched::core {
+
+class GangSet {
+ public:
+  /// Copy the VM membership out of the topology (CSR layout).
+  void attach(const vm::SystemTopology& topology) {
+    members_.clear();
+    offsets_.clear();
+    vm_of_.clear();
+    members_.reserve(static_cast<std::size_t>(topology.num_vcpus()));
+    offsets_.reserve(static_cast<std::size_t>(topology.num_vms()) + 1);
+    vm_of_.reserve(static_cast<std::size_t>(topology.num_vcpus()));
+    offsets_.push_back(0);
+    for (int vm = 0; vm < topology.num_vms(); ++vm) {
+      for (const int v : topology.members(vm)) members_.push_back(v);
+      offsets_.push_back(members_.size());
+    }
+    for (const auto& v : topology.vcpus) vm_of_.push_back(v.vm_id);
+  }
+
+  std::size_t num_vms() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_vcpus() const noexcept { return vm_of_.size(); }
+
+  /// Global VCPU ids of one VM, in sibling order.
+  std::span<const int> members(std::size_t vm) const {
+    assert(vm + 1 < offsets_.size());
+    return {members_.data() + offsets_[vm], offsets_[vm + 1] - offsets_[vm]};
+  }
+
+  std::size_t gang_size(std::size_t vm) const { return members(vm).size(); }
+
+  /// Owning VM of a global VCPU id.
+  int vm_of(int vcpu) const {
+    assert(static_cast<std::size_t>(vcpu) < vm_of_.size());
+    return vm_of_[static_cast<std::size_t>(vcpu)];
+  }
+
+ private:
+  std::vector<int> members_;          // all VCPU ids, grouped by VM
+  std::vector<std::size_t> offsets_;  // vm -> [offsets_[vm], offsets_[vm+1])
+  std::vector<int> vm_of_;
+};
+
+}  // namespace vcpusim::sched::core

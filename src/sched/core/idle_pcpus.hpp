@@ -1,0 +1,56 @@
+// Idle-PCPU cursor (policy layer): the ids handed out by an assignment
+// pass, in a fixed order — the PCPUs idle at snapshot time in ascending
+// id order, followed by any PCPUs the algorithm itself freed this tick
+// (co-stops, yields, preemptions), in the order they were freed. This is
+// exactly the `idle_pcpus() + push_back(freed)` consumption order of the
+// seed algorithms, without the per-tick vector allocation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched::core {
+
+class IdlePcpus {
+ public:
+  /// Size the cursor for `num_pcpus` physical CPUs.
+  void attach(std::size_t num_pcpus) {
+    ids_.clear();
+    ids_.reserve(num_pcpus);
+    next_ = 0;
+  }
+
+  /// Collect the currently idle PCPUs (ascending id) and rewind.
+  void reset(std::span<const vm::PCPU_external> pcpus) {
+    ids_.clear();
+    next_ = 0;
+    for (const auto& p : pcpus) {
+      if (p.state == 0) ids_.push_back(p.pcpu_id);
+    }
+  }
+
+  /// Append a PCPU the algorithm freed this tick (consumable this tick).
+  void push(int pcpu) {
+    assert(ids_.size() < ids_.capacity());
+    ids_.push_back(pcpu);
+  }
+
+  bool available() const noexcept { return next_ < ids_.size(); }
+  std::size_t remaining() const noexcept { return ids_.size() - next_; }
+
+  /// Consume and return the next PCPU id.
+  int take() {
+    assert(available());
+    return ids_[next_++];
+  }
+
+ private:
+  std::vector<int> ids_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace vcpusim::sched::core

@@ -1,0 +1,86 @@
+// Allocation-free FIFO run queue (policy layer of the scheduling stack).
+//
+// A fixed-capacity ring of entity ids (VCPUs or VMs), sized once in
+// Scheduler::on_attach. Every operation the shipped algorithms perform
+// on their queues — rotate, first-fit scan, remove-from-middle — runs
+// without touching the heap, which is what keeps the per-tick hot path
+// allocation-free (docs/SCHEDULING.md).
+//
+// The rotation idiom replaces the seed's "build a still_waiting deque
+// and swap" pattern: pop exactly size() entries off the front, granting
+// some and pushing the rest back. Relative order of the kept entries is
+// preserved, and a full rotation with no grants is the identity.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace vcpusim::sched::core {
+
+class RunQueue {
+ public:
+  /// Size the ring for at most `capacity` distinct entities and clear it.
+  void attach(std::size_t capacity) {
+    data_.assign(capacity, -1);
+    head_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  int front() const {
+    assert(size_ > 0);
+    return data_[head_];
+  }
+
+  /// The k-th entry from the front (0 = front).
+  int at(std::size_t k) const {
+    assert(k < size_);
+    return data_[wrap(head_ + k)];
+  }
+
+  void push_back(int id) {
+    assert(size_ < data_.size());
+    data_[wrap(head_ + size_)] = id;
+    ++size_;
+  }
+
+  int pop_front() {
+    assert(size_ > 0);
+    const int id = data_[head_];
+    head_ = wrap(head_ + 1);
+    --size_;
+    return id;
+  }
+
+  /// Remove the first occurrence of `id`, preserving the order of the
+  /// remaining entries. No-op if absent.
+  void remove(int id) {
+    for (std::size_t k = 0; k < size_; ++k) {
+      if (data_[wrap(head_ + k)] != id) continue;
+      for (std::size_t j = k; j + 1 < size_; ++j) {
+        data_[wrap(head_ + j)] = data_[wrap(head_ + j + 1)];
+      }
+      --size_;
+      return;
+    }
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t wrap(std::size_t k) const noexcept {
+    return data_.empty() ? 0 : k % data_.size();
+  }
+
+  std::vector<int> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vcpusim::sched::core

@@ -1,0 +1,75 @@
+// Ordered set of currently running entities (policy layer).
+//
+// Kept in schedule-in order: re-queuing released entities in this order
+// — not in id order — is what keeps round-robin rotation fair when
+// several timeslices expire at the same tick (simultaneous expiry is the
+// common case, since a batch scheduled together expires together).
+//
+// Generalizes the old sched::detail::RunSet with a fixed capacity and an
+// allocation-free extract_if (the scratch vector is pre-sized at
+// attach() and swapped, never grown).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace vcpusim::sched::core {
+
+class RunSet {
+ public:
+  /// Reserve room for at most `capacity` distinct members and clear.
+  void attach(std::size_t capacity) {
+    order_.clear();
+    order_.reserve(capacity);
+    keep_.clear();
+    keep_.reserve(capacity);
+  }
+
+  void add(int id) {
+    assert(order_.size() < order_.capacity());
+    order_.push_back(id);
+  }
+
+  bool contains(int id) const {
+    for (const int v : order_) {
+      if (v == id) return true;
+    }
+    return false;
+  }
+
+  void remove(int id) {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == id) {
+        order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Remove every member for which `released` holds, invoking
+  /// `out(member)` for each in schedule-in order.
+  template <class Pred, class Sink>
+  void extract_if(Pred released, Sink out) {
+    keep_.clear();
+    for (const int v : order_) {
+      if (released(v)) {
+        out(v);
+      } else {
+        keep_.push_back(v);
+      }
+    }
+    std::swap(order_, keep_);
+  }
+
+  std::span<const int> order() const noexcept { return order_; }
+  bool empty() const noexcept { return order_.empty(); }
+
+ private:
+  std::vector<int> order_;
+  std::vector<int> keep_;
+};
+
+}  // namespace vcpusim::sched::core

@@ -1,0 +1,92 @@
+// Per-VCPU skew accounting with per-VM constraint hysteresis (policy
+// layer) — the bookkeeping core of relaxed co-scheduling (ESX 3/4):
+//
+//  * A VCPU's skew grows by one per tick while some *other* sibling made
+//    guest progress and it — though runnable — did not, and shrinks by
+//    one while it progresses alone (catching up). Idle VCPUs carry no
+//    skew: an idle guest is not lagging.
+//  * A VM becomes *constrained* when its maximum skew exceeds the
+//    threshold, and is released when the skew falls back to the resume
+//    level (hysteresis).
+//
+// All state is sized at attach(); account() is allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/core/gang_set.hpp"
+
+namespace vcpusim::sched::core {
+
+class SkewTracker {
+ public:
+  /// `gangs` must outlive the tracker (both are typically members of the
+  /// same scheduler, attached together).
+  void attach(const GangSet& gangs, double threshold, double resume) {
+    gangs_ = &gangs;
+    threshold_ = threshold;
+    resume_ = resume;
+    skew_.assign(gangs.num_vcpus(), 0.0);
+    constrained_.assign(gangs.num_vms(), 0);
+  }
+
+  /// Account one tick: `made_progress[v]` / `non_idle[v]` are per-VCPU
+  /// flags for the tick just executed. Updates every skew and re-derives
+  /// the constrained flags with hysteresis.
+  void account(std::span<const char> made_progress,
+               std::span<const char> non_idle) {
+    assert(made_progress.size() == skew_.size());
+    assert(non_idle.size() == skew_.size());
+    for (std::size_t vm = 0; vm < gangs_->num_vms(); ++vm) {
+      int progressed = 0;
+      for (const int v : gangs_->members(vm)) {
+        if (made_progress[static_cast<std::size_t>(v)]) ++progressed;
+      }
+      for (const int v : gangs_->members(vm)) {
+        const auto i = static_cast<std::size_t>(v);
+        const bool sibling_progressed =
+            progressed > (made_progress[i] ? 1 : 0);
+        if (!non_idle[i]) {
+          skew_[i] = 0.0;  // idle guests are excluded from skew detection
+        } else {
+          skew_[i] = std::max(0.0, skew_[i] + (sibling_progressed ? 1.0 : 0.0) -
+                                       (made_progress[i] ? 1.0 : 0.0));
+        }
+      }
+      const double hi = max_skew(vm);
+      if (hi > threshold_) {
+        constrained_[vm] = 1;
+      } else if (hi <= resume_) {
+        constrained_[vm] = 0;
+      }
+    }
+  }
+
+  double skew(int vcpu) const {
+    return skew_[static_cast<std::size_t>(vcpu)];
+  }
+
+  bool constrained(std::size_t vm) const { return constrained_[vm] != 0; }
+
+  double max_skew(std::size_t vm) const {
+    double hi = 0.0;
+    for (const int v : gangs_->members(vm)) {
+      hi = std::max(hi, skew_[static_cast<std::size_t>(v)]);
+    }
+    return hi;
+  }
+
+ private:
+  const GangSet* gangs_ = nullptr;
+  double threshold_ = 0.0;
+  double resume_ = 0.0;
+  std::vector<double> skew_;
+  std::vector<std::uint8_t> constrained_;
+};
+
+}  // namespace vcpusim::sched::core

@@ -1,10 +1,10 @@
 #include "sched/credit.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
+#include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -27,53 +27,49 @@ class Credit final : public vm::Scheduler {
     }
   }
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    gangs_.attach(topology);
+    credits_.assign(n, 0.0);
+    queue_.attach(n);
+    running_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    num_pcpus_ = static_cast<std::size_t>(topology.num_pcpus);
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+    refill();
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long timestamp) override {
-    const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      members_ = detail::group_by_vm(vcpus);
-      credits_.assign(n, 0.0);
-      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
-      refill(vcpus, pcpus.size());
-      initialized_ = true;
-    }
-
     // Burn credits for the tick just executed.
     for (const int v : running_.order()) {
       credits_[static_cast<std::size_t>(v)] -= 1.0;
     }
     if (timestamp > 0 && timestamp % options_.accounting_period == 0) {
-      refill(vcpus, pcpus.size());
+      refill();
     }
 
-    for (const int v : running_.extract_if([&vcpus](int v) {
-           return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
-         })) {
-      queue_.push_back(v);
-    }
+    running_.extract_if(
+        [&vcpus](int v) {
+          return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+        },
+        [this](int v) { queue_.push_back(v); });
 
-    // UNDER before OVER, preserving round-robin order within each class.
-    std::deque<int> still_waiting;
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
-    std::size_t next_idle = 0;
-    for (int pass = 0; pass < 2 && next_idle < idle.size(); ++pass) {
-      std::deque<int> skipped;
-      while (!queue_.empty() && next_idle < idle.size()) {
-        const int v = queue_.front();
-        queue_.pop_front();
+    // UNDER before OVER, preserving round-robin order within each class
+    // (rotation: entries of the other class rejoin in order).
+    idle_.reset(pcpus);
+    for (int pass = 0; pass < 2 && idle_.available(); ++pass) {
+      for (std::size_t k = queue_.size(); k > 0; --k) {
+        const int v = queue_.pop_front();
         const bool under = credits_[static_cast<std::size_t>(v)] > 0;
-        if ((pass == 0) == under) {
-          vcpus[static_cast<std::size_t>(v)].schedule_in = idle[next_idle++];
+        if ((pass == 0) == under && idle_.available()) {
+          vcpus[static_cast<std::size_t>(v)].schedule_in = idle_.take();
           running_.add(v);
         } else {
-          skipped.push_back(v);
+          queue_.push_back(v);
         }
       }
-      for (const int v : queue_) skipped.push_back(v);
-      queue_ = std::move(skipped);
     }
-    still_waiting = std::move(queue_);
-    queue_ = std::move(still_waiting);
     return true;
   }
 
@@ -84,17 +80,18 @@ class Credit final : public vm::Scheduler {
     return vm < options_.vm_weights.size() ? options_.vm_weights[vm] : 1.0;
   }
 
-  void refill(std::span<VCPU_host_external> /*vcpus*/, std::size_t num_pcpus) {
+  void refill() {
     double total_weight = 0;
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
       total_weight += weight_of(vm);
     }
     const double pool =
-        options_.credit_per_period * static_cast<double>(num_pcpus);
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+        options_.credit_per_period * static_cast<double>(num_pcpus_);
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
       const double vm_share = pool * weight_of(vm) / total_weight;
-      const double per_vcpu = vm_share / static_cast<double>(members_[vm].size());
-      for (const int v : members_[vm]) {
+      const double per_vcpu =
+          vm_share / static_cast<double>(gangs_.gang_size(vm));
+      for (const int v : gangs_.members(vm)) {
         // Cap accumulation at one period's share so an idle VM cannot
         // hoard unbounded credit (Xen behaves similarly).
         credits_[static_cast<std::size_t>(v)] = std::min(
@@ -104,11 +101,12 @@ class Credit final : public vm::Scheduler {
   }
 
   CreditOptions options_;
-  bool initialized_ = false;
-  std::vector<std::vector<int>> members_;
+  core::GangSet gangs_;
   std::vector<double> credits_;
-  detail::RunSet running_;
-  std::deque<int> queue_;
+  core::RunSet running_;
+  core::RunQueue queue_;
+  core::IdlePcpus idle_;
+  std::size_t num_pcpus_ = 0;
 };
 
 }  // namespace

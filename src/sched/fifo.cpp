@@ -1,10 +1,9 @@
 #include "sched/fifo.hpp"
 
-#include <deque>
 #include <stdexcept>
 #include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 #include "vm/types.hpp"
 
 namespace vcpusim::sched {
@@ -22,42 +21,41 @@ class Fifo final : public vm::Scheduler {
     }
   }
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    queue_.attach(n);
+    running_.assign(n, 0);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
     const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
-      running_.assign(n, false);
-      initialized_ = true;
-    }
 
+    // PCPUs freed by our yields below are assignable this same tick.
+    idle_.reset(pcpus);
     for (std::size_t i = 0; i < n; ++i) {
       if (!running_[i]) continue;
       if (vcpus[i].assigned_pcpu < 0) {  // cap expired
-        running_[i] = false;
+        running_[i] = 0;
         queue_.push_back(static_cast<int>(i));
       } else if (vcpus[i].status ==
                  static_cast<int>(vm::VcpuStatus::kReady)) {
         // Job finished and no new work was dispatched this tick: yield.
         vcpus[i].schedule_out = 1;
-        running_[i] = false;
+        running_[i] = 0;
         queue_.push_back(static_cast<int>(i));
+        idle_.push(vcpus[i].assigned_pcpu);
       }
     }
 
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
-    // PCPUs freed by our yields above are assignable this same tick.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (vcpus[i].schedule_out != 0) idle.push_back(vcpus[i].assigned_pcpu);
-    }
-    std::size_t next_idle = 0;
-    while (!queue_.empty() && next_idle < idle.size()) {
-      const int v = queue_.front();
-      queue_.pop_front();
+    while (!queue_.empty() && idle_.available()) {
+      const int v = queue_.pop_front();
       auto& x = vcpus[static_cast<std::size_t>(v)];
-      x.schedule_in = idle[next_idle++];
+      x.schedule_in = idle_.take();
       x.new_timeslice = options_.max_timeslice;
-      running_[static_cast<std::size_t>(v)] = true;
+      running_[static_cast<std::size_t>(v)] = 1;
     }
     return true;
   }
@@ -66,9 +64,9 @@ class Fifo final : public vm::Scheduler {
 
  private:
   FifoOptions options_;
-  bool initialized_ = false;
-  std::deque<int> queue_;
-  std::vector<bool> running_;
+  core::RunQueue queue_;
+  core::IdlePcpus idle_;
+  std::vector<char> running_;
 };
 
 }  // namespace

@@ -1,10 +1,6 @@
 #include "sched/priority.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <vector>
-
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -17,42 +13,44 @@ class Priority final : public vm::Scheduler {
  public:
   explicit Priority(const PriorityOptions& options) : options_(options) {}
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    gangs_.attach(topology);
+    queue_.attach(n);
+    running_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
-    const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
-      initialized_ = true;
-    }
+    running_.extract_if(
+        [&vcpus](int v) {
+          return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+        },
+        [this](int v) { queue_.push_back(v); });
 
-    for (const int v : running_.extract_if([&vcpus](int v) {
-           return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
-         })) {
-      queue_.push_back(v);
-    }
-
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    idle_.reset(pcpus);
 
     // Preempt: while the best waiter outranks the worst runner, swap.
     for (;;) {
-      const int waiter = best_waiting(vcpus);
-      const int runner = worst_running(vcpus);
+      const int waiter = best_waiting();
+      const int runner = worst_running();
       if (waiter < 0 || runner < 0) break;
-      if (prio(vcpus, waiter) <= prio(vcpus, runner)) break;
+      if (prio(waiter) <= prio(runner)) break;
       auto& r = vcpus[static_cast<std::size_t>(runner)];
       r.schedule_out = 1;
       running_.remove(runner);
-      idle.push_back(r.assigned_pcpu);
+      idle_.push(r.assigned_pcpu);
       queue_.push_back(runner);
     }
 
     // Assign idle PCPUs best-waiter-first.
-    std::size_t next_idle = 0;
-    while (next_idle < idle.size()) {
-      const int v = best_waiting(vcpus);
+    while (idle_.available()) {
+      const int v = best_waiting();
       if (v < 0) break;
-      remove_from_queue(v);
-      vcpus[static_cast<std::size_t>(v)].schedule_in = idle[next_idle++];
+      queue_.remove(v);
+      vcpus[static_cast<std::size_t>(v)].schedule_in = idle_.take();
       running_.add(v);
     }
     return true;
@@ -61,37 +59,35 @@ class Priority final : public vm::Scheduler {
   std::string name() const override { return "Priority"; }
 
  private:
-  int prio(std::span<VCPU_host_external> vcpus, int v) const {
-    const auto vm = static_cast<std::size_t>(vcpus[static_cast<std::size_t>(v)].vm_id);
+  int prio(int v) const {
+    const auto vm = static_cast<std::size_t>(gangs_.vm_of(v));
     return vm < options_.vm_priorities.size() ? options_.vm_priorities[vm] : 0;
   }
 
   /// Highest-priority waiter, FIFO within class; -1 if queue empty.
-  int best_waiting(std::span<VCPU_host_external> vcpus) const {
+  int best_waiting() const {
     int best = -1;
-    for (const int v : queue_) {
-      if (best < 0 || prio(vcpus, v) > prio(vcpus, best)) best = v;
+    for (std::size_t k = 0; k < queue_.size(); ++k) {
+      const int v = queue_.at(k);
+      if (best < 0 || prio(v) > prio(best)) best = v;
     }
     return best;
   }
 
   /// Lowest-priority runner, -1 if none.
-  int worst_running(std::span<VCPU_host_external> vcpus) const {
+  int worst_running() const {
     int worst = -1;
     for (const int v : running_.order()) {
-      if (worst < 0 || prio(vcpus, v) < prio(vcpus, worst)) worst = v;
+      if (worst < 0 || prio(v) < prio(worst)) worst = v;
     }
     return worst;
   }
 
-  void remove_from_queue(int v) {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), v));
-  }
-
   PriorityOptions options_;
-  bool initialized_ = false;
-  std::deque<int> queue_;
-  detail::RunSet running_;
+  core::GangSet gangs_;
+  core::RunQueue queue_;
+  core::RunSet running_;
+  core::IdlePcpus idle_;
 };
 
 }  // namespace

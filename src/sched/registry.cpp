@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "sched/balance.hpp"
 #include "sched/bvt.hpp"
@@ -10,46 +12,156 @@
 #include "sched/fifo.hpp"
 #include "sched/priority.hpp"
 #include "sched/relaxed_co.hpp"
-#include "sched/sedf.hpp"
 #include "sched/round_robin.hpp"
+#include "sched/sedf.hpp"
 #include "sched/strict_co.hpp"
 
 namespace vcpusim::sched {
 
-vm::SchedulerFactory make_factory(const std::string& algorithm) {
-  std::string key = algorithm;
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string key = s;
   std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
-  if (key == "rrs" || key == "round-robin" || key == "rr") {
-    return [] { return make_round_robin(); };
-  }
-  if (key == "scs" || key == "strict-co") {
-    return [] { return make_strict_co(); };
-  }
-  if (key == "rcs" || key == "relaxed-co") {
-    return [] { return make_relaxed_co(); };
-  }
-  if (key == "rrs-stacked" || key == "stacked") {
-    return [] { return make_stacked_round_robin(); };
-  }
-  if (key == "balance") {
-    return [] { return make_balance(); };
-  }
-  if (key == "credit") {
-    return [] { return make_credit(); };
-  }
-  if (key == "bvt") {
-    return [] { return make_bvt(); };
-  }
-  if (key == "sedf") {
-    return [] { return make_sedf(); };
-  }
-  if (key == "fifo") {
-    return [] { return make_fifo(); };
-  }
-  if (key == "priority") {
-    return [] { return make_priority(); };
+  return key;
+}
+
+/// Catalog entry plus its default-options factory (kept out of the
+/// public AlgorithmInfo so the catalog stays a plain value type).
+struct Entry {
+  AlgorithmInfo info;
+  vm::SchedulerFactory factory;
+};
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> table = {
+      {{"rrs",
+        "RRS",
+        {"round-robin", "rr"},
+        "Round-Robin Scheduling: one global FIFO run queue, fixed "
+        "timeslices, VCPUs scheduled independently of their siblings.",
+        "",
+        {}},
+       [] { return make_round_robin(); }},
+      {{"scs",
+        "SCS",
+        {"strict-co"},
+        "Strict Co-Scheduling: all sibling VCPUs of a VM start and stop "
+        "together; a VM waits until enough PCPUs are simultaneously idle.",
+        "",
+        {}},
+       [] { return make_strict_co(); }},
+      {{"rcs",
+        "RCS",
+        {"relaxed-co"},
+        "Relaxed Co-Scheduling: siblings may run alone while the VM's "
+        "progress skew stays bounded; constrained VMs co-start to catch "
+        "up (hysteresis between the two thresholds).",
+        "sched::RcsOptions",
+        {{"skew_threshold", "10.0",
+          "skew (ticks of sibling lead) at which a VM becomes constrained"},
+         {"resume_threshold", "-1.0",
+          "skew below which the constraint lifts; <0 means "
+          "skew_threshold / 2"}}},
+       [] { return make_relaxed_co(); }},
+      {{"rrs-stacked",
+        "RRS-stacked",
+        {"stacked"},
+        "Round-robin over per-PCPU run queues with naive static placement "
+        "(VCPU id modulo PCPU count) — the stacking-prone baseline.",
+        "",
+        {}},
+       [] { return make_stacked_round_robin(); }},
+      {{"balance",
+        "Balance",
+        {},
+        "Per-PCPU run queues with sibling-aware placement: a descheduled "
+        "VCPU re-enqueues on the shortest queue without a sibling.",
+        "",
+        {}},
+       [] { return make_balance(); }},
+      {{"credit",
+        "Credit",
+        {},
+        "Xen credit scheduler: per-VM credits burned while running and "
+        "refilled per accounting period; UNDER VMs run before OVER VMs.",
+        "sched::CreditOptions",
+        {{"vm_weights", "[]",
+          "per-VM weights; missing entries default to 1.0"},
+         {"accounting_period", "30", "ticks between credit refills"},
+         {"credit_per_period", "30.0",
+          "credits minted per PCPU per period (burn rate is 1/tick)"}}},
+       [] { return make_credit(); }},
+      {{"bvt",
+        "BVT",
+        {},
+        "Borrowed Virtual Time: weighted fair sharing by actual virtual "
+        "time with warp credit; the lowest effective virtual times run.",
+        "sched::BvtOptions",
+        {{"vm_weights", "[]",
+          "per-VM weights; missing entries default to 1.0"},
+         {"vm_warps", "[]",
+          "per-VM warp (virtual-time credit); missing entries default to 0"},
+         {"switch_allowance", "2.0",
+          "a runner is preempted only by a waiter leading by at least "
+          "this much (hysteresis against thrashing)"}}},
+       [] { return make_bvt(); }},
+      {{"sedf",
+        "SEDF",
+        {},
+        "Simple Earliest Deadline First: per-VM slice/period reservations "
+        "scheduled by nearest deadline, optionally work-conserving.",
+        "sched::SedfOptions",
+        {{"reservations", "[]",
+          "per-VM {slice, period} reservations; missing entries default "
+          "to slice 1 / period 10"},
+         {"work_conserving", "true",
+          "grant leftover PCPU time round-robin to budget-exhausted VMs"}}},
+       [] { return make_sedf(); }},
+      {{"fifo",
+        "FIFO",
+        {},
+        "First-in-first-out run-to-completion: a granted VCPU keeps its "
+        "PCPU until its job completes or the occupancy cap expires.",
+        "sched::FifoOptions",
+        {{"max_timeslice", "1000.0",
+          "hard cap on continuous occupancy, in ticks"}}},
+       [] { return make_fifo(); }},
+      {{"priority",
+        "Priority",
+        {},
+        "Strict per-VM priorities with preemption: the highest-priority "
+        "waiters always hold the PCPUs, FIFO within a priority class.",
+        "sched::PriorityOptions",
+        {{"vm_priorities", "[]",
+          "per-VM priorities, higher runs first; missing entries default "
+          "to 0"}}},
+       [] { return make_priority(); }},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& algorithm_catalog() {
+  static const std::vector<AlgorithmInfo> catalog = [] {
+    std::vector<AlgorithmInfo> out;
+    out.reserve(entries().size());
+    for (const auto& e : entries()) out.push_back(e.info);
+    return out;
+  }();
+  return catalog;
+}
+
+vm::SchedulerFactory make_factory(const std::string& algorithm) {
+  const std::string key = lower(algorithm);
+  for (const auto& e : entries()) {
+    if (key == e.info.name) return e.factory;
+    for (const auto& alias : e.info.aliases) {
+      if (key == alias) return e.factory;
+    }
   }
   std::string valid;
   for (const auto& name : builtin_algorithms()) {
@@ -61,8 +173,10 @@ vm::SchedulerFactory make_factory(const std::string& algorithm) {
 }
 
 std::vector<std::string> builtin_algorithms() {
-  return {"rrs", "scs", "rcs", "rrs-stacked", "balance", "credit", "bvt",
-          "sedf", "fifo", "priority"};
+  std::vector<std::string> names;
+  names.reserve(entries().size());
+  for (const auto& e : entries()) names.push_back(e.info.name);
+  return names;
 }
 
 }  // namespace vcpusim::sched

@@ -1,5 +1,6 @@
 // Name-based registry of the built-in scheduling algorithms, used by the
-// benchmark harness, examples, and tests to iterate over algorithms.
+// benchmark harness, examples, tests and the `vcpusim algorithms` /
+// `--compare` CLI paths to iterate over algorithms.
 #pragma once
 
 #include <string>
@@ -9,10 +10,33 @@
 
 namespace vcpusim::sched {
 
-/// Factory for a built-in algorithm by name (case-insensitive): "rrs",
-/// "scs", "rcs", "rrs-stacked", "balance", "credit", "fifo", "priority".
-/// Throws std::invalid_argument for unknown names. Each call of the
-/// returned factory yields a fresh scheduler instance (replication-safe).
+/// One configuration knob of a built-in algorithm: the field of its
+/// options struct (e.g. CreditOptions::accounting_period), its
+/// construction-time default, and what it means.
+struct AlgorithmOptionInfo {
+  std::string key;
+  std::string default_value;
+  std::string summary;
+};
+
+/// Catalog entry for one built-in algorithm.
+struct AlgorithmInfo {
+  std::string name;          ///< canonical registry key (what make_factory wants)
+  std::string display_name;  ///< Scheduler::name() of an instance
+  std::vector<std::string> aliases;  ///< accepted alternates (case-insensitive)
+  std::string summary;               ///< one-line description
+  std::string options_struct;  ///< C++ options type, empty when parameterless
+  std::vector<AlgorithmOptionInfo> options;
+};
+
+/// The full catalog, in canonical order (the paper's three first).
+const std::vector<AlgorithmInfo>& algorithm_catalog();
+
+/// Factory for a built-in algorithm by canonical name or alias
+/// (case-insensitive): "rrs", "scs", "rcs", "rrs-stacked", "balance",
+/// "credit", "bvt", "sedf", "fifo", "priority". Throws
+/// std::invalid_argument for unknown names. Each call of the returned
+/// factory yields a fresh scheduler instance (replication-safe).
 vm::SchedulerFactory make_factory(const std::string& algorithm);
 
 /// Names accepted by make_factory, in canonical order (the paper's three

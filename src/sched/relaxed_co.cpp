@@ -1,12 +1,9 @@
 #include "sched/relaxed_co.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
 #include <stdexcept>
 #include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 #include "vm/types.hpp"
 
 namespace vcpusim::sched {
@@ -18,14 +15,8 @@ using vm::VCPU_host_external;
 
 // Relaxed co-scheduling, following the ESX 3/4 design the paper cites:
 //
-//  * Each VCPU carries a cumulative *skew* accumulator. Per tick, skew
-//    grows by one when some sibling made guest progress and this VCPU —
-//    though runnable — did not, and shrinks by one when this VCPU makes
-//    progress while no sibling pulls further ahead. Idle VCPUs (READY
-//    with no workload) have no skew: an idle guest is not lagging.
-//  * When a VM's maximum skew exceeds skew_threshold the VM becomes
-//    *constrained*; it is released when the skew falls to
-//    resume_threshold (hysteresis).
+//  * Each VCPU carries a cumulative *skew* accumulator (core::SkewTracker)
+//    with per-VM constraint hysteresis over skew_threshold / resume.
 //  * While constrained, VCPUs that are ahead (smaller skew) are co-stopped
 //    and barred from individual restart as long as a more-skewed sibling
 //    sits descheduled; the laggards run alone to catch up.
@@ -45,84 +36,67 @@ class RelaxedCo final : public vm::Scheduler {
     }
   }
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    gangs_.attach(topology);
+    skews_.attach(gangs_, threshold_, resume_);
+    queue_.attach(n);
+    running_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    made_progress_.assign(n, 0);
+    not_idle_.assign(n, 0);
+    granted_.assign(n, 0);
+    no_grants_.assign(n, 0);
+    scratch_.clear();
+    scratch_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
     const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      members_ = detail::group_by_vm(vcpus);
-      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
-      skew_.assign(n, 0.0);
-      constrained_.assign(members_.size(), false);
-      initialized_ = true;
-    }
 
     // Guest progress through the last tick: the VCPU held a PCPU (it is
     // in running_) and was processing work. A VCPU the framework just
     // descheduled reads INACTIVE in the snapshot; leftover remaining_load
     // shows it was busy through the tick.
-    std::vector<char> made_progress(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      made_progress_[i] = 0;
+      not_idle_[i] = non_idle(vcpus[i]) ? 1 : 0;
+    }
     for (const int v : running_.order()) {
       const auto i = static_cast<std::size_t>(v);
       const bool was_busy =
           vcpus[i].status == static_cast<int>(vm::VcpuStatus::kBusy) ||
           (vcpus[i].assigned_pcpu < 0 && vcpus[i].remaining_load > 0);
-      if (was_busy) made_progress[i] = 1;
+      if (was_busy) made_progress_[i] = 1;
     }
 
-    // Skew accounting (differential, per sibling group): a VCPU's skew
-    // grows while some *other* sibling progresses and it does not, and
-    // shrinks while it progresses alone (catching up).
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-      int progressed = 0;
-      for (const int v : members_[vm]) {
-        if (made_progress[static_cast<std::size_t>(v)]) ++progressed;
-      }
-      for (const int v : members_[vm]) {
-        const auto i = static_cast<std::size_t>(v);
-        const bool sibling_progressed =
-            progressed > (made_progress[i] ? 1 : 0);
-        if (!non_idle(vcpus[i])) {
-          skew_[i] = 0.0;  // idle guests are excluded from skew detection
-        } else {
-          skew_[i] = std::max(0.0, skew_[i] + (sibling_progressed ? 1.0 : 0.0) -
-                                       (made_progress[i] ? 1.0 : 0.0));
-        }
-      }
-    }
+    // Skew accounting and constraint hysteresis (core::SkewTracker).
+    skews_.account(made_progress_, not_idle_);
 
     // Requeue framework-expired VCPUs in schedule-in order.
-    for (const int v : running_.extract_if([&vcpus](int v) {
-           return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
-         })) {
-      queue_.push_back(v);
-    }
-
-    // Constraint update with hysteresis.
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-      const double skew = max_skew(vm);
-      if (skew > threshold_) {
-        constrained_[vm] = true;
-      } else if (skew <= resume_) {
-        constrained_[vm] = false;
-      }
-    }
+    running_.extract_if(
+        [&vcpus](int v) {
+          return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+        },
+        [this](int v) { queue_.push_back(v); });
 
     // Track idle PCPUs locally: co-stops below free PCPUs that the
     // snapshot still shows as assigned.
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    idle_.reset(pcpus);
 
     // Co-stop: stop running VCPUs of constrained VMs that are ahead of a
     // starved sibling, freeing their PCPUs for the laggards.
-    const std::vector<char> no_grants(n, 0);
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-      if (!constrained_[vm]) continue;
-      for (const int v : members_[vm]) {
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
+      if (!skews_.constrained(vm)) continue;
+      for (const int v : gangs_.members(vm)) {
         const auto i = static_cast<std::size_t>(v);
         if (running_.contains(v) &&
-            lagging_sibling_waiting(v, vcpus, no_grants)) {
+            lagging_sibling_waiting(v, vcpus, no_grants_)) {
           vcpus[i].schedule_out = 1;
           running_.remove(v);
-          idle.push_back(vcpus[i].assigned_pcpu);
+          idle_.push(vcpus[i].assigned_pcpu);
           queue_.push_back(v);
         }
       }
@@ -135,64 +109,64 @@ class RelaxedCo final : public vm::Scheduler {
     // timeslice; this is what costs blocked multi-VCPU VMs scheduling
     // share relative to never-idle single-VCPU VMs (paper Figure 8).
     if (!queue_.empty()) {
-      std::vector<int> idlers;
+      scratch_.clear();
       for (const int v : running_.order()) {
         const auto i = static_cast<std::size_t>(v);
         if (vcpus[i].status == static_cast<int>(vm::VcpuStatus::kReady) &&
             vcpus[i].remaining_load <= 0) {
-          idlers.push_back(v);
+          scratch_.push_back(v);
         }
       }
-      for (const int v : idlers) {
+      for (const int v : scratch_) {
         const auto i = static_cast<std::size_t>(v);
         vcpus[i].schedule_out = 1;
         running_.remove(v);
-        idle.push_back(vcpus[i].assigned_pcpu);
+        idle_.push(vcpus[i].assigned_pcpu);
         queue_.push_back(v);
       }
     }
 
-    // Assignment pass over the run queue:
+    // Assignment pass over the run queue (rotation — waiters rejoin in
+    // order):
     //  * best-effort co-start — when a VM's turn comes and every one of
     //    its descheduled VCPUs fits in the idle PCPUs, the whole gang
     //    starts together (the defining RCS behaviour);
     //  * otherwise single VCPUs start alone, except that a VCPU of a
     //    constrained VM may not start ahead of a more-skewed sibling
     //    left waiting.
-    std::vector<char> granted(n, 0);
-    std::size_t next_idle = 0;
-    std::deque<int> still_waiting;
-    for (const int v : queue_) {
+    for (std::size_t i = 0; i < n; ++i) granted_[i] = 0;
+    for (std::size_t k = queue_.size(); k > 0; --k) {
+      const int v = queue_.pop_front();
       const auto i = static_cast<std::size_t>(v);
-      if (granted[i]) continue;  // pulled in by an earlier co-start
-      if (next_idle >= idle.size()) {
-        still_waiting.push_back(v);
+      if (granted_[i]) continue;  // pulled in by an earlier co-start
+      if (!idle_.available()) {
+        queue_.push_back(v);
         continue;
       }
       const auto vm = static_cast<std::size_t>(vcpus[i].vm_id);
-      std::vector<int> gang;
-      for (const int s : members_[vm]) {
-        if (!running_.contains(s) && !granted[static_cast<std::size_t>(s)]) {
-          gang.push_back(s);
+      scratch_.clear();
+      for (const int s : gangs_.members(vm)) {
+        if (!running_.contains(s) && !granted_[static_cast<std::size_t>(s)]) {
+          scratch_.push_back(s);
         }
       }
-      if (gang.size() > 1 && gang.size() <= idle.size() - next_idle) {
-        for (const int s : gang) {
-          vcpus[static_cast<std::size_t>(s)].schedule_in = idle[next_idle++];
-          granted[static_cast<std::size_t>(s)] = 1;
+      if (scratch_.size() > 1 && scratch_.size() <= idle_.remaining()) {
+        for (const int s : scratch_) {
+          vcpus[static_cast<std::size_t>(s)].schedule_in = idle_.take();
+          granted_[static_cast<std::size_t>(s)] = 1;
           running_.add(s);
         }
         continue;
       }
-      if (constrained_[vm] && lagging_sibling_waiting(v, vcpus, granted)) {
-        still_waiting.push_back(v);
+      if (skews_.constrained(vm) &&
+          lagging_sibling_waiting(v, vcpus, granted_)) {
+        queue_.push_back(v);
         continue;
       }
-      vcpus[i].schedule_in = idle[next_idle++];
-      granted[i] = 1;
+      vcpus[i].schedule_in = idle_.take();
+      granted_[i] = 1;
       running_.add(v);
     }
-    queue_ = std::move(still_waiting);
     return true;
   }
 
@@ -206,25 +180,17 @@ class RelaxedCo final : public vm::Scheduler {
            x.remaining_load > 0;
   }
 
-  double max_skew(std::size_t vm) const {
-    double hi = 0.0;
-    for (const int v : members_[vm]) {
-      hi = std::max(hi, skew_[static_cast<std::size_t>(v)]);
-    }
-    return hi;
-  }
-
   /// True if a non-idle sibling strictly more skewed than `v` is neither
   /// running nor granted a PCPU this tick.
   bool lagging_sibling_waiting(int v, std::span<VCPU_host_external> vcpus,
                                const std::vector<char>& granted) const {
     const auto vm = static_cast<std::size_t>(
         vcpus[static_cast<std::size_t>(v)].vm_id);
-    for (const int s : members_[vm]) {
+    for (const int s : gangs_.members(vm)) {
       if (s == v) continue;
       const auto j = static_cast<std::size_t>(s);
       if (!non_idle(vcpus[j])) continue;
-      if (skew_[j] <= skew_[static_cast<std::size_t>(v)]) continue;
+      if (skews_.skew(s) <= skews_.skew(v)) continue;
       if (!running_.contains(s) && !granted[j]) return true;
     }
     return false;
@@ -232,12 +198,16 @@ class RelaxedCo final : public vm::Scheduler {
 
   double threshold_;
   double resume_;
-  bool initialized_ = false;
-  std::vector<std::vector<int>> members_;
-  std::deque<int> queue_;
-  detail::RunSet running_;
-  std::vector<double> skew_;
-  std::vector<bool> constrained_;
+  core::GangSet gangs_;
+  core::SkewTracker skews_;
+  core::RunQueue queue_;
+  core::RunSet running_;
+  core::IdlePcpus idle_;
+  std::vector<char> made_progress_;
+  std::vector<char> not_idle_;
+  std::vector<char> granted_;
+  std::vector<char> no_grants_;  ///< all-zero: co-stop pass sees no grants
+  std::vector<int> scratch_;     ///< idle-yield and co-start gang scratch
 };
 
 }  // namespace

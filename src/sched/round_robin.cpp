@@ -1,9 +1,6 @@
 #include "sched/round_robin.hpp"
 
-#include <deque>
-#include <vector>
-
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -14,28 +11,29 @@ using vm::VCPU_host_external;
 
 class RoundRobin final : public vm::Scheduler {
  public:
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    queue_.attach(n);
+    running_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
-    const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
-      initialized_ = true;
-    }
-
     // Timeslice-expired VCPUs (descheduled by the framework) rejoin the
     // tail of the run queue in the order they were scheduled in.
-    for (const int v : running_.extract_if([&vcpus](int v) {
-           return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
-         })) {
-      queue_.push_back(v);
-    }
+    running_.extract_if(
+        [&vcpus](int v) {
+          return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+        },
+        [this](int v) { queue_.push_back(v); });
 
     // Hand every idle PCPU to the head of the queue.
-    for (const int pcpu : detail::idle_pcpus(pcpus)) {
-      if (queue_.empty()) break;
-      const int next = queue_.front();
-      queue_.pop_front();
-      vcpus[static_cast<std::size_t>(next)].schedule_in = pcpu;
+    idle_.reset(pcpus);
+    while (idle_.available() && !queue_.empty()) {
+      const int next = queue_.pop_front();
+      vcpus[static_cast<std::size_t>(next)].schedule_in = idle_.take();
       running_.add(next);
     }
     return true;
@@ -44,9 +42,9 @@ class RoundRobin final : public vm::Scheduler {
   std::string name() const override { return "RRS"; }
 
  private:
-  bool initialized_ = false;
-  std::deque<int> queue_;
-  detail::RunSet running_;
+  core::RunQueue queue_;
+  core::RunSet running_;
+  core::IdlePcpus idle_;
 };
 
 }  // namespace

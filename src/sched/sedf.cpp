@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <stdexcept>
 #include <vector>
 
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -26,22 +25,28 @@ class Sedf final : public vm::Scheduler {
     }
   }
 
+  void on_attach(const SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    gangs_.attach(topology);
+    budget_.assign(gangs_.num_vms(), 0.0);
+    deadline_.assign(gangs_.num_vms(), 0.0);
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
+      replenish(vm, 0);
+    }
+    running_.assign(n, 0);
+    should_run_.assign(n, 0);
+    vm_order_.clear();
+    vm_order_.reserve(gangs_.num_vms());
+    extra_queue_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t i = 0; i < n; ++i) {
+      extra_queue_.push_back(static_cast<int>(i));
+    }
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long timestamp) override {
     const std::size_t n = vcpus.size();
-    if (!initialized_) {
-      members_ = detail::group_by_vm(vcpus);
-      budget_.assign(members_.size(), 0.0);
-      deadline_.assign(members_.size(), 0.0);
-      for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-        replenish(vm, 0);
-      }
-      running_.assign(n, false);
-      for (std::size_t i = 0; i < n; ++i) {
-        extra_queue_.push_back(static_cast<int>(i));
-      }
-      initialized_ = true;
-    }
 
     // Charge the last tick's execution against the owning VM's budget
     // and roll periods over.
@@ -49,9 +54,9 @@ class Sedf final : public vm::Scheduler {
       if (running_[i]) {
         budget_[static_cast<std::size_t>(vcpus[i].vm_id)] -= 1.0;
       }
-      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = false;
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) running_[i] = 0;
     }
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
       if (static_cast<double>(timestamp) >= deadline_[vm]) {
         replenish(vm, timestamp);
       }
@@ -59,64 +64,64 @@ class Sedf final : public vm::Scheduler {
 
     // Desired allocation: EDF over VMs with budget, then (optionally)
     // round-robin extra time.
-    std::vector<int> vm_order;
-    for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-      if (budget_[vm] > 0) vm_order.push_back(static_cast<int>(vm));
+    vm_order_.clear();
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
+      if (budget_[vm] > 0) vm_order_.push_back(static_cast<int>(vm));
     }
-    std::sort(vm_order.begin(), vm_order.end(), [this](int a, int b) {
+    std::sort(vm_order_.begin(), vm_order_.end(), [this](int a, int b) {
       const double da = deadline_[static_cast<std::size_t>(a)];
       const double db = deadline_[static_cast<std::size_t>(b)];
       if (da != db) return da < db;
       return a < b;
     });
 
-    std::vector<char> should_run(n, 0);
+    for (std::size_t i = 0; i < n; ++i) should_run_[i] = 0;
     std::size_t slots = pcpus.size();
-    for (const int vm : vm_order) {
+    for (const int vm : vm_order_) {
       // A VM's VCPUs consume budget jointly; grant as many as both the
       // budget and the remaining slots allow.
-      auto grant = static_cast<std::size_t>(
-          std::min<double>(static_cast<double>(
-                               members_[static_cast<std::size_t>(vm)].size()),
-                           std::ceil(budget_[static_cast<std::size_t>(vm)])));
-      for (const int v : members_[static_cast<std::size_t>(vm)]) {
+      auto grant = static_cast<std::size_t>(std::min<double>(
+          static_cast<double>(gangs_.gang_size(static_cast<std::size_t>(vm))),
+          std::ceil(budget_[static_cast<std::size_t>(vm)])));
+      for (const int v : gangs_.members(static_cast<std::size_t>(vm))) {
         if (grant == 0 || slots == 0) break;
-        should_run[static_cast<std::size_t>(v)] = 1;
+        should_run_[static_cast<std::size_t>(v)] = 1;
         --grant;
         --slots;
       }
       if (slots == 0) break;
     }
     if (options_.work_conserving && slots > 0) {
-      // Hand leftover slots round-robin to everything else.
-      std::deque<int> rotated;
-      while (!extra_queue_.empty() && slots > 0) {
-        const int v = extra_queue_.front();
-        extra_queue_.pop_front();
-        rotated.push_back(v);
-        if (!should_run[static_cast<std::size_t>(v)]) {
-          should_run[static_cast<std::size_t>(v)] = 1;
+      // Hand leftover slots round-robin to everything else. Only the
+      // popped prefix rotates to the back (the scan stops when the slots
+      // run out), preserving the rotation point across ticks.
+      std::size_t popped = 0;
+      const std::size_t sz = extra_queue_.size();
+      while (popped < sz && slots > 0) {
+        const int v = extra_queue_.pop_front();
+        ++popped;
+        if (!should_run_[static_cast<std::size_t>(v)]) {
+          should_run_[static_cast<std::size_t>(v)] = 1;
           --slots;
         }
+        extra_queue_.push_back(v);
       }
-      for (const int v : rotated) extra_queue_.push_back(v);
     }
 
     // Apply the delta between current and desired allocation.
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
+    idle_.reset(pcpus);
     for (std::size_t i = 0; i < n; ++i) {
-      if (running_[i] && !should_run[i]) {
+      if (running_[i] && !should_run_[i]) {
         vcpus[i].schedule_out = 1;
-        running_[i] = false;
-        idle.push_back(vcpus[i].assigned_pcpu);
+        running_[i] = 0;
+        idle_.push(vcpus[i].assigned_pcpu);
       }
     }
-    std::size_t next_idle = 0;
-    for (std::size_t i = 0; i < n && next_idle < idle.size(); ++i) {
-      if (should_run[i] && !running_[i]) {
-        vcpus[i].schedule_in = idle[next_idle++];
+    for (std::size_t i = 0; i < n && idle_.available(); ++i) {
+      if (should_run_[i] && !running_[i]) {
+        vcpus[i].schedule_in = idle_.take();
         vcpus[i].new_timeslice = 1e6;  // preemption is budget-driven
-        running_[i] = true;
+        running_[i] = 1;
       }
     }
     return true;
@@ -137,12 +142,14 @@ class Sedf final : public vm::Scheduler {
   }
 
   SedfOptions options_;
-  bool initialized_ = false;
-  std::vector<std::vector<int>> members_;
+  core::GangSet gangs_;
+  core::IdlePcpus idle_;
+  core::RunQueue extra_queue_;
   std::vector<double> budget_;
   std::vector<double> deadline_;
-  std::vector<bool> running_;
-  std::deque<int> extra_queue_;
+  std::vector<char> running_;
+  std::vector<char> should_run_;
+  std::vector<int> vm_order_;
 };
 
 }  // namespace

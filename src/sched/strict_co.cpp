@@ -1,9 +1,6 @@
 #include "sched/strict_co.hpp"
 
-#include <deque>
-#include <vector>
-
-#include "sched/detail.hpp"
+#include "sched/core/core.hpp"
 
 namespace vcpusim::sched {
 
@@ -14,16 +11,18 @@ using vm::VCPU_host_external;
 
 class StrictCo final : public vm::Scheduler {
  public:
+  void on_attach(const SystemTopology& topology) override {
+    gangs_.attach(topology);
+    queue_.attach(gangs_.num_vms());
+    running_.attach(gangs_.num_vms());
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t vm = 0; vm < gangs_.num_vms(); ++vm) {
+      queue_.push_back(static_cast<int>(vm));
+    }
+  }
+
   bool schedule(std::span<VCPU_host_external> vcpus,
                 std::span<PCPU_external> pcpus, long /*timestamp*/) override {
-    if (!initialized_) {
-      members_ = detail::group_by_vm(vcpus);
-      for (std::size_t vm = 0; vm < members_.size(); ++vm) {
-        queue_.push_back(static_cast<int>(vm));
-      }
-      initialized_ = true;
-    }
-
     // Co-stop bookkeeping: a gang's VCPUs all received the same timeslice
     // at the same tick, so the framework expires them together. When a
     // VM's members are all descheduled again, the VM rejoins the queue in
@@ -34,56 +33,55 @@ class StrictCo final : public vm::Scheduler {
     for (const int vm : running_.order()) {
       bool any_assigned = false;
       bool any_released = false;
-      for (const int v : members_[static_cast<std::size_t>(vm)]) {
+      for (const int v : gangs_.members(static_cast<std::size_t>(vm))) {
         (vcpus[static_cast<std::size_t>(v)].assigned_pcpu >= 0 ? any_assigned
                                                                : any_released) =
             true;
       }
       if (any_released && any_assigned) {
-        for (const int v : members_[static_cast<std::size_t>(vm)]) {
+        for (const int v : gangs_.members(static_cast<std::size_t>(vm))) {
           if (vcpus[static_cast<std::size_t>(v)].assigned_pcpu >= 0) {
             vcpus[static_cast<std::size_t>(v)].schedule_out = 1;
           }
         }
       }
     }
-    for (const int vm : running_.extract_if([this, &vcpus](int vm) {
-           for (const int v : members_[static_cast<std::size_t>(vm)]) {
-             if (vcpus[static_cast<std::size_t>(v)].assigned_pcpu >= 0) {
-               return false;
-             }
-           }
-           return true;
-         })) {
-      queue_.push_back(vm);
-    }
+    running_.extract_if(
+        [this, &vcpus](int vm) {
+          for (const int v : gangs_.members(static_cast<std::size_t>(vm))) {
+            if (vcpus[static_cast<std::size_t>(v)].assigned_pcpu >= 0) {
+              return false;
+            }
+          }
+          return true;
+        },
+        [this](int vm) { queue_.push_back(vm); });
 
-    // Co-start: first-fit scan of the VM queue over the idle PCPUs.
-    std::vector<int> idle = detail::idle_pcpus(pcpus);
-    std::size_t next_idle = 0;
-    std::deque<int> still_waiting;
-    for (const int vm : queue_) {
-      const auto& gang = members_[static_cast<std::size_t>(vm)];
-      if (gang.size() <= idle.size() - next_idle) {
+    // Co-start: first-fit scan of the VM queue over the idle PCPUs; VMs
+    // that do not fit rotate back in order.
+    idle_.reset(pcpus);
+    for (std::size_t k = queue_.size(); k > 0; --k) {
+      const int vm = queue_.pop_front();
+      const auto gang = gangs_.members(static_cast<std::size_t>(vm));
+      if (gang.size() <= idle_.remaining()) {
         for (const int v : gang) {
-          vcpus[static_cast<std::size_t>(v)].schedule_in = idle[next_idle++];
+          vcpus[static_cast<std::size_t>(v)].schedule_in = idle_.take();
         }
         running_.add(vm);
       } else {
-        still_waiting.push_back(vm);
+        queue_.push_back(vm);
       }
     }
-    queue_ = std::move(still_waiting);
     return true;
   }
 
   std::string name() const override { return "SCS"; }
 
  private:
-  bool initialized_ = false;
-  std::vector<std::vector<int>> members_;
-  std::deque<int> queue_;
-  detail::RunSet running_;
+  core::GangSet gangs_;
+  core::RunQueue queue_;
+  core::RunSet running_;
+  core::IdlePcpus idle_;
 };
 
 }  // namespace

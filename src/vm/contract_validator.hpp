@@ -1,0 +1,67 @@
+// Apply-phase contract validation of the scheduling interface, shared by
+// the per-tick bridge (vm/vcpu_scheduler.cpp) and the static contract
+// checker (sched::check_scheduler_contract) so the two can never drift.
+//
+// The framework applies a scheduling function's decisions in a fixed
+// order — every schedule_out release first, then every schedule_in
+// assignment, both in ascending VCPU order — and a decision set is valid
+// iff, replayed in that order:
+//   * a VCPU only relinquishes a PCPU it currently holds,
+//   * an assignment names an in-range PCPU,
+//   * the assigned VCPU holds no PCPU at assignment time,
+//   * the named PCPU is idle at assignment time.
+// ContractValidator replays the decisions against scratch copies of the
+// assignment maps and reports the first violation, leaving the
+// authoritative marking untouched; the caller then applies the
+// (now known-valid) decisions without re-checking.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::vm {
+
+/// First contract violation found in a decision set.
+struct ScheduleViolation {
+  enum class Kind {
+    kOutNotAssigned,     ///< schedule_out from a VCPU holding no PCPU
+    kInOutOfRange,       ///< schedule_in names a PCPU outside [0, num_pcpus)
+    kInAlreadyAssigned,  ///< schedule_in while still holding a PCPU
+    kInPcpuTaken,        ///< schedule_in names an occupied PCPU
+  };
+  Kind kind{};
+  int vcpu = -1;   ///< the deciding VCPU
+  int pcpu = -1;   ///< the PCPU named by the decision (kIn* kinds)
+  int other = -1;  ///< held PCPU (kInAlreadyAssigned) / owner (kInPcpuTaken)
+
+  /// The ScheduleError text the framework raises for this violation.
+  std::string message() const;
+};
+
+/// Validates decision sets against the apply-order contract above.
+/// attach() sizes the scratch state once; validate() is then
+/// allocation-free on the success path (hot: once per Clock tick).
+class ContractValidator {
+ public:
+  /// Size (and reset) the scratch assignment maps.
+  void attach(std::size_t num_vcpus, std::size_t num_pcpus);
+
+  /// Replay the decision fields of `vcpus` against the pre-apply
+  /// assignment (vcpu_pcpu[i] = PCPU held by VCPU i or -1; pcpu_vcpu[p] =
+  /// VCPU on PCPU p or -1) in the framework's apply order. Returns the
+  /// first violation, or nullopt when the decision set is contract-clean.
+  std::optional<ScheduleViolation> validate(
+      std::span<const VCPU_host_external> vcpus,
+      std::span<const int> vcpu_pcpu, std::span<const int> pcpu_vcpu);
+
+ private:
+  std::vector<int> scratch_vcpu_;  ///< vcpu -> held pcpu during replay
+  std::vector<int> scratch_pcpu_;  ///< pcpu -> owning vcpu during replay
+};
+
+}  // namespace vcpusim::vm

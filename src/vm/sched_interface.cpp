@@ -1,16 +1,31 @@
 #include "vm/sched_interface.hpp"
 
+#include <vector>
+
 namespace vcpusim::vm {
 
 namespace {
 
 class CFunctionScheduler final : public Scheduler {
  public:
-  CFunctionScheduler(vcpu_schedule_fn fn, std::string name)
-      : fn_(fn), name_(std::move(name)) {
+  CFunctionScheduler(vcpu_schedule_fn fn, std::string name,
+                     vcpu_attach_fn attach)
+      : fn_(fn), attach_(attach), name_(std::move(name)) {
     if (fn_ == nullptr) {
       throw std::invalid_argument("wrap_c_function: null function");
     }
+  }
+
+  void on_attach(const SystemTopology& topology) override {
+    if (attach_ == nullptr) return;
+    std::vector<VCPU_topology_external> vcpus;
+    vcpus.reserve(static_cast<std::size_t>(topology.num_vcpus()));
+    for (int v = 0; v < topology.num_vcpus(); ++v) {
+      const auto& info = topology.vcpus[static_cast<std::size_t>(v)];
+      vcpus.push_back(VCPU_topology_external{
+          v, info.vm_id, info.index_in_vm, topology.gang_size(info.vm_id)});
+    }
+    attach_(vcpus.data(), topology.num_vcpus(), topology.num_pcpus);
   }
 
   bool schedule(std::span<VCPU_host_external> vcpus,
@@ -23,13 +38,15 @@ class CFunctionScheduler final : public Scheduler {
 
  private:
   vcpu_schedule_fn fn_;
+  vcpu_attach_fn attach_;
   std::string name_;
 };
 
 }  // namespace
 
-SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name) {
-  return std::make_unique<CFunctionScheduler>(fn, std::move(name));
+SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name,
+                             vcpu_attach_fn attach) {
+  return std::make_unique<CFunctionScheduler>(fn, std::move(name), attach);
 }
 
 }  // namespace vcpusim::vm

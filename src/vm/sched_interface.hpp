@@ -12,6 +12,12 @@
 // fields, which the framework validates and applies by firing the
 // Schedule_In / Schedule_Out join places of the affected VCPU models.
 //
+// Lifecycle: when the system is assembled (build_system), the framework
+// calls Scheduler::on_attach exactly once with the immutable
+// SystemTopology (PCPU count, VM sibling groups) before the first tick.
+// Schedulers size their run queues and derive VM groupings there instead
+// of from the first snapshot — see docs/SCHEDULING.md.
+//
 // Contract applied by the framework each Clock tick, in order:
 //   1. Timeslices of assigned VCPUs are decremented; any VCPU whose
 //      timeslice reached 0 is forcibly descheduled (Schedule_Out) before
@@ -31,6 +37,8 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+
+#include "vm/topology.hpp"
 
 namespace vcpusim::vm {
 
@@ -70,6 +78,21 @@ using vcpu_schedule_fn = bool (*)(VCPU_host_external* vcpus, int num_vcpu,
                                   PCPU_external* pcpus, int num_pcpu,
                                   long timestamp);
 
+/// Static identity of one VCPU, as handed to a C attach function.
+/// Mirrors the identity block of VCPU_host_external.
+struct VCPU_topology_external {
+  int vcpu_id;
+  int vm_id;
+  int vcpu_index_in_vm;
+  int num_siblings;
+};
+
+/// Optional C attach hook: called once at build time, before the first
+/// schedule() call, with the system's static topology. The C analogue of
+/// Scheduler::on_attach.
+using vcpu_attach_fn = void (*)(const VCPU_topology_external* vcpus,
+                                int num_vcpu, int num_pcpu);
+
 /// Raised when a scheduling function violates the assignment contract.
 class ScheduleError : public std::runtime_error {
  public:
@@ -83,6 +106,16 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
+  /// Lifecycle hook: called exactly once, at build_system time, with the
+  /// immutable system topology, before any schedule() call. Size run
+  /// queues and derive VM groupings here. The topology object outlives
+  /// the scheduler's use of it, but implementations should copy what
+  /// they keep (sched::core primitives do). Default: no-op, for
+  /// schedulers that need no topology (e.g. stateless lambdas).
+  virtual void on_attach(const SystemTopology& topology) {
+    (void)topology;
+  }
+
   /// See the file-header contract. Called once per Clock tick.
   virtual bool schedule(std::span<VCPU_host_external> vcpus,
                         std::span<PCPU_external> pcpus, long timestamp) = 0;
@@ -95,7 +128,12 @@ using SchedulerPtr = std::unique_ptr<Scheduler>;
 using SchedulerFactory = std::function<SchedulerPtr()>;
 
 /// Wrap a raw C scheduling function (the paper's headline use case) as a
-/// Scheduler. The function must be stateless or manage its own statics.
-SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name);
+/// Scheduler. `attach` (optional) receives the static topology once at
+/// build time, so a C plug-in no longer needs lazily-initialized statics
+/// to learn the VM layout — note that file-scope statics shared across
+/// replications still break replication safety and are flagged by
+/// sched::check_scheduler_contract.
+SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name,
+                             vcpu_attach_fn attach = nullptr);
 
 }  // namespace vcpusim::vm

@@ -44,6 +44,7 @@ std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
     system->vms.push_back(std::move(handle));
   }
 
+  system->topology = make_topology(system->vcpus, cfg.num_pcpus);
   system->scheduler_places = build_vcpu_scheduler(
       model, cfg, system->vcpus, *system->scheduler);
 

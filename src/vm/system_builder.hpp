@@ -35,6 +35,7 @@ struct VirtualSystem {
   std::vector<VmHandle> vms;
   std::vector<VcpuBinding> vcpus;  ///< indexed by global vcpu id
   SchedulerPlaces scheduler_places;
+  SystemTopology topology;  ///< as handed to scheduler->on_attach
 
   int num_vcpus() const noexcept { return static_cast<int>(vcpus.size()); }
   int num_pcpus() const noexcept { return config.num_pcpus; }

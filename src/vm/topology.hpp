@@ -1,0 +1,52 @@
+// The topology layer of the scheduling stack: an immutable description
+// of the scheduling universe — PCPU count, VM sibling groups, gang sizes
+// — built exactly once at build_system time and handed to schedulers
+// through Scheduler::on_attach (see docs/SCHEDULING.md).
+//
+// Before this layer existed every algorithm re-derived the VM grouping
+// from its first snapshot behind an `initialized_` flag; the topology
+// hook removes that first-call path and lets schedulers size their run
+// queues up front, keeping the per-tick hot path allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace vcpusim::vm {
+
+/// Static identity of the scheduling universe. Indices are the global
+/// VCPU ids and VM ids used throughout the scheduling interface; the
+/// sibling lists are in sibling (vcpu_index_in_vm) order. The object the
+/// framework passes to on_attach outlives the scheduler's use of it, but
+/// implementations that keep state should copy what they need at attach
+/// time (sched::core primitives do exactly that).
+struct SystemTopology {
+  struct Vcpu {
+    int vm_id = 0;
+    int index_in_vm = 0;
+  };
+
+  int num_pcpus = 0;
+  std::vector<Vcpu> vcpus;                   ///< indexed by global VCPU id
+  std::vector<std::vector<int>> vm_members;  ///< vm id -> global VCPU ids
+
+  int num_vcpus() const noexcept { return static_cast<int>(vcpus.size()); }
+  int num_vms() const noexcept { return static_cast<int>(vm_members.size()); }
+
+  /// Gang size (number of sibling VCPUs) of one VM.
+  int gang_size(int vm_id) const {
+    return static_cast<int>(members(vm_id).size());
+  }
+
+  /// Global VCPU ids of one VM, in sibling order.
+  std::span<const int> members(int vm_id) const {
+    if (vm_id < 0 || vm_id >= num_vms()) {
+      throw std::out_of_range("SystemTopology: bad vm id");
+    }
+    return vm_members[static_cast<std::size_t>(vm_id)];
+  }
+};
+
+}  // namespace vcpusim::vm

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vm/contract_validator.hpp"
 #include "vm/priorities.hpp"
 
 namespace vcpusim::vm {
@@ -12,14 +13,24 @@ namespace {
 
 constexpr double kTimesliceEpsilon = 1e-9;
 
-/// Shared mutable context captured by the Scheduling_Func gate.
+/// Shared mutable context captured by the Scheduling_Func gate. The
+/// per-tick hot path is decomposed into the snapshot / decide / apply
+/// layers (docs/SCHEDULING.md); all buffers are sized once at build time
+/// so a steady-state tick performs no heap allocation.
 struct SchedulerContext {
   SystemConfig cfg;
   std::vector<VcpuBinding> bindings;
   Scheduler* scheduler;
   SchedulerPlaces places;
 
-  void deschedule(std::size_t i) {
+  // Persistent hot-path buffers, sized in build_vcpu_scheduler.
+  std::vector<VCPU_host_external> vx;  ///< per-tick VCPU snapshot
+  std::vector<PCPU_external> px;       ///< per-tick PCPU snapshot
+  std::vector<int> vcpu_pcpu;          ///< pre-apply assignment, by VCPU
+  std::vector<int> pcpu_vcpu;          ///< pre-apply assignment, by PCPU
+  ContractValidator validator;
+
+  void deschedule(std::size_t i, san::GateContext& ctx) {
     auto& host = places.hosts[i]->mut();
     auto& pcpus = places.pcpus->mut();
     if (host.assigned_pcpu < 0) {
@@ -30,55 +41,46 @@ struct SchedulerContext {
     host.assigned_pcpu = -1;
     host.timeslice = 0.0;
     bindings[i].schedule_out->mut() += 1;
+    ctx.touch(places.hosts[i].get());
+    ctx.touch(places.pcpus.get());
+    ctx.touch(bindings[i].schedule_out.get());
   }
 
-  void assign(std::size_t i, int pcpu, double new_timeslice, long timestamp) {
-    const auto num_pcpu = static_cast<int>(places.num_pcpus->get());
-    if (pcpu < 0 || pcpu >= num_pcpu) {
-      throw ScheduleError("schedule_in: VCPU " + std::to_string(i) +
-                          " given out-of-range PCPU " + std::to_string(pcpu));
-    }
+  /// Contract-checked by the validator before apply() calls this.
+  void assign(std::size_t i, int pcpu, double new_timeslice, long timestamp,
+              san::GateContext& ctx) {
     auto& host = places.hosts[i]->mut();
-    if (host.assigned_pcpu >= 0) {
-      throw ScheduleError("schedule_in: VCPU " + std::to_string(i) +
-                          " is already assigned PCPU " +
-                          std::to_string(host.assigned_pcpu));
-    }
     auto& pcpus = places.pcpus->mut();
-    auto& target = pcpus[static_cast<std::size_t>(pcpu)];
-    if (target.assigned_vcpu >= 0) {
-      throw ScheduleError("schedule_in: PCPU " + std::to_string(pcpu) +
-                          " is already assigned to VCPU " +
-                          std::to_string(target.assigned_vcpu));
-    }
-    target.assigned_vcpu = static_cast<int>(i);
+    pcpus[static_cast<std::size_t>(pcpu)].assigned_vcpu = static_cast<int>(i);
     host.assigned_pcpu = pcpu;
     host.last_scheduled_in = timestamp;
     host.timeslice =
         new_timeslice > 0 ? new_timeslice : cfg.default_timeslice;
     bindings[i].schedule_in->mut() += 1;
+    ctx.touch(places.hosts[i].get());
+    ctx.touch(places.pcpus.get());
+    ctx.touch(bindings[i].schedule_in.get());
   }
 
-  void tick(san::GateContext& ctx) {
-    const long timestamp = std::lround(ctx.now);
-    const std::size_t n = bindings.size();
-
-    // Step 1: account the elapsed time unit and enforce timeslice expiry
-    // ("the timeslice decreases as Clock fires until it reaches 0 and the
-    // VCPU must relinquish the PCPU").
-    for (std::size_t i = 0; i < n; ++i) {
+  /// Step 1: account the elapsed time unit and enforce timeslice expiry
+  /// ("the timeslice decreases as Clock fires until it reaches 0 and the
+  /// VCPU must relinquish the PCPU").
+  void expire_timeslices(san::GateContext& ctx) {
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
       auto& host = places.hosts[i]->mut();
       if (host.assigned_pcpu >= 0) {
         host.timeslice -= 1.0;
-        if (host.timeslice <= kTimesliceEpsilon) deschedule(i);
+        ctx.touch(places.hosts[i].get());
+        if (host.timeslice <= kTimesliceEpsilon) deschedule(i, ctx);
       }
     }
+  }
 
-    // Step 2: snapshot. Status is derived from the assignment: a VCPU
-    // descheduled this tick reads INACTIVE even though its slot place
-    // settles an instant later.
-    std::vector<VCPU_host_external> vx(n);
-    for (std::size_t i = 0; i < n; ++i) {
+  /// Step 2: refresh the persistent snapshot in place. Status is derived
+  /// from the assignment: a VCPU descheduled this tick reads INACTIVE
+  /// even though its slot place settles an instant later.
+  void snapshot() {
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
       const auto& b = bindings[i];
       const auto& host = places.hosts[i]->get();
       const auto& slot = b.slot->get();
@@ -98,16 +100,16 @@ struct SchedulerContext {
       x.schedule_out = 0;
       x.new_timeslice = 0.0;
     }
-    const auto num_pcpu = static_cast<std::size_t>(places.num_pcpus->get());
-    std::vector<PCPU_external> px(num_pcpu);
     const auto& pcpus = places.pcpus->get();
-    for (std::size_t p = 0; p < num_pcpu; ++p) {
+    for (std::size_t p = 0; p < px.size(); ++p) {
       px[p].pcpu_id = static_cast<int>(p);
       px[p].assigned_vcpu = pcpus[p].assigned_vcpu;
       px[p].state = pcpus[p].assigned_vcpu >= 0 ? 1 : 0;
     }
+  }
 
-    // Step 3: the user-defined scheduling function.
+  /// Step 3: the user-defined scheduling function.
+  void decide(long timestamp) {
     if (!scheduler->schedule(std::span<VCPU_host_external>(vx),
                              std::span<PCPU_external>(px), timestamp)) {
       std::ostringstream os;
@@ -115,28 +117,59 @@ struct SchedulerContext {
          << "' reported failure at t=" << timestamp;
       throw ScheduleError(os.str());
     }
+  }
 
-    // Step 4: apply decisions — all relinquishments first, then all
-    // assignments, so a preempt-and-grant of the same PCPU in one tick
-    // is expressible.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (vx[i].schedule_out != 0) {
-        if (places.hosts[i]->get().assigned_pcpu < 0) {
-          throw ScheduleError("schedule_out: VCPU " + std::to_string(i) +
-                              " is not assigned a PCPU");
-        }
-        deschedule(i);
-      }
+  /// Step 4: validate the decision set against the contract, then apply
+  /// it — all relinquishments first, then all assignments, so a
+  /// preempt-and-grant of the same PCPU in one tick is expressible.
+  void apply(san::GateContext& ctx, long timestamp) {
+    const auto& pcpus = places.pcpus->get();
+    for (std::size_t p = 0; p < px.size(); ++p) {
+      pcpu_vcpu[p] = pcpus[p].assigned_vcpu;
     }
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      vcpu_pcpu[i] = places.hosts[i]->get().assigned_pcpu;
+    }
+    if (const auto violation = validator.validate(vx, vcpu_pcpu, pcpu_vcpu)) {
+      throw ScheduleError(violation->message());
+    }
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      if (vx[i].schedule_out != 0) deschedule(i, ctx);
+    }
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
       if (vx[i].schedule_in >= 0) {
-        assign(i, vx[i].schedule_in, vx[i].new_timeslice, timestamp);
+        assign(i, vx[i].schedule_in, vx[i].new_timeslice, timestamp, ctx);
       }
     }
+  }
+
+  void tick(san::GateContext& ctx) {
+    const long timestamp = std::lround(ctx.now);
+    expire_timeslices(ctx);
+    snapshot();
+    decide(timestamp);
+    apply(ctx, timestamp);
   }
 };
 
 }  // namespace
+
+SystemTopology make_topology(const std::vector<VcpuBinding>& bindings,
+                             int num_pcpus) {
+  SystemTopology topology;
+  topology.num_pcpus = num_pcpus;
+  topology.vcpus.reserve(bindings.size());
+  for (const auto& b : bindings) {
+    topology.vcpus.push_back(
+        SystemTopology::Vcpu{b.vm_id, b.vcpu_index_in_vm});
+    if (b.vm_id >= static_cast<int>(topology.vm_members.size())) {
+      topology.vm_members.resize(static_cast<std::size_t>(b.vm_id) + 1);
+    }
+    topology.vm_members[static_cast<std::size_t>(b.vm_id)].push_back(
+        b.vcpu_id);
+  }
+  return topology;
+}
 
 SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
                                      const SystemConfig& cfg,
@@ -166,14 +199,31 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
   }
   context->bindings = std::move(bindings);
 
+  // Topology layer: attach the scheduler once, before the first tick.
+  scheduler.on_attach(make_topology(context->bindings, cfg.num_pcpus));
+
+  // Snapshot layer: size the persistent buffers once.
+  const std::size_t n = context->bindings.size();
+  const auto num_pcpus = static_cast<std::size_t>(cfg.num_pcpus);
+  context->vx.resize(n);
+  context->px.resize(num_pcpus);
+  context->vcpu_pcpu.assign(n, -1);
+  context->pcpu_vcpu.assign(num_pcpus, -1);
+  context->validator.attach(n, num_pcpus);
+
   auto& clock = submodel.add_timed_activity(
       "Clock", stats::make_deterministic(1.0), kSchedulerClockPriority);
   // The bridge gate snapshots every interface place and applies the
   // decisions back — the declared footprint is exactly the paper's
-  // published scheduling interface.
+  // published scheduling interface. The write set is declared dynamic:
+  // each tick only the slots actually (de)scheduled are reported through
+  // ctx.touch(), so incremental enabling does not rescan untouched VCPU
+  // models. The schedule_in/out token bumps are pure increments, hence
+  // commutative across writers.
   std::vector<san::PlacePtr> func_reads = {context->places.num_pcpus,
                                            context->places.pcpus};
   std::vector<san::PlacePtr> func_writes = {context->places.pcpus};
+  std::vector<san::PlacePtr> func_commutes;
   for (const auto& host : context->places.hosts) {
     func_reads.push_back(host);
     func_writes.push_back(host);
@@ -182,11 +232,14 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
     func_reads.push_back(binding.slot);
     func_writes.push_back(binding.schedule_in);
     func_writes.push_back(binding.schedule_out);
+    func_commutes.push_back(binding.schedule_in);
+    func_commutes.push_back(binding.schedule_out);
   }
   clock.add_output_gate(san::OutputGate{
       "Scheduling_Func",
       [context](san::GateContext& ctx) { context->tick(ctx); },
-      san::access(std::move(func_reads), std::move(func_writes))});
+      san::access_dynamic(std::move(func_reads), std::move(func_writes),
+                          std::move(func_commutes))});
   context->places.clock = &clock;
 
   return context->places;

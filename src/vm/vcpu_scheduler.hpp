@@ -36,10 +36,16 @@ struct SchedulerPlaces {
   san::Activity* clock = nullptr;
 };
 
+/// Derive the immutable SystemTopology (handed to Scheduler::on_attach)
+/// from the global VCPU bindings. Bindings must be in global-id order.
+SystemTopology make_topology(const std::vector<VcpuBinding>& bindings,
+                             int num_pcpus);
+
 /// Build the VCPU Scheduler sub-model into `model` (submodel name
-/// "VCPU_Scheduler"). `scheduler` must outlive the model; it is invoked
-/// once per Clock tick under the contract documented in
-/// sched_interface.hpp. Throws std::invalid_argument on empty bindings.
+/// "VCPU_Scheduler"). `scheduler` must outlive the model; it receives
+/// on_attach(topology) once here, then is invoked once per Clock tick
+/// under the contract documented in sched_interface.hpp. Throws
+/// std::invalid_argument on empty bindings.
 SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
                                      const SystemConfig& cfg,
                                      std::vector<VcpuBinding> bindings,

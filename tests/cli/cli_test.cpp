@@ -39,6 +39,39 @@ TEST(Cli, ListAlgorithms) {
   EXPECT_NE(r.out.find("rcs"), std::string::npos);
 }
 
+TEST(Cli, AlgorithmsVerbListsCatalog) {
+  const auto r = run({"algorithms"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  // Every registered algorithm appears with its display name.
+  EXPECT_NE(r.out.find("rrs (RRS)"), std::string::npos);
+  EXPECT_NE(r.out.find("scs (SCS)"), std::string::npos);
+  EXPECT_NE(r.out.find("rcs (RCS)"), std::string::npos);
+  EXPECT_NE(r.out.find("credit (Credit)"), std::string::npos);
+  // Aliases and option keys with construction-time defaults are listed.
+  EXPECT_NE(r.out.find("aliases: round-robin rr"), std::string::npos);
+  EXPECT_NE(r.out.find("accounting_period = 30"), std::string::npos);
+  EXPECT_NE(r.out.find("skew_threshold = 10.0"), std::string::npos);
+  EXPECT_NE(r.out.find("options: none"), std::string::npos);
+}
+
+TEST(Cli, AlgorithmsVerbJson) {
+  const auto r = run({"algorithms", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"name\": \"rrs\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"aliases\": [\"round-robin\", \"rr\"]"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("\"key\": \"accounting_period\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"default\": \"30\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"options_struct\": \"sched::CreditOptions\""),
+            std::string::npos);
+}
+
+TEST(Cli, AlgorithmsVerbUnknownFlagFails) {
+  const auto r = run({"algorithms", "--frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
 TEST(Cli, UnknownFlagFails) {
   const auto r = run({"--frobnicate"});
   EXPECT_EQ(r.exit_code, 1);

@@ -1,0 +1,116 @@
+// Hot-path guarantees of the layered scheduling stack
+// (docs/SCHEDULING.md):
+//   * a steady-state scheduler tick performs zero heap allocations, for
+//     every built-in algorithm — the snapshot/decide/apply buffers and
+//     the sched::core run-queue state are all sized at attach time;
+//   * the Scheduling_Func gate's dynamic write footprint keeps
+//     incremental enabling from collapsing to a full rescan every tick.
+// The allocation counter overrides the global operator new, so these
+// tests live in their own binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "san/simulator.hpp"
+#include "sched/registry.hpp"
+#include "stats/rng.hpp"
+#include "vm/system_builder.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VCPUSIM_HOTPATH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VCPUSIM_HOTPATH_SANITIZED 1
+#endif
+#endif
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+#ifndef VCPUSIM_HOTPATH_SANITIZED
+// Counting replacements for the global allocation functions. The array
+// forms are replaced too so a container's choice of form cannot bypass
+// the counter.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace vcpusim {
+namespace {
+
+/// Drive the Scheduling_Func gate of a freshly built system directly —
+/// exactly what the simulator does once per Clock tick, minus the
+/// event-queue machinery — and count heap allocations in steady state.
+TEST(SchedulerHotPath, SteadyStateTickDoesNotAllocate) {
+#ifdef VCPUSIM_HOTPATH_SANITIZED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  for (const auto& name : sched::builtin_algorithms()) {
+    auto system =
+        vm::build_system(vm::make_symmetric_config(4, {2, 2, 2, 2}, 5),
+                         sched::make_factory(name)());
+    san::Activity& clock = *system->scheduler_places.clock;
+    ASSERT_EQ(clock.cases().size(), 1u) << name;
+    ASSERT_EQ(clock.cases().front().output_gates.size(), 1u) << name;
+    const auto& gate = clock.cases().front().output_gates.front();
+
+    stats::Rng rng(1);
+    std::vector<const san::PlaceBase*> touched;
+    san::GateContext ctx{rng, 0.0, &touched};
+
+    // Warm-up: the first ticks may grow the touch buffer to capacity.
+    for (int t = 0; t < 64; ++t) {
+      touched.clear();
+      ctx.now = static_cast<double>(t);
+      gate.function(ctx);
+    }
+    const long before = g_allocations.load(std::memory_order_relaxed);
+    for (int t = 64; t < 192; ++t) {
+      touched.clear();
+      ctx.now = static_cast<double>(t);
+      gate.function(ctx);
+    }
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0)
+        << "algorithm '" << name << "' allocated during a steady-state tick";
+  }
+#endif
+}
+
+/// Same trajectory with and without the enabling index: the dynamic
+/// footprint must cut the enabling re-evaluations well below the
+/// full-scan count (before it, every Clock tick dirtied every VCPU model
+/// and settle() degenerated to a full rescan).
+TEST(SchedulerHotPath, SchedulerTickAvoidsFullEnablingRescan) {
+  const auto cfg =
+      vm::make_symmetric_config(8, std::vector<int>(8, 2), 5);
+  const auto run = [&cfg](bool incremental) {
+    auto system = vm::build_system(cfg, sched::make_factory("rrs")());
+    san::SimulatorConfig config;
+    config.end_time = 500.0;
+    config.seed = 5;
+    config.incremental_enabling = incremental;
+    return san::run_once(*system->model, config);
+  };
+  const auto full = run(false);
+  const auto incremental = run(true);
+  EXPECT_EQ(full.events, incremental.events);
+  ASSERT_GT(incremental.enabling_evals, 0u);
+  EXPECT_LT(incremental.enabling_evals * 3, full.enabling_evals)
+      << "incremental=" << incremental.enabling_evals
+      << " full=" << full.enabling_evals;
+}
+
+}  // namespace
+}  // namespace vcpusim

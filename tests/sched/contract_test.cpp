@@ -74,6 +74,9 @@ TEST(SchedulerContract, SharedInstanceFactoryIsNotReplicationSafe) {
   struct Proxy : vm::Scheduler {
     std::shared_ptr<vm::Scheduler> inner;
     explicit Proxy(std::shared_ptr<vm::Scheduler> s) : inner(std::move(s)) {}
+    void on_attach(const vm::SystemTopology& t) override {
+      inner->on_attach(t);
+    }
     bool schedule(std::span<vm::VCPU_host_external> v,
                   std::span<vm::PCPU_external> p, long t) override {
       return inner->schedule(v, p, t);
@@ -85,6 +88,74 @@ TEST(SchedulerContract, SharedInstanceFactoryIsNotReplicationSafe) {
       "shared-skewed", [shared] { return std::make_unique<Proxy>(shared); });
   EXPECT_TRUE(any_message_contains(diags, "not replication-safe"))
       << "the warmed shared instance must diverge from a cold run";
+}
+
+namespace c_plugin {
+
+/// Topology the attach hook saw, for the assertion below.
+int attach_calls = 0;
+int attached_vcpus = 0;
+int attached_pcpus = 0;
+int attached_siblings_of_0 = 0;
+
+void record_attach(const vm::VCPU_topology_external* vcpus, int num_vcpu,
+                   int num_pcpu) {
+  ++attach_calls;
+  attached_vcpus = num_vcpu;
+  attached_pcpus = num_pcpu;
+  attached_siblings_of_0 = num_vcpu > 0 ? vcpus[0].num_siblings : 0;
+}
+
+bool idle_forever(vm::VCPU_host_external*, int, vm::PCPU_external*, int,
+                  long) {
+  return true;
+}
+
+/// The replication-safety hazard the interface docs warn about: decision
+/// state in a file-scope static survives across wrapper instances. Same
+/// period-5 pattern as the shared-instance test above.
+long stateful_calls = 0;
+
+bool stateful_schedule(vm::VCPU_host_external* vcpus, int num_vcpu,
+                       vm::PCPU_external* pcpus, int num_pcpu, long) {
+  const auto pick = static_cast<int>(stateful_calls++ % 5);
+  if (pick < num_vcpu && vcpus[pick].assigned_pcpu < 0) {
+    for (int p = 0; p < num_pcpu; ++p) {
+      if (pcpus[p].assigned_vcpu < 0) {
+        vcpus[pick].schedule_in = pcpus[p].pcpu_id;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace c_plugin
+
+TEST(SchedulerContract, CFunctionAttachHookReceivesTopology) {
+  c_plugin::attach_calls = 0;
+  const auto diags = check_scheduler_contract("c-idle", [] {
+    return vm::wrap_c_function(c_plugin::idle_forever, "c-idle",
+                               c_plugin::record_attach);
+  });
+  std::string rendered;
+  for (const auto& d : diags) rendered += d.to_text() + "\n";
+  EXPECT_TRUE(diags.empty()) << rendered;
+  // One attach per instance (the checker builds two), carrying the
+  // harness's 4-VCPU / 2x2-sibling / 2-PCPU topology.
+  EXPECT_EQ(c_plugin::attach_calls, 2);
+  EXPECT_EQ(c_plugin::attached_vcpus, 4);
+  EXPECT_EQ(c_plugin::attached_pcpus, 2);
+  EXPECT_EQ(c_plugin::attached_siblings_of_0, 2);
+}
+
+TEST(SchedulerContract, StatefulCFunctionIsNotReplicationSafe) {
+  c_plugin::stateful_calls = 0;
+  const auto diags = check_scheduler_contract("c-stateful", [] {
+    return vm::wrap_c_function(c_plugin::stateful_schedule, "c-stateful");
+  });
+  EXPECT_TRUE(any_message_contains(diags, "not replication-safe"))
+      << "file-scope static state must make the fresh instance diverge";
 }
 
 TEST(SchedulerContract, SnapshotMutationDiagnosed) {

@@ -32,6 +32,31 @@ TEST(Registry, AliasesAndCaseInsensitivity) {
   EXPECT_EQ(make_factory("stacked")()->name(), "RRS-stacked");
 }
 
+TEST(Registry, CatalogIsConsistentWithFactories) {
+  const auto& catalog = algorithm_catalog();
+  const auto names = builtin_algorithms();
+  ASSERT_EQ(catalog.size(), names.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& info = catalog[i];
+    EXPECT_EQ(info.name, names[i]);
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    // The catalog's display name is the Scheduler::name() the factory
+    // actually produces, and every alias resolves to the same algorithm.
+    EXPECT_EQ(make_factory(info.name)()->name(), info.display_name);
+    for (const auto& alias : info.aliases) {
+      EXPECT_EQ(make_factory(alias)()->name(), info.display_name) << alias;
+    }
+    // Options come with defaults and descriptions; an options struct is
+    // named exactly when there are options.
+    EXPECT_EQ(info.options.empty(), info.options_struct.empty()) << info.name;
+    for (const auto& option : info.options) {
+      EXPECT_FALSE(option.key.empty()) << info.name;
+      EXPECT_FALSE(option.default_value.empty()) << info.name;
+      EXPECT_FALSE(option.summary.empty()) << info.name;
+    }
+  }
+}
+
 TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW(make_factory("nope"), std::invalid_argument);
   EXPECT_THROW(make_factory(""), std::invalid_argument);

@@ -57,6 +57,10 @@ class SpyScheduler final : public vm::Scheduler {
 
   explicit SpyScheduler(vm::SchedulerPtr inner) : inner_(std::move(inner)) {}
 
+  void on_attach(const vm::SystemTopology& topology) override {
+    inner_->on_attach(topology);
+  }
+
   bool schedule(std::span<vm::VCPU_host_external> vcpus,
                 std::span<vm::PCPU_external> pcpus, long timestamp) override {
     Tick tick;
