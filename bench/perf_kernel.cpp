@@ -119,6 +119,45 @@ BENCHMARK_CAPTURE(BM_SchedulerTick, rcs, std::string("rcs"))
 BENCHMARK_CAPTURE(BM_SchedulerTick, credit, std::string("credit"))
     ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
+/// Where scheduler-tick time actually goes: the same workload as
+/// BM_SchedulerTick with phase profiling enabled, publishing per-phase
+/// nanosecond shares (settle/fire from the kernel, decide/apply from
+/// the scheduler bridge) as counters. Compare events_per_s against the
+/// BM_SchedulerTick rows to see the profiling overhead itself; the
+/// tracing/profiling-disabled rows above are the regression gate.
+void BM_SchedulerTickProfiled(benchmark::State& state) {
+  const int vms = static_cast<int>(state.range(0)) / 2;
+  double total_events = 0;
+  stats::PhaseProfile total;
+  for (auto _ : state) {
+    auto system = vm::build_system(
+        vm::make_symmetric_config(
+            vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5),
+        sched::make_factory("rrs")());
+    san::SimulatorConfig config;
+    config.end_time = 1000.0;
+    config.seed = 3;
+    config.profile = true;
+    system->scheduler_places.profile->set_enabled(true);
+    san::Simulator sim(config);
+    sim.set_model(*system->model);
+    const auto stats_out = sim.run();
+    total_events += static_cast<double>(stats_out.events);
+    total.merge(sim.profile());
+    total.merge(*system->scheduler_places.profile);
+  }
+  state.counters["events_per_s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(stats::Phase::kCount_); ++i) {
+    const auto phase = static_cast<stats::Phase>(i);
+    if (total.calls(phase) == 0) continue;
+    state.counters[std::string(stats::phase_name(phase)) + "_ns_per_event"] =
+        static_cast<double>(total.nanoseconds(phase)) / total_events;
+  }
+}
+BENCHMARK(BM_SchedulerTickProfiled)->Arg(16)->Unit(benchmark::kMillisecond);
+
 /// Parallel replication speedup: a fig8-style run_point with a fixed
 /// replication count (min == max, unreachable CI target, so every jobs
 /// value does identical work) at arg = worker threads. The 8-job row

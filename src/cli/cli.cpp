@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iterator>
 #include <ostream>
 #include <string>
@@ -11,13 +12,17 @@
 #include "san/analyze/analyzer.hpp"
 #include "sched/contract.hpp"
 #include "sched/registry.hpp"
+#include "stats/metrics.hpp"
+#include "trace/sinks.hpp"
 #include "vm/system_builder.hpp"
 
 namespace vcpusim::cli {
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: vcpusim [options]
+constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
+       vcpusim trace [SCENARIO] [options] [--sink NAME] [--out FILE]
+                     [--categories LIST]
        vcpusim algorithms [--json]
        vcpusim lint [SCENARIO] [options] [--json] [--strict]
                     [--all-algorithms]
@@ -43,6 +48,10 @@ constexpr const char* kUsage = R"(usage: vcpusim [options]
   --jobs N               worker threads for replication batches
                          (default 1; 0 = all hardware threads). Results
                          are identical for every value of N
+  --metrics-out FILE     write the run-metrics registry (sim.*, sched.*,
+                         executor.*, metric.*) as JSON to FILE
+  --profile              collect wall-clock phase timings (settle/fire,
+                         snapshot/decide/apply) into the metrics registry
   --csv                  emit CSV instead of an aligned table
   --compare              run ALL registered algorithms on the configured
                          system and print one row per algorithm
@@ -65,6 +74,19 @@ simulation. Exit status is 1 when error-severity diagnostics (or, with
   --json                 emit the lint report as JSON
   --strict               treat lint warnings as errors
   --all-algorithms       contract-check every registered algorithm
+
+The trace verb runs the experiment with structured tracing enabled and
+streams the per-replication event streams (activity fires, enabling
+changes, marking updates, scheduler decisions) to --out FILE (default:
+stdout; the result table then goes to stderr). For a fixed seed the
+emitted bytes are identical for every --jobs value. See
+docs/OBSERVABILITY.md.
+
+  --sink NAME            trace format: jsonl (default) or chrome
+                         (load in chrome://tracing or ui.perfetto.dev)
+  --out FILE             write the trace to FILE instead of stdout
+  --categories LIST      comma-separated event filter: fire, enabling,
+                         marking, sched, marker, all (default all)
 )";
 
 struct Options {
@@ -76,6 +98,8 @@ struct Options {
   int sync_k = 5;
   bool list_algorithms = false;
   bool help = false;
+  std::string metrics_out;  ///< --metrics-out FILE ("" = off)
+  bool profile = false;
 };
 
 int parse_args(int argc, const char* const* argv, Options& options,
@@ -157,6 +181,12 @@ int parse_args(int argc, const char* const* argv, Options& options,
           return 1;
         }
         spec.jobs = static_cast<std::size_t>(n);
+      } else if (arg == "--metrics-out") {
+        const char* v = need_value("--metrics-out");
+        if (v == nullptr) return 1;
+        options.metrics_out = v;
+      } else if (arg == "--profile") {
+        options.profile = true;
       } else {
         err << "vcpusim: unknown option '" << arg << "' (--help for usage)\n";
         return 1;
@@ -198,6 +228,132 @@ std::string json_escape(const std::string& s) {
     out += c;
   }
   return out;
+}
+
+/// Write the registry JSON to `path`; returns 0 or an exit status.
+int write_metrics_file(const stats::MetricsRegistry& registry,
+                       const std::string& path, std::ostream& err) {
+  std::ofstream file(path);
+  if (!file) {
+    err << "vcpusim: cannot open metrics file '" << path << "'\n";
+    return 2;
+  }
+  registry.write_json(file);
+  if (!file) {
+    err << "vcpusim: failed writing metrics file '" << path << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+/// The `vcpusim trace` verb: run the experiment with a structured trace
+/// sink attached and stream the events to --out (default stdout). The
+/// result table goes to `err` so it never interleaves with trace bytes
+/// on stdout.
+int run_trace(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  std::string sink_name = "jsonl";
+  std::string out_path;
+  std::uint8_t categories = san::kTraceAll;
+
+  // Peel off trace-only flags and promote a bare SCENARIO argument to
+  // --scenario, then reuse the standard option parser for the rest.
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        err << "vcpusim: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--sink") {
+      const char* v = need_value("--sink");
+      if (v == nullptr) return 1;
+      sink_name = v;
+    } else if (arg == "--out") {
+      const char* v = need_value("--out");
+      if (v == nullptr) return 1;
+      out_path = v;
+    } else if (arg == "--categories") {
+      const char* v = need_value("--categories");
+      if (v == nullptr) return 1;
+      try {
+        categories = trace::parse_trace_categories(v);
+      } catch (const std::exception& e) {
+        err << "vcpusim: " << e.what() << "\n";
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] != '-' && rest.size() == 1) {
+      rest.push_back("--scenario");
+      rest.push_back(argv[i]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  Options options;
+  if (const int rc = parse_args(static_cast<int>(rest.size()), rest.data(),
+                                options, err);
+      rc != 0) {
+    return rc;
+  }
+  if (options.help) {
+    out << kUsage;
+    return 0;
+  }
+
+  try {
+    finalize_scenario(options);
+    auto& scenario = options.scenario;
+    scenario.spec.scheduler = sched::make_factory(scenario.algorithm);
+
+    std::ofstream file;
+    std::ostream* trace_out = &out;
+    if (!out_path.empty()) {
+      file.open(out_path);
+      if (!file) {
+        err << "vcpusim: cannot open trace file '" << out_path << "'\n";
+        return 2;
+      }
+      trace_out = &file;
+    }
+    const auto sink = trace::make_stream_sink(sink_name, *trace_out,
+                                              categories);
+    scenario.spec.trace = sink.get();
+
+    stats::MetricsRegistry registry;
+    scenario.spec.profile = options.profile;
+    if (!options.metrics_out.empty() || options.profile) {
+      scenario.spec.metrics = &registry;
+    }
+
+    const auto result = exp::run_point(scenario.spec, scenario.metrics);
+    sink->finish();
+
+    if (!options.metrics_out.empty()) {
+      if (const int rc = write_metrics_file(registry, options.metrics_out,
+                                            err);
+          rc != 0) {
+        return rc;
+      }
+    }
+
+    // Summary to the non-trace stream: trace bytes must stay clean.
+    std::ostream& summary = out_path.empty() ? err : out;
+    summary << "traced " << result.replications << " replication"
+            << (result.replications == 1 ? "" : "s") << " ("
+            << scenario.algorithm << ", seed " << scenario.spec.base_seed
+            << ", sink " << sink_name << ")\n";
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    err << "vcpusim: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "vcpusim: trace failed: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 /// The `vcpusim algorithms` verb: render the registry catalog, without
@@ -345,6 +501,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   if (argc > 1 && std::string(argv[1]) == "algorithms") {
     return run_algorithms(argc, argv, out, err);
   }
+  if (argc > 1 && std::string(argv[1]) == "trace") {
+    return run_trace(argc, argv, out, err);
+  }
+
+  // `vcpusim run ...` is the explicit spelling of the default verb.
+  std::vector<const char*> args(argv, argv + argc);
+  if (argc > 1 && std::string(argv[1]) == "run") {
+    args.erase(args.begin() + 1);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
 
   Options options;
   if (const int rc = parse_args(argc, argv, options, err); rc != 0) return rc;
@@ -361,6 +528,18 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   try {
     finalize_scenario(options);
     auto& scenario = options.scenario;
+
+    stats::MetricsRegistry registry;
+    scenario.spec.profile = options.profile;
+    if (!options.metrics_out.empty() || options.profile) {
+      scenario.spec.metrics = &registry;
+    }
+    // Writes the registry (accumulated across every run_point of this
+    // invocation) once the run paths below finish without error.
+    const auto flush_metrics = [&]() -> int {
+      if (options.metrics_out.empty()) return 0;
+      return write_metrics_file(registry, options.metrics_out, err);
+    };
 
     if (options.compare) {
       // One row per algorithm, one column per metric.
@@ -382,7 +561,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
         table.add_row(std::move(row));
       }
       out << (options.csv ? table.to_csv() : table.render());
-      return 0;
+      return flush_metrics();
     }
 
     scenario.spec.scheduler = sched::make_factory(scenario.algorithm);
@@ -397,7 +576,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                      result.converged ? "yes" : "no"});
     }
     out << (options.csv ? table.to_csv() : table.render());
-    return 0;
+    return flush_metrics();
   } catch (const std::invalid_argument& e) {
     err << "vcpusim: " << e.what() << "\n";
     return 1;

@@ -1,10 +1,13 @@
 #include "exp/runner.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "san/analyze/analyzer.hpp"
 #include "san/experiment.hpp"
 #include "san/simulator.hpp"
+#include "trace/sinks.hpp"
 #include "vm/metrics.hpp"
 #include "vm/system_builder.hpp"
 
@@ -114,6 +117,16 @@ BoundMetric bind_metric(const vm::VirtualSystem& system,
   return bound;
 }
 
+/// Observability record of one replication, captured inside the
+/// (possibly concurrent) replication function and folded after the
+/// parallel region.
+struct RepRecord {
+  san::RunStats stats;
+  vm::BridgeStats bridge;
+  stats::PhaseProfile profile;  ///< simulator + bridge phases merged
+  std::unique_ptr<trace::RingBufferSink> trace;
+};
+
 }  // namespace
 
 stats::ReplicationResult run_point(const RunSpec& spec,
@@ -139,6 +152,11 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     names.push_back(m.label.empty() ? default_label(m) : m.label);
   }
 
+  const bool observe =
+      spec.metrics != nullptr || spec.trace != nullptr || spec.profile;
+  std::mutex records_mutex;
+  std::map<std::size_t, RepRecord> records;
+
   const auto one_replication = [&](std::size_t rep) -> std::vector<double> {
     auto system = vm::build_system(spec.system, spec.scheduler());
     std::vector<BoundMetric> bound;
@@ -149,20 +167,96 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     san::SimulatorConfig config;
     config.end_time = spec.end_time;
     config.seed = san::replication_seed(spec.base_seed, rep);
+    config.profile = spec.profile;
     san::Simulator sim(config);
     sim.set_model(*system->model);
     for (auto& b : bound) {
       for (auto& r : b.rewards) sim.add_reward(*r);
     }
-    sim.run();
+    std::unique_ptr<trace::RingBufferSink> buffer;
+    if (spec.trace != nullptr) {
+      // Unbounded private buffer; the category mask mirrors the user
+      // sink's so unwanted events are never constructed.
+      buffer = std::make_unique<trace::RingBufferSink>(
+          0, spec.trace->categories());
+      sim.set_trace(buffer.get());
+    }
+    if (spec.profile && system->scheduler_places.profile != nullptr) {
+      system->scheduler_places.profile->set_enabled(true);
+    }
+    const san::RunStats run_stats = sim.run();
     std::vector<double> obs;
     obs.reserve(bound.size());
     for (auto& b : bound) obs.push_back(b.finalize(spec.end_time));
+    if (observe) {
+      RepRecord record;
+      record.stats = run_stats;
+      if (system->scheduler_places.bridge_stats != nullptr) {
+        record.bridge = *system->scheduler_places.bridge_stats;
+      }
+      record.profile = sim.profile();
+      if (spec.profile && system->scheduler_places.profile != nullptr) {
+        record.profile.merge(*system->scheduler_places.profile);
+      }
+      record.trace = std::move(buffer);
+      const std::lock_guard<std::mutex> lock(records_mutex);
+      records.insert_or_assign(rep, std::move(record));
+    }
     return obs;
   };
 
-  return stats::run_replications(names, one_replication, spec.policy,
-                                 spec.jobs);
+  stats::ReplicationResult result =
+      stats::run_replications(names, one_replication, spec.policy, spec.jobs);
+
+  // Forward the buffered per-replication streams in index order, each
+  // preceded by a replication marker — the stream the user sink sees is
+  // therefore identical for every `jobs` value (speculative replications
+  // past the stopping point are buffered but never forwarded).
+  if (spec.trace != nullptr) {
+    for (std::size_t rep = 0; rep < result.replications; ++rep) {
+      if (spec.trace->wants(san::TraceCategory::kMarker)) {
+        spec.trace->on_event(san::TraceEvent{
+            san::TraceCategory::kMarker, 0.0, 0,
+            "replication", static_cast<std::int64_t>(rep), 0, {}});
+      }
+      const auto it = records.find(rep);
+      if (it != records.end() && it->second.trace != nullptr) {
+        it->second.trace->replay_into(*spec.trace);
+      }
+    }
+  }
+
+  // Fold the deterministic per-replication counters (non-speculative
+  // replications only, index order) and the executor bookkeeping into
+  // the registry.
+  if (spec.metrics != nullptr) {
+    stats::MetricsRegistry& reg = *spec.metrics;
+    stats::PhaseProfile profile_total;
+    for (std::size_t rep = 0; rep < result.replications; ++rep) {
+      const auto it = records.find(rep);
+      if (it == records.end()) continue;
+      const RepRecord& record = it->second;
+      reg.counter("sim.events").add(record.stats.events);
+      reg.counter("sim.enabling_evals").add(record.stats.enabling_evals);
+      reg.summary("sim.events_per_replication")
+          .add(static_cast<double>(record.stats.events));
+      reg.counter("sched.ticks").add(record.bridge.ticks);
+      reg.counter("sched.schedules_in").add(record.bridge.schedules_in);
+      reg.counter("sched.schedules_out").add(record.bridge.schedules_out);
+      reg.counter("sched.preemptions").add(record.bridge.preemptions);
+      profile_total.merge(record.profile);
+    }
+    reg.counter("run.replications").add(result.replications);
+    if (result.converged) reg.counter("run.converged").add(1);
+    reg.counter("executor.invoked").add(result.invoked);
+    reg.counter("executor.batches").add(result.batches);
+    reg.gauge("executor.jobs").set(static_cast<double>(result.jobs));
+    for (const auto& m : result.metrics) {
+      reg.summary("metric." + m.name) = m.samples;
+    }
+    if (spec.profile) profile_total.export_to(reg);
+  }
+  return result;
 }
 
 }  // namespace vcpusim::exp

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "san/experiment.hpp"
+#include "san/trace.hpp"
+#include "stats/metrics.hpp"
 #include "stats/replication.hpp"
 #include "vm/config.hpp"
 #include "vm/sched_interface.hpp"
@@ -68,6 +70,29 @@ struct RunSpec {
       .min_replications = 6,
       .max_replications = 40,
   };
+
+  // --- Observability (see docs/OBSERVABILITY.md) --------------------
+  /// Structured trace sink receiving every non-speculative replication's
+  /// event stream. Each replication records into a private in-memory
+  /// buffer; after the stopping rule fires, the buffers are forwarded in
+  /// replication-index order, each preceded by a kMarker "replication"
+  /// event — so the delivered byte stream is identical for every value
+  /// of `jobs`. The runner does NOT call sink->finish(); the owner does
+  /// when the stream is complete.
+  san::TraceSink* trace = nullptr;
+
+  /// Registry receiving run-level metrics after the replications finish:
+  /// "sim.*" (RunStats), "sched.*" (BridgeStats), "executor.*",
+  /// "run.replications", per-metric "metric.<name>" summaries, and with
+  /// `profile` also "profile.<phase>.{calls,ns}". Deterministic entries
+  /// ("sim.*", "sched.*", "metric.*", "run.*") fold only the
+  /// non-speculative replications, in index order.
+  stats::MetricsRegistry* metrics = nullptr;
+
+  /// Enable wall-clock phase profiling (simulator settle/fire, bridge
+  /// snapshot/decide/apply) in every replication; totals are exported
+  /// into `metrics`. Timings are nondeterministic by nature.
+  bool profile = false;
 };
 
 /// Run the experiment point: replications of the configured system under

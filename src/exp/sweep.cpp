@@ -56,12 +56,30 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
     RunSpec spec = base;
     points[row].apply(spec);
     spec.scheduler = sched::make_factory(algorithms[column]);
+    // The registry is not thread-safe and a shared trace sink would
+    // interleave cells nondeterministically: cells run with both
+    // detached, and sweep-level counters fold into base.metrics below.
+    spec.metrics = nullptr;
+    spec.trace = nullptr;
     const auto outcome = run_point(spec, {metric});
     SweepCell& cell = result.cells[row][column];
     cell.ci = outcome.metrics.front().ci;
     cell.replications = outcome.replications;
     cell.converged = outcome.converged;
   });
+
+  if (base.metrics != nullptr) {
+    stats::MetricsRegistry& reg = *base.metrics;
+    reg.counter("sweep.cells").add(points.size() * columns);
+    reg.counter("sweep.points").add(points.size());
+    reg.counter("sweep.algorithms").add(columns);
+    for (const auto& row : result.cells) {
+      for (const auto& cell : row) {
+        reg.counter("sweep.replications").add(cell.replications);
+        if (cell.converged) reg.counter("sweep.converged_cells").add(1);
+      }
+    }
+  }
   return result;
 }
 

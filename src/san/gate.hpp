@@ -13,6 +13,7 @@
 // duration from a configurable distribution).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@ namespace vcpusim::san {
 
 using Time = double;
 
+class TraceSink;
+
 /// Execution context passed to gate functions on activity completion.
 struct GateContext {
   stats::Rng& rng;
@@ -32,6 +35,13 @@ struct GateContext {
   /// null when the engine is not collecting. Gates call touch(), never
   /// this pointer directly.
   std::vector<const PlaceBase*>* touched = nullptr;
+  /// Structured trace sink (san/trace.hpp), non-null only while the
+  /// simulator runs with tracing attached. Gates whose decisions carry
+  /// domain meaning (the scheduler bridge) emit kScheduler events here.
+  TraceSink* trace = nullptr;
+  /// Trajectory position (completions before this firing), stamped on
+  /// events the gate emits so they sort with the simulator's own.
+  std::uint64_t seq = 0;
 
   /// Report that `place` was actually written during this firing. Only
   /// meaningful from gates declared with access_dynamic(); a no-op when

@@ -35,6 +35,10 @@ class PlaceBase {
   /// Debug rendering of the current marking.
   virtual std::string to_string() const = 0;
 
+  /// The marking value alone (no "name=" prefix) — what structured
+  /// marking trace events carry.
+  virtual std::string value_string() const = 0;
+
  private:
   std::string name_;
 };
@@ -61,6 +65,12 @@ class Place final : public PlaceBase {
   std::string to_string() const override {
     std::ostringstream os;
     os << name() << "=";
+    format(os, value_);
+    return os.str();
+  }
+
+  std::string value_string() const override {
+    std::ostringstream os;
     format(os, value_);
     return os.str();
   }

@@ -122,6 +122,37 @@ void Simulator::build_dependency_index() {
   }
 }
 
+void Simulator::build_trace_write_lists() {
+  const auto writes_of = [](const Activity& a) {
+    // Union of every declared gate write set (input functions + all
+    // cases' output gates), deduplicated, in declaration order. Dynamic
+    // gates contribute their full static superset so the list — and the
+    // emitted stream — does not depend on the enabling mode. Activities
+    // with no declared footprint get no marking events.
+    std::vector<const PlaceBase*> writes;
+    const auto add = [&writes](const GateAccess& fp) {
+      if (!fp.declared) return;
+      for (const PlacePtr& p : fp.writes) {
+        if (std::find(writes.begin(), writes.end(), p.get()) == writes.end()) {
+          writes.push_back(p.get());
+        }
+      }
+    };
+    for (const InputGate& gate : a.input_gates()) add(gate.footprint);
+    for (const Case& c : a.cases()) {
+      for (const OutputGate& gate : c.output_gates) add(gate.footprint);
+    }
+    return writes;
+  };
+  timed_trace_writes_.clear();
+  inst_trace_writes_.clear();
+  timed_trace_writes_.reserve(activities_.size());
+  inst_trace_writes_.reserve(instantaneous_.size());
+  for (const Activity* a : activities_) timed_trace_writes_.push_back(writes_of(*a));
+  for (const Activity* a : instantaneous_) inst_trace_writes_.push_back(writes_of(*a));
+  trace_writes_built_ = true;
+}
+
 void Simulator::add_reward(RewardVariable& reward) {
   rewards_.push_back(&reward);
 }
@@ -156,6 +187,15 @@ void Simulator::transition_timed(std::uint32_t timed_index) {
     schedule(timed_index);
   } else if (!en && a.scheduled()) {
     a.cancel_activation();
+  } else {
+    return;  // no transition: nothing to trace
+  }
+  // Emitted only on actual activate/abort transitions — a re-evaluation
+  // that changes nothing is silent, which is what keeps the stream
+  // identical across incremental enabling on/off.
+  if (trace_ != nullptr && trace_->wants(TraceCategory::kEnabling)) {
+    trace_->on_event(TraceEvent{TraceCategory::kEnabling, now_, events_,
+                                a.name(), en ? 1 : 0, 0, {}});
   }
 }
 
@@ -213,19 +253,41 @@ void Simulator::clear_dirty() {
   dirty_all_ = false;
 }
 
-void Simulator::complete(Activity& activity) {
-  ++events_;
+void Simulator::complete(Activity& activity, bool timed,
+                         std::uint32_t index) {
+  stats::ScopedPhaseTimer timer(&profile_, stats::Phase::kFire);
+  const std::uint64_t seq = events_++;
   GateContext ctx{rng_, now_};
   if (use_incremental_) {
     touched_.clear();
     ctx.touched = &touched_;
   }
+  if (trace_ != nullptr) {
+    ctx.trace = trace_;
+    ctx.seq = seq;
+  }
   const std::size_t case_index = activity.fire(ctx);
   for (RewardVariable* r : rewards_) r->on_completion(activity, now_);
   for (TraceObserver* o : observers_) o->on_fire(now_, activity, case_index);
+  if (trace_ == nullptr) return;
+  if (trace_->wants(TraceCategory::kFire)) {
+    trace_->on_event(TraceEvent{TraceCategory::kFire, now_, seq,
+                                activity.name(),
+                                static_cast<std::int64_t>(case_index), 0, {}});
+  }
+  if (trace_->wants(TraceCategory::kMarking)) {
+    const auto& writes =
+        timed ? timed_trace_writes_[index] : inst_trace_writes_[index];
+    for (const PlaceBase* place : writes) {
+      const std::string value = place->value_string();
+      trace_->on_event(TraceEvent{TraceCategory::kMarking, now_, seq,
+                                  place->name(), 0, 0, value});
+    }
+  }
 }
 
 void Simulator::settle() {
+  stats::ScopedPhaseTimer timer(&profile_, stats::Phase::kSettle);
   std::uint32_t chain = 0;
   for (;;) {
     if (!use_incremental_ || dirty_all_) {
@@ -291,7 +353,7 @@ void Simulator::settle() {
           "Simulator: instantaneous livelock (activity " + next->name() +
           " still enabled after " + std::to_string(chain) + " zero-time firings)");
     }
-    complete(*next);
+    complete(*next, /*timed=*/false, next_index);
     mark_fired(false, next_index);
   }
 }
@@ -302,6 +364,11 @@ void Simulator::reset() {
   }
   model_->reset_marking();
   for (RewardVariable* r : rewards_) r->reset();
+  profile_.set_enabled(config_.profile);
+  if (trace_ != nullptr && trace_->wants(TraceCategory::kMarking) &&
+      !trace_writes_built_) {
+    build_trace_write_lists();
+  }
   queue_.clear();
   // Steady state holds ~one live event per timed activity plus aborted
   // stragglers; reserving up front keeps the hot loop reallocation-free.
@@ -333,7 +400,7 @@ RunStats Simulator::advance_until(Time t) {
     if (ev.activation != ev.activity->activation_id()) continue;  // aborted
     advance_time(ev.time);
     ev.activity->cancel_activation();  // consume this activation
-    complete(*ev.activity);
+    complete(*ev.activity, /*timed=*/true, ev.timed_index);
     mark_fired(true, ev.timed_index);
     settle();
   }

@@ -36,6 +36,7 @@
 #include "san/model.hpp"
 #include "san/reward.hpp"
 #include "san/trace.hpp"
+#include "stats/phase_profile.hpp"
 #include "stats/rng.hpp"
 
 namespace vcpusim::san {
@@ -52,6 +53,11 @@ struct SimulatorConfig {
   /// the full scan as long as declared footprints are complete; the flag
   /// exists for benchmarking and for distrusting annotations).
   bool incremental_enabling = true;
+  /// Wall-clock profiling of the settle / fire phases into profile()
+  /// (stats::PhaseProfile). Off by default: a disabled profile never
+  /// reads the clock. Timings are nondeterministic by nature and are
+  /// surfaced via the metrics registry, never the trace stream.
+  bool profile = false;
 };
 
 struct RunStats {
@@ -81,6 +87,17 @@ class Simulator {
 
   void add_observer(TraceObserver& observer);
 
+  /// Attach (or with nullptr detach) the structured trace sink. With no
+  /// sink attached every emission site costs one null-pointer test —
+  /// the steady state stays allocation-free. With a sink attached the
+  /// simulator emits, per completion: any gate-emitted events (e.g.
+  /// scheduler decisions), the kFire event, then kMarking events for
+  /// the fired activity's declared write set; kEnabling events are
+  /// emitted whenever a timed activity is activated or aborted. The
+  /// stream is a pure function of the trajectory (see san/trace.hpp).
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+  TraceSink* trace() const noexcept { return trace_; }
+
   /// Execute one replication from the initial marking to end_time.
   /// Throws std::logic_error if no model was set or an instantaneous
   /// livelock is detected. Equivalent to reset() + advance_until(end).
@@ -99,6 +116,9 @@ class Simulator {
 
   Time now() const noexcept { return now_; }
   stats::Rng& rng() noexcept { return rng_; }
+
+  /// Accumulated phase timings (empty unless config.profile).
+  const stats::PhaseProfile& profile() const noexcept { return profile_; }
 
  private:
   struct Event {
@@ -127,8 +147,13 @@ class Simulator {
   };
 
   void build_dependency_index();
+  /// Declared-write lists for kMarking trace events (per activity, from
+  /// the static gate footprints — mode-independent, so traces match
+  /// across incremental on/off). Built on the first reset() with a
+  /// marking-interested sink attached.
+  void build_trace_write_lists();
   void advance_time(Time to);
-  void complete(Activity& activity);
+  void complete(Activity& activity, bool timed, std::uint32_t index);
   /// (Re)activate / abort timed activities after a marking change and
   /// fire any enabled instantaneous activities (in priority order) until
   /// quiescent.
@@ -149,6 +174,11 @@ class Simulator {
   std::vector<Activity*> instantaneous_;
   std::vector<RewardVariable*> rewards_;
   std::vector<TraceObserver*> observers_;
+  TraceSink* trace_ = nullptr;
+  stats::PhaseProfile profile_;
+  bool trace_writes_built_ = false;
+  std::vector<std::vector<const PlaceBase*>> timed_trace_writes_;
+  std::vector<std::vector<const PlaceBase*>> inst_trace_writes_;
   std::vector<Event> queue_;  // binary heap under EventOrder
   stats::Rng rng_;
   Time now_ = 0.0;

@@ -1,8 +1,32 @@
-// Trace observation hooks for the SAN simulator: tests and debugging
-// tools subscribe to activity completions without touching the engine.
+// Trace observation hooks for the SAN simulator.
+//
+// Two mechanisms share this header:
+//  * TraceObserver — the legacy completion callback (EventLog, timeline
+//    and latency recorders subscribe to activity completions only).
+//  * TraceSink / TraceEvent — the structured tracing API: the simulator
+//    (and the scheduler bridge, through GateContext) emits typed events
+//    for activity fires, enabling changes, marking updates and scheduler
+//    decisions to one pluggable sink. Concrete sinks (ring buffer, JSONL
+//    stream, Chrome trace_event) live in src/trace/sinks.hpp.
+//
+// Determinism contract: every structured event is a pure function of the
+// simulated trajectory — no wall-clock, no addresses, no thread ids — so
+// for a fixed seed the event stream is byte-identical across --jobs
+// values and across incremental-enabling on/off (enabling events are
+// emitted only on actual activate/abort transitions, marking events from
+// the fired activity's *declared* write set, both mode-independent).
+// Wall-clock profiling goes through stats::PhaseProfile instead, never
+// through a sink. See docs/OBSERVABILITY.md.
+//
+// Overhead contract: with no sink attached the simulator's only cost is
+// one null-pointer test per emission site — no allocation, no
+// formatting — preserving the zero-allocation steady state pinned by
+// tests/perf/scheduler_hotpath_test.cpp.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 
 #include "san/activity.hpp"
 
@@ -15,6 +39,81 @@ class TraceObserver {
   /// An activity completed at `now`, selecting case `case_index`.
   virtual void on_fire(Time now, const Activity& activity,
                        std::size_t case_index) = 0;
+};
+
+// ---------------------------------------------------------------------
+// Structured tracing
+// ---------------------------------------------------------------------
+
+/// Event categories, usable as a bitmask filter (TraceSink::categories).
+enum class TraceCategory : std::uint8_t {
+  kFire = 1U << 0U,       ///< activity completion
+  kEnabling = 1U << 1U,   ///< timed activity activated / aborted
+  kMarking = 1U << 2U,    ///< place marking after a completion
+  kScheduler = 1U << 3U,  ///< scheduler bridge decision (assign / release)
+  kMarker = 1U << 4U,     ///< stream structure (replication boundaries)
+};
+
+constexpr std::uint8_t kTraceAll = 0x1F;
+
+constexpr std::uint8_t trace_bit(TraceCategory c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+
+inline const char* trace_category_name(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kFire: return "fire";
+    case TraceCategory::kEnabling: return "enabling";
+    case TraceCategory::kMarking: return "marking";
+    case TraceCategory::kScheduler: return "sched";
+    case TraceCategory::kMarker: return "marker";
+  }
+  return "?";
+}
+
+/// One structured trace event. The string views alias storage owned by
+/// the model (activity / place names) or the emitter's stack and are
+/// valid only for the duration of the TraceSink::on_event call — sinks
+/// that retain events must copy (trace::RingBufferSink does).
+struct TraceEvent {
+  TraceCategory category = TraceCategory::kFire;
+  Time time = 0.0;
+  /// Completions so far in this run (the position in the trajectory).
+  std::uint64_t seq = 0;
+  /// Qualified activity / place name, or the marker label.
+  std::string_view name;
+  /// kFire: selected case index. kEnabling: 1 activated, 0 aborted.
+  /// kScheduler: VCPU id. kMarker: payload (e.g. replication index).
+  std::int64_t a = 0;
+  /// kScheduler: PCPU id (assign) or -1 (release). Otherwise 0.
+  std::int64_t b = 0;
+  /// kMarking: rendered marking value. kScheduler: "in"/"out".
+  std::string_view detail;
+};
+
+/// Receiver of structured trace events. Implementations must not mutate
+/// the model and must tolerate events from multiple consecutive runs.
+class TraceSink {
+ public:
+  /// `categories` masks which events the emitters bother to construct
+  /// (a cheap pre-filter read once per emission site).
+  explicit TraceSink(std::uint8_t categories = kTraceAll)
+      : categories_(categories) {}
+  virtual ~TraceSink() = default;
+
+  bool wants(TraceCategory c) const noexcept {
+    return (categories_ & trace_bit(c)) != 0;
+  }
+  std::uint8_t categories() const noexcept { return categories_; }
+
+  virtual void on_event(const TraceEvent& event) = 0;
+
+  /// Flush/terminate the output (Chrome export closes its JSON array).
+  /// Called by owners when the stream is complete; default no-op.
+  virtual void finish() {}
+
+ private:
+  std::uint8_t categories_;
 };
 
 }  // namespace vcpusim::san

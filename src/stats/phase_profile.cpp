@@ -1,0 +1,29 @@
+#include "stats/phase_profile.hpp"
+
+#include "stats/metrics.hpp"
+
+namespace vcpusim::stats {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kSettle: return "settle";
+    case Phase::kFire: return "fire";
+    case Phase::kSnapshot: return "snapshot";
+    case Phase::kDecide: return "decide";
+    case Phase::kApply: return "apply";
+    case Phase::kCount_: break;
+  }
+  return "?";
+}
+
+void PhaseProfile::export_to(MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].calls == 0) continue;
+    const std::string base = prefix + phase_name(static_cast<Phase>(i));
+    registry.counter(base + ".calls").add(slots_[i].calls);
+    registry.counter(base + ".ns").add(slots_[i].ns);
+  }
+}
+
+}  // namespace vcpusim::stats

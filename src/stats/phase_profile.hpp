@@ -1,0 +1,104 @@
+// Scoped wall-clock timers over named execution phases (settle / fire /
+// snapshot / decide / apply). Profiling is explicitly opt-in: a disabled
+// profile never reads the clock, so the guarded hot paths stay within
+// the zero-overhead budget pinned by BM_SchedulerTick. Timings are
+// wall-clock and therefore NOT deterministic — they belong in the
+// metrics registry (profile.<phase>.ns), never in trace streams.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace vcpusim::stats {
+
+class MetricsRegistry;
+
+/// Fixed phase set shared by the simulator and the scheduler bridge so
+/// one registry export covers both ("profile.settle.ns", ...).
+enum class Phase : std::uint8_t {
+  kSettle = 0,   ///< simulator: enabling re-evaluation + instantaneous firing
+  kFire,         ///< simulator: activity completion (gates + rewards + trace)
+  kSnapshot,     ///< bridge: refresh the VCPU/PCPU snapshot buffers
+  kDecide,       ///< bridge: the user scheduling function
+  kApply,        ///< bridge: contract validation + decision application
+  kCount_,
+};
+
+const char* phase_name(Phase phase) noexcept;
+
+class PhaseProfile {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  void record(Phase phase, std::uint64_t ns) noexcept {
+    auto& slot = slots_[static_cast<std::size_t>(phase)];
+    slot.calls += 1;
+    slot.ns += ns;
+  }
+
+  std::uint64_t calls(Phase phase) const noexcept {
+    return slots_[static_cast<std::size_t>(phase)].calls;
+  }
+  std::uint64_t nanoseconds(Phase phase) const noexcept {
+    return slots_[static_cast<std::size_t>(phase)].ns;
+  }
+
+  void reset() noexcept { slots_ = {}; }
+
+  /// Accumulate another profile's timings into this one (folding
+  /// per-replication profiles into a run total).
+  void merge(const PhaseProfile& other) noexcept {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].calls += other.slots_[i].calls;
+      slots_[i].ns += other.slots_[i].ns;
+    }
+  }
+
+  /// Register the accumulated phase timings as counters
+  /// "<prefix><phase>.ns" / "<prefix><phase>.calls" (phases with zero
+  /// calls are skipped).
+  void export_to(MetricsRegistry& registry,
+                 const std::string& prefix = "profile.") const;
+
+ private:
+  struct Slot {
+    std::uint64_t calls = 0;
+    std::uint64_t ns = 0;
+  };
+  std::array<Slot, static_cast<std::size_t>(Phase::kCount_)> slots_{};
+  bool enabled_ = false;
+};
+
+/// RAII timer: records into `profile` at scope exit, a no-op (and no
+/// clock read) when `profile` is null or disabled.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseProfile* profile, Phase phase) noexcept
+      : profile_(profile != nullptr && profile->enabled() ? profile : nullptr),
+        phase_(phase) {
+    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedPhaseTimer() {
+    if (profile_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profile_->record(
+        phase_, static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseProfile* profile_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vcpusim::stats

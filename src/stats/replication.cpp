@@ -58,6 +58,7 @@ ReplicationResult run_replications(const std::vector<std::string>& metric_names,
   for (std::size_t i = 0; i < metric_names.size(); ++i) {
     result.metrics[i].name = metric_names[i];
   }
+  result.jobs = executor.jobs();
 
   std::vector<std::vector<double>> batch_obs;
   for (std::size_t next = 0; next < policy.max_replications;) {
@@ -67,6 +68,8 @@ ReplicationResult run_replications(const std::vector<std::string>& metric_names,
     batch_obs.assign(batch, {});
     executor.run_indexed(
         batch, [&](std::size_t b) { batch_obs[b] = fn(next + b); });
+    result.invoked += batch;
+    result.batches += 1;
 
     // Sequential fold: replications past the stopping point within the
     // batch were speculative work and are discarded.

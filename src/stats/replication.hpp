@@ -41,6 +41,15 @@ struct ReplicationResult {
   std::size_t replications = 0;
   bool converged = false;  ///< all metrics hit the target half-width
 
+  // Executor bookkeeping (exported as "executor.*" registry metrics).
+  // `invoked` >= `replications`: batched dispatch runs speculative
+  // replications past the stopping point whose observations are
+  // discarded. `invoked` and `batches` depend on the batch size, unlike
+  // everything above this line.
+  std::size_t invoked = 0;  ///< replication-function invocations
+  std::size_t batches = 0;  ///< executor dispatches
+  std::size_t jobs = 1;     ///< resolved worker count of the executor
+
   /// Find a metric by name; throws std::out_of_range if absent.
   const MetricEstimate& metric(const std::string& name) const;
 };

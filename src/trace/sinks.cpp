@@ -1,0 +1,252 @@
+#include "trace/sinks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace vcpusim::trace {
+namespace {
+
+// %.17g round-trips every finite double exactly; the JSONL golden
+// fixtures depend on this rendering being stable.
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// True iff `s` is entirely one finite number (so a marking value can be
+/// promoted to a Chrome counter track).
+bool parse_number(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+OwnedTraceEvent OwnedTraceEvent::from(const san::TraceEvent& event) {
+  OwnedTraceEvent owned;
+  owned.category = event.category;
+  owned.time = event.time;
+  owned.seq = event.seq;
+  owned.name = std::string(event.name);
+  owned.a = event.a;
+  owned.b = event.b;
+  owned.detail = std::string(event.detail);
+  return owned;
+}
+
+san::TraceEvent OwnedTraceEvent::view() const {
+  return san::TraceEvent{category, time, seq, name, a, b, detail};
+}
+
+void RingBufferSink::on_event(const san::TraceEvent& event) {
+  ++total_;
+  if (capacity_ != 0 && entries_.size() == capacity_) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(OwnedTraceEvent::from(event));
+}
+
+std::size_t RingBufferSink::count(san::TraceCategory category) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [category](const OwnedTraceEvent& e) {
+                      return e.category == category;
+                    }));
+}
+
+void RingBufferSink::replay_into(san::TraceSink& sink) const {
+  for (const OwnedTraceEvent& owned : entries_) {
+    const san::TraceEvent event = owned.view();
+    if (sink.wants(event.category)) sink.on_event(event);
+  }
+}
+
+std::string JsonlSink::line(const san::TraceEvent& event) {
+  std::string out = "{\"kind\":";
+  out += escaped(trace_category_name(event.category));
+  out += ",\"t\":";
+  out += number(event.time);
+  out += ",\"seq\":";
+  out += std::to_string(event.seq);
+  switch (event.category) {
+    case san::TraceCategory::kFire:
+      out += ",\"activity\":" + escaped(event.name);
+      out += ",\"case\":" + std::to_string(event.a);
+      break;
+    case san::TraceCategory::kEnabling:
+      out += ",\"activity\":" + escaped(event.name);
+      out += ",\"active\":" + std::to_string(event.a);
+      break;
+    case san::TraceCategory::kMarking:
+      out += ",\"place\":" + escaped(event.name);
+      out += ",\"value\":" + escaped(event.detail);
+      break;
+    case san::TraceCategory::kScheduler:
+      out += ",\"op\":" + escaped(event.detail);
+      out += ",\"vcpu\":" + std::to_string(event.a);
+      out += ",\"pcpu\":" + std::to_string(event.b);
+      break;
+    case san::TraceCategory::kMarker:
+      out += ",\"label\":" + escaped(event.name);
+      out += ",\"value\":" + std::to_string(event.a);
+      break;
+  }
+  out.push_back('}');
+  return out;
+}
+
+void JsonlSink::on_event(const san::TraceEvent& event) {
+  *os_ << line(event) << '\n';
+}
+
+void JsonlSink::finish() { os_->flush(); }
+
+void ChromeTraceSink::on_event(const san::TraceEvent& event) {
+  if (!open_) {
+    *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    open_ = true;
+  }
+  // One simulated tick -> 1ms of timeline (ts is in microseconds).
+  const std::string ts = number(event.time * 1000.0);
+  std::string entry;
+  switch (event.category) {
+    case san::TraceCategory::kFire:
+      entry = "{\"name\":" + escaped(event.name) +
+              ",\"cat\":\"fire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+              "\"tid\":0,\"ts\":" + ts +
+              ",\"args\":{\"case\":" + std::to_string(event.a) +
+              ",\"seq\":" + std::to_string(event.seq) + "}}";
+      break;
+    case san::TraceCategory::kEnabling:
+      entry = "{\"name\":" + escaped(event.name) +
+              ",\"cat\":\"enabling\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+              "\"tid\":1,\"ts\":" + ts +
+              ",\"args\":{\"active\":" + std::to_string(event.a) + "}}";
+      break;
+    case san::TraceCategory::kMarking: {
+      double value = 0.0;
+      if (!parse_number(event.detail, &value)) return;  // counters only
+      entry = "{\"name\":" + escaped(event.name) +
+              ",\"cat\":\"marking\",\"ph\":\"C\",\"pid\":0,\"ts\":" + ts +
+              ",\"args\":{\"value\":" + number(value) + "}}";
+      break;
+    }
+    case san::TraceCategory::kScheduler:
+      // One timeline row per VCPU (tid = vcpu id + 2 keeps rows 0/1 for
+      // fire / enabling instants).
+      entry = "{\"name\":" + escaped(event.detail) +
+              ",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+              "\"tid\":" + std::to_string(event.a + 2) +
+              ",\"ts\":" + ts +
+              ",\"args\":{\"vcpu\":" + std::to_string(event.a) +
+              ",\"pcpu\":" + std::to_string(event.b) + "}}";
+      break;
+    case san::TraceCategory::kMarker:
+      entry = "{\"name\":" + escaped(event.name) +
+              ",\"cat\":\"marker\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+              "\"tid\":0,\"ts\":" + ts +
+              ",\"args\":{\"value\":" + std::to_string(event.a) + "}}";
+      break;
+  }
+  if (entry.empty()) return;
+  if (!first_) *os_ << ",";
+  *os_ << "\n" << entry;
+  first_ = false;
+}
+
+void ChromeTraceSink::finish() {
+  if (!open_) {
+    *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    open_ = true;
+  }
+  *os_ << "\n]}\n";
+  os_->flush();
+}
+
+const std::vector<std::string>& stream_sink_names() {
+  static const std::vector<std::string> names = {"chrome", "jsonl"};
+  return names;
+}
+
+std::unique_ptr<san::TraceSink> make_stream_sink(const std::string& name,
+                                                 std::ostream& os,
+                                                 std::uint8_t categories) {
+  if (name == "jsonl") return std::make_unique<JsonlSink>(os, categories);
+  if (name == "chrome") return std::make_unique<ChromeTraceSink>(os, categories);
+  std::ostringstream msg;
+  msg << "unknown trace sink '" << name << "' (valid sinks:";
+  for (const std::string& n : stream_sink_names()) msg << " " << n;
+  msg << ")";
+  throw std::invalid_argument(msg.str());
+}
+
+std::uint8_t parse_trace_categories(const std::string& list) {
+  std::uint8_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string item = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    if (item == "all") {
+      mask |= san::kTraceAll;
+    } else if (item == "fire") {
+      mask |= trace_bit(san::TraceCategory::kFire);
+    } else if (item == "enabling") {
+      mask |= trace_bit(san::TraceCategory::kEnabling);
+    } else if (item == "marking") {
+      mask |= trace_bit(san::TraceCategory::kMarking);
+    } else if (item == "sched") {
+      mask |= trace_bit(san::TraceCategory::kScheduler);
+    } else if (item == "marker") {
+      mask |= trace_bit(san::TraceCategory::kMarker);
+    } else {
+      throw std::invalid_argument(
+          "unknown trace category '" + item +
+          "' (valid categories: all enabling fire marker marking sched)");
+    }
+  }
+  if (mask == 0) {
+    throw std::invalid_argument("empty trace category list");
+  }
+  return mask;
+}
+
+}  // namespace vcpusim::trace

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "san/trace.hpp"
 #include "vm/contract_validator.hpp"
 #include "vm/priorities.hpp"
 
@@ -29,6 +30,25 @@ struct SchedulerContext {
   std::vector<int> vcpu_pcpu;          ///< pre-apply assignment, by VCPU
   std::vector<int> pcpu_vcpu;          ///< pre-apply assignment, by PCPU
   ContractValidator validator;
+
+  // Observability (docs/OBSERVABILITY.md): always-on counters plus
+  // opt-in phase timings; shared so SchedulerPlaces can hand them out.
+  std::shared_ptr<BridgeStats> bridge_stats = std::make_shared<BridgeStats>();
+  std::shared_ptr<vcpusim::stats::PhaseProfile> profile =
+      std::make_shared<vcpusim::stats::PhaseProfile>();
+
+  /// Emit one kScheduler trace event ("in" / "out" / "expire") when the
+  /// simulator runs with a trace sink attached; a null test otherwise.
+  void trace_decision(san::GateContext& ctx, const char* op, std::size_t vcpu,
+                      int pcpu) {
+    if (ctx.trace == nullptr ||
+        !ctx.trace->wants(san::TraceCategory::kScheduler)) {
+      return;
+    }
+    ctx.trace->on_event(san::TraceEvent{
+        san::TraceCategory::kScheduler, ctx.now, ctx.seq, "sched",
+        static_cast<std::int64_t>(vcpu), pcpu, op});
+  }
 
   void deschedule(std::size_t i, san::GateContext& ctx) {
     auto& host = places.hosts[i]->mut();
@@ -71,7 +91,12 @@ struct SchedulerContext {
       if (host.assigned_pcpu >= 0) {
         host.timeslice -= 1.0;
         ctx.touch(places.hosts[i].get());
-        if (host.timeslice <= kTimesliceEpsilon) deschedule(i, ctx);
+        if (host.timeslice <= kTimesliceEpsilon) {
+          const int pcpu = host.assigned_pcpu;
+          deschedule(i, ctx);
+          bridge_stats->preemptions += 1;
+          trace_decision(ctx, "expire", i, pcpu);
+        }
       }
     }
   }
@@ -134,21 +159,38 @@ struct SchedulerContext {
       throw ScheduleError(violation->message());
     }
     for (std::size_t i = 0; i < bindings.size(); ++i) {
-      if (vx[i].schedule_out != 0) deschedule(i, ctx);
+      if (vx[i].schedule_out != 0) {
+        const int pcpu = places.hosts[i]->get().assigned_pcpu;
+        deschedule(i, ctx);
+        bridge_stats->schedules_out += 1;
+        trace_decision(ctx, "out", i, pcpu);
+      }
     }
     for (std::size_t i = 0; i < bindings.size(); ++i) {
       if (vx[i].schedule_in >= 0) {
         assign(i, vx[i].schedule_in, vx[i].new_timeslice, timestamp, ctx);
+        bridge_stats->schedules_in += 1;
+        trace_decision(ctx, "in", i, vx[i].schedule_in);
       }
     }
   }
 
   void tick(san::GateContext& ctx) {
     const long timestamp = std::lround(ctx.now);
+    bridge_stats->ticks += 1;
     expire_timeslices(ctx);
-    snapshot();
-    decide(timestamp);
-    apply(ctx, timestamp);
+    {
+      stats::ScopedPhaseTimer timer(profile.get(), stats::Phase::kSnapshot);
+      snapshot();
+    }
+    {
+      stats::ScopedPhaseTimer timer(profile.get(), stats::Phase::kDecide);
+      decide(timestamp);
+    }
+    {
+      stats::ScopedPhaseTimer timer(profile.get(), stats::Phase::kApply);
+      apply(ctx, timestamp);
+    }
   }
 };
 
@@ -241,6 +283,8 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
       san::access_dynamic(std::move(func_reads), std::move(func_writes),
                           std::move(func_commutes))});
   context->places.clock = &clock;
+  context->places.bridge_stats = context->bridge_stats;
+  context->places.profile = context->profile;
 
   return context->places;
 }

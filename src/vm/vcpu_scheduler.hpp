@@ -5,15 +5,28 @@
 // user-defined scheduling function.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "san/model.hpp"
+#include "stats/phase_profile.hpp"
 #include "vm/config.hpp"
 #include "vm/sched_interface.hpp"
 #include "vm/types.hpp"
 
 namespace vcpusim::vm {
+
+/// Always-on counters of the scheduler bridge (plain increments, cheap
+/// enough for the zero-allocation hot path). Folded into the metrics
+/// registry as "sched.*" by exp::run_point. The bridge context is built
+/// fresh with each system, so every replication starts from zero.
+struct BridgeStats {
+  std::uint64_t ticks = 0;          ///< Clock firings (schedule() calls)
+  std::uint64_t schedules_in = 0;   ///< PCPU assignments applied
+  std::uint64_t schedules_out = 0;  ///< voluntary releases applied
+  std::uint64_t preemptions = 0;    ///< forced descheduled (timeslice expiry)
+};
 
 /// Identity and join places of one VCPU, as seen by the hypervisor.
 struct VcpuBinding {
@@ -34,6 +47,12 @@ struct SchedulerPlaces {
   /// The scheduler's Clock activity (fires once per tick, after all
   /// guest processing); trace observers hook it to sample per-tick state.
   san::Activity* clock = nullptr;
+  /// Live bridge counters, owned by the gate context (read anytime).
+  std::shared_ptr<const BridgeStats> bridge_stats;
+  /// Phase timings of the snapshot / decide / apply layers. Disabled by
+  /// default; call profile->set_enabled(true) before running to collect
+  /// (exp::RunSpec::profile does).
+  std::shared_ptr<stats::PhaseProfile> profile;
 };
 
 /// Derive the immutable SystemTopology (handed to Scheduler::on_attach)

@@ -1,0 +1,173 @@
+// Golden structured-trace fixtures: the JSONL event stream (activity
+// fires, enabling changes, marking updates, scheduler decisions,
+// replication markers) of every shipped algorithm on a 2-PCPU / 4-VCPU
+// system is pinned byte-for-byte, and the stream is required to be
+// identical across --jobs values and across incremental-enabling modes.
+//
+// Regenerate (only when a trajectory or format change is intended) with:
+//   VCPUSIM_UPDATE_GOLDEN=1 ./integration_tests --gtest_filter='StructuredTrace.*'
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "san/simulator.hpp"
+#include "sched/registry.hpp"
+#include "testing/json.hpp"
+#include "trace/sinks.hpp"
+#include "vm/system_builder.hpp"
+
+namespace vcpusim {
+namespace {
+
+constexpr const char* kFixtureDir =
+    VCPUSIM_TEST_DIR "/testing/golden/structured";
+constexpr std::uint64_t kSeed = 20260805;
+constexpr san::Time kEndTime = 12.0;
+constexpr std::size_t kReplications = 2;
+/// Fixtures pin the first N lines (the full streams run to thousands).
+constexpr std::size_t kFixtureLines = 300;
+
+vm::SystemConfig two_pcpu_four_vcpu() {
+  return vm::make_symmetric_config(2, {2, 2}, 5);
+}
+
+/// The full JSONL stream of `kReplications` replications.
+std::string structured_stream(const std::string& algorithm,
+                              std::size_t jobs) {
+  exp::RunSpec spec;
+  spec.system = two_pcpu_four_vcpu();
+  spec.scheduler = sched::make_factory(algorithm);
+  spec.end_time = kEndTime;
+  spec.warmup = 1.0;
+  spec.base_seed = kSeed;
+  spec.jobs = jobs;
+  spec.policy.min_replications = kReplications;
+  spec.policy.max_replications = kReplications;
+
+  std::ostringstream os;
+  trace::JsonlSink sink(os);
+  spec.trace = &sink;
+  exp::run_point(spec, {{exp::MetricKind::kMeanVcpuAvailability, -1, "m"}});
+  sink.finish();
+  return os.str();
+}
+
+std::string first_lines(const std::string& text, std::size_t n) {
+  std::istringstream is(text);
+  std::ostringstream out;
+  std::string line;
+  for (std::size_t i = 0; i < n && std::getline(is, line); ++i) {
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+std::string fixture_path(const std::string& algorithm) {
+  return std::string(kFixtureDir) + "/" + algorithm + ".jsonl";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool update_mode() {
+  const char* env = std::getenv("VCPUSIM_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(StructuredTrace, PerAlgorithmStreamsMatchFixtures) {
+  const bool update = update_mode();
+  for (const auto& algorithm : sched::builtin_algorithms()) {
+    SCOPED_TRACE(algorithm);
+    const std::string head =
+        first_lines(structured_stream(algorithm, /*jobs=*/1), kFixtureLines);
+    ASSERT_FALSE(head.empty());
+    if (update) {
+      std::ofstream out(fixture_path(algorithm));
+      ASSERT_TRUE(out) << "cannot write " << fixture_path(algorithm);
+      out << head;
+      continue;
+    }
+    const std::string expected = read_file(fixture_path(algorithm));
+    ASSERT_FALSE(expected.empty())
+        << "missing fixture " << fixture_path(algorithm)
+        << " — regenerate with VCPUSIM_UPDATE_GOLDEN=1";
+    EXPECT_EQ(head, expected)
+        << "structured trace diverged from the recorded fixture";
+  }
+}
+
+TEST(StructuredTrace, ByteIdenticalAcrossJobs) {
+  for (const std::string algorithm : {"rrs", "credit"}) {
+    SCOPED_TRACE(algorithm);
+    const std::string jobs1 = structured_stream(algorithm, /*jobs=*/1);
+    const std::string jobs8 = structured_stream(algorithm, /*jobs=*/8);
+    EXPECT_EQ(jobs1, jobs8) << "trace bytes depend on the worker count";
+  }
+}
+
+TEST(StructuredTrace, ByteIdenticalAcrossEnablingModes) {
+  for (const std::string algorithm : {"rrs", "credit"}) {
+    SCOPED_TRACE(algorithm);
+    std::vector<std::string> streams;
+    for (const bool incremental : {true, false}) {
+      auto system = vm::build_system(two_pcpu_four_vcpu(),
+                                     sched::make_factory(algorithm)());
+      san::SimulatorConfig config;
+      config.end_time = kEndTime;
+      config.seed = kSeed;
+      config.incremental_enabling = incremental;
+      san::Simulator sim(config);
+      sim.set_model(*system->model);
+      std::ostringstream os;
+      trace::JsonlSink sink(os);
+      sim.set_trace(&sink);
+      sim.run();
+      sink.finish();
+      streams.push_back(os.str());
+    }
+    EXPECT_EQ(streams[0], streams[1])
+        << "trace bytes depend on the enabling mode";
+  }
+}
+
+TEST(StructuredTrace, StreamIsWellFormedJsonlWithReplicationMarkers) {
+  const std::string stream = structured_stream("rrs", /*jobs=*/1);
+  std::istringstream lines(stream);
+  std::string line;
+  std::vector<std::int64_t> markers;
+  std::size_t count = 0;
+  bool saw_fire = false;
+  bool saw_sched = false;
+  bool saw_marking = false;
+  bool saw_enabling = false;
+  while (std::getline(lines, line)) {
+    const auto doc = testing::parse_json(line);
+    const std::string kind = doc.at("kind").string;
+    if (kind == "marker" && doc.at("label").string == "replication") {
+      markers.push_back(static_cast<std::int64_t>(doc.at("value").number));
+    }
+    saw_fire = saw_fire || kind == "fire";
+    saw_sched = saw_sched || kind == "sched";
+    saw_marking = saw_marking || kind == "marking";
+    saw_enabling = saw_enabling || kind == "enabling";
+    ++count;
+  }
+  EXPECT_GT(count, 100U);
+  EXPECT_EQ(markers, (std::vector<std::int64_t>{0, 1}));
+  EXPECT_TRUE(saw_fire);
+  EXPECT_TRUE(saw_sched);
+  EXPECT_TRUE(saw_marking);
+  EXPECT_TRUE(saw_enabling);
+}
+
+}  // namespace
+}  // namespace vcpusim

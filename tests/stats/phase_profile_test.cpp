@@ -1,0 +1,81 @@
+#include "stats/phase_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stats/metrics.hpp"
+
+namespace vcpusim::stats {
+namespace {
+
+TEST(PhaseProfile, DisabledByDefaultAndTimerIsNoOp) {
+  PhaseProfile profile;
+  EXPECT_FALSE(profile.enabled());
+  { ScopedPhaseTimer timer(&profile, Phase::kSettle); }
+  { ScopedPhaseTimer timer(nullptr, Phase::kFire); }
+  EXPECT_EQ(profile.calls(Phase::kSettle), 0U);
+  EXPECT_EQ(profile.nanoseconds(Phase::kSettle), 0U);
+}
+
+TEST(PhaseProfile, EnabledTimerRecordsCalls) {
+  PhaseProfile profile;
+  profile.set_enabled(true);
+  { ScopedPhaseTimer timer(&profile, Phase::kDecide); }
+  { ScopedPhaseTimer timer(&profile, Phase::kDecide); }
+  EXPECT_EQ(profile.calls(Phase::kDecide), 2U);
+  EXPECT_EQ(profile.calls(Phase::kApply), 0U);
+}
+
+TEST(PhaseProfile, RecordAccumulates) {
+  PhaseProfile profile;
+  profile.record(Phase::kFire, 100);
+  profile.record(Phase::kFire, 50);
+  EXPECT_EQ(profile.calls(Phase::kFire), 2U);
+  EXPECT_EQ(profile.nanoseconds(Phase::kFire), 150U);
+  profile.reset();
+  EXPECT_EQ(profile.calls(Phase::kFire), 0U);
+}
+
+TEST(PhaseProfile, MergeSumsSlots) {
+  PhaseProfile a;
+  PhaseProfile b;
+  a.record(Phase::kSnapshot, 10);
+  b.record(Phase::kSnapshot, 5);
+  b.record(Phase::kApply, 7);
+  a.merge(b);
+  EXPECT_EQ(a.calls(Phase::kSnapshot), 2U);
+  EXPECT_EQ(a.nanoseconds(Phase::kSnapshot), 15U);
+  EXPECT_EQ(a.calls(Phase::kApply), 1U);
+  EXPECT_EQ(a.nanoseconds(Phase::kApply), 7U);
+}
+
+TEST(PhaseProfile, PhaseNamesAreStable) {
+  EXPECT_STREQ(phase_name(Phase::kSettle), "settle");
+  EXPECT_STREQ(phase_name(Phase::kFire), "fire");
+  EXPECT_STREQ(phase_name(Phase::kSnapshot), "snapshot");
+  EXPECT_STREQ(phase_name(Phase::kDecide), "decide");
+  EXPECT_STREQ(phase_name(Phase::kApply), "apply");
+}
+
+TEST(PhaseProfile, ExportSkipsIdlePhases) {
+  PhaseProfile profile;
+  profile.record(Phase::kSettle, 42);
+  MetricsRegistry registry;
+  profile.export_to(registry);
+  EXPECT_EQ(registry.counter_value("profile.settle.calls"), 1U);
+  EXPECT_EQ(registry.counter_value("profile.settle.ns"), 42U);
+  EXPECT_FALSE(registry.has("profile.fire.calls"));
+  EXPECT_FALSE(registry.has("profile.apply.ns"));
+}
+
+TEST(PhaseProfile, ExportHonorsPrefix) {
+  PhaseProfile profile;
+  profile.record(Phase::kDecide, 9);
+  MetricsRegistry registry;
+  profile.export_to(registry, "bench.");
+  EXPECT_EQ(registry.counter_value("bench.decide.ns"), 9U);
+}
+
+}  // namespace
+}  // namespace vcpusim::stats

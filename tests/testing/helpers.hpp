@@ -3,12 +3,42 @@
 #pragma once
 
 #include <functional>
+#include <random>
 #include <utility>
 
 #include "san/simulator.hpp"
 #include "vm/system_builder.hpp"
 
 namespace vcpusim::testing {
+
+/// Seeded pseudo-random source for property-based tests. Deliberately
+/// separate from stats::Rng (the code under test): a property test must
+/// not derive its inputs from the machinery it is checking. Always seed
+/// explicitly so failures reproduce; encode the seed in the test name or
+/// loop index.
+class PropertyRng {
+ public:
+  explicit PropertyRng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  int uniform_int(int lo, int hi) {  // inclusive bounds
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  bool chance(double p) { return uniform(0.0, 1.0) < p; }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
 
 /// Scheduler driven by a lambda — lets tests script hypervisor decisions
 /// tick by tick and observe the exact snapshots the framework passes.

@@ -1,0 +1,208 @@
+// Minimal recursive-descent JSON parser for tests: just enough to
+// round-trip the documents the framework emits (metrics registries,
+// JSONL trace lines, the algorithms catalog) and assert on their
+// structure. Not a general-purpose parser — strict on the grammar the
+// emitters produce, throws std::runtime_error with a byte offset on
+// anything else.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vcpusim::testing {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) != 0;
+  }
+  /// Member access; throws std::runtime_error on missing key / non-object.
+  const JsonValue& at(const std::string& key) const {
+    if (type != Type::kObject) throw std::runtime_error("not an object");
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("no key '" + key + "'");
+    return it->second;
+  }
+  const JsonValue& at(std::size_t index) const {
+    if (type != Type::kArray) throw std::runtime_error("not an array");
+    return array.at(index);
+  }
+};
+
+/// Parse one JSON document (throws std::runtime_error on malformed input
+/// or trailing garbage).
+inline JsonValue parse_json(const std::string& text) {
+  struct Parser {
+    const std::string& s;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+      throw std::runtime_error("json: " + what + " at byte " +
+                               std::to_string(pos));
+    }
+    void skip_ws() {
+      while (pos < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+        ++pos;
+      }
+    }
+    char peek() {
+      if (pos >= s.size()) fail("unexpected end");
+      return s[pos];
+    }
+    void expect(char c) {
+      if (peek() != c) fail(std::string("expected '") + c + "'");
+      ++pos;
+    }
+    bool consume_word(const char* word) {
+      const std::size_t n = std::char_traits<char>::length(word);
+      if (s.compare(pos, n, word) != 0) return false;
+      pos += n;
+      return true;
+    }
+
+    std::string parse_string() {
+      expect('"');
+      std::string out;
+      while (true) {
+        if (pos >= s.size()) fail("unterminated string");
+        const char c = s[pos++];
+        if (c == '"') return out;
+        if (c == '\\') {
+          if (pos >= s.size()) fail("unterminated escape");
+          const char e = s[pos++];
+          switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+              if (pos + 4 > s.size()) fail("short \\u escape");
+              const unsigned long code =
+                  std::strtoul(s.substr(pos, 4).c_str(), nullptr, 16);
+              pos += 4;
+              // The emitters only escape control characters, which fit
+              // one byte.
+              out += static_cast<char>(code);
+              break;
+            }
+            default: fail("unknown escape");
+          }
+        } else {
+          out += c;
+        }
+      }
+    }
+
+    JsonValue parse_value() {
+      skip_ws();
+      JsonValue v;
+      const char c = peek();
+      if (c == '{') {
+        v.type = JsonValue::Type::kObject;
+        ++pos;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos;
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.object[key] = parse_value();
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      if (c == '[') {
+        v.type = JsonValue::Type::kArray;
+        ++pos;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      if (c == '"') {
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      if (consume_word("true")) {
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }
+      if (consume_word("false")) {
+        v.type = JsonValue::Type::kBool;
+        return v;
+      }
+      if (consume_word("null")) return v;
+      // number
+      const std::size_t start = pos;
+      if (peek() == '-') ++pos;
+      while (pos < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+              s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+              s[pos] == '+' || s[pos] == '-')) {
+        ++pos;
+      }
+      if (pos == start) fail("unexpected character");
+      char* end = nullptr;
+      const std::string num = s.substr(start, pos - start);
+      v.number = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) fail("bad number");
+      v.type = JsonValue::Type::kNumber;
+      return v;
+    }
+  };
+
+  Parser parser{text};
+  JsonValue v = parser.parse_value();
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing garbage");
+  return v;
+}
+
+}  // namespace vcpusim::testing
