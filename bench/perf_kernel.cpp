@@ -187,6 +187,46 @@ void BM_ParallelRunPoint(benchmark::State& state) {
 BENCHMARK(BM_ParallelRunPoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// Setup-cost amortization of the zero-rebuild replication engine: a
+/// run_point with a deliberately short horizon, so per-replication
+/// system construction (places, gate closures, dependency index) is a
+/// large share of the work. args = (total VCPUs, pooled 0/1): the
+/// pooled row reuses one built (system, simulator) slot per executor
+/// lane via SystemPool, the rebuild row is the legacy
+/// build-per-replication path. CI gates pooled >= 2x rebuild
+/// replications_per_s at every size (see docs/PERFORMANCE.md).
+void BM_ReplicationSetup(benchmark::State& state) {
+  const int vcpus = static_cast<int>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  const int vms = vcpus / 2;
+  exp::RunSpec spec;
+  spec.system = vm::make_symmetric_config(
+      vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.end_time = 20.0;  // short horizon: setup cost dominates
+  spec.warmup = 5.0;
+  spec.jobs = 1;
+  spec.reuse_systems = pooled;
+  spec.policy.min_replications = 32;
+  spec.policy.max_replications = 32;
+  spec.policy.target_half_width = 1e-12;  // never converges early
+  double total_replications = 0;
+  for (auto _ : state) {
+    const auto result = exp::run_point(
+        spec, {{exp::MetricKind::kMeanVcpuAvailability, -1, ""}});
+    total_replications += static_cast<double>(result.replications);
+  }
+  state.counters["replications_per_s"] =
+      benchmark::Counter(total_replications, benchmark::Counter::kIsRate);
+  state.counters["vcpus"] = static_cast<double>(vcpus);
+  state.counters["pooled"] = pooled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ReplicationSetup)
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
 /// Incremental vs full-scan enabling on a large composed system: the
 /// same trajectory, with settle() either re-evaluating every activity
 /// after each firing (arg = 0) or only the footprint-affected ones

@@ -48,6 +48,11 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
   --jobs N               worker threads for replication batches
                          (default 1; 0 = all hardware threads). Results
                          are identical for every value of N
+  --rebuild-systems      build a fresh system per replication instead of
+                         reusing pooled (system, simulator) slots.
+                         Results are bit-identical either way; the flag
+                         exists for benchmarking the zero-rebuild engine
+                         (scenario key: reuse_systems = true/false)
   --metrics-out FILE     write the run-metrics registry (sim.*, sched.*,
                          executor.*, metric.*) as JSON to FILE
   --profile              collect wall-clock phase timings (settle/fire,
@@ -181,6 +186,8 @@ int parse_args(int argc, const char* const* argv, Options& options,
           return 1;
         }
         spec.jobs = static_cast<std::size_t>(n);
+      } else if (arg == "--rebuild-systems") {
+        spec.reuse_systems = false;
       } else if (arg == "--metrics-out") {
         const char* v = need_value("--metrics-out");
         if (v == nullptr) return 1;

@@ -170,6 +170,15 @@ Scenario parse_scenario(std::istream& in) {
         const double n = parse_number(line, key, value);
         if (n < 0) fail(line, "jobs must be >= 0");
         scenario.spec.jobs = static_cast<std::size_t>(n);
+      } else if (key == "reuse_systems") {
+        const std::string flag = lower(value);
+        if (flag == "true" || flag == "on" || flag == "1") {
+          scenario.spec.reuse_systems = true;
+        } else if (flag == "false" || flag == "off" || flag == "0") {
+          scenario.spec.reuse_systems = false;
+        } else {
+          fail(line, "reuse_systems must be true/false, on/off or 1/0");
+        }
       } else if (key == "metrics") {
         for (const auto& m : split(value, ',')) {
           try {

@@ -1,0 +1,86 @@
+#include "exp/pool.hpp"
+
+#include <sstream>
+
+namespace vcpusim::exp {
+
+void SystemPool::Checkout::release() {
+  if (pool_ != nullptr && slot_ != nullptr) {
+    pool_->release(std::move(slot_));
+  }
+  pool_ = nullptr;
+  slot_ = nullptr;
+}
+
+SystemPool::Checkout SystemPool::acquire() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_.empty()) {
+    std::unique_ptr<Slot> slot = std::move(free_.back());
+    free_.pop_back();
+    if (slot->system != nullptr) {
+      reuses_ += 1;
+    } else {
+      builds_ += 1;  // an earlier holder failed to build into it
+    }
+    return Checkout(this, std::move(slot));
+  }
+  builds_ += 1;
+  return Checkout(this, std::make_unique<Slot>());
+}
+
+void SystemPool::add_built(std::unique_ptr<vm::VirtualSystem> system) {
+  if (system == nullptr) return;
+  auto slot = std::make_unique<Slot>();
+  slot->system = std::move(system);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  builds_ += 1;
+  free_.push_back(std::move(slot));
+}
+
+std::uint64_t SystemPool::next_stamp() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ++stamp_counter_;
+}
+
+std::uint64_t SystemPool::builds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return builds_;
+}
+
+std::uint64_t SystemPool::reuses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reuses_;
+}
+
+void SystemPool::release(std::unique_ptr<Slot> slot) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(slot));
+}
+
+std::string SystemPool::fingerprint_of(const vm::SystemConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  const auto dist = [](const stats::DistributionPtr& d) {
+    return d != nullptr ? d->describe() : std::string("-");
+  };
+  os << "pcpus=" << config.num_pcpus
+     << ";timeslice=" << config.default_timeslice;
+  for (const auto& vm : config.vms) {
+    os << ";vm{name=" << vm.name << ";vcpus=" << vm.num_vcpus
+       << ";load=" << dist(vm.load_distribution)
+       << ";gen=" << dist(vm.inter_generation)
+       << ";k=" << vm.sync_ratio_k
+       << ";mode=" << static_cast<int>(vm.sync_mode)
+       << ";spin=" << (vm.spinlock.enabled ? 1 : 0) << ","
+       << vm.spinlock.lock_probability << ","
+       << vm.spinlock.critical_fraction << ";trace=";
+    for (const auto& w : vm.workload_trace) {
+      os << w.load << ":" << (w.sync_point ? 1 : 0) << ":" << w.critical
+         << ",";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace vcpusim::exp

@@ -4,9 +4,11 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "exp/pool.hpp"
 #include "san/analyze/analyzer.hpp"
 #include "san/experiment.hpp"
 #include "san/simulator.hpp"
+#include "stats/phase_profile.hpp"
 #include "trace/sinks.hpp"
 #include "vm/metrics.hpp"
 #include "vm/system_builder.hpp"
@@ -123,8 +125,14 @@ BoundMetric bind_metric(const vm::VirtualSystem& system,
 struct RepRecord {
   san::RunStats stats;
   vm::BridgeStats bridge;
-  stats::PhaseProfile profile;  ///< simulator + bridge phases merged
+  stats::PhaseProfile profile;  ///< reset + simulator + bridge phases merged
   std::unique_ptr<trace::RingBufferSink> trace;
+};
+
+/// The metric bindings a pool slot is carrying, stored opaquely in
+/// SystemPool::Slot::bindings (the pool cannot see this TU's types).
+struct SlotBindings {
+  std::vector<BoundMetric> bound;
 };
 
 }  // namespace
@@ -140,10 +148,35 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   if (!(spec.warmup >= 0) || spec.warmup >= spec.end_time) {
     throw std::invalid_argument("run_point: warmup must be in [0, end_time)");
   }
+  std::unique_ptr<SystemPool> local_pool;
+  SystemPool* pool = nullptr;
+  if (spec.reuse_systems) {
+    if (spec.pool != nullptr) {
+      if (spec.pool->fingerprint() !=
+          SystemPool::fingerprint_of(spec.system)) {
+        throw std::invalid_argument(
+            "run_point: spec.pool was built for a different system "
+            "configuration (fingerprint mismatch)");
+      }
+      pool = spec.pool;
+    } else {
+      local_pool = std::make_unique<SystemPool>(spec.system);
+      pool = local_pool.get();
+    }
+  }
+  const std::uint64_t stamp = pool != nullptr ? pool->next_stamp() : 0;
+  const std::uint64_t pool_builds_before =
+      pool != nullptr ? pool->builds() : 0;
+  const std::uint64_t pool_reuses_before =
+      pool != nullptr ? pool->reuses() : 0;
+
   if (spec.lint) {
     // Fail fast on structural defects before spending replication time.
-    const auto system = vm::build_system(spec.system, spec.scheduler());
+    auto system = vm::build_system(spec.system, spec.scheduler());
     san::analyze::Analyzer().check_or_throw(*system->model);
+    // The lint build is a perfectly good pooled system: seed the pool so
+    // replication 0 checks it out instead of building again.
+    if (pool != nullptr) pool->add_built(std::move(system));
   }
 
   std::vector<std::string> names;
@@ -157,22 +190,25 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   std::mutex records_mutex;
   std::map<std::size_t, RepRecord> records;
 
-  const auto one_replication = [&](std::size_t rep) -> std::vector<double> {
-    auto system = vm::build_system(spec.system, spec.scheduler());
-    std::vector<BoundMetric> bound;
-    bound.reserve(metrics.size());
-    for (const auto& m : metrics) {
-      bound.push_back(bind_metric(*system, m, spec.warmup));
-    }
+  const auto simulator_config = [&spec](std::uint64_t seed) {
     san::SimulatorConfig config;
     config.end_time = spec.end_time;
-    config.seed = san::replication_seed(spec.base_seed, rep);
+    config.seed = seed;
+    config.incremental_enabling = spec.incremental_enabling;
     config.profile = spec.profile;
-    san::Simulator sim(config);
-    sim.set_model(*system->model);
-    for (auto& b : bound) {
-      for (auto& r : b.rewards) sim.add_reward(*r);
-    }
+    return config;
+  };
+
+  // Shared replication tail of the pooled and rebuild paths: attach the
+  // private trace buffer, replay the replication from the re-seeded
+  // simulator, finalize the metrics and capture the observability
+  // record. reset(seed) + advance_until(end) on a fresh simulator is
+  // exactly run(), so both paths execute the identical sequence.
+  const auto execute = [&](std::size_t rep, vm::VirtualSystem& system,
+                           san::Simulator& sim,
+                           std::vector<BoundMetric>& bound,
+                           stats::PhaseProfile reset_profile)
+      -> std::vector<double> {
     std::unique_ptr<trace::RingBufferSink> buffer;
     if (spec.trace != nullptr) {
       // Unbounded private buffer; the category mask mirrors the user
@@ -181,22 +217,22 @@ stats::ReplicationResult run_point(const RunSpec& spec,
           0, spec.trace->categories());
       sim.set_trace(buffer.get());
     }
-    if (spec.profile && system->scheduler_places.profile != nullptr) {
-      system->scheduler_places.profile->set_enabled(true);
-    }
-    const san::RunStats run_stats = sim.run();
+    sim.reset(san::replication_seed(spec.base_seed, rep));
+    const san::RunStats run_stats = sim.advance_until(spec.end_time);
+    sim.set_trace(nullptr);
     std::vector<double> obs;
     obs.reserve(bound.size());
     for (auto& b : bound) obs.push_back(b.finalize(spec.end_time));
     if (observe) {
       RepRecord record;
       record.stats = run_stats;
-      if (system->scheduler_places.bridge_stats != nullptr) {
-        record.bridge = *system->scheduler_places.bridge_stats;
+      if (system.scheduler_places.bridge_stats != nullptr) {
+        record.bridge = *system.scheduler_places.bridge_stats;
       }
-      record.profile = sim.profile();
-      if (spec.profile && system->scheduler_places.profile != nullptr) {
-        record.profile.merge(*system->scheduler_places.profile);
+      record.profile = std::move(reset_profile);
+      record.profile.merge(sim.profile());
+      if (spec.profile && system.scheduler_places.profile != nullptr) {
+        record.profile.merge(*system.scheduler_places.profile);
       }
       record.trace = std::move(buffer);
       const std::lock_guard<std::mutex> lock(records_mutex);
@@ -205,8 +241,87 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     return obs;
   };
 
+  // Legacy path: build everything from scratch for every replication.
+  const auto rebuild_replication = [&](std::size_t rep)
+      -> std::vector<double> {
+    auto system = vm::build_system(spec.system, spec.scheduler());
+    std::vector<BoundMetric> bound;
+    bound.reserve(metrics.size());
+    for (const auto& m : metrics) {
+      bound.push_back(bind_metric(*system, m, spec.warmup));
+    }
+    san::Simulator sim(
+        simulator_config(san::replication_seed(spec.base_seed, rep)));
+    sim.set_model(*system->model);
+    for (auto& b : bound) {
+      for (auto& r : b.rewards) sim.add_reward(*r);
+    }
+    if (spec.profile && system->scheduler_places.profile != nullptr) {
+      system->scheduler_places.profile->set_enabled(true);
+    }
+    return execute(rep, *system, sim, bound, stats::PhaseProfile{});
+  };
+
+  // Pooled path: check a slot out, build/rebind it only on the first
+  // touch, reset it otherwise. The kReset phase times everything the
+  // rebuild path would have spent in construction.
+  const auto pooled_replication = [&](std::size_t rep)
+      -> std::vector<double> {
+    stats::PhaseProfile reset_profile;
+    reset_profile.set_enabled(spec.profile);
+    SystemPool::Checkout checkout;
+    {
+      stats::ScopedPhaseTimer timer(&reset_profile, stats::Phase::kReset);
+      checkout = pool->acquire();
+      SystemPool::Slot& slot = checkout.slot();
+      bool built = false;
+      if (slot.system == nullptr) {
+        slot.system = vm::build_system(spec.system, spec.scheduler());
+        built = true;
+      }
+      if (slot.stamp != stamp) {
+        // First touch by this run: bind the slot to this run's
+        // scheduler, simulator configuration and metric set. The
+        // expensive part (build_system) is what stays amortized; the
+        // simulator re-derives its index from the already-built model.
+        if (!built) slot.system->rebind_scheduler(spec.scheduler());
+        slot.simulator = std::make_unique<san::Simulator>(
+            simulator_config(san::replication_seed(spec.base_seed, rep)));
+        slot.simulator->set_model(*slot.system->model);
+        auto bindings = std::make_shared<SlotBindings>();
+        bindings->bound.reserve(metrics.size());
+        for (const auto& m : metrics) {
+          bindings->bound.push_back(bind_metric(*slot.system, m, spec.warmup));
+        }
+        for (auto& b : bindings->bound) {
+          for (auto& r : b.rewards) slot.simulator->add_reward(*r);
+        }
+        slot.bindings = std::move(bindings);
+        slot.stamp = stamp;
+        if (slot.system->scheduler_places.profile != nullptr) {
+          slot.system->scheduler_places.profile->set_enabled(spec.profile);
+        }
+      }
+      // Bridge counters + scheduler state back to just-built (a system
+      // built this very checkout is already there).
+      if (!built) slot.system->reset();
+    }
+    SystemPool::Slot& slot = checkout.slot();
+    auto& bound = static_cast<SlotBindings*>(slot.bindings.get())->bound;
+    return execute(rep, *slot.system, *slot.simulator, bound,
+                   std::move(reset_profile));
+  };
+
+  const stats::ReplicationFn one_replication =
+      pool != nullptr ? stats::ReplicationFn(pooled_replication)
+                      : stats::ReplicationFn(rebuild_replication);
+
   stats::ReplicationResult result =
       stats::run_replications(names, one_replication, spec.policy, spec.jobs);
+
+  // Prune speculative records past the stopping index: they are never
+  // forwarded or folded, and each may hold a full trace buffer.
+  records.erase(records.lower_bound(result.replications), records.end());
 
   // Forward the buffered per-replication streams in index order, each
   // preceded by a replication marker — the stream the user sink sees is
@@ -251,6 +366,13 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     reg.counter("executor.invoked").add(result.invoked);
     reg.counter("executor.batches").add(result.batches);
     reg.gauge("executor.jobs").set(static_cast<double>(result.jobs));
+    if (pool != nullptr) {
+      // Deltas, so a shared external pool reports per-run figures.
+      reg.counter("executor.pool_builds")
+          .add(pool->builds() - pool_builds_before);
+      reg.counter("executor.pool_reuses")
+          .add(pool->reuses() - pool_reuses_before);
+    }
     for (const auto& m : result.metrics) {
       reg.summary("metric." + m.name) = m.samples;
     }

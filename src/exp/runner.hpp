@@ -15,6 +15,8 @@
 
 namespace vcpusim::exp {
 
+class SystemPool;
+
 /// Which metric to measure.
 ///
 /// The *utilization* kinds follow the paper's definitions: VCPU
@@ -63,6 +65,29 @@ struct RunSpec {
   /// index order, so every value of `jobs` yields the same
   /// ReplicationResult bit for bit. See docs/PERFORMANCE.md.
   std::size_t jobs = 1;
+
+  /// Reuse fully built systems across replications (the zero-rebuild
+  /// engine, docs/PERFORMANCE.md): each executor lane checks a built
+  /// (system, simulator) slot out of a SystemPool and resets it instead
+  /// of rebuilding, so a run builds at most `jobs` systems. Results,
+  /// traces and counters are bit-identical to the rebuild path
+  /// (test-enforced). `false` selects the legacy build-per-replication
+  /// path — the comparison baseline for the identity tests and
+  /// BM_ReplicationSetup.
+  bool reuse_systems = true;
+
+  /// Optional externally owned pool, shared across run_point calls whose
+  /// spec.system has the same SystemPool fingerprint (run_sweep shares
+  /// one pool per sweep row). Throws std::invalid_argument on a
+  /// fingerprint mismatch. Null: the run uses a private pool. Ignored
+  /// when reuse_systems is false.
+  SystemPool* pool = nullptr;
+
+  /// Forwarded to san::SimulatorConfig::incremental_enabling: use the
+  /// footprint-driven enabling index (default) or the full-scan
+  /// fallback. Trajectories are identical either way; the flag exists
+  /// for benchmarking and equivalence tests.
+  bool incremental_enabling = true;
 
   stats::ReplicationPolicy policy{
       .confidence = 0.95,

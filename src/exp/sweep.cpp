@@ -1,7 +1,10 @@
 #include "exp/sweep.hpp"
 
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 
+#include "exp/pool.hpp"
 #include "sched/registry.hpp"
 #include "stats/executor.hpp"
 
@@ -49,6 +52,21 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
   // disjoint preallocated [row][column] slots.
   const std::size_t columns = algorithms.size();
   result.cells.assign(points.size(), std::vector<SweepCell>(columns));
+
+  // Cells across the algorithm axis of a row share one topology (the
+  // same apply() on the same base), so they draw built systems from one
+  // pool per row: a cell rebinds a checked-out slot to its own scheduler
+  // instead of rebuilding the whole model. Safe under grid parallelism —
+  // slots are exclusively checked out and the pool grows on demand.
+  std::vector<std::unique_ptr<SystemPool>> row_pools(points.size());
+  if (base.reuse_systems) {
+    for (std::size_t r = 0; r < points.size(); ++r) {
+      RunSpec probe = base;
+      points[r].apply(probe);
+      row_pools[r] = std::make_unique<SystemPool>(probe.system);
+    }
+  }
+
   stats::ParallelExecutor executor(jobs);
   executor.run_indexed(points.size() * columns, [&](std::size_t i) {
     const std::size_t row = i / columns;
@@ -56,6 +74,7 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
     RunSpec spec = base;
     points[row].apply(spec);
     spec.scheduler = sched::make_factory(algorithms[column]);
+    spec.pool = base.reuse_systems ? row_pools[row].get() : nullptr;
     // The registry is not thread-safe and a shared trace sink would
     // interleave cells nondeterministically: cells run with both
     // detached, and sweep-level counters fold into base.metrics below.
@@ -78,6 +97,16 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
         reg.counter("sweep.replications").add(cell.replications);
         if (cell.converged) reg.counter("sweep.converged_cells").add(1);
       }
+    }
+    if (base.reuse_systems) {
+      std::uint64_t builds = 0;
+      std::uint64_t reuses = 0;
+      for (const auto& p : row_pools) {
+        builds += p->builds();
+        reuses += p->reuses();
+      }
+      reg.counter("executor.pool_builds").add(builds);
+      reg.counter("executor.pool_reuses").add(reuses);
     }
   }
   return result;

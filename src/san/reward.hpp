@@ -43,9 +43,18 @@ class RewardVariable {
   /// Number of impulse events counted (useful for throughput metrics).
   std::size_t impulse_count() const noexcept { return impulse_events_; }
 
-  void reset() noexcept {
+  /// Run `hook` on every reset(). Impulse closures may carry hidden
+  /// state of their own (e.g. a last-seen counter for delta rewards);
+  /// hooks restore that state so a reused reward variable observes
+  /// exactly what a freshly constructed one would.
+  void add_reset_hook(std::function<void()> hook) {
+    reset_hooks_.push_back(std::move(hook));
+  }
+
+  void reset() {
     accumulated_ = 0.0;
     impulse_events_ = 0;
+    for (const auto& hook : reset_hooks_) hook();
   }
 
   // --- Simulator hooks ----------------------------------------------
@@ -69,6 +78,7 @@ class RewardVariable {
     std::function<double()> fn;
   };
   std::vector<Impulse> impulses_;
+  std::vector<std::function<void()>> reset_hooks_;
 };
 
 }  // namespace vcpusim::san

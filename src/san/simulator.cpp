@@ -14,10 +14,15 @@ Simulator::Simulator(SimulatorConfig config)
 }
 
 void Simulator::set_model(ComposedModel& model) {
-  if (model_ != nullptr) {
-    throw std::logic_error("Simulator: model already set");
-  }
+  // Re-setting swaps the model: every per-model structure (activity
+  // vectors, dependency index, trace write lists, dirty state) is
+  // rebuilt below; run()/reset() must be called again before advancing.
   model_ = &model;
+  started_ = false;
+  trace_writes_built_ = false;
+  dirty_timed_.clear();
+  dirty_inst_.clear();
+  dirty_all_ = true;
   activities_.clear();
   instantaneous_.clear();
   for (Activity* a : model.all_activities()) {
@@ -364,6 +369,7 @@ void Simulator::reset() {
   }
   model_->reset_marking();
   for (RewardVariable* r : rewards_) r->reset();
+  profile_.reset();
   profile_.set_enabled(config_.profile);
   if (trace_ != nullptr && trace_->wants(TraceCategory::kMarking) &&
       !trace_writes_built_) {
@@ -374,6 +380,7 @@ void Simulator::reset() {
   // stragglers; reserving up front keeps the hot loop reallocation-free.
   queue_.reserve(4 * activities_.size() + 16);
   now_ = 0.0;
+  seq_ = 0;
   events_ = 0;
   enabling_evals_ = 0;
   hit_event_cap_ = false;
@@ -381,6 +388,12 @@ void Simulator::reset() {
   clear_dirty();
   dirty_all_ = true;  // initial activations: everything gets a first look
   settle();
+}
+
+void Simulator::reset(std::uint64_t seed) {
+  config_.seed = seed;
+  rng_ = stats::Rng(seed);
+  reset();
 }
 
 RunStats Simulator::advance_until(Time t) {

@@ -78,12 +78,17 @@ class Simulator {
 
   /// Register the model to execute. Builds the enabling-dependency index
   /// from the model's declared gate footprints. The model's marking is
-  /// reset at the start of run(). Must be called exactly once before
-  /// run().
+  /// reset at the start of run(). Must be called before run(); calling
+  /// it again swaps the model and rebuilds the index (the next run()
+  /// or reset() starts from the new model's initial marking).
   void set_model(ComposedModel& model);
 
   /// Register a reward variable (reset at the start of run()).
   void add_reward(RewardVariable& reward);
+
+  /// Drop every registered reward variable (metric bindings are rebuilt
+  /// from scratch when a pooled system is rebound to a new run).
+  void clear_rewards() noexcept { rewards_.clear(); }
 
   void add_observer(TraceObserver& observer);
 
@@ -108,6 +113,11 @@ class Simulator {
   /// perform the time-zero activations. Must be called before the first
   /// advance_until().
   void reset();
+
+  /// reset() with a fresh RNG stream: re-seeds the generator before the
+  /// time-zero activations so a reused simulator replays exactly the
+  /// replication a fresh Simulator{config with .seed = seed} would run.
+  void reset(std::uint64_t seed);
 
   /// Process events up to and including time `t` (capped at the
   /// configured end_time) and accrue rewards to min(t, end_time).

@@ -343,6 +343,26 @@ std::vector<Diagnostic> check_scheduler_contract(
         "Run-queue or skew state is leaking across factory calls (shared "
         "instance, static variables, or hidden nondeterminism). Each "
         "replication must get a genuinely fresh scheduler."));
+    return out;
+  }
+
+  // Reset contract: on_reset must restore the warmed first instance to
+  // its just-attached state, so a pooled system's reused scheduler
+  // replays the cold run exactly (reset ≡ fresh-construct).
+  first->on_reset(topology);
+  std::vector<Decision> reset_log;
+  if (!drive(*first, name, reset_log, out)) return out;
+  if (reset_log != cold_log) {
+    out.push_back(make_diag(
+        name,
+        "on_reset() does not restore the just-attached state: the reset "
+        "instance diverges from its own cold run on the identical "
+        "snapshot sequence",
+        "The system pool reuses scheduler instances across replications "
+        "via Scheduler::on_reset (default: re-run on_attach). State the "
+        "reset misses — statics a C reset hook does not clear, members "
+        "on_attach does not rebuild — breaks the bit-identical pooled "
+        "replication contract."));
   }
   return out;
 }

@@ -11,6 +11,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kSnapshot: return "snapshot";
     case Phase::kDecide: return "decide";
     case Phase::kApply: return "apply";
+    case Phase::kReset: return "reset";
     case Phase::kCount_: break;
   }
   return "?";

@@ -23,6 +23,7 @@ enum class Phase : std::uint8_t {
   kSnapshot,     ///< bridge: refresh the VCPU/PCPU snapshot buffers
   kDecide,       ///< bridge: the user scheduling function
   kApply,        ///< bridge: contract validation + decision application
+  kReset,        ///< runner: pool checkout + system/simulator reset
   kCount_,
 };
 

@@ -156,6 +156,10 @@ std::unique_ptr<san::RewardVariable> system_throughput(
       reward->add_impulse(clock, delta_fn);
     }
   }
+  // The tracker is hidden state behind the reward's reset(): zero it so
+  // a pooled system's rebound reward sees the first completion's delta,
+  // not the previous replication's final total.
+  reward->add_reset_hook([last_seen]() { *last_seen = 0; });
   return reward;
 }
 

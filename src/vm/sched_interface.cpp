@@ -9,8 +9,8 @@ namespace {
 class CFunctionScheduler final : public Scheduler {
  public:
   CFunctionScheduler(vcpu_schedule_fn fn, std::string name,
-                     vcpu_attach_fn attach)
-      : fn_(fn), attach_(attach), name_(std::move(name)) {
+                     vcpu_attach_fn attach, vcpu_reset_fn reset)
+      : fn_(fn), attach_(attach), reset_(reset), name_(std::move(name)) {
     if (fn_ == nullptr) {
       throw std::invalid_argument("wrap_c_function: null function");
     }
@@ -18,14 +18,19 @@ class CFunctionScheduler final : public Scheduler {
 
   void on_attach(const SystemTopology& topology) override {
     if (attach_ == nullptr) return;
-    std::vector<VCPU_topology_external> vcpus;
-    vcpus.reserve(static_cast<std::size_t>(topology.num_vcpus()));
-    for (int v = 0; v < topology.num_vcpus(); ++v) {
-      const auto& info = topology.vcpus[static_cast<std::size_t>(v)];
-      vcpus.push_back(VCPU_topology_external{
-          v, info.vm_id, info.index_in_vm, topology.gang_size(info.vm_id)});
-    }
+    const auto vcpus = topology_array(topology);
     attach_(vcpus.data(), topology.num_vcpus(), topology.num_pcpus);
+  }
+
+  void on_reset(const SystemTopology& topology) override {
+    // Prefer the dedicated reset hook; fall back to re-running attach,
+    // which re-initializes any statics the attach hook owns. With
+    // neither hook there is nothing the wrapper can restore.
+    vcpu_reset_fn hook = reset_;
+    if (hook == nullptr) hook = attach_;
+    if (hook == nullptr) return;
+    const auto vcpus = topology_array(topology);
+    hook(vcpus.data(), topology.num_vcpus(), topology.num_pcpus);
   }
 
   bool schedule(std::span<VCPU_host_external> vcpus,
@@ -37,16 +42,30 @@ class CFunctionScheduler final : public Scheduler {
   std::string name() const override { return name_; }
 
  private:
+  static std::vector<VCPU_topology_external> topology_array(
+      const SystemTopology& topology) {
+    std::vector<VCPU_topology_external> vcpus;
+    vcpus.reserve(static_cast<std::size_t>(topology.num_vcpus()));
+    for (int v = 0; v < topology.num_vcpus(); ++v) {
+      const auto& info = topology.vcpus[static_cast<std::size_t>(v)];
+      vcpus.push_back(VCPU_topology_external{
+          v, info.vm_id, info.index_in_vm, topology.gang_size(info.vm_id)});
+    }
+    return vcpus;
+  }
+
   vcpu_schedule_fn fn_;
   vcpu_attach_fn attach_;
+  vcpu_reset_fn reset_;
   std::string name_;
 };
 
 }  // namespace
 
 SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name,
-                             vcpu_attach_fn attach) {
-  return std::make_unique<CFunctionScheduler>(fn, std::move(name), attach);
+                             vcpu_attach_fn attach, vcpu_reset_fn reset) {
+  return std::make_unique<CFunctionScheduler>(fn, std::move(name), attach,
+                                              reset);
 }
 
 }  // namespace vcpusim::vm

@@ -93,6 +93,13 @@ struct VCPU_topology_external {
 using vcpu_attach_fn = void (*)(const VCPU_topology_external* vcpus,
                                 int num_vcpu, int num_pcpu);
 
+/// Optional C reset hook: called when a built system is reset for
+/// another replication (same topology). Must restore every piece of
+/// internal state — typically file-scope statics — to what it was right
+/// after attach. The C analogue of Scheduler::on_reset.
+using vcpu_reset_fn = void (*)(const VCPU_topology_external* vcpus,
+                               int num_vcpu, int num_pcpu);
+
 /// Raised when a scheduling function violates the assignment contract.
 class ScheduleError : public std::runtime_error {
  public:
@@ -116,6 +123,16 @@ class Scheduler {
     (void)topology;
   }
 
+  /// Replication-reset hook: restore all internal state to exactly what
+  /// it was right after on_attach(topology), so a reused instance drives
+  /// the same decisions a fresh one would (sched::check_scheduler_contract
+  /// verifies reset ≡ fresh-construct). The default delegates to
+  /// on_attach, which is a full re-initialization for any scheduler that
+  /// derives all of its state from the topology — every builtin does.
+  virtual void on_reset(const SystemTopology& topology) {
+    on_attach(topology);
+  }
+
   /// See the file-header contract. Called once per Clock tick.
   virtual bool schedule(std::span<VCPU_host_external> vcpus,
                         std::span<PCPU_external> pcpus, long timestamp) = 0;
@@ -132,8 +149,13 @@ using SchedulerFactory = std::function<SchedulerPtr()>;
 /// build time, so a C plug-in no longer needs lazily-initialized statics
 /// to learn the VM layout — note that file-scope statics shared across
 /// replications still break replication safety and are flagged by
-/// sched::check_scheduler_contract.
+/// sched::check_scheduler_contract. `reset` (optional) is invoked when a
+/// built system is reset for another replication; when omitted the
+/// wrapper re-runs `attach`, which re-initializes any statics the attach
+/// hook owns. A stateful C function with neither hook cannot be reset
+/// and is flagged by the contract check's reset drive.
 SchedulerPtr wrap_c_function(vcpu_schedule_fn fn, std::string name,
-                             vcpu_attach_fn attach = nullptr);
+                             vcpu_attach_fn attach = nullptr,
+                             vcpu_reset_fn reset = nullptr);
 
 }  // namespace vcpusim::vm

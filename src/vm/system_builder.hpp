@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,22 @@ struct VirtualSystem {
   const VmHandle& vm_of(int vcpu_id) const {
     return vms.at(static_cast<std::size_t>(
         vcpus.at(static_cast<std::size_t>(vcpu_id)).vm_id));
+  }
+
+  /// Reset the non-marking side of the system for another replication:
+  /// bridge counters, profile timings, and the scheduler's internal
+  /// state (Scheduler::on_reset). Pair with Simulator::reset(seed),
+  /// which restores the marking side via ComposedModel::reset_marking().
+  void reset() { scheduler_places.reset(); }
+
+  /// Replace the scheduler instance (must target the same topology; it
+  /// receives on_attach here). The previous instance is destroyed.
+  void rebind_scheduler(SchedulerPtr next) {
+    if (!next) {
+      throw std::invalid_argument("rebind_scheduler: null scheduler");
+    }
+    scheduler_places.rebind(*next);
+    scheduler = std::move(next);
   }
 };
 

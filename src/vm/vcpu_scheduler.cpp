@@ -23,6 +23,9 @@ struct SchedulerContext {
   std::vector<VcpuBinding> bindings;
   Scheduler* scheduler;
   SchedulerPlaces places;
+  /// Immutable topology, kept so reset()/rebind() can re-drive the
+  /// scheduler lifecycle hooks without rebuilding it.
+  SystemTopology topology;
 
   // Persistent hot-path buffers, sized in build_vcpu_scheduler.
   std::vector<VCPU_host_external> vx;  ///< per-tick VCPU snapshot
@@ -175,6 +178,19 @@ struct SchedulerContext {
     }
   }
 
+  /// Restore the bridge to its just-built state for another replication.
+  void reset() {
+    *bridge_stats = BridgeStats{};
+    profile->reset();  // keeps the enabled flag
+    scheduler->on_reset(topology);
+  }
+
+  /// Swap in a different scheduler instance (same topology).
+  void rebind(Scheduler& next) {
+    scheduler = &next;
+    next.on_attach(topology);
+  }
+
   void tick(san::GateContext& ctx) {
     const long timestamp = std::lround(ctx.now);
     bridge_stats->ticks += 1;
@@ -242,7 +258,8 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
   context->bindings = std::move(bindings);
 
   // Topology layer: attach the scheduler once, before the first tick.
-  scheduler.on_attach(make_topology(context->bindings, cfg.num_pcpus));
+  context->topology = make_topology(context->bindings, cfg.num_pcpus);
+  scheduler.on_attach(context->topology);
 
   // Snapshot layer: size the persistent buffers once.
   const std::size_t n = context->bindings.size();
@@ -286,7 +303,13 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
   context->places.bridge_stats = context->bridge_stats;
   context->places.profile = context->profile;
 
-  return context->places;
+  // The reset/rebind closures go on the returned copy only: storing a
+  // [context] capture inside context->places would make the context own
+  // itself through the shared_ptr and leak the whole bridge.
+  SchedulerPlaces result = context->places;
+  result.reset = [context]() { context->reset(); };
+  result.rebind = [context](Scheduler& next) { context->rebind(next); };
+  return result;
 }
 
 }  // namespace vcpusim::vm

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,8 +20,9 @@ namespace vcpusim::vm {
 
 /// Always-on counters of the scheduler bridge (plain increments, cheap
 /// enough for the zero-allocation hot path). Folded into the metrics
-/// registry as "sched.*" by exp::run_point. The bridge context is built
-/// fresh with each system, so every replication starts from zero.
+/// registry as "sched.*" by exp::run_point. Zeroed by the system's
+/// reset path, so every replication starts from zero whether the
+/// system was built fresh or checked out of a pool.
 struct BridgeStats {
   std::uint64_t ticks = 0;          ///< Clock firings (schedule() calls)
   std::uint64_t schedules_in = 0;   ///< PCPU assignments applied
@@ -53,6 +55,16 @@ struct SchedulerPlaces {
   /// default; call profile->set_enabled(true) before running to collect
   /// (exp::RunSpec::profile does).
   std::shared_ptr<stats::PhaseProfile> profile;
+  /// Reset the bridge for another replication on the same built system:
+  /// zeroes the bridge counters, clears the profile timings (keeping its
+  /// enabled flag), and drives Scheduler::on_reset with the stored
+  /// topology. The marking-side state (hosts, PCPUs array, join places)
+  /// is restored by ComposedModel::reset_marking(), not here.
+  std::function<void()> reset;
+  /// Point the bridge at a different scheduler instance (same topology;
+  /// receives on_attach). Used by the system pool when a checkout's
+  /// scheduler factory differs from the one the slot was built with.
+  std::function<void(Scheduler&)> rebind;
 };
 
 /// Derive the immutable SystemTopology (handed to Scheduler::on_attach)

@@ -107,6 +107,21 @@ TEST(Cli, JobsFlagReproducesSequentialOutput) {
   EXPECT_EQ(sequential.out, parallel.out);
 }
 
+TEST(Cli, RebuildSystemsFlagReproducesPooledOutput) {
+  // --rebuild-systems selects the legacy build-per-replication path; the
+  // zero-rebuild default must print byte-identical results.
+  const std::vector<const char*> base = {
+      "--pcpus", "2", "--vm", "1", "--vm", "1", "--end-time", "300",
+      "--warmup", "50", "--max-replications", "4", "--half-width", "1e-9"};
+  auto rebuild = base;
+  rebuild.push_back("--rebuild-systems");
+  const auto pooled = run(base);
+  const auto rebuilt = run(rebuild);
+  EXPECT_EQ(pooled.exit_code, 0) << pooled.err;
+  EXPECT_EQ(rebuilt.exit_code, 0) << rebuilt.err;
+  EXPECT_EQ(pooled.out, rebuilt.out);
+}
+
 TEST(Cli, NegativeJobsFails) {
   const auto r = run({"--jobs", "-2"});
   EXPECT_EQ(r.exit_code, 1);

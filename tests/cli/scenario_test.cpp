@@ -41,6 +41,7 @@ half_width = 0.01
 min_replications = 4
 max_replications = 16
 jobs = 4
+reuse_systems = off
 metrics = vcpu_utilization, pcpu_utilization, throughput
 
 [vm web]
@@ -62,6 +63,7 @@ spinlock = 0.5 0.3
   EXPECT_DOUBLE_EQ(s.spec.policy.confidence, 0.99);
   EXPECT_EQ(s.spec.policy.max_replications, 16u);
   EXPECT_EQ(s.spec.jobs, 4u);
+  EXPECT_FALSE(s.spec.reuse_systems);
   EXPECT_EQ(s.metrics.size(), 3u);
   EXPECT_EQ(s.metrics[0].kind, exp::MetricKind::kMeanVcpuUtilization);
 

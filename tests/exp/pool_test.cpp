@@ -1,0 +1,226 @@
+// Zero-rebuild replication engine: the pooled path (reuse_systems, the
+// default) must be bit-identical to the legacy build-per-replication
+// path — samples, confidence intervals, structured JSONL trace bytes,
+// RunStats counters (including enabling_evals) — for every builtin
+// algorithm, both enabling modes and any jobs value. These tests are
+// the enforcement of the invariant docs/PERFORMANCE.md documents.
+#include "exp/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "sched/registry.hpp"
+#include "stats/metrics.hpp"
+#include "trace/sinks.hpp"
+
+namespace vcpusim::exp {
+namespace {
+
+RunSpec pool_spec() {
+  RunSpec spec;
+  // Figure-8-style shape: 2 PCPUs, three VMs (2+1+1 VCPUs), sync 1:5 —
+  // contended enough that algorithms actually differ.
+  spec.system = vm::make_symmetric_config(2, {2, 1, 1}, 5);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.end_time = 200.0;
+  spec.warmup = 40.0;
+  spec.base_seed = 20260805;
+  // Fixed replication count: identical work on both paths.
+  spec.policy.min_replications = 4;
+  spec.policy.max_replications = 4;
+  spec.policy.target_half_width = 1e-12;
+  return spec;
+}
+
+const std::vector<MetricRequest>& headline_metrics() {
+  static const std::vector<MetricRequest> kMetrics = {
+      {MetricKind::kMeanVcpuAvailability, -1, "avail"},
+      {MetricKind::kPcpuUtilization, -1, "pcpu"},
+      {MetricKind::kMeanVcpuUtilization, -1, "vcpu"},
+      {MetricKind::kThroughput, -1, "tput"},
+  };
+  return kMetrics;
+}
+
+struct Outcome {
+  stats::ReplicationResult result;
+  std::uint64_t sim_events = 0;
+  std::uint64_t enabling_evals = 0;
+  std::uint64_t sched_ticks = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t pool_builds = 0;
+  std::uint64_t pool_reuses = 0;
+  std::string trace;
+};
+
+Outcome run_mode(RunSpec spec, bool reuse,
+                 const std::vector<MetricRequest>& metrics,
+                 bool with_trace = false) {
+  spec.reuse_systems = reuse;
+  stats::MetricsRegistry registry;
+  spec.metrics = &registry;
+  std::ostringstream os;
+  trace::JsonlSink sink(os);
+  if (with_trace) spec.trace = &sink;
+  Outcome out;
+  out.result = run_point(spec, metrics);
+  if (with_trace) sink.finish();
+  out.trace = os.str();
+  out.sim_events = registry.counter("sim.events").value();
+  out.enabling_evals = registry.counter("sim.enabling_evals").value();
+  out.sched_ticks = registry.counter("sched.ticks").value();
+  out.preemptions = registry.counter("sched.preemptions").value();
+  if (registry.has("executor.pool_builds")) {
+    out.pool_builds = registry.counter("executor.pool_builds").value();
+    out.pool_reuses = registry.counter("executor.pool_reuses").value();
+  }
+  return out;
+}
+
+void expect_bit_identical(const Outcome& rebuild, const Outcome& pooled) {
+  EXPECT_EQ(pooled.result.replications, rebuild.result.replications);
+  EXPECT_EQ(pooled.result.converged, rebuild.result.converged);
+  ASSERT_EQ(pooled.result.metrics.size(), rebuild.result.metrics.size());
+  for (std::size_t i = 0; i < rebuild.result.metrics.size(); ++i) {
+    const auto& a = rebuild.result.metrics[i];
+    const auto& b = pooled.result.metrics[i];
+    SCOPED_TRACE("metric " + a.name);
+    EXPECT_EQ(b.name, a.name);
+    // EXPECT_EQ on doubles is exact — the contract is bit-identity, not
+    // tolerance.
+    EXPECT_EQ(b.samples.count(), a.samples.count());
+    EXPECT_EQ(b.samples.mean(), a.samples.mean());
+    EXPECT_EQ(b.samples.sample_variance(), a.samples.sample_variance());
+    EXPECT_EQ(b.samples.min(), a.samples.min());
+    EXPECT_EQ(b.samples.max(), a.samples.max());
+    EXPECT_EQ(b.ci.mean, a.ci.mean);
+    EXPECT_EQ(b.ci.half_width, a.ci.half_width);
+  }
+  EXPECT_EQ(pooled.sim_events, rebuild.sim_events);
+  EXPECT_EQ(pooled.enabling_evals, rebuild.enabling_evals)
+      << "the reused simulator must perform exactly the rebuild path's "
+         "enabling work";
+  EXPECT_EQ(pooled.sched_ticks, rebuild.sched_ticks);
+  EXPECT_EQ(pooled.preemptions, rebuild.preemptions);
+  EXPECT_EQ(pooled.trace, rebuild.trace)
+      << "structured trace byte streams diverge";
+}
+
+TEST(PoolIdentity, MatchesRebuildForEveryAlgorithmEnablingModeAndJobs) {
+  for (const auto& algorithm : sched::builtin_algorithms()) {
+    for (const bool incremental : {true, false}) {
+      for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        SCOPED_TRACE(algorithm + (incremental ? "/incremental" : "/full-scan") +
+                     "/jobs=" + std::to_string(jobs));
+        RunSpec spec = pool_spec();
+        spec.scheduler = sched::make_factory(algorithm);
+        spec.incremental_enabling = incremental;
+        spec.jobs = jobs;
+        const auto rebuild =
+            run_mode(spec, /*reuse=*/false, headline_metrics(), true);
+        const auto pooled =
+            run_mode(spec, /*reuse=*/true, headline_metrics(), true);
+        expect_bit_identical(rebuild, pooled);
+      }
+    }
+  }
+}
+
+TEST(PoolIdentity, MatchesRebuildForEveryMetricKind) {
+  RunSpec spec = pool_spec();
+  for (auto& vmc : spec.system.vms) vmc.spinlock.enabled = true;
+  spec.jobs = 8;
+  const std::vector<MetricRequest> all_kinds = {
+      {MetricKind::kVcpuAvailability, 0, ""},
+      {MetricKind::kMeanVcpuAvailability, -1, ""},
+      {MetricKind::kPcpuUtilization, -1, ""},
+      {MetricKind::kVcpuUtilization, 0, ""},
+      {MetricKind::kMeanVcpuUtilization, -1, ""},
+      {MetricKind::kVcpuBusyFraction, 0, ""},
+      {MetricKind::kMeanVcpuBusyFraction, -1, ""},
+      {MetricKind::kVmBlockedFraction, 0, ""},
+      {MetricKind::kThroughput, -1, ""},
+      {MetricKind::kMeanSpinFraction, -1, ""},
+      {MetricKind::kMeanEffectiveUtilization, -1, ""},
+  };
+  const auto rebuild = run_mode(spec, /*reuse=*/false, all_kinds);
+  const auto pooled = run_mode(spec, /*reuse=*/true, all_kinds);
+  expect_bit_identical(rebuild, pooled);
+}
+
+TEST(PoolIdentity, SharedExternalPoolStaysIdenticalAcrossRuns) {
+  // State-leak check: the SAME built system serves three consecutive
+  // runs off one external pool; every run must still match a fresh
+  // rebuild run bit for bit, and the second/third runs must not build.
+  RunSpec spec = pool_spec();
+  const auto reference = run_mode(spec, /*reuse=*/false, headline_metrics(),
+                                  true);
+  SystemPool pool(spec.system);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    RunSpec pooled_spec = spec;
+    pooled_spec.pool = &pool;
+    const auto pooled =
+        run_mode(pooled_spec, /*reuse=*/true, headline_metrics(), true);
+    expect_bit_identical(reference, pooled);
+  }
+  // jobs=1: one slot, built once, reused by every later checkout.
+  EXPECT_EQ(pool.builds(), 1u);
+  EXPECT_EQ(pool.reuses(), 11u);  // 3 runs x 4 reps, minus the one build
+}
+
+TEST(PoolCounters, PrivatePoolExportsBuildAndReuseDeltas) {
+  RunSpec spec = pool_spec();
+  const auto pooled = run_mode(spec, /*reuse=*/true, headline_metrics());
+  EXPECT_EQ(pooled.pool_builds, 1u);
+  EXPECT_EQ(pooled.pool_reuses, 3u);
+  const auto rebuild = run_mode(spec, /*reuse=*/false, headline_metrics());
+  EXPECT_EQ(rebuild.pool_builds, 0u);
+  EXPECT_EQ(rebuild.pool_reuses, 0u);
+}
+
+TEST(PoolCounters, LintBuildSeedsThePool) {
+  // The lint fail-fast build is donated to the pool instead of being
+  // thrown away: still exactly one build, and every replication —
+  // including the first — counts as a reuse.
+  RunSpec spec = pool_spec();
+  spec.lint = true;
+  const auto pooled = run_mode(spec, /*reuse=*/true, headline_metrics());
+  EXPECT_EQ(pooled.pool_builds, 1u);
+  EXPECT_EQ(pooled.pool_reuses, 4u);
+}
+
+TEST(PoolExternal, FingerprintMismatchThrows) {
+  RunSpec spec = pool_spec();
+  SystemPool wrong(vm::make_symmetric_config(4, {1, 1}, 0));
+  spec.pool = &wrong;
+  EXPECT_THROW(run_point(spec, headline_metrics()), std::invalid_argument);
+}
+
+TEST(PoolFingerprint, DistinguishesBuildRelevantConfigChanges) {
+  const auto base = vm::make_symmetric_config(2, {2, 1, 1}, 5);
+  EXPECT_EQ(SystemPool::fingerprint_of(base), SystemPool::fingerprint_of(base));
+
+  auto more_pcpus = base;
+  more_pcpus.num_pcpus += 1;
+  EXPECT_NE(SystemPool::fingerprint_of(base),
+            SystemPool::fingerprint_of(more_pcpus));
+
+  auto spinlocked = base;
+  for (auto& vmc : spinlocked.vms) vmc.spinlock.enabled = true;
+  EXPECT_NE(SystemPool::fingerprint_of(base),
+            SystemPool::fingerprint_of(spinlocked));
+
+  auto other_sync = base;
+  for (auto& vmc : other_sync.vms) vmc.sync_ratio_k = 9;
+  EXPECT_NE(SystemPool::fingerprint_of(base),
+            SystemPool::fingerprint_of(other_sync));
+}
+
+}  // namespace
+}  // namespace vcpusim::exp

@@ -43,11 +43,34 @@ TEST(Simulator, RejectsNonPositiveEndTime) {
   EXPECT_THROW(Simulator{c}, std::invalid_argument);
 }
 
-TEST(Simulator, SettingModelTwiceThrows) {
-  ComposedModel m("M");
-  Simulator sim(config_for(10));
-  sim.set_model(m);
-  EXPECT_THROW(sim.set_model(m), std::logic_error);
+TEST(Simulator, SettingModelAgainSwapsTheModel) {
+  // A simulator can be re-pointed at another model: the second model
+  // runs from its own initial marking and the first stays untouched
+  // after the swap (the pool's rebind path relies on this).
+  auto make_counter_model = [](const std::string& name,
+                               std::shared_ptr<TokenPlace>& counter) {
+    auto model = std::make_unique<ComposedModel>(name);
+    auto& sub = model->add_submodel("S");
+    counter = sub.add_place<std::int64_t>("count", 0);
+    auto c = counter;
+    auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+    clock.add_output_gate({"inc", [c](GateContext&) { c->mut() += 1; }});
+    return model;
+  };
+  std::shared_ptr<TokenPlace> first_counter;
+  std::shared_ptr<TokenPlace> second_counter;
+  const auto first = make_counter_model("A", first_counter);
+  const auto second = make_counter_model("B", second_counter);
+
+  Simulator sim(config_for(10.0));
+  sim.set_model(*first);
+  EXPECT_EQ(sim.run().events, 10u);
+  EXPECT_EQ(first_counter->get(), 10);
+
+  sim.set_model(*second);
+  EXPECT_EQ(sim.run().events, 10u);
+  EXPECT_EQ(second_counter->get(), 10);
+  EXPECT_EQ(first_counter->get(), 10) << "swap must not touch the old model";
 }
 
 TEST(Simulator, DeterministicClockFiresEveryUnit) {
@@ -603,6 +626,89 @@ TEST(Simulator, RunResetsMarkingAndRewards) {
   sim.run();  // second replication re-resets
   EXPECT_EQ(count->get(), after_first);
   EXPECT_EQ(reward.accumulated(), reward_first);
+}
+
+TEST(Simulator, ResetWithSeedReplaysFreshSimulator) {
+  // A reused simulator driven via reset(seed) + advance_until must replay
+  // exactly the trajectory a fresh Simulator built with that seed runs —
+  // the invariant the zero-rebuild replication pool stands on.
+  const auto build = [](ComposedModel& cm) {
+    auto& sub = cm.add_submodel("S");
+    auto queue = sub.add_place<std::int64_t>("queue", 0);
+    auto& arrive =
+        sub.add_timed_activity("arrive", stats::make_exponential(0.7));
+    arrive.add_output_gate({"a", [queue](GateContext&) { queue->mut() += 1; }});
+    auto& serve = sub.add_timed_activity("serve", stats::make_exponential(1.0));
+    serve.add_input_gate(
+        {"busy", [queue]() { return queue->get() > 0; }, nullptr});
+    serve.add_output_gate({"s", [queue](GateContext&) { queue->mut() -= 1; }});
+  };
+
+  // Fresh-simulator reference trajectories for two seeds.
+  const auto fresh = [&](std::uint64_t seed) {
+    ComposedModel cm("M");
+    build(cm);
+    Simulator sim(config_for(150.0, seed));
+    sim.set_model(cm);
+    Recorder rec;
+    sim.add_observer(rec);
+    const auto stats = sim.run();
+    return std::pair{rec.entries, stats};
+  };
+  const auto [first_ref, first_stats] = fresh(42);
+  const auto [second_ref, second_stats] = fresh(7);
+  ASSERT_FALSE(first_ref.empty());
+  ASSERT_FALSE(second_ref.empty());
+  ASSERT_NE(first_ref[0].time, second_ref[0].time);  // seeds actually differ
+
+  // One simulator, reused across both seeds, in reverse order and with a
+  // warm-up run in between to perturb internal state.
+  ComposedModel cm("M");
+  build(cm);
+  Simulator sim(config_for(150.0, 1234));
+  sim.set_model(cm);
+  Recorder rec;
+  sim.add_observer(rec);
+
+  const auto replay = [&](std::uint64_t seed) {
+    rec.entries.clear();
+    sim.reset(seed);
+    return sim.advance_until(150.0);
+  };
+  const auto check = [&](const std::vector<Recorder::Entry>& ref,
+                         const RunStats& ref_stats, const RunStats& got) {
+    EXPECT_EQ(got.events, ref_stats.events);
+    EXPECT_EQ(got.enabling_evals, ref_stats.enabling_evals);
+    ASSERT_EQ(rec.entries.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(rec.entries[i].time, ref[i].time) << i;
+      EXPECT_EQ(rec.entries[i].activity, ref[i].activity) << i;
+    }
+  };
+  check(second_ref, second_stats, replay(7));
+  replay(999);  // unrelated replication in between
+  check(first_ref, first_stats, replay(42));
+  check(first_ref, first_stats, replay(42));  // and again, back to back
+}
+
+TEST(Simulator, ClearRewardsDropsRegisteredVariables) {
+  ComposedModel cm("M");
+  auto& sub = cm.add_submodel("S");
+  auto count = sub.add_place<std::int64_t>("count", 0);
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate({"inc", [count](GateContext&) { count->mut() += 1; }});
+
+  RewardVariable stale("stale", []() { return 1.0; });
+  Simulator sim(config_for(10.0));
+  sim.set_model(cm);
+  sim.add_reward(stale);
+  sim.run();
+  const auto accumulated = stale.accumulated();
+  EXPECT_GT(accumulated, 0.0);
+
+  sim.clear_rewards();
+  sim.run();  // the dropped variable must no longer be reset or accrued
+  EXPECT_EQ(stale.accumulated(), accumulated);
 }
 
 }  // namespace

@@ -130,6 +130,29 @@ bool stateful_schedule(vm::VCPU_host_external* vcpus, int num_vcpu,
   return true;
 }
 
+/// Decision bias the bad-reset plugin below reads. Its attach hook
+/// clears it (so the replication-safety drives all run unbiased and
+/// pass), but its reset hook *corrupts* it instead of restoring the
+/// just-attached state — the pool-unsafety the reset drive must catch.
+long bias = 0;
+
+void clear_bias(const vm::VCPU_topology_external*, int, int) { bias = 0; }
+void corrupt_bias(const vm::VCPU_topology_external*, int, int) { bias = 3; }
+
+bool biased_schedule(vm::VCPU_host_external* vcpus, int num_vcpu,
+                     vm::PCPU_external* pcpus, int num_pcpu, long tick) {
+  const auto pick = static_cast<int>((tick + bias) % 5);
+  if (pick < num_vcpu && vcpus[pick].assigned_pcpu < 0) {
+    for (int p = 0; p < num_pcpu; ++p) {
+      if (pcpus[p].assigned_vcpu < 0) {
+        vcpus[pick].schedule_in = pcpus[p].pcpu_id;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace c_plugin
 
 TEST(SchedulerContract, CFunctionAttachHookReceivesTopology) {
@@ -141,9 +164,11 @@ TEST(SchedulerContract, CFunctionAttachHookReceivesTopology) {
   std::string rendered;
   for (const auto& d : diags) rendered += d.to_text() + "\n";
   EXPECT_TRUE(diags.empty()) << rendered;
-  // One attach per instance (the checker builds two), carrying the
-  // harness's 4-VCPU / 2x2-sibling / 2-PCPU topology.
-  EXPECT_EQ(c_plugin::attach_calls, 2);
+  // One attach per instance (the checker builds two) plus one for the
+  // reset drive (on_reset falls back to the attach hook when no reset
+  // hook is given), all carrying the harness's 4-VCPU / 2x2-sibling /
+  // 2-PCPU topology.
+  EXPECT_EQ(c_plugin::attach_calls, 3);
   EXPECT_EQ(c_plugin::attached_vcpus, 4);
   EXPECT_EQ(c_plugin::attached_pcpus, 2);
   EXPECT_EQ(c_plugin::attached_siblings_of_0, 2);
@@ -156,6 +181,47 @@ TEST(SchedulerContract, StatefulCFunctionIsNotReplicationSafe) {
   });
   EXPECT_TRUE(any_message_contains(diags, "not replication-safe"))
       << "file-scope static state must make the fresh instance diverge";
+}
+
+TEST(SchedulerContract, CResetHookThatCorruptsStateDiagnosed) {
+  c_plugin::bias = 0;
+  const auto diags = check_scheduler_contract("c-bad-reset", [] {
+    return vm::wrap_c_function(c_plugin::biased_schedule, "c-bad-reset",
+                               c_plugin::clear_bias, c_plugin::corrupt_bias);
+  });
+  EXPECT_FALSE(any_message_contains(diags, "not replication-safe"))
+      << "unbiased drives must pass the replication-safety comparison";
+  EXPECT_TRUE(any_message_contains(diags, "on_reset() does not restore"))
+      << "a reset hook that perturbs state must fail the reset drive";
+}
+
+TEST(SchedulerContract, ResetThatMissesMemberStateDiagnosed) {
+  // Per-instance member state makes the factory replication-safe, but a
+  // no-op on_reset leaves the warmed counter in place: the pooled reuse
+  // path would replay a different trajectory than a fresh build.
+  struct Drifty : vm::Scheduler {
+    long calls = 0;
+    void on_reset(const vm::SystemTopology&) override {}  // keeps `calls`
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      const auto pick = static_cast<std::size_t>(calls++ % 5);
+      if (pick < vcpus.size() && vcpus[pick].assigned_pcpu < 0) {
+        for (const auto& p : pcpus) {
+          if (p.assigned_vcpu < 0) {
+            vcpus[pick].schedule_in = p.pcpu_id;
+            break;
+          }
+        }
+      }
+      return true;
+    }
+    std::string name() const override { return "drifty"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "drifty", [] { return std::make_unique<Drifty>(); });
+  EXPECT_FALSE(any_message_contains(diags, "not replication-safe"));
+  EXPECT_TRUE(any_message_contains(diags, "on_reset() does not restore"));
 }
 
 TEST(SchedulerContract, SnapshotMutationDiagnosed) {
