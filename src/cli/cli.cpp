@@ -25,7 +25,7 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
                      [--categories LIST]
        vcpusim algorithms [--json]
        vcpusim lint [SCENARIO] [options] [--json] [--strict]
-                    [--all-algorithms]
+                    [--all-algorithms] [--prove] [--list-checks]
 
   --scenario FILE        run the experiment described by FILE
   --pcpus N              number of physical CPUs (default 4)
@@ -57,6 +57,13 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
                          executor.*, metric.*) as JSON to FILE
   --profile              collect wall-clock phase timings (settle/fire,
                          snapshot/decide/apply) into the metrics registry
+  --verify-footprints    run every replication under the footprint
+                         sanitizer: shadow-check each gate's place
+                         accesses against its declared footprint and
+                         re-check the statically proven invariants after
+                         every firing (fails the run on violations;
+                         trajectories are bit-identical). Scenario key:
+                         verify_footprints = true/false
   --csv                  emit CSV instead of an aligned table
   --compare              run ALL registered algorithms on the configured
                          system and print one row per algorithm
@@ -79,6 +86,14 @@ simulation. Exit status is 1 when error-severity diagnostics (or, with
   --json                 emit the lint report as JSON
   --strict               treat lint warnings as errors
   --all-algorithms       contract-check every registered algorithm
+  --prove                run the structural invariant engine: extract
+                         the incidence structure from the declared gate
+                         effects, derive integer P-invariants (Farkas
+                         elimination), and prove per-place token bounds;
+                         the report gains an invariant section
+  --list-checks          print the catalog of check ids with default
+                         severity and summary, then exit (with --json:
+                         machine-readable)
 
 The trace verb runs the experiment with structured tracing enabled and
 streams the per-replication event streams (activity fires, enabling
@@ -188,6 +203,8 @@ int parse_args(int argc, const char* const* argv, Options& options,
         spec.jobs = static_cast<std::size_t>(n);
       } else if (arg == "--rebuild-systems") {
         spec.reuse_systems = false;
+      } else if (arg == "--verify-footprints") {
+        spec.verify_footprints = true;
       } else if (arg == "--metrics-out") {
         const char* v = need_value("--metrics-out");
         if (v == nullptr) return 1;
@@ -435,6 +452,8 @@ int run_lint(int argc, const char* const* argv, std::ostream& out,
   bool json = false;
   bool strict = false;
   bool all_algorithms = false;
+  bool prove = false;
+  bool list_checks = false;
 
   // Peel off lint-only flags and promote a bare SCENARIO argument to
   // --scenario, then reuse the standard option parser for the rest.
@@ -447,12 +466,39 @@ int run_lint(int argc, const char* const* argv, std::ostream& out,
       strict = true;
     } else if (arg == "--all-algorithms") {
       all_algorithms = true;
+    } else if (arg == "--prove") {
+      prove = true;
+    } else if (arg == "--list-checks") {
+      list_checks = true;
     } else if (!arg.empty() && arg[0] != '-' && rest.size() == 1) {
       rest.push_back("--scenario");
       rest.push_back(argv[i]);
     } else {
       rest.push_back(argv[i]);
     }
+  }
+
+  if (list_checks) {
+    // Enumerate the check catalog and exit: no model is built.
+    const auto& catalog = san::analyze::check_catalog();
+    if (json) {
+      out << "{\"checks\":[";
+      bool first = true;
+      for (const auto& check : catalog) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"id\":\"" << check.id << "\",\"severity\":\""
+            << san::analyze::to_string(check.default_severity)
+            << "\",\"summary\":\"" << check.summary << "\"}";
+      }
+      out << "]}\n";
+    } else {
+      for (const auto& check : catalog) {
+        out << check.id << "  [" << san::analyze::to_string(check.default_severity)
+            << "]\n    " << check.summary << "\n";
+      }
+    }
+    return 0;
   }
 
   Options options;
@@ -473,7 +519,10 @@ int run_lint(int argc, const char* const* argv, std::ostream& out,
     const auto factory = sched::make_factory(scenario.algorithm);
     const auto system = vm::build_system(scenario.spec.system, factory());
 
-    auto report = san::analyze::Analyzer().analyze(*system->model);
+    san::analyze::AnalyzerOptions analyzer_options;
+    analyzer_options.prove = prove;
+    auto report =
+        san::analyze::Analyzer(analyzer_options).analyze(*system->model);
 
     if (all_algorithms) {
       auto contract = sched::check_builtin_contracts();

@@ -179,6 +179,15 @@ Scenario parse_scenario(std::istream& in) {
         } else {
           fail(line, "reuse_systems must be true/false, on/off or 1/0");
         }
+      } else if (key == "verify_footprints") {
+        const std::string flag = lower(value);
+        if (flag == "true" || flag == "on" || flag == "1") {
+          scenario.spec.verify_footprints = true;
+        } else if (flag == "false" || flag == "off" || flag == "0") {
+          scenario.spec.verify_footprints = false;
+        } else {
+          fail(line, "verify_footprints must be true/false, on/off or 1/0");
+        }
       } else if (key == "metrics") {
         for (const auto& m : split(value, ',')) {
           try {

@@ -196,6 +196,7 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     config.seed = seed;
     config.incremental_enabling = spec.incremental_enabling;
     config.profile = spec.profile;
+    config.verify_footprints = spec.verify_footprints;
     return config;
   };
 
@@ -220,6 +221,15 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     sim.reset(san::replication_seed(spec.base_seed, rep));
     const san::RunStats run_stats = sim.advance_until(spec.end_time);
     sim.set_trace(nullptr);
+    if (spec.verify_footprints) {
+      const san::FootprintReport* fp = sim.footprint_report();
+      if (fp != nullptr && fp->errors() > 0) {
+        throw std::runtime_error("footprint sanitizer: replication " +
+                                 std::to_string(rep) + " reported " +
+                                 std::to_string(fp->errors()) +
+                                 " violation(s)\n" + fp->render_text());
+      }
+    }
     std::vector<double> obs;
     obs.reserve(bound.size());
     for (auto& b : bound) obs.push_back(b.finalize(spec.end_time));

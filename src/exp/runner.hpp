@@ -89,6 +89,14 @@ struct RunSpec {
   /// for benchmarking and equivalence tests.
   bool incremental_enabling = true;
 
+  /// Forwarded to san::SimulatorConfig::verify_footprints: run every
+  /// replication under the footprint sanitizer (san/sanitizer.hpp) and
+  /// throw std::runtime_error with the full violation report if any
+  /// replication ends with non-advisory violations. Trajectories are
+  /// bit-identical to an unsanitized run; the cost is per-place-access
+  /// checking, so off by default.
+  bool verify_footprints = false;
+
   stats::ReplicationPolicy policy{
       .confidence = 0.95,
       .target_half_width = 0.02,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "san/sanitizer.hpp"
+
 namespace vcpusim::san {
 
 Activity::Activity(std::string name, stats::DistributionPtr delay,
@@ -69,7 +71,11 @@ bool Activity::enabled() const {
 
 std::size_t Activity::fire(GateContext& ctx) {
   for (const auto& gate : input_gates_) {
-    if (gate.input_function) gate.input_function(ctx);
+    if (!gate.input_function) continue;
+    if (ctx.sanitizer != nullptr) {
+      ctx.sanitizer->enter_gate(gate.name, gate.footprint);
+    }
+    gate.input_function(ctx);
   }
   std::size_t chosen = 0;
   if (cases_.size() > 1) {
@@ -85,6 +91,9 @@ std::size_t Activity::fire(GateContext& ctx) {
     }
   }
   for (const auto& gate : cases_[chosen].output_gates) {
+    if (ctx.sanitizer != nullptr) {
+      ctx.sanitizer->enter_gate(gate.name, gate.footprint);
+    }
     gate.function(ctx);
   }
   return chosen;

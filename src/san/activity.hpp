@@ -60,6 +60,11 @@ class Activity {
     return input_gates_;
   }
   const std::vector<Case>& cases() const noexcept { return cases_; }
+  /// Mutable gate access for test harnesses that seed footprint
+  /// mutations (the sanitizer's own test suite); production code builds
+  /// gates through add_input_gate/add_output_gate only.
+  std::vector<InputGate>& input_gates_mut() noexcept { return input_gates_; }
+  std::vector<Case>& cases_mut() noexcept { return cases_; }
   /// True once add_case() replaced the implicit default case.
   bool has_explicit_cases() const noexcept { return explicit_cases_; }
   /// Sum of case weights (1.0 for the implicit default case).

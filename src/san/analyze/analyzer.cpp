@@ -1,5 +1,7 @@
 #include "san/analyze/analyzer.hpp"
 
+#include "san/analyze/invariants.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -447,7 +449,21 @@ void check_dead_activities(const std::vector<ActivityFacts>& activities,
       domains.push_back(std::move(values));
       if (combinations > options.max_probe_combinations) break;
     }
-    if (combinations > options.max_probe_combinations) continue;
+    if (combinations > options.max_probe_combinations) {
+      // Skipped, never misreported — but say so: a silent skip reads as
+      // "analyzed and clean" when the activity was not analyzed at all.
+      sink.emit(Severity::kInfo, check::kProbeBudget, facts.submodel->name(),
+                "", a.name(),
+                "joint read domain of " + std::to_string(tokens.size()) +
+                    " token places exceeds max_probe_combinations (" +
+                    std::to_string(options.max_probe_combinations) +
+                    "); dead-activity check skipped",
+                "The enabling predicate reads too many token places to "
+                "probe exhaustively. Raise "
+                "AnalyzerOptions::max_probe_combinations to cover it, or "
+                "narrow the declared reads.");
+      continue;
+    }
 
     MarkingGuard guard;
     for (TokenPlace* token : tokens) guard.remember(token);
@@ -564,6 +580,57 @@ Report Analyzer::analyze(const ComposedModel& model) const {
   check_orphan_places(places, report.footprints_complete, sink);
   check_shared_write_races(places, activities, sink);
   check_instantaneous_cycles(activities, sink);
+
+  if (options_.prove) {
+    // Structural invariant engine. The model is at its initial marking
+    // here (the dead-activity probe restored everything), which is what
+    // fixes each invariant's constant y·m0.
+    auto analysis = analyze_invariants(model, options_.invariant_options);
+    for (const Diagnostic& d : analysis.incidence.diagnostics) {
+      sink.emit(d.severity, d.check.c_str(), d.submodel, d.place, d.activity,
+                d.message, d.explanation);
+    }
+    auto& section = report.invariants;
+    section.computed = analysis.incidence.complete;
+    section.budget_exhausted = analysis.budget_exhausted;
+    section.tokens = analysis.incidence.tokens.size();
+    section.opaque_tokens =
+        section.tokens - analysis.incidence.transparent_tokens();
+    section.columns = analysis.incidence.columns.size();
+    for (const auto& invariant : analysis.invariants) {
+      section.invariants.push_back(invariant.symbolic);
+    }
+    for (const auto& bound : analysis.bounds) {
+      section.bounds.push_back(
+          analysis.incidence.tokens[bound.token].name +
+          " <= " + std::to_string(bound.bound) + "  [from: " +
+          analysis.invariants[bound.invariant].symbolic + "]");
+    }
+    for (const std::size_t token : analysis.unbounded) {
+      section.unbounded.push_back(analysis.incidence.tokens[token].name);
+    }
+    if (analysis.budget_exhausted) {
+      sink.emit(Severity::kInfo, check::kInvariantBudget, "", "", "",
+                "P-invariant elimination exceeded max_rows (" +
+                    std::to_string(options_.invariant_options.max_rows) +
+                    "); no invariants were derived",
+                "The Farkas tableau grew past its row budget. Raise "
+                "AnalyzerOptions::invariant_options.max_rows, or mark "
+                "high-fanout places opaque to shrink the matrix.");
+    } else if (section.computed && !section.unbounded.empty()) {
+      std::string names = section.unbounded.front();
+      for (std::size_t i = 1; i < section.unbounded.size(); ++i) {
+        names += ", " + section.unbounded[i];
+      }
+      sink.emit(Severity::kInfo, check::kUnboundedPlace, "", names, "",
+                std::to_string(section.unbounded.size()) +
+                    " token(s) have no invariant-derived structural bound",
+                "No conservation law covers these tokens, so no k-bounded "
+                "proof exists for them — expected for genuinely unbounded "
+                "counters (completed jobs, spin ticks), suspicious for "
+                "state places.");
+    }
+  }
 
   if (!report.footprints_complete) {
     sink.emit(Severity::kInfo, check::kIncompleteFootprints, "", "", "",

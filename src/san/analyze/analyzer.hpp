@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "san/analyze/diagnostic.hpp"
+#include "san/analyze/invariants.hpp"
 #include "san/model.hpp"
 
 namespace vcpusim::san::analyze {
@@ -55,6 +56,12 @@ struct AnalyzerOptions {
   std::vector<std::string> suppress;
   /// Include info-severity notes (analysis-limitation reporting).
   bool include_info = true;
+  /// Run the structural invariant engine (incidence matrix, integer
+  /// P-invariants, k-bounded proofs) and fill Report::invariants. Off by
+  /// default: the Farkas elimination costs real time on large models and
+  /// its info notes (unbounded counters) are noise for plain linting.
+  bool prove = false;
+  InvariantOptions invariant_options;
 };
 
 /// Raised by Analyzer::check_or_throw when error-severity diagnostics

@@ -35,7 +35,24 @@ inline constexpr const char* kCaseProbability = "case-probability";
 inline constexpr const char* kDuplicateName = "duplicate-name";
 inline constexpr const char* kIncompleteFootprints = "incomplete-footprints";
 inline constexpr const char* kSchedulerContract = "scheduler-contract";
+inline constexpr const char* kEffectFootprintMismatch =
+    "effect-footprint-mismatch";
+inline constexpr const char* kIncompleteEffects = "incomplete-effects";
+inline constexpr const char* kUnboundedPlace = "unbounded-place";
+inline constexpr const char* kInvariantBudget = "invariant-budget-exceeded";
+inline constexpr const char* kProbeBudget = "probe-budget-exceeded";
 }  // namespace check
+
+/// One row of the check catalog (`vcpusim lint --list-checks`).
+struct CheckInfo {
+  const char* id;
+  Severity default_severity;
+  const char* summary;
+};
+
+/// Every check:: identifier with its default severity and a one-line
+/// description — the discoverable form of the suppress mechanism.
+const std::vector<CheckInfo>& check_catalog();
 
 struct Diagnostic {
   Severity severity = Severity::kWarning;
@@ -52,6 +69,22 @@ struct Diagnostic {
   std::string to_json() const;
 };
 
+/// Result of the structural invariant engine (AnalyzerOptions::prove):
+/// the derived conservation laws and per-token bounds, in symbolic form.
+struct InvariantSection {
+  bool computed = false;          ///< prove mode ran and footprints allowed it
+  bool budget_exhausted = false;  ///< Farkas elimination hit its row budget
+  std::size_t tokens = 0;         ///< token universe size (incl. opaque)
+  std::size_t opaque_tokens = 0;  ///< tokens excluded from invariant support
+  std::size_t columns = 0;        ///< incidence columns (firing variants)
+  /// "VM1->Blocked.set + VM1->Blocked.clear = 1" style conservation laws.
+  std::vector<std::string> invariants;
+  /// "VM1->Num_VCPUs_ready <= 2  [from: ...]" style k-bounded proofs.
+  std::vector<std::string> bounds;
+  /// Token names with no invariant-derived finite bound.
+  std::vector<std::string> unbounded;
+};
+
 struct Report {
   std::string model;  ///< name of the analyzed composed model
   std::vector<Diagnostic> diagnostics;
@@ -60,6 +93,8 @@ struct Report {
   bool footprints_complete = false;
   std::size_t gates_total = 0;
   std::size_t gates_declared = 0;
+  /// Filled when the analyzer ran with AnalyzerOptions::prove.
+  InvariantSection invariants;
 
   std::size_t count(Severity severity) const noexcept;
   std::size_t errors() const noexcept { return count(Severity::kError); }

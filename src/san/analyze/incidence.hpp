@@ -1,0 +1,80 @@
+// Incidence-structure extraction: from declared gate footprints and
+// token-level effect declarations to a classic Petri-net incidence
+// matrix over the model's token universe.
+//
+// The token universe is built from the model's registered TokenViews
+// (san/token_view.hpp) plus an implicit identity component for every
+// TokenPlace without a view. Each activity contributes incidence
+// *columns*: one per combination of its gates' declared EffectVariants
+// (input gates crossed with each probabilistic case's output gates), and
+// one standalone column per variant of a compositional gate (whose
+// firing may apply any multiset of its variants — a linear form that
+// annihilates every variant also annihilates every composition).
+//
+// Tokens the declarations cannot pin down are marked *opaque* and
+// excluded from the matrix rather than poisoning it: tokens of places
+// listed in GateAccess::opaque_effects, and every viewed token of a
+// place written by a gate that declared no effects. Undeclared write
+// footprints make the whole extraction unavailable (complete=false) —
+// the same conservative posture the incremental-enabling index takes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/analyze/diagnostic.hpp"
+#include "san/model.hpp"
+
+namespace vcpusim::san::analyze {
+
+/// One token (matrix row): a named non-negative integer component of a
+/// place's marking, with an evaluator over the live marking.
+struct TokenInfo {
+  const PlaceBase* place = nullptr;
+  /// Qualified name: "<place>.<component>" for viewed tokens, the bare
+  /// place name for a TokenPlace's implicit identity component.
+  std::string name;
+  std::function<std::int64_t()> eval;
+  /// Excluded from invariant support (unknowable delta somewhere).
+  bool opaque = false;
+};
+
+/// One incidence column: the token deltas of one declared firing variant
+/// of one activity. Deltas are sparse pairs (token index, delta) over
+/// non-opaque tokens only.
+struct VariantColumn {
+  const Activity* activity = nullptr;
+  std::string label;  ///< "<activity>/<variant labels>"
+  std::vector<std::pair<std::size_t, std::int64_t>> deltas;
+};
+
+struct IncidenceStructure {
+  std::vector<TokenInfo> tokens;
+  std::vector<VariantColumn> columns;
+  /// Effect-declaration defects found during extraction (e.g. an effect
+  /// delta on a place outside the gate's write footprint).
+  std::vector<Diagnostic> diagnostics;
+  /// True when every gate with a non-empty write footprint declared its
+  /// footprint — the precondition for the matrix to mean anything. When
+  /// false, tokens/columns are empty.
+  bool complete = false;
+
+  std::size_t transparent_tokens() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : tokens) {
+      if (!t.opaque) ++n;
+    }
+    return n;
+  }
+};
+
+/// Extract the incidence structure of `model`. Pure inspection: never
+/// evaluates gate code and never changes markings. Token evaluators read
+/// whatever marking is current when called — evaluate at the initial
+/// marking to get m0.
+IncidenceStructure extract_incidence(const ComposedModel& model);
+
+}  // namespace vcpusim::san::analyze

@@ -1,0 +1,265 @@
+#include "san/analyze/invariants.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace vcpusim::san::analyze {
+namespace {
+
+/// One working row of the Farkas tableau: the candidate invariant y
+/// (sparse, over token indices) and its residual value against every
+/// not-yet-eliminated column.
+struct Row {
+  std::vector<std::pair<std::size_t, std::int64_t>> y;  // ascending
+  std::vector<std::int64_t> residual;                   // per column
+};
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+void normalize(Row& row) {
+  std::int64_t g = 0;
+  for (const auto& [token, coeff] : row.y) g = gcd64(g, coeff);
+  for (const std::int64_t r : row.residual) g = gcd64(g, r);
+  if (g <= 1) return;
+  for (auto& [token, coeff] : row.y) coeff /= g;
+  for (std::int64_t& r : row.residual) r /= g;
+}
+
+/// a.y's support is a subset of b.y's support.
+bool support_subset(const Row& a, const Row& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.y.size()) {
+    if (j == b.y.size()) return false;
+    if (a.y[i].first == b.y[j].first) {
+      ++i;
+      ++j;
+    } else if (a.y[i].first > b.y[j].first) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sparse merge: out = a + scale_b * b (token-index order preserved).
+std::vector<std::pair<std::size_t, std::int64_t>> merge_y(
+    const std::vector<std::pair<std::size_t, std::int64_t>>& a,
+    std::int64_t scale_a,
+    const std::vector<std::pair<std::size_t, std::int64_t>>& b,
+    std::int64_t scale_b) {
+  std::vector<std::pair<std::size_t, std::int64_t>> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.emplace_back(a[i].first, a[i].second * scale_a);
+      ++i;
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out.emplace_back(b[j].first, b[j].second * scale_b);
+      ++j;
+    } else {
+      const std::int64_t coeff = a[i].second * scale_a + b[j].second * scale_b;
+      if (coeff != 0) out.emplace_back(a[i].first, coeff);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Drop rows whose support strictly contains another row's support
+/// (minimal-support semiflows generate the cone; supersets only bloat
+/// the tableau and weaken the derived bounds).
+void prune_supersets(std::vector<Row>& rows) {
+  std::vector<bool> dead(rows.size(), false);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      if (rows[j].y.size() < rows[i].y.size() &&
+          support_subset(rows[j], rows[i])) {
+        dead[i] = true;
+      } else if (rows[j].y.size() == rows[i].y.size() && j < i &&
+                 support_subset(rows[j], rows[i])) {
+        dead[i] = true;  // equal support: keep the first
+      }
+    }
+  }
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(rows[i]));
+  }
+  rows = std::move(kept);
+}
+
+std::string render_symbolic(const Invariant& invariant,
+                            const IncidenceStructure& incidence) {
+  std::string out;
+  for (const auto& [token, coeff] : invariant.terms) {
+    if (!out.empty()) out += " + ";
+    if (coeff != 1) out += std::to_string(coeff) + "*";
+    out += incidence.tokens[token].name;
+  }
+  out += " = " + std::to_string(invariant.initial_value);
+  return out;
+}
+
+}  // namespace
+
+std::int64_t InvariantAnalysis::evaluate(std::size_t i) const {
+  std::int64_t sum = 0;
+  for (const auto& [token, coeff] : invariants[i].terms) {
+    sum += coeff * incidence.tokens[token].eval();
+  }
+  return sum;
+}
+
+InvariantAnalysis compute_invariants(IncidenceStructure incidence,
+                                     const InvariantOptions& options) {
+  InvariantAnalysis out;
+  out.incidence = std::move(incidence);
+  if (!out.incidence.complete) return out;
+
+  // Map transparent tokens to compact indices for the tableau.
+  std::vector<std::size_t> transparent;
+  std::unordered_map<std::size_t, std::size_t> compact;
+  for (std::size_t t = 0; t < out.incidence.tokens.size(); ++t) {
+    if (out.incidence.tokens[t].opaque) continue;
+    compact[t] = transparent.size();
+    transparent.push_back(t);
+  }
+
+  const std::size_t columns = out.incidence.columns.size();
+  std::vector<Row> rows;
+  rows.reserve(transparent.size());
+  for (const std::size_t token : transparent) {
+    Row row;
+    row.y.emplace_back(token, 1);
+    row.residual.assign(columns, 0);
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t c = 0; c < columns; ++c) {
+    for (const auto& [token, delta] : out.incidence.columns[c].deltas) {
+      const auto it = compact.find(token);
+      if (it != compact.end()) rows[it->second].residual[c] = delta;
+    }
+  }
+
+  // Eliminate columns one by one: keep the rows already at zero, add
+  // every positive/negative combination scaled to cancel.
+  for (std::size_t c = 0; c < columns && !out.budget_exhausted; ++c) {
+    std::vector<Row> zero;
+    std::vector<std::size_t> pos;
+    std::vector<std::size_t> neg;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].residual[c] == 0) {
+        zero.push_back(std::move(rows[r]));
+      } else if (rows[r].residual[c] > 0) {
+        pos.push_back(r);
+      } else {
+        neg.push_back(r);
+      }
+    }
+    // rows with nonzero residual still live at their old indices; the
+    // moved-from zero rows are never revisited through pos/neg.
+    for (const std::size_t p : pos) {
+      for (const std::size_t n : neg) {
+        const Row& rp = rows[p];
+        const Row& rn = rows[n];
+        const std::int64_t a = rp.residual[c];
+        const std::int64_t b = -rn.residual[c];
+        const std::int64_t g = gcd64(a, b);
+        const std::int64_t scale_p = b / g;
+        const std::int64_t scale_n = a / g;
+        Row combined;
+        combined.y = merge_y(rp.y, scale_p, rn.y, scale_n);
+        combined.residual.resize(columns, 0);
+        for (std::size_t k = c + 1; k < columns; ++k) {
+          combined.residual[k] =
+              scale_p * rp.residual[k] + scale_n * rn.residual[k];
+        }
+        normalize(combined);
+        zero.push_back(std::move(combined));
+        if (zero.size() > options.max_rows) {
+          out.budget_exhausted = true;
+          break;
+        }
+      }
+      if (out.budget_exhausted) break;
+    }
+    rows = std::move(zero);
+    prune_supersets(rows);
+    if (rows.size() > options.max_rows) out.budget_exhausted = true;
+  }
+  if (out.budget_exhausted) {
+    rows.clear();  // partial eliminations are not invariants
+  }
+
+  // Surviving rows are semiflows; fix their constants at m0 (the live
+  // marking — callers guarantee the model is at its initial marking).
+  out.invariants.reserve(rows.size());
+  for (Row& row : rows) {
+    if (row.y.empty()) continue;
+    Invariant invariant;
+    invariant.terms = std::move(row.y);
+    std::int64_t m0 = 0;
+    for (const auto& [token, coeff] : invariant.terms) {
+      m0 += coeff * out.incidence.tokens[token].eval();
+    }
+    invariant.initial_value = m0;
+    invariant.symbolic = render_symbolic(invariant, out.incidence);
+    out.invariants.push_back(std::move(invariant));
+  }
+  std::sort(out.invariants.begin(), out.invariants.end(),
+            [](const Invariant& a, const Invariant& b) {
+              return a.symbolic < b.symbolic;
+            });
+
+  // Bounds: token t <= floor(y·m0 / y_t) for any invariant with y_t > 0;
+  // keep the tightest proof per token.
+  std::unordered_map<std::size_t, std::size_t> best;  // token -> bound index
+  for (std::size_t i = 0; i < out.invariants.size(); ++i) {
+    const Invariant& invariant = out.invariants[i];
+    for (const auto& [token, coeff] : invariant.terms) {
+      const std::int64_t bound = invariant.initial_value / coeff;
+      const auto it = best.find(token);
+      if (it == best.end()) {
+        best[token] = out.bounds.size();
+        out.bounds.push_back(TokenBound{token, bound, i});
+      } else if (bound < out.bounds[it->second].bound) {
+        out.bounds[it->second] = TokenBound{token, bound, i};
+      }
+    }
+  }
+  std::sort(out.bounds.begin(), out.bounds.end(),
+            [&](const TokenBound& a, const TokenBound& b) {
+              return out.incidence.tokens[a.token].name <
+                     out.incidence.tokens[b.token].name;
+            });
+  for (std::size_t t = 0; t < out.incidence.tokens.size(); ++t) {
+    if (out.incidence.tokens[t].opaque) continue;
+    if (best.find(t) == best.end()) out.unbounded.push_back(t);
+  }
+  return out;
+}
+
+InvariantAnalysis analyze_invariants(const ComposedModel& model,
+                                     const InvariantOptions& options) {
+  return compute_invariants(extract_incidence(model), options);
+}
+
+}  // namespace vcpusim::san::analyze

@@ -1,0 +1,80 @@
+// Integer P-invariant computation over an extracted incidence structure,
+// and the structural bounds that follow from invariants plus the initial
+// marking.
+//
+// A P-invariant (place invariant, non-negative integer semiflow) is a
+// vector y >= 0 with yᵀC = 0 for incidence matrix C: the weighted token
+// sum y·m is constant across every firing sequence, so y·m = y·m0 in
+// every reachable marking. Because every token is non-negative, each
+// invariant with y_t > 0 proves the structural bound
+//     m(t) <= floor(y·m0 / y_t)
+// — a k-bounded proof that holds for ANY schedule, not just observed
+// trajectories. These bounds are what the ROADMAP's data-oriented arena
+// kernel needs as its layout oracle.
+//
+// The computation is the classic Farkas-style elimination: start from
+// [I | C] and eliminate the columns of C one by one, combining rows with
+// opposite signs. Support-minimal rows are kept (minimal-support
+// semiflows generate the whole cone); everything is normalized by GCD.
+// The elimination can blow up exponentially in the worst case, so it
+// carries an explicit row budget mirroring the analyzer's probe-budget
+// discipline: on exhaustion it reports budget_exhausted and returns no
+// invariants rather than burning unbounded time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/analyze/incidence.hpp"
+
+namespace vcpusim::san::analyze {
+
+/// One conservation law: sum of coeff * token over `terms` equals
+/// `initial_value` in every reachable marking.
+struct Invariant {
+  /// Sparse non-negative weights (token index, coefficient), ascending.
+  std::vector<std::pair<std::size_t, std::int64_t>> terms;
+  std::int64_t initial_value = 0;  ///< y · m0
+  std::string symbolic;            ///< "A + 2·B = 3" rendering
+};
+
+/// A k-bounded proof for one token, derived from one invariant.
+struct TokenBound {
+  std::size_t token = 0;
+  std::int64_t bound = 0;
+  std::size_t invariant = 0;  ///< index of the proving invariant
+};
+
+struct InvariantOptions {
+  /// Farkas row budget: elimination aborts (budget_exhausted) when the
+  /// working row set would exceed this.
+  std::size_t max_rows = 4096;
+};
+
+struct InvariantAnalysis {
+  IncidenceStructure incidence;
+  std::vector<Invariant> invariants;
+  std::vector<TokenBound> bounds;
+  /// Non-opaque tokens with no finite invariant-derived bound, by index.
+  std::vector<std::size_t> unbounded;
+  bool budget_exhausted = false;
+
+  /// Current value of invariant i's weighted token sum (evaluates the
+  /// live marking through the token evaluators).
+  std::int64_t evaluate(std::size_t i) const;
+};
+
+/// Compute P-invariants and token bounds for `incidence`. Token
+/// evaluators are read once to fix m0, so the model must be at its
+/// initial marking when this is called.
+InvariantAnalysis compute_invariants(IncidenceStructure incidence,
+                                     const InvariantOptions& options = {});
+
+/// Convenience: extract_incidence + compute_invariants.
+InvariantAnalysis analyze_invariants(const ComposedModel& model,
+                                     const InvariantOptions& options = {});
+
+}  // namespace vcpusim::san::analyze

@@ -26,6 +26,7 @@ namespace vcpusim::san {
 using Time = double;
 
 class TraceSink;
+class FootprintSanitizer;
 
 /// Execution context passed to gate functions on activity completion.
 struct GateContext {
@@ -42,6 +43,10 @@ struct GateContext {
   /// Trajectory position (completions before this firing), stamped on
   /// events the gate emits so they sort with the simulator's own.
   std::uint64_t seq = 0;
+  /// Footprint sanitizer, non-null only when the simulator runs with
+  /// SimulatorConfig::verify_footprints. The engine (Activity::fire)
+  /// notifies it of gate boundaries; gate code never uses it directly.
+  FootprintSanitizer* sanitizer = nullptr;
 
   /// Report that `place` was actually written during this firing. Only
   /// meaningful from gates declared with access_dynamic(); a no-op when
@@ -49,6 +54,27 @@ struct GateContext {
   void touch(const PlaceBase* place) {
     if (touched != nullptr) touched->push_back(place);
   }
+};
+
+/// One token-level marking effect: firing adds `delta` (possibly
+/// negative) tokens to the named component of `place`'s registered
+/// TokenView (san/token_view.hpp). An empty component names the
+/// implicit identity component of a TokenPlace.
+struct TokenDelta {
+  PlacePtr place;
+  std::string component;
+  std::int64_t delta = 0;
+};
+
+/// One declared firing outcome of a gate: the multiset of token deltas
+/// it applies when this variant is taken. A gate with state-dependent
+/// behavior declares one variant per qualitative branch (e.g. a
+/// workload-output gate's "normal job" vs "sync job" variants); the
+/// incidence extraction turns each cross-gate variant combination into
+/// one column of the incidence matrix.
+struct EffectVariant {
+  std::string label;
+  std::vector<TokenDelta> deltas;
 };
 
 /// Declared marking footprint of a gate, consumed by san::analyze. Gate
@@ -76,14 +102,62 @@ struct GateAccess {
   /// without touching it causes missed re-evaluations — same trust model
   /// as the declared sets themselves.
   bool dynamic_writes = false;
+
+  /// Declared token-level effects (see EffectVariant); one firing of the
+  /// gate applies exactly one variant. Consumed by the incidence
+  /// extraction (san/analyze/incidence.hpp). Rules: every delta place
+  /// must appear in `writes` (effect-footprint-mismatch otherwise), and
+  /// a written place's viewed tokens not mentioned by a variant are
+  /// asserted unchanged (delta 0) under that variant.
+  std::vector<EffectVariant> effects;
+  /// True once effects were declared (an empty declared list means "the
+  /// gate changes no viewed token"). Undeclared effects make every
+  /// viewed token of the gate's written places opaque.
+  bool effects_declared = false;
+  /// Compositional mode: one firing may apply any multiset of the
+  /// declared variants rather than exactly one (the scheduler bridge
+  /// performs several assign/deschedule micro-steps per tick). Each
+  /// variant still becomes its own incidence column — a linear invariant
+  /// annihilating every column also annihilates every composition.
+  bool effects_compositional = false;
+  /// Written places whose viewed tokens the gate updates in a way that
+  /// has no constant delta (e.g. a round-robin cursor set to (k+1) mod
+  /// n). Their tokens are excluded from invariant support instead of
+  /// poisoning the analysis.
+  std::vector<PlacePtr> opaque_effects;
 };
+
+/// Fluent helpers so call sites can extend a footprint built by
+/// access()/access_dynamic() without naming every GateAccess field.
+inline GateAccess with_effects(GateAccess base,
+                               std::vector<EffectVariant> variants,
+                               std::vector<PlacePtr> opaque = {}) {
+  base.effects = std::move(variants);
+  base.effects_declared = true;
+  base.opaque_effects = std::move(opaque);
+  return base;
+}
+
+/// Like with_effects(), but one firing may compose several variants
+/// (see GateAccess::effects_compositional).
+inline GateAccess with_compositional_effects(GateAccess base,
+                                             std::vector<EffectVariant> variants,
+                                             std::vector<PlacePtr> opaque = {}) {
+  base = with_effects(std::move(base), std::move(variants), std::move(opaque));
+  base.effects_compositional = true;
+  return base;
+}
 
 /// Convenience builder: declare a gate's read and write sets.
 inline GateAccess access(std::vector<PlacePtr> reads,
                          std::vector<PlacePtr> writes = {},
                          std::vector<PlacePtr> commutes = {}) {
-  return GateAccess{std::move(reads), std::move(writes), std::move(commutes),
-                    true, false};
+  GateAccess a;
+  a.reads = std::move(reads);
+  a.writes = std::move(writes);
+  a.commutes = std::move(commutes);
+  a.declared = true;
+  return a;
 }
 
 /// Like access(), but the gate reports its per-firing write set through
@@ -91,8 +165,10 @@ inline GateAccess access(std::vector<PlacePtr> reads,
 inline GateAccess access_dynamic(std::vector<PlacePtr> reads,
                                  std::vector<PlacePtr> writes = {},
                                  std::vector<PlacePtr> commutes = {}) {
-  return GateAccess{std::move(reads), std::move(writes), std::move(commutes),
-                    true, true};
+  GateAccess a = access(std::move(reads), std::move(writes),
+                        std::move(commutes));
+  a.dynamic_writes = true;
+  return a;
 }
 
 struct InputGate {

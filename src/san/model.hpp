@@ -16,6 +16,7 @@
 
 #include "san/activity.hpp"
 #include "san/place.hpp"
+#include "san/token_view.hpp"
 
 namespace vcpusim::san {
 
@@ -130,11 +131,21 @@ class ComposedModel {
         JoinEntry{std::move(shared_name), std::move(place), std::move(member_names)});
   }
 
+  /// Register a token projection of one place (san/token_view.hpp) for
+  /// the structural analyses. One view per place; a TokenPlace without a
+  /// view gets an implicit identity component.
+  void record_token_view(TokenView view) {
+    token_views_.push_back(std::move(view));
+  }
+
   const std::vector<std::unique_ptr<SanModel>>& submodels() const noexcept {
     return submodels_;
   }
   const std::vector<JoinEntry>& join_registry() const noexcept {
     return join_registry_;
+  }
+  const std::vector<TokenView>& token_views() const noexcept {
+    return token_views_;
   }
 
   SanModel* find_submodel(const std::string& submodel_name) const {
@@ -159,6 +170,7 @@ class ComposedModel {
   std::string name_;
   std::vector<std::unique_ptr<SanModel>> submodels_;
   std::vector<JoinEntry> join_registry_;
+  std::vector<TokenView> token_views_;
 };
 
 }  // namespace vcpusim::san

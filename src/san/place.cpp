@@ -1,8 +1,12 @@
 #include "san/place.hpp"
 
-// Header-only templates; this TU exists to anchor the vtable of PlaceBase
-// instantiations used across the library and keep the archive non-empty.
+// Header-only templates; this TU anchors the vtable of PlaceBase
+// instantiations used across the library and holds the thread-local
+// access-listener slot consulted by every Place<T>::get/mut/set.
 namespace vcpusim::san {
+
+thread_local PlaceAccessListener* PlaceBase::listener_ = nullptr;
+
 namespace {
 [[maybe_unused]] const TokenPlace anchor{"_anchor", 0};
 }

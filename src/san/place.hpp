@@ -19,6 +19,19 @@
 
 namespace vcpusim::san {
 
+class PlaceBase;
+
+/// Observation hook for the footprint sanitizer (san/sanitizer.hpp).
+/// When installed (thread-local, normally for the duration of a
+/// sanitized run), every Place<T>::get/mut/set reports through it. The
+/// hook is observation-only: listeners must not mutate markings.
+class PlaceAccessListener {
+ public:
+  virtual ~PlaceAccessListener() = default;
+  virtual void on_read(const PlaceBase& place) = 0;
+  virtual void on_write(const PlaceBase& place) = 0;
+};
+
 class PlaceBase {
  public:
   explicit PlaceBase(std::string name) : name_(std::move(name)) {}
@@ -28,6 +41,19 @@ class PlaceBase {
   PlaceBase& operator=(const PlaceBase&) = delete;
 
   const std::string& name() const noexcept { return name_; }
+
+  /// Install (or clear, with nullptr) the thread-local access listener.
+  /// Returns the previously installed listener so callers can restore
+  /// it. With no listener installed the per-access cost is one
+  /// thread-local load and a predictable branch.
+  static PlaceAccessListener* exchange_listener(
+      PlaceAccessListener* listener) noexcept {
+    PlaceAccessListener* prev = listener_;
+    listener_ = listener;
+    return prev;
+  }
+
+  static PlaceAccessListener* listener() noexcept { return listener_; }
 
   /// Restore the initial marking (start of a replication).
   virtual void reset() = 0;
@@ -39,7 +65,17 @@ class PlaceBase {
   /// marking trace events carry.
   virtual std::string value_string() const = 0;
 
+ protected:
+  void notify_read() const {
+    if (listener_ != nullptr) listener_->on_read(*this);
+  }
+  void notify_write() const {
+    if (listener_ != nullptr) listener_->on_write(*this);
+  }
+
  private:
+  static thread_local PlaceAccessListener* listener_;
+
   std::string name_;
 };
 
@@ -52,13 +88,22 @@ class Place final : public PlaceBase {
   Place(std::string name, T initial)
       : PlaceBase(std::move(name)), value_(initial), initial_(initial) {}
 
-  const T& get() const noexcept { return value_; }
+  const T& get() const noexcept {
+    notify_read();
+    return value_;
+  }
 
   /// Mutable access. The engine re-evaluates activity enabling after every
   /// firing, so in-place mutation from gate functions is safe.
-  T& mut() noexcept { return value_; }
+  T& mut() noexcept {
+    notify_write();
+    return value_;
+  }
 
-  void set(T v) { value_ = std::move(v); }
+  void set(T v) {
+    notify_write();
+    value_ = std::move(v);
+  }
 
   void reset() override { value_ = initial_; }
 

@@ -4,7 +4,31 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "san/analyze/invariants.hpp"
+
 namespace vcpusim::san {
+namespace {
+
+/// Installs the footprint sanitizer as the thread-local place-access
+/// listener for one engine call, restoring the previous listener on the
+/// way out (exception-safe; a null sanitizer is a no-op).
+class ScopedListener {
+ public:
+  explicit ScopedListener(PlaceAccessListener* listener)
+      : active_(listener != nullptr),
+        prev_(active_ ? PlaceBase::exchange_listener(listener) : nullptr) {}
+  ~ScopedListener() {
+    if (active_) PlaceBase::exchange_listener(prev_);
+  }
+  ScopedListener(const ScopedListener&) = delete;
+  ScopedListener& operator=(const ScopedListener&) = delete;
+
+ private:
+  bool active_;
+  PlaceAccessListener* prev_;
+};
+
+}  // namespace
 
 Simulator::Simulator(SimulatorConfig config)
     : config_(config), rng_(config.seed) {
@@ -20,6 +44,7 @@ void Simulator::set_model(ComposedModel& model) {
   model_ = &model;
   started_ = false;
   trace_writes_built_ = false;
+  sanitizer_.reset();  // the invariant analysis is per-model
   dirty_timed_.clear();
   dirty_inst_.clear();
   dirty_all_ = true;
@@ -185,9 +210,17 @@ void Simulator::schedule(std::uint32_t timed_index) {
   std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
 }
 
+bool Simulator::eval_enabled(const Activity& a) {
+  if (sanitizer_ == nullptr) return a.enabled();
+  sanitizer_->begin_predicate(a);
+  const bool en = a.enabled();
+  sanitizer_->end_predicate();
+  return en;
+}
+
 void Simulator::transition_timed(std::uint32_t timed_index) {
   Activity& a = *activities_[timed_index];
-  const bool en = a.enabled();
+  const bool en = eval_enabled(a);
   if (en && !a.scheduled()) {
     schedule(timed_index);
   } else if (!en && a.scheduled()) {
@@ -263,7 +296,10 @@ void Simulator::complete(Activity& activity, bool timed,
   stats::ScopedPhaseTimer timer(&profile_, stats::Phase::kFire);
   const std::uint64_t seq = events_++;
   GateContext ctx{rng_, now_};
-  if (use_incremental_) {
+  // The sanitizer needs touch() reports even in full-scan mode (the
+  // missed-touch check compares actual writes against them); collecting
+  // them never changes gate behavior.
+  if (use_incremental_ || sanitizer_ != nullptr) {
     touched_.clear();
     ctx.touched = &touched_;
   }
@@ -271,7 +307,12 @@ void Simulator::complete(Activity& activity, bool timed,
     ctx.trace = trace_;
     ctx.seq = seq;
   }
+  if (sanitizer_ != nullptr) {
+    ctx.sanitizer = sanitizer_.get();
+    sanitizer_->begin_firing(activity, ctx);
+  }
   const std::size_t case_index = activity.fire(ctx);
+  if (sanitizer_ != nullptr) sanitizer_->end_firing();
   for (RewardVariable* r : rewards_) r->on_completion(activity, now_);
   for (TraceObserver* o : observers_) o->on_fire(now_, activity, case_index);
   if (trace_ == nullptr) return;
@@ -301,7 +342,7 @@ void Simulator::settle() {
         transition_timed(t);
       }
       for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
-        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
       }
       enabling_evals_ += activities_.size() + instantaneous_.size();
       if (use_incremental_) clear_dirty();
@@ -332,10 +373,10 @@ void Simulator::settle() {
         ++enabling_evals_;
       }
       for (const std::uint32_t j : dirty_inst_) {
-        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
       }
       for (const std::uint32_t j : always_inst_) {
-        inst_enabled_[j] = instantaneous_[j]->enabled() ? 1 : 0;
+        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
       }
       enabling_evals_ += dirty_inst_.size() + always_inst_.size();
       clear_dirty();
@@ -385,6 +426,16 @@ void Simulator::reset() {
   enabling_evals_ = 0;
   hit_event_cap_ = false;
   started_ = true;
+  if (config_.verify_footprints) {
+    if (sanitizer_ == nullptr) {
+      // The invariant analysis fixes y·m0 from the live marking, which
+      // reset_marking() above just restored to the initial one.
+      sanitizer_ = std::make_unique<FootprintSanitizer>(
+          analyze::analyze_invariants(*model_));
+    }
+    sanitizer_->on_reset();
+  }
+  ScopedListener guard(sanitizer_.get());
   clear_dirty();
   dirty_all_ = true;  // initial activations: everything gets a first look
   settle();
@@ -400,6 +451,7 @@ RunStats Simulator::advance_until(Time t) {
   if (!started_) {
     throw std::logic_error("Simulator: advance_until() before reset()");
   }
+  ScopedListener guard(sanitizer_.get());
   const Time horizon = std::min(t, config_.end_time);
   while (!queue_.empty() && !hit_event_cap_) {
     if (events_ >= config_.max_events) {
@@ -429,6 +481,12 @@ RunStats Simulator::advance_until(Time t) {
 RunStats Simulator::run() {
   reset();
   return advance_until(config_.end_time);
+}
+
+const FootprintReport* Simulator::footprint_report() {
+  if (sanitizer_ == nullptr) return nullptr;
+  sanitizer_->finish_run();
+  return &sanitizer_->report();
 }
 
 RunStats run_once(ComposedModel& model, const SimulatorConfig& config,

@@ -33,8 +33,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "san/model.hpp"
 #include "san/reward.hpp"
+#include "san/sanitizer.hpp"
 #include "san/trace.hpp"
 #include "stats/phase_profile.hpp"
 #include "stats/rng.hpp"
@@ -58,6 +61,14 @@ struct SimulatorConfig {
   /// reads the clock. Timings are nondeterministic by nature and are
   /// surfaced via the metrics registry, never the trace stream.
   bool profile = false;
+  /// Footprint sanitizer (san/sanitizer.hpp): verify every gate's place
+  /// accesses against its declared footprint and re-check statically
+  /// proven invariants/bounds after each firing. Observation-only — the
+  /// trajectory stays bit-identical — but each place access costs a
+  /// check, so off by default; when off the only residue is one
+  /// thread-local null test per access. Inspect results through
+  /// footprint_report().
+  bool verify_footprints = false;
 };
 
 struct RunStats {
@@ -130,6 +141,18 @@ class Simulator {
   /// Accumulated phase timings (empty unless config.profile).
   const stats::PhaseProfile& profile() const noexcept { return profile_; }
 
+  /// Sanitizer results (config.verify_footprints): finalizes the
+  /// end-of-run advisories and returns the report, or nullptr when the
+  /// sanitizer is off. Violations accumulate until the next reset().
+  const FootprintReport* footprint_report();
+
+  /// The static invariant analysis backing the sanitizer's structural
+  /// checks; nullptr when verify_footprints is off or reset() has not
+  /// yet built it.
+  const analyze::InvariantAnalysis* invariant_analysis() const noexcept {
+    return sanitizer_ != nullptr ? &sanitizer_->analysis() : nullptr;
+  }
+
  private:
   struct Event {
     Time time;
@@ -157,6 +180,9 @@ class Simulator {
   };
 
   void build_dependency_index();
+  /// Evaluate one activity's enabling, wrapped in the sanitizer's
+  /// predicate scope when sanitizing.
+  bool eval_enabled(const Activity& a);
   /// Declared-write lists for kMarking trace events (per activity, from
   /// the static gate footprints — mode-independent, so traces match
   /// across incremental on/off). Built on the first reset() with a
@@ -186,6 +212,11 @@ class Simulator {
   std::vector<TraceObserver*> observers_;
   TraceSink* trace_ = nullptr;
   stats::PhaseProfile profile_;
+  /// Built lazily on the first reset() with verify_footprints set (the
+  /// invariant analysis needs the initial marking); installed as the
+  /// thread-local place-access listener for the duration of each
+  /// reset()/advance_until() call.
+  std::unique_ptr<FootprintSanitizer> sanitizer_;
   bool trace_writes_built_ = false;
   std::vector<std::vector<const PlaceBase*>> timed_trace_writes_;
   std::vector<std::vector<const PlaceBase*>> inst_trace_writes_;

@@ -1,0 +1,63 @@
+// Token projections of structured places.
+//
+// The structural analyses (san/analyze/incidence.hpp) and the footprint
+// sanitizer reason about integer token counts, but Mobius-style extended
+// places carry arbitrary structures — the VCPU_slot record, the PCPU
+// array, an optional<Workload>. A TokenView projects one place onto a
+// set of named non-negative integer components ("tokens"): the slot's
+// status as a READY/BUSY/INACTIVE one-hot, an optional as a
+// present/absent pair, a flag as a set/clear pair.
+//
+// Complement pairs are the key idiom: a 0/1 flag viewed as both `set`
+// (= value) and `clear` (= 1 - value) turns facts like "Blocked is 0 or
+// 1" into non-negative conservation laws (set + clear = 1) that the
+// Farkas-style P-invariant computation can derive — mixed-sign
+// invariants need no special machinery when every complement is its own
+// token.
+//
+// Views are pure observations: registering one never changes markings,
+// consumes randomness, or perturbs trajectories. A TokenPlace without a
+// registered view gets an implicit identity component (the token count
+// itself).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/place.hpp"
+
+namespace vcpusim::san {
+
+/// One named integer component of a place's marking. `eval` reads the
+/// CURRENT marking of the viewed place; it must be a pure function of
+/// that marking and return a non-negative count for every reachable
+/// marking (the invariant engine treats components as Petri-net places).
+struct TokenComponent {
+  std::string name;
+  std::function<std::int64_t()> eval;
+};
+
+/// The registered projection of one place.
+struct TokenView {
+  PlacePtr place;
+  std::vector<TokenComponent> components;
+};
+
+/// Convenience: view a 0/1 flag place as a {set, clear} complement pair.
+inline TokenView flag_view(const std::shared_ptr<TokenPlace>& place,
+                           std::string set_name = "set",
+                           std::string clear_name = "clear") {
+  TokenView view;
+  view.place = place;
+  auto raw = place;
+  view.components.push_back(TokenComponent{
+      std::move(set_name), [raw]() { return raw->get() != 0 ? 1 : 0; }});
+  view.components.push_back(TokenComponent{
+      std::move(clear_name), [raw]() { return raw->get() != 0 ? 0 : 1; }});
+  return view;
+}
+
+}  // namespace vcpusim::san

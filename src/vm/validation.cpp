@@ -9,9 +9,34 @@ InvariantChecker::InvariantChecker(const VirtualSystem& system,
                                    bool throw_on_violation)
     : system_(&system),
       clock_(system.scheduler_places.clock),
+      static_analysis_(san::analyze::analyze_invariants(*system.model)),
       throw_on_violation_(throw_on_violation) {
   if (clock_ == nullptr) {
     throw std::invalid_argument("InvariantChecker: system has no scheduler clock");
+  }
+}
+
+void InvariantChecker::check_static(std::vector<std::string>& found,
+                                    san::Time now) {
+  for (std::size_t i = 0; i < static_analysis_.invariants.size(); ++i) {
+    const auto& inv = static_analysis_.invariants[i];
+    const std::int64_t value = static_analysis_.evaluate(i);
+    if (value != inv.initial_value) {
+      record(found, now,
+             "static invariant violated: " + inv.symbolic +
+                 " (marking sums to " + std::to_string(value) + ")");
+    }
+  }
+  for (const auto& bound : static_analysis_.bounds) {
+    const auto& token = static_analysis_.incidence.tokens[bound.token];
+    const std::int64_t value = token.eval();
+    if (value > bound.bound) {
+      record(found, now,
+             "static bound violated: " + token.name + " = " +
+                 std::to_string(value) + " exceeds proven bound " +
+                 std::to_string(bound.bound) + " [from: " +
+                 static_analysis_.invariants[bound.invariant].symbolic + "]");
+    }
   }
 }
 
@@ -129,6 +154,9 @@ std::vector<std::string> InvariantChecker::check_now(san::Time now) {
       }
     }
   }
+
+  // --- Statically proven conservation laws and bounds -----------------
+  check_static(found, now);
   return found;
 }
 

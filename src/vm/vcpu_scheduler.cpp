@@ -90,16 +90,19 @@ struct SchedulerContext {
   /// VCPU must relinquish the PCPU").
   void expire_timeslices(san::GateContext& ctx) {
     for (std::size_t i = 0; i < bindings.size(); ++i) {
+      // Escalate to mutable access only for assigned hosts: an idle
+      // host is untouched this tick, and a mut() without touch() on a
+      // dynamic-writes gate is exactly the lie the footprint sanitizer
+      // flags.
+      if (places.hosts[i]->get().assigned_pcpu < 0) continue;
       auto& host = places.hosts[i]->mut();
-      if (host.assigned_pcpu >= 0) {
-        host.timeslice -= 1.0;
-        ctx.touch(places.hosts[i].get());
-        if (host.timeslice <= kTimesliceEpsilon) {
-          const int pcpu = host.assigned_pcpu;
-          deschedule(i, ctx);
-          bridge_stats->preemptions += 1;
-          trace_decision(ctx, "expire", i, pcpu);
-        }
+      host.timeslice -= 1.0;
+      ctx.touch(places.hosts[i].get());
+      if (host.timeslice <= kTimesliceEpsilon) {
+        const int pcpu = host.assigned_pcpu;
+        deschedule(i, ctx);
+        bridge_stats->preemptions += 1;
+        trace_decision(ctx, "expire", i, pcpu);
       }
     }
   }
@@ -294,11 +297,69 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
     func_commutes.push_back(binding.schedule_in);
     func_commutes.push_back(binding.schedule_out);
   }
+  // Token views for the invariant engine: each VCPU host is an
+  // assigned/unassigned complement pair, the PCPU array one busy/idle
+  // pair per element. With the VM-side views this yields, e.g.,
+  // sum(assigned_k) + sum(pcpu_p.idle) = num_pcpus.
+  for (const auto& host : context->places.hosts) {
+    model.record_token_view(san::TokenView{
+        host,
+        {{"assigned",
+          [host] { return host->get().assigned_pcpu >= 0 ? 1 : 0; }},
+         {"unassigned",
+          [host] { return host->get().assigned_pcpu >= 0 ? 0 : 1; }}}});
+  }
+  {
+    auto pcpus = context->places.pcpus;
+    san::TokenView view;
+    view.place = pcpus;
+    for (std::size_t p = 0; p < num_pcpus; ++p) {
+      const std::string tag = "p" + std::to_string(p);
+      view.components.push_back(san::TokenComponent{
+          tag + ".busy",
+          [pcpus, p] { return pcpus->get()[p].assigned_vcpu >= 0 ? 1 : 0; }});
+      view.components.push_back(san::TokenComponent{
+          tag + ".idle",
+          [pcpus, p] { return pcpus->get()[p].assigned_vcpu >= 0 ? 0 : 1; }});
+    }
+    model.record_token_view(std::move(view));
+  }
+
+  // One scheduler tick is any multiset of assign/deschedule micro-ops
+  // (plus token-invisible timeslice accounting), so the effect
+  // declaration is compositional: each micro-variant is its own
+  // incidence column rather than a combinatorial cross product.
+  std::vector<san::EffectVariant> micro_ops;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string vcpu_tag = "vcpu" + std::to_string(i + 1);
+    const auto& host = context->places.hosts[i];
+    const auto& in = context->bindings[i].schedule_in;
+    const auto& out = context->bindings[i].schedule_out;
+    for (std::size_t p = 0; p < num_pcpus; ++p) {
+      const std::string ptag = "p" + std::to_string(p);
+      micro_ops.push_back({"assign-" + vcpu_tag + "-" + ptag,
+                           {{host, "assigned", +1},
+                            {host, "unassigned", -1},
+                            {context->places.pcpus, ptag + ".busy", +1},
+                            {context->places.pcpus, ptag + ".idle", -1},
+                            {in, "pending", +1},
+                            {in, "idle", -1}}});
+      micro_ops.push_back({"deschedule-" + vcpu_tag + "-" + ptag,
+                           {{host, "assigned", -1},
+                            {host, "unassigned", +1},
+                            {context->places.pcpus, ptag + ".busy", -1},
+                            {context->places.pcpus, ptag + ".idle", +1},
+                            {out, "pending", +1},
+                            {out, "idle", -1}}});
+    }
+  }
   clock.add_output_gate(san::OutputGate{
       "Scheduling_Func",
       [context](san::GateContext& ctx) { context->tick(ctx); },
-      san::access_dynamic(std::move(func_reads), std::move(func_writes),
-                          std::move(func_commutes))});
+      san::with_compositional_effects(
+          san::access_dynamic(std::move(func_reads), std::move(func_writes),
+                              std::move(func_commutes)),
+          std::move(micro_ops))});
   context->places.clock = &clock;
   context->places.bridge_stats = context->bridge_stats;
   context->places.profile = context->profile;

@@ -63,6 +63,26 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
       reads.push_back(jobs_until_sync);
       writes.push_back(jobs_until_sync);
     }
+    // Token-delta declarations for the invariant engine: a firing either
+    // emits a plain job or a synchronization point (which arms the
+    // barrier); the every-kth countdown decrements, or rewinds by k-1 on
+    // the sync firing.
+    san::EffectVariant normal{"normal",
+                              {{workload, "present", +1},
+                               {workload, "absent", -1},
+                               {outstanding, "", +1}}};
+    san::EffectVariant sync{"sync",
+                            {{workload, "present", +1},
+                             {workload, "absent", -1},
+                             {outstanding, "", +1},
+                             {blocked, "set", +1},
+                             {blocked, "clear", -1}}};
+    if (jobs_until_sync) {
+      normal.deltas.push_back({jobs_until_sync, "", -1});
+      sync.deltas.push_back({jobs_until_sync, "", sync_k - 1});
+    }
+    std::vector<san::EffectVariant> wl_variants = {std::move(normal)};
+    if (sync_k > 0) wl_variants.push_back(std::move(sync));
     generate.add_output_gate(san::OutputGate{
         "WL_Output",
         [blocked, workload, outstanding, jobs_until_sync, load_dist, sync_k,
@@ -88,7 +108,9 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
           workload->set(w);
           outstanding->mut() += 1;
         },
-        san::access(std::move(reads), std::move(writes), {outstanding})});
+        san::with_effects(
+            san::access(std::move(reads), std::move(writes), {outstanding}),
+            std::move(wl_variants))});
   } else {
     // Trace replay: deterministic job sequence, cycled. The cursor is a
     // place so each replication restarts the trace from the beginning.
@@ -105,8 +127,21 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
           workload->set(w);
           outstanding->mut() += 1;
         },
-        san::access({cursor}, {cursor, blocked, workload, outstanding},
-                    {outstanding})});
+        san::with_effects(
+            san::access({cursor}, {cursor, blocked, workload, outstanding},
+                        {outstanding}),
+            {{"normal",
+              {{cursor, "", +1},
+               {workload, "present", +1},
+               {workload, "absent", -1},
+               {outstanding, "", +1}}},
+             {"sync",
+              {{cursor, "", +1},
+               {workload, "present", +1},
+               {workload, "absent", -1},
+               {outstanding, "", +1},
+               {blocked, "set", +1},
+               {blocked, "clear", -1}}}})});
   }
 }
 
@@ -148,6 +183,19 @@ void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
     dispatch_writes.push_back(slot);
   }
   auto slots = places.slots;  // copy of shared_ptr vector
+  // One firing variant per dispatch target: slot k goes READY -> BUSY and
+  // the workload is consumed. The round-robin pointer's next value is
+  // data-dependent, so Next_VCPU is declared opaque.
+  std::vector<san::EffectVariant> dispatch_variants;
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    dispatch_variants.push_back(
+        {"dispatch-vcpu" + std::to_string(k + 1),
+         {{slots[k], "ready", -1},
+          {slots[k], "busy", +1},
+          {num_ready, "", -1},
+          {workload, "present", -1},
+          {workload, "absent", +1}}});
+  }
   scheduling.add_output_gate(san::OutputGate{
       "JS_Dispatch", [workload, num_ready, slots, next_vcpu](san::GateContext&) {
         const Workload w = *workload->get();
@@ -174,8 +222,10 @@ void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
         throw std::logic_error(
             "Job Scheduler: Num_VCPUs_ready > 0 but no READY VCPU slot");
       },
-      san::access(std::move(dispatch_reads), std::move(dispatch_writes),
-                  {num_ready})});
+      san::with_effects(
+          san::access(std::move(dispatch_reads), std::move(dispatch_writes),
+                      {num_ready}),
+          dispatch_variants, {next_vcpu})});
 }
 
 void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
@@ -229,6 +279,42 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
     clock_commutes.push_back(lock);
     clock_commutes.push_back(spin_ticks);
   }
+  // Firing variants of one processing tick. "progress" burns the tick
+  // with no marking-visible change; "complete" retires the job (READY,
+  // counters move); "-unblock" additionally releases the barrier. The
+  // spinlock build adds the lock-protocol variants; an acquire that
+  // completes in the same tick nets to plain "complete" (the lock deltas
+  // cancel), so no extra variant is needed for it.
+  std::vector<san::EffectVariant> tick_variants = {{"progress", {}}};
+  const std::vector<san::TokenDelta> complete_deltas = {
+      {slot, "busy", -1},   {slot, "ready", +1}, {num_ready, "", +1},
+      {completed, "", +1},  {outstanding, "", -1}};
+  {
+    san::EffectVariant complete{"complete", complete_deltas};
+    san::EffectVariant unblock{"complete-unblock", complete_deltas};
+    unblock.deltas.push_back({blocked, "set", -1});
+    unblock.deltas.push_back({blocked, "clear", +1});
+    tick_variants.push_back(std::move(complete));
+    tick_variants.push_back(std::move(unblock));
+  }
+  if (lock != nullptr) {
+    tick_variants.push_back({"spin", {{spin_ticks, "", +1}}});
+    tick_variants.push_back({"acquire",
+                             {{lock, "held", +1},
+                              {lock, "free", -1},
+                              {slot, "holds_lock", +1}}});
+    const std::vector<san::TokenDelta> release_deltas = {
+        {lock, "held", -1}, {lock, "free", +1}, {slot, "holds_lock", -1}};
+    san::EffectVariant release{"complete-release", complete_deltas};
+    release.deltas.insert(release.deltas.end(), release_deltas.begin(),
+                          release_deltas.end());
+    san::EffectVariant release_unblock{"complete-release-unblock",
+                                       release.deltas};
+    release_unblock.deltas.push_back({blocked, "set", -1});
+    release_unblock.deltas.push_back({blocked, "clear", +1});
+    tick_variants.push_back(std::move(release));
+    tick_variants.push_back(std::move(release_unblock));
+  }
   clock.add_output_gate(san::OutputGate{
       "Processing_load",
       [slot, blocked, num_ready, outstanding, completed, lock, spin_ticks,
@@ -274,8 +360,10 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
           }
         }
       },
-      san::access(std::move(clock_reads), std::move(clock_writes),
-                  std::move(clock_commutes))});
+      san::with_effects(
+          san::access(std::move(clock_reads), std::move(clock_writes),
+                      std::move(clock_commutes)),
+          std::move(tick_variants))});
 
   // Schedule_In: the hypervisor granted a PCPU. An INACTIVE VCPU resumes
   // its interrupted workload (BUSY) or becomes READY for new work.
@@ -298,7 +386,21 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
           }
         }
       },
-      san::access({slot}, {schedule_in, slot, num_ready}, {num_ready})});
+      san::with_effects(
+          san::access({slot}, {schedule_in, slot, num_ready}, {num_ready}),
+          {{"resume-busy",
+            {{schedule_in, "pending", -1},
+             {schedule_in, "idle", +1},
+             {slot, "inactive", -1},
+             {slot, "busy", +1}}},
+           {"resume-ready",
+            {{schedule_in, "pending", -1},
+             {schedule_in, "idle", +1},
+             {slot, "inactive", -1},
+             {slot, "ready", +1},
+             {num_ready, "", +1}}},
+           {"noop",
+            {{schedule_in, "pending", -1}, {schedule_in, "idle", +1}}}})});
 
   // Schedule_Out: the hypervisor revoked the PCPU; the VCPU keeps its
   // remaining_load and sync_point (paper III.B.2 INACTIVE note).
@@ -318,7 +420,21 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
         s.spinning = false;  // a descheduled VCPU burns no cycles
         // holds_lock deliberately persists: lock-holder preemption.
       },
-      san::access({slot}, {schedule_out, slot, num_ready}, {num_ready})});
+      san::with_effects(
+          san::access({slot}, {schedule_out, slot, num_ready}, {num_ready}),
+          {{"park-ready",
+            {{schedule_out, "pending", -1},
+             {schedule_out, "idle", +1},
+             {slot, "ready", -1},
+             {slot, "inactive", +1},
+             {num_ready, "", -1}}},
+           {"park-busy",
+            {{schedule_out, "pending", -1},
+             {schedule_out, "idle", +1},
+             {slot, "busy", -1},
+             {slot, "inactive", +1}}},
+           {"noop",
+            {{schedule_out, "pending", -1}, {schedule_out, "idle", +1}}}})});
 }
 
 VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
@@ -363,6 +479,50 @@ VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
     auto& vcpu = model.add_submodel(prefix + "VCPU" + std::to_string(k + 1));
     build_vcpu(vcpu, k, places);
     vcpu_models.push_back(&vcpu);
+  }
+
+  // Token views projecting the VM's structured places onto integer tokens
+  // for the structural invariant engine (san/token_view.hpp). Complement
+  // pairs (set/clear, present/absent, the slot one-hot) make every
+  // conservation law a non-negative semiflow the Farkas elimination can
+  // find: e.g. per slot inactive+ready+busy = 1, and Num_VCPUs_ready +
+  // sum(inactive_k) + sum(busy_k) = num_vcpus.
+  model.record_token_view(san::flag_view(places.blocked));
+  {
+    auto workload = places.workload;
+    model.record_token_view(san::TokenView{
+        workload,
+        {{"present",
+          [workload] { return workload->get().has_value() ? 1 : 0; }},
+         {"absent",
+          [workload] { return workload->get().has_value() ? 0 : 1; }}}});
+  }
+  for (const auto& slot : places.slots) {
+    san::TokenView view;
+    view.place = slot;
+    view.components = {
+        {"inactive",
+         [slot] {
+           return slot->get().status == VcpuStatus::kInactive ? 1 : 0;
+         }},
+        {"ready",
+         [slot] { return slot->get().status == VcpuStatus::kReady ? 1 : 0; }},
+        {"busy",
+         [slot] { return slot->get().status == VcpuStatus::kBusy ? 1 : 0; }},
+        {"holds_lock", [slot] { return slot->get().holds_lock ? 1 : 0; }},
+    };
+    // `spinning` is deliberately unviewed: its firing delta depends on
+    // the pre-firing marking, so no constant incidence column exists.
+    model.record_token_view(std::move(view));
+  }
+  if (places.lock != nullptr) {
+    model.record_token_view(san::flag_view(places.lock, "held", "free"));
+  }
+  for (const auto& si : places.schedule_in) {
+    model.record_token_view(san::flag_view(si, "pending", "idle"));
+  }
+  for (const auto& so : places.schedule_out) {
+    model.record_token_view(san::flag_view(so, "pending", "idle"));
   }
 
   // Record the join relation in the format of paper Table 1.

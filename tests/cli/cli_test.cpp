@@ -253,6 +253,57 @@ TEST(Cli, LintUnknownAlgorithmFailsWithValidNames) {
   EXPECT_NE(r.err.find("valid algorithms"), std::string::npos);
 }
 
+TEST(Cli, LintListChecksCatalog) {
+  const auto r = run({"lint", "--list-checks"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("dead-activity"), std::string::npos);
+  EXPECT_NE(r.out.find("effect-footprint-mismatch"), std::string::npos);
+  EXPECT_NE(r.out.find("probe-budget-exceeded"), std::string::npos);
+  EXPECT_NE(r.out.find("[info]"), std::string::npos);
+  EXPECT_NE(r.out.find("[error]"), std::string::npos);
+}
+
+TEST(Cli, LintListChecksJson) {
+  const auto r = run({"lint", "--list-checks", "--json"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"checks\":["), std::string::npos);
+  EXPECT_NE(r.out.find("\"id\":\"unserialized-shared-write\""),
+            std::string::npos);
+  EXPECT_NE(r.out.find("\"severity\":\"info\""), std::string::npos);
+}
+
+TEST(Cli, LintProveShowsInvariantSection) {
+  const auto r = run({"lint", "--prove", "--pcpus", "2", "--vm", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("invariants:"), std::string::npos);
+  EXPECT_NE(r.out.find("  invariant: "), std::string::npos);
+  EXPECT_NE(r.out.find("  bound: "), std::string::npos);
+  EXPECT_NE(r.out.find(" = "), std::string::npos);
+}
+
+TEST(Cli, LintProveJsonCarriesInvariantAnalysis) {
+  const auto r = run({"lint", "--prove", "--json", "--pcpus", "2", "--vm",
+                      "1", "--sync", "0"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"invariant_analysis\":{"), std::string::npos);
+  EXPECT_NE(r.out.find("\"budget_exhausted\":false"), std::string::npos);
+  EXPECT_NE(r.out.find("\"invariants\":["), std::string::npos);
+  EXPECT_NE(r.out.find("\"bounds\":["), std::string::npos);
+}
+
+TEST(Cli, LintWithoutProveOmitsInvariantSection) {
+  const auto r = run({"lint", "--pcpus", "2", "--vm", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(r.out.find("invariants:"), std::string::npos);
+}
+
+TEST(Cli, LintProveStrictAcceptsShippedModel) {
+  const auto r = run({"lint", "--prove", "--strict", "--pcpus", "4", "--vm",
+                      "2", "--vm", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+}
+
 TEST(Cli, LintHelpShowsVerb) {
   const auto r = run({"--help"});
   EXPECT_EQ(r.exit_code, 0);

@@ -3,11 +3,13 @@
 // diagnostics, and the exp runner's opt-in lint hook must accept them.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "exp/runner.hpp"
 #include "san/analyze/analyzer.hpp"
+#include "san/analyze/invariants.hpp"
 #include "sched/contract.hpp"
 #include "sched/registry.hpp"
 #include "vm/config.hpp"
@@ -41,6 +43,68 @@ TEST(LintShippedModels, EveryAlgorithmOnEveryConfigIsClean) {
           << algorithm << " on " << config.vms.size() << " VMs:\n"
           << report.render_text();
     }
+  }
+}
+
+// The invariant engine's acceptance gate: prove mode must derive at
+// least one conservation law on every shipped model, and every VCPU /
+// PCPU state token (slot status, host assignment, PCPU occupancy,
+// schedule-in/out flags, workload and blocked flags) must come out with
+// a finite structural bound; only the genuine counters may be reported
+// unbounded.
+TEST(LintShippedModels, ProveModeDerivesInvariantsAndBoundsEveryStateToken) {
+  for (const auto& config : shipped_configs()) {
+    const auto system =
+        vm::build_system(config, sched::make_factory("rrs")());
+    SCOPED_TRACE(std::to_string(config.vms.size()) + " VMs, " +
+                 std::to_string(config.num_pcpus) + " PCPUs");
+
+    const auto analysis = san::analyze::analyze_invariants(*system->model);
+    ASSERT_TRUE(analysis.incidence.complete);
+    EXPECT_FALSE(analysis.budget_exhausted);
+    EXPECT_FALSE(analysis.invariants.empty());
+
+    std::set<std::size_t> bounded;
+    for (const auto& b : analysis.bounds) bounded.insert(b.token);
+    for (std::size_t t = 0; t < analysis.incidence.tokens.size(); ++t) {
+      const auto& token = analysis.incidence.tokens[t];
+      if (token.opaque) continue;
+      const bool counter =
+          token.name.find("Outstanding_Jobs") != std::string::npos ||
+          token.name.find("Completed_Jobs") != std::string::npos ||
+          token.name.find("Spin_Ticks") != std::string::npos ||
+          token.name.find("Jobs_Until_Sync") != std::string::npos;
+      if (counter) continue;  // genuinely unbounded by design
+      EXPECT_TRUE(bounded.count(t) != 0)
+          << "state token without a proven finite bound: " << token.name;
+    }
+    // And nothing except those counters may be reported unbounded.
+    for (const std::size_t t : analysis.unbounded) {
+      const auto& name = analysis.incidence.tokens[t].name;
+      EXPECT_TRUE(name.find("Outstanding_Jobs") != std::string::npos ||
+                  name.find("Completed_Jobs") != std::string::npos ||
+                  name.find("Spin_Ticks") != std::string::npos ||
+                  name.find("Jobs_Until_Sync") != std::string::npos)
+          << "unexpected unbounded token: " << name;
+    }
+  }
+}
+
+// The same gate through the Analyzer surface (what `vcpusim lint
+// --prove --strict` runs in CI): the invariant section is computed and
+// the report stays clean for every algorithm.
+TEST(LintShippedModels, ProveModeReportCleanForEveryAlgorithm) {
+  san::analyze::AnalyzerOptions options;
+  options.prove = true;
+  const auto config = vm::make_symmetric_config(4, {2, 2}, 5);
+  for (const auto& algorithm : sched::builtin_algorithms()) {
+    const auto system = vm::build_system(config, sched::make_factory(algorithm)());
+    const auto report = san::analyze::Analyzer(options).analyze(*system->model);
+    SCOPED_TRACE(algorithm);
+    EXPECT_TRUE(report.invariants.computed);
+    EXPECT_FALSE(report.invariants.invariants.empty());
+    EXPECT_FALSE(report.invariants.bounds.empty());
+    EXPECT_EQ(report.errors(), 0u) << report.render_text();
   }
 }
 

@@ -1,0 +1,193 @@
+// P-invariant computation tests: conservation laws on hand-built
+// models, bound derivation from invariants + initial marking, unbounded
+// reporting, and the Farkas row budget.
+#include "san/analyze/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "san/model.hpp"
+#include "san/token_view.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san::analyze {
+namespace {
+
+const Invariant* find_invariant(const InvariantAnalysis& analysis,
+                                const std::string& symbolic) {
+  for (const auto& inv : analysis.invariants) {
+    if (inv.symbolic == symbolic) return &inv;
+  }
+  return nullptr;
+}
+
+const TokenBound* find_bound(const InvariantAnalysis& analysis,
+                             const std::string& token_name) {
+  for (const auto& b : analysis.bounds) {
+    if (analysis.incidence.tokens[b.token].name == token_name) return &b;
+  }
+  return nullptr;
+}
+
+/// k tokens circulating A -> B -> A, plus an unbounded completion
+/// counter bumped on every Back firing.
+struct Ring {
+  ComposedModel model{"Ring"};
+  std::shared_ptr<TokenPlace> a;
+  std::shared_ptr<TokenPlace> b;
+
+  explicit Ring(std::int64_t initial_a) {
+    auto& s = model.add_submodel("S");
+    a = s.add_place<std::int64_t>("A", initial_a);
+    b = s.add_place<std::int64_t>("B", 0);
+    auto done = s.add_place<std::int64_t>("Done", 0);
+    auto a_local = a;
+    auto b_local = b;
+
+    auto& fwd = s.add_timed_activity("Fwd", stats::make_deterministic(1.0));
+    fwd.add_input_gate(InputGate{"Fwd_in",
+                                 [a_local]() { return a_local->get() > 0; },
+                                 nullptr, access({a_local})});
+    fwd.add_output_gate(OutputGate{
+        "Fwd_out",
+        [a_local, b_local](GateContext&) {
+          a_local->mut() -= 1;
+          b_local->mut() += 1;
+        },
+        with_effects(access({}, {a_local, b_local}),
+                     {{"move", {{a_local, "", -1}, {b_local, "", +1}}}})});
+
+    auto& back = s.add_timed_activity("Back", stats::make_deterministic(1.0));
+    back.add_input_gate(InputGate{"Back_in",
+                                  [b_local]() { return b_local->get() > 0; },
+                                  nullptr, access({b_local})});
+    back.add_output_gate(OutputGate{
+        "Back_out",
+        [a_local, b_local, done](GateContext&) {
+          b_local->mut() -= 1;
+          a_local->mut() += 1;
+          done->mut() += 1;
+        },
+        with_effects(
+            access({}, {a_local, b_local, done}),
+            {{"move",
+              {{b_local, "", -1}, {a_local, "", +1}, {done, "", +1}}}})});
+  }
+};
+
+TEST(Invariants, RingConservationAndBounds) {
+  Ring ring(3);
+  const auto analysis = analyze_invariants(ring.model);
+  ASSERT_TRUE(analysis.incidence.complete);
+  EXPECT_FALSE(analysis.budget_exhausted);
+
+  const auto* conservation = find_invariant(analysis, "S->A + S->B = 3");
+  ASSERT_NE(conservation, nullptr);
+  EXPECT_EQ(conservation->initial_value, 3);
+
+  const auto* bound_a = find_bound(analysis, "S->A");
+  const auto* bound_b = find_bound(analysis, "S->B");
+  ASSERT_NE(bound_a, nullptr);
+  ASSERT_NE(bound_b, nullptr);
+  EXPECT_EQ(bound_a->bound, 3);
+  EXPECT_EQ(bound_b->bound, 3);
+
+  // The completion counter has no conservation law: reported unbounded.
+  EXPECT_EQ(find_bound(analysis, "S->Done"), nullptr);
+  ASSERT_EQ(analysis.unbounded.size(), 1u);
+  EXPECT_EQ(analysis.incidence.tokens[analysis.unbounded[0]].name, "S->Done");
+}
+
+TEST(Invariants, EvaluateTracksLiveMarking) {
+  Ring ring(2);
+  const auto analysis = analyze_invariants(ring.model);
+  const auto* conservation = find_invariant(analysis, "S->A + S->B = 2");
+  ASSERT_NE(conservation, nullptr);
+  const std::size_t index =
+      static_cast<std::size_t>(conservation - analysis.invariants.data());
+  EXPECT_EQ(analysis.evaluate(index), 2);
+
+  // Perturb the marking: the weighted sum follows the live values.
+  ring.a->set(7);
+  EXPECT_EQ(analysis.evaluate(index), 7);
+  ring.model.reset_marking();
+}
+
+TEST(Invariants, WeightedConservation) {
+  // Split: one X becomes two Y; 2*X + Y is conserved.
+  ComposedModel model("Split");
+  auto& s = model.add_submodel("S");
+  auto x = s.add_place<std::int64_t>("X", 4);
+  auto y = s.add_place<std::int64_t>("Y", 0);
+  auto& act = s.add_timed_activity("Split", stats::make_deterministic(1.0));
+  act.add_input_gate(InputGate{"In", [x]() { return x->get() > 0; }, nullptr,
+                               access({x})});
+  act.add_output_gate(OutputGate{
+      "Out",
+      [x, y](GateContext&) {
+        x->mut() -= 1;
+        y->mut() += 2;
+      },
+      with_effects(access({}, {x, y}),
+                   {{"split", {{x, "", -1}, {y, "", +2}}}})});
+
+  const auto analysis = analyze_invariants(model);
+  const auto* weighted = find_invariant(analysis, "2*S->X + S->Y = 8");
+  ASSERT_NE(weighted, nullptr);
+  const auto* bound_x = find_bound(analysis, "S->X");
+  const auto* bound_y = find_bound(analysis, "S->Y");
+  ASSERT_NE(bound_x, nullptr);
+  ASSERT_NE(bound_y, nullptr);
+  EXPECT_EQ(bound_x->bound, 4);  // floor(8 / 2)
+  EXPECT_EQ(bound_y->bound, 8);
+}
+
+TEST(Invariants, ComplementPairProvesFlagBound) {
+  ComposedModel model("Flag");
+  auto& s = model.add_submodel("S");
+  auto flag = s.add_place<std::int64_t>("Flag", 0);
+  model.record_token_view(flag_view(flag));
+  auto& act = s.add_timed_activity("Toggle", stats::make_deterministic(1.0));
+  act.add_output_gate(OutputGate{
+      "Out", [flag](GateContext&) { flag->set(1 - flag->get()); },
+      with_effects(access({flag}, {flag}),
+                   {{"raise", {{flag, "set", +1}, {flag, "clear", -1}}},
+                    {"lower", {{flag, "set", -1}, {flag, "clear", +1}}}})});
+
+  const auto analysis = analyze_invariants(model);
+  const auto* pair =
+      find_invariant(analysis, "S->Flag.set + S->Flag.clear = 1");
+  ASSERT_NE(pair, nullptr);
+  const auto* bound = find_bound(analysis, "S->Flag.set");
+  ASSERT_NE(bound, nullptr);
+  EXPECT_EQ(bound->bound, 1);
+  EXPECT_TRUE(analysis.unbounded.empty());
+}
+
+TEST(Invariants, RowBudgetExhaustionReportsAndReturnsNothing) {
+  Ring ring(1);
+  InvariantOptions options;
+  options.max_rows = 1;  // guaranteed too small: 3 tokens seed 3 rows
+  const auto analysis = analyze_invariants(ring.model, options);
+  EXPECT_TRUE(analysis.budget_exhausted);
+  EXPECT_TRUE(analysis.invariants.empty());
+  EXPECT_TRUE(analysis.bounds.empty());
+}
+
+TEST(Invariants, IncompleteIncidenceYieldsNoInvariants) {
+  ComposedModel model("Partial");
+  auto& s = model.add_submodel("S");
+  auto x = s.add_place<std::int64_t>("X", 1);
+  auto& act = s.add_timed_activity("Mystery", stats::make_deterministic(1.0));
+  act.add_output_gate(
+      OutputGate{"Out", [x](GateContext&) { x->mut() += 1; }, GateAccess{}});
+
+  const auto analysis = analyze_invariants(model);
+  EXPECT_FALSE(analysis.incidence.complete);
+  EXPECT_TRUE(analysis.invariants.empty());
+}
+
+}  // namespace
+}  // namespace vcpusim::san::analyze

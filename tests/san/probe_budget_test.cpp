@@ -1,0 +1,90 @@
+// Probe-budget discipline (satellite of the invariant-engine PR): an
+// activity whose joint read domain exceeds max_probe_combinations must
+// be skipped with an info note — never misreported as dead — and the
+// same model under an adequate budget gets the real dead-activity
+// diagnosis.
+#include "san/analyze/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "san/model.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san::analyze {
+namespace {
+
+const Diagnostic* find_check(const Report& report, const char* check_id) {
+  for (const auto& d : report.diagnostics) {
+    if (d.check == check_id) return &d;
+  }
+  return nullptr;
+}
+
+/// One activity reading three counters through an unsatisfiable
+/// predicate: genuinely dead, but only provable by probing the joint
+/// domain (5 * 5 * 5 combinations under the default ceiling).
+struct WideReader {
+  ComposedModel model{"Wide"};
+  std::vector<std::shared_ptr<TokenPlace>> counters;
+
+  WideReader() {
+    auto& s = model.add_submodel("S");
+    for (int i = 0; i < 3; ++i) {
+      counters.push_back(
+          s.add_place<std::int64_t>("C" + std::to_string(i), 0));
+    }
+    auto c = counters;
+    auto& act = s.add_timed_activity("Wide", stats::make_deterministic(1.0));
+    act.add_input_gate(InputGate{
+        "Wide_in",
+        [c]() {
+          return c[0]->get() + c[1]->get() + c[2]->get() > 100;
+        },
+        nullptr,
+        access({c[0], c[1], c[2]})});
+    act.add_output_gate(OutputGate{
+        "Wide_out", [c](GateContext&) { c[0]->mut() += 1; },
+        access({}, {c[0]})});
+  }
+};
+
+TEST(ProbeBudget, ExhaustedBudgetYieldsInfoNoteNotDeadActivity) {
+  WideReader fixture;
+  AnalyzerOptions options;
+  options.max_probe_combinations = 4;  // 216 joint combinations >> 4
+  const auto report = Analyzer(options).analyze(fixture.model);
+
+  EXPECT_EQ(find_check(report, check::kDeadActivity), nullptr)
+      << "a skipped activity must never be misreported as dead:\n"
+      << report.render_text();
+  const auto* note = find_check(report, check::kProbeBudget);
+  ASSERT_NE(note, nullptr) << report.render_text();
+  EXPECT_EQ(note->severity, Severity::kInfo);
+  EXPECT_EQ(note->activity, "S->Wide");
+  EXPECT_NE(note->message.find("max_probe_combinations"), std::string::npos);
+}
+
+TEST(ProbeBudget, AdequateBudgetStillProvesDeadActivity) {
+  WideReader fixture;
+  const auto report = Analyzer().analyze(fixture.model);
+  EXPECT_NE(find_check(report, check::kDeadActivity), nullptr)
+      << report.render_text();
+  EXPECT_EQ(find_check(report, check::kProbeBudget), nullptr)
+      << report.render_text();
+}
+
+TEST(ProbeBudget, SkipNoteSuppressedWithoutInfoSeverity) {
+  WideReader fixture;
+  AnalyzerOptions options;
+  options.max_probe_combinations = 4;
+  options.include_info = false;
+  const auto report = Analyzer(options).analyze(fixture.model);
+  EXPECT_EQ(find_check(report, check::kProbeBudget), nullptr);
+  EXPECT_EQ(find_check(report, check::kDeadActivity), nullptr);
+}
+
+}  // namespace
+}  // namespace vcpusim::san::analyze

@@ -98,6 +98,36 @@ TEST(InvariantChecker, DetectsLockPlaceDisagreement) {
   EXPECT_NE(found.front().find("Lock place disagrees"), std::string::npos);
 }
 
+TEST(InvariantChecker, StaticAnalysisDerivesInvariants) {
+  auto system = build_system(make_symmetric_config(2, {2}, 5),
+                             testing::make_null_scheduler());
+  InvariantChecker checker(*system);
+  // The structural engine proved conservation laws over the same model
+  // the semantic checks patrol, and the initial marking satisfies them.
+  EXPECT_FALSE(checker.static_analysis().invariants.empty());
+  EXPECT_FALSE(checker.static_analysis().bounds.empty());
+  EXPECT_TRUE(checker.check_now().empty());
+}
+
+TEST(InvariantChecker, DetectsStaticInvariantViolation) {
+  auto system = build_system(make_symmetric_config(2, {2}, 5),
+                             testing::make_null_scheduler());
+  InvariantChecker checker(*system);  // snapshots the healthy marking
+  system->vms[0].places.num_vcpus_ready->set(7);
+  const auto found = checker.check_now();
+  ASSERT_FALSE(found.empty());
+  bool structural = false;
+  for (const auto& v : found) {
+    if (v.find("static invariant violated") != std::string::npos ||
+        v.find("static bound violated") != std::string::npos) {
+      structural = true;
+    }
+  }
+  EXPECT_TRUE(structural)
+      << "expected a symbolic conservation-law diagnostic, got: "
+      << found.front();
+}
+
 TEST(InvariantChecker, ThrowModeAborts) {
   auto system = build_system(make_symmetric_config(2, {2}, 5),
                              testing::make_null_scheduler());
