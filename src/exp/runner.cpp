@@ -126,6 +126,8 @@ struct RepRecord {
   san::RunStats stats;
   vm::BridgeStats bridge;
   stats::PhaseProfile profile;  ///< reset + simulator + bridge phases merged
+  san::KernelStats kernel;      ///< compiled-engine census (zero otherwise)
+  bool compiled = false;
   std::unique_ptr<trace::RingBufferSink> trace;
 };
 
@@ -197,6 +199,7 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     config.incremental_enabling = spec.incremental_enabling;
     config.profile = spec.profile;
     config.verify_footprints = spec.verify_footprints;
+    config.engine = spec.engine;
     return config;
   };
 
@@ -241,6 +244,11 @@ stats::ReplicationResult run_point(const RunSpec& spec,
       }
       record.profile = std::move(reset_profile);
       record.profile.merge(sim.profile());
+      // Drained, not copied: compilation happens once per set_model, so
+      // only the replication that compiled carries the kCompile phase.
+      record.profile.merge(sim.take_compile_profile());
+      record.kernel = sim.kernel_stats();
+      record.compiled = sim.compiled_engine();
       if (spec.profile && system.scheduler_places.profile != nullptr) {
         record.profile.merge(*system.scheduler_places.profile);
       }
@@ -357,6 +365,7 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   if (spec.metrics != nullptr) {
     stats::MetricsRegistry& reg = *spec.metrics;
     stats::PhaseProfile profile_total;
+    bool kernel_exported = false;
     for (std::size_t rep = 0; rep < result.replications; ++rep) {
       const auto it = records.find(rep);
       if (it == records.end()) continue;
@@ -370,6 +379,15 @@ stats::ReplicationResult run_point(const RunSpec& spec,
       reg.counter("sched.schedules_out").add(record.bridge.schedules_out);
       reg.counter("sched.preemptions").add(record.bridge.preemptions);
       profile_total.merge(record.profile);
+      // Static per-model census — identical for every replication of the
+      // run, so exported once.
+      if (!kernel_exported && record.compiled) {
+        reg.counter("arena.bytes").add(record.kernel.arena_bytes);
+        reg.counter("kernel.compiled_gates").add(record.kernel.compiled_gates);
+        reg.counter("kernel.trampoline_gates")
+            .add(record.kernel.trampoline_gates);
+        kernel_exported = true;
+      }
     }
     reg.counter("run.replications").add(result.replications);
     if (result.converged) reg.counter("run.converged").add(1);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "san/experiment.hpp"
+#include "san/simulator.hpp"
 #include "san/trace.hpp"
 #include "stats/metrics.hpp"
 #include "stats/replication.hpp"
@@ -96,6 +97,13 @@ struct RunSpec {
   /// bit-identical to an unsanitized run; the cost is per-place-access
   /// checking, so off by default.
   bool verify_footprints = false;
+
+  /// Forwarded to san::SimulatorConfig::engine: the compiled
+  /// data-oriented kernel (default) or the object-graph reference
+  /// engine. Results, traces and eval counts are bit-identical either
+  /// way (test-enforced); the flag exists for benchmarking and the
+  /// engine-equivalence matrix.
+  san::Engine engine = san::Engine::kCompiled;
 
   stats::ReplicationPolicy policy{
       .confidence = 0.95,

@@ -1,6 +1,7 @@
 #include "san/analyze/analyzer.hpp"
 
 #include "san/analyze/invariants.hpp"
+#include "san/compiled.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -528,6 +529,63 @@ void check_dead_activities(const std::vector<ActivityFacts>& activities,
   }
 }
 
+/// --prove extra: report every gate the compiled kernel keeps on the
+/// std::function trampoline instead of lowering to arena ops. Info-only:
+/// trampolines are bit-identical, just slower — the finding tells the
+/// modeler which declaration (pred_terms / with_exact_effect) would move
+/// the gate onto the fast path, or that the fallback is by design
+/// (compositional / dynamic-write gates like the scheduler bridge).
+void check_trampoline_fallbacks(const ComposedModel& model, Sink& sink) {
+  for (const auto& m : model.submodels()) {
+    for (const auto& a : m->activities()) {
+      for (const auto& gate : a->input_gates()) {
+        if (!predicate_compiles(gate)) {
+          sink.emit(Severity::kInfo, check::kTrampolineFallback, m->name(), "",
+                    a->name(),
+                    "input gate '" + gate.name +
+                        "' predicate evaluates through the closure "
+                        "trampoline (no lowerable pred_terms)",
+                    "Mirror the predicate with declarative PredTerms "
+                    "(token_zero / token_positive / token_equals / "
+                    "token_at_least / marking_probe) so the compiled "
+                    "engine can evaluate enabling straight off the "
+                    "marking arena.");
+        }
+        if (gate.input_function) {
+          const std::string reason = effect_trampoline_reason(gate.footprint);
+          if (!reason.empty()) {
+            sink.emit(Severity::kInfo, check::kTrampolineFallback, m->name(),
+                      "", a->name(),
+                      "input gate '" + gate.name +
+                          "' function fires through the closure "
+                          "trampoline: " + reason,
+                      "Declare the gate's marking update as exact token "
+                      "deltas (with_exact_effect) to lower it to direct "
+                      "arena writes. Compositional or dynamically-scoped "
+                      "gates stay on the trampoline by design.");
+          }
+        }
+      }
+      for (const auto& c : a->cases()) {
+        for (const auto& gate : c.output_gates) {
+          if (!gate.function) continue;
+          const std::string reason = effect_trampoline_reason(gate.footprint);
+          if (reason.empty()) continue;
+          sink.emit(Severity::kInfo, check::kTrampolineFallback, m->name(), "",
+                    a->name(),
+                    "output gate '" + gate.name +
+                        "' function fires through the closure "
+                        "trampoline: " + reason,
+                    "Declare the gate's marking update as exact token "
+                    "deltas (with_exact_effect) to lower it to direct "
+                    "arena writes. Compositional or dynamically-scoped "
+                    "gates stay on the trampoline by design.");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 ModelAnalysisError::ModelAnalysisError(Report report)
@@ -582,6 +640,7 @@ Report Analyzer::analyze(const ComposedModel& model) const {
   check_instantaneous_cycles(activities, sink);
 
   if (options_.prove) {
+    check_trampoline_fallbacks(model, sink);
     // Structural invariant engine. The model is at its initial marking
     // here (the dead-activity probe restored everything), which is what
     // fixes each invariant's constant y·m0.

@@ -48,6 +48,8 @@ const std::vector<CheckInfo>& check_catalog() {
        "P-invariant elimination stopped at its row budget"},
       {check::kProbeBudget, Severity::kInfo,
        "joint read domain exceeded the dead-activity probe budget"},
+      {check::kTrampolineFallback, Severity::kInfo,
+       "gate stays on the compiled kernel's trampoline slow path"},
   };
   return catalog;
 }

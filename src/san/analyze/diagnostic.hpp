@@ -41,6 +41,7 @@ inline constexpr const char* kIncompleteEffects = "incomplete-effects";
 inline constexpr const char* kUnboundedPlace = "unbounded-place";
 inline constexpr const char* kInvariantBudget = "invariant-budget-exceeded";
 inline constexpr const char* kProbeBudget = "probe-budget-exceeded";
+inline constexpr const char* kTrampolineFallback = "compiled-trampoline";
 }  // namespace check
 
 /// One row of the check catalog (`vcpusim lint --list-checks`).

@@ -125,6 +125,16 @@ struct GateAccess {
   /// n). Their tokens are excluded from invariant support instead of
   /// poisoning the analysis.
   std::vector<PlacePtr> opaque_effects;
+
+  /// The declared effects are *exact*: one firing applies precisely the
+  /// single declared variant's token deltas and nothing else — no RNG
+  /// draws, no trace emission, no touch() reports, no writes beyond the
+  /// deltas. Opt-in contract consumed by the compiled engine
+  /// (san/compiled.hpp): an exact gate executes as direct arena deltas,
+  /// skipping its closure entirely. Same trust model as `declared` — an
+  /// inexact declaration changes compiled-engine trajectories. Declare
+  /// with with_exact_effect().
+  bool effects_exact = false;
 };
 
 /// Fluent helpers so call sites can extend a footprint built by
@@ -145,6 +155,17 @@ inline GateAccess with_compositional_effects(GateAccess base,
                                              std::vector<PlacePtr> opaque = {}) {
   base = with_effects(std::move(base), std::move(variants), std::move(opaque));
   base.effects_compositional = true;
+  return base;
+}
+
+/// Declare a single *exact* effect variant (GateAccess::effects_exact):
+/// the gate's whole behavior is the given token deltas. Such gates run
+/// as direct arena writes under the compiled engine.
+inline GateAccess with_exact_effect(GateAccess base,
+                                    std::vector<TokenDelta> deltas) {
+  base = with_effects(std::move(base),
+                      {EffectVariant{"exact", std::move(deltas)}});
+  base.effects_exact = true;
   return base;
 }
 
@@ -171,6 +192,56 @@ inline GateAccess access_dynamic(std::vector<PlacePtr> reads,
   return a;
 }
 
+/// One conjunct of a declaratively mirrored enabling predicate (see
+/// InputGate::pred_terms). The token ops address the identity marking of
+/// a TokenPlace; kProbe evaluates a stateless function over a structured
+/// marking's bytes. Built with the helpers below, never by hand.
+struct PredTerm {
+  enum class Op : std::uint8_t {
+    kTokenZero,      ///< token count == 0
+    kTokenPositive,  ///< token count > 0
+    kTokenEquals,    ///< token count == imm
+    kTokenAtLeast,   ///< token count >= imm
+    kProbe,          ///< probe(marking of `place`)
+  };
+  Op op = Op::kTokenPositive;
+  PlacePtr place;
+  std::int64_t imm = 0;
+  bool (*probe)(const void* marking) = nullptr;
+};
+
+inline PredTerm token_zero(std::shared_ptr<TokenPlace> place) {
+  return PredTerm{PredTerm::Op::kTokenZero, std::move(place), 0, nullptr};
+}
+inline PredTerm token_positive(std::shared_ptr<TokenPlace> place) {
+  return PredTerm{PredTerm::Op::kTokenPositive, std::move(place), 0, nullptr};
+}
+inline PredTerm token_equals(std::shared_ptr<TokenPlace> place,
+                             std::int64_t value) {
+  return PredTerm{PredTerm::Op::kTokenEquals, std::move(place), value, nullptr};
+}
+inline PredTerm token_at_least(std::shared_ptr<TokenPlace> place,
+                               std::int64_t value) {
+  return PredTerm{PredTerm::Op::kTokenAtLeast, std::move(place), value,
+                  nullptr};
+}
+
+/// Probe term over a structured marking: `probe` must be a captureless
+/// lambda taking `const T&`. It is re-materialized by value inside a
+/// plain function pointer, so the term stays trivially dispatchable.
+template <class T, class F>
+PredTerm marking_probe(std::shared_ptr<Place<T>> place, F) {
+  static_assert(std::is_empty_v<F>,
+                "marking_probe needs a captureless lambda");
+  PredTerm t;
+  t.op = PredTerm::Op::kProbe;
+  t.place = std::move(place);
+  t.probe = [](const void* marking) {
+    return F{}(*static_cast<const T*>(marking));
+  };
+  return t;
+}
+
 struct InputGate {
   std::string name;
   /// Enabling predicate evaluated against the current marking. An
@@ -181,6 +252,13 @@ struct InputGate {
   std::function<void(GateContext&)> input_function;
   /// Optional declared marking footprint (see GateAccess).
   GateAccess footprint;
+  /// Declarative mirror of `predicate`: the conjunction of these terms
+  /// must decide exactly what the closure decides. Consumed by the
+  /// compiled engine to evaluate enabling straight off the marking arena
+  /// without a closure call; empty = the compiled engine calls
+  /// `predicate` through a trampoline. Same trust model as
+  /// GateAccess::declared.
+  std::vector<PredTerm> pred_terms;
 };
 
 struct OutputGate {

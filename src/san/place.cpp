@@ -6,6 +6,7 @@
 namespace vcpusim::san {
 
 thread_local PlaceAccessListener* PlaceBase::listener_ = nullptr;
+thread_local std::uint64_t PlaceBase::reset_count_ = 0;
 
 namespace {
 [[maybe_unused]] const TokenPlace anchor{"_anchor", 0};

@@ -10,12 +10,26 @@
 // Places are shared_ptr-owned so that Join composition (Mobius "join
 // places", paper Tables 1 and 2) is literal state sharing: two submodels
 // holding the same Place object.
+//
+// Markings live behind one indirection (`store_`): normally the place's
+// inline `value_` member, but the compiled engine (san/compiled.hpp) may
+// relocate a trivially copyable marking into its contiguous arena via
+// bind_storage(), after which every existing gate closure transparently
+// reads and writes the arena slot. The storage_* virtuals are the cold
+// introspection surface that compilation uses; none of them is touched
+// on the simulation hot path.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace vcpusim::san {
 
@@ -31,6 +45,15 @@ class PlaceAccessListener {
   virtual void on_read(const PlaceBase& place) = 0;
   virtual void on_write(const PlaceBase& place) = 0;
 };
+
+/// Marking types whose contents the compiled engine can restore with a
+/// flat byte copy even though the container itself is not trivially
+/// copyable: std::vector of trivially copyable elements.
+template <class T>
+struct IsPodVector : std::false_type {};
+template <class E, class A>
+struct IsPodVector<std::vector<E, A>>
+    : std::bool_constant<std::is_trivially_copyable_v<E>> {};
 
 class PlaceBase {
  public:
@@ -59,11 +82,90 @@ class PlaceBase {
   virtual void reset() = 0;
 
   /// Debug rendering of the current marking.
-  virtual std::string to_string() const = 0;
+  virtual std::string to_string() const {
+    std::string out = name_;
+    out += '=';
+    value_string_to(out);
+    return out;
+  }
 
   /// The marking value alone (no "name=" prefix) — what structured
   /// marking trace events carry.
-  virtual std::string value_string() const = 0;
+  virtual std::string value_string() const {
+    std::string out;
+    value_string_to(out);
+    return out;
+  }
+
+  /// Append value_string() to `out` (cleared by the caller) without
+  /// constructing a fresh string — the form the tracing hot path uses so
+  /// marking events stop allocating per event.
+  virtual void value_string_to(std::string& out) const = 0;
+
+  // --- compiled-engine storage introspection (san/compiled.hpp) ------
+  // Cold surface: every virtual below is called at compile/teardown
+  // time only, never per event.
+
+  /// How the compiled engine can host this place's marking.
+  enum class StorageKind : std::uint8_t {
+    kOpaque = 0,  ///< unsupported type: marking stays inline, reset() fallback
+    kTrivial,     ///< trivially copyable: marking relocates into the arena
+    kPodVector,   ///< vector of POD elements: contents restored by span copy
+  };
+
+  virtual StorageKind storage_kind() const noexcept {
+    return StorageKind::kOpaque;
+  }
+  /// Bytes / alignment of one arena slot (kTrivial only; 0 / 1 otherwise).
+  virtual std::size_t storage_size() const noexcept { return 0; }
+  virtual std::size_t storage_align() const noexcept { return 1; }
+  /// Address of the live marking (the arena slot once bound, the inline
+  /// member otherwise). Compiled predicates and deltas read through the
+  /// pointers captured from here at compile time.
+  virtual void* marking_ptr() noexcept { return nullptr; }
+
+  /// Relocate the live marking into `slot` (kTrivial only). Throws
+  /// std::logic_error if the marking is already bound — a model can be
+  /// compiled by at most one engine at a time.
+  virtual void bind_storage(void* slot) {
+    (void)slot;
+    throw std::logic_error("Place '" + name_ +
+                           "': marking type cannot live in the arena");
+  }
+  /// Move the marking back inline (no-op when not bound).
+  virtual void unbind_storage() noexcept {}
+  /// Copy-construct the *initial* marking at `dst` (kTrivial only) —
+  /// fills the compiled engine's initial-image block.
+  virtual void write_initial(void* dst) const {
+    (void)dst;
+    throw std::logic_error("Place '" + name_ +
+                           "': marking type has no arena image");
+  }
+
+  /// kPodVector restore recipe: `restore(vec, initial, count)` copies the
+  /// initial elements back into the live vector (throwing if the run
+  /// resized it). All pointers stay valid for the place's lifetime.
+  struct PodVectorSpan {
+    void* vec = nullptr;            ///< the live std::vector object
+    const void* initial = nullptr;  ///< initial element bytes
+    std::size_t count = 0;          ///< initial element count
+    void (*restore)(void* vec, const void* initial, std::size_t count) =
+        nullptr;
+  };
+  virtual PodVectorSpan pod_vector_span() { return {}; }
+
+  /// Dense index assigned by san::CompiledModel while this place's model
+  /// is compiled (kNoCompiledId otherwise). Engine bookkeeping — the
+  /// simulator's incremental-enabling touch lookups use it in place of a
+  /// hash probe.
+  static constexpr std::uint32_t kNoCompiledId = 0xffff'ffffu;
+  std::uint32_t compiled_id() const noexcept { return compiled_id_; }
+  void set_compiled_id(std::uint32_t id) noexcept { compiled_id_ = id; }
+
+  /// Thread-local count of virtual reset() calls — the instrumentation
+  /// behind the compiled engine's guarantee that restoring the initial
+  /// marking is a block copy, not a per-place virtual walk.
+  static std::uint64_t reset_count() noexcept { return reset_count_; }
 
  protected:
   void notify_read() const {
@@ -72,11 +174,14 @@ class PlaceBase {
   void notify_write() const {
     if (listener_ != nullptr) listener_->on_write(*this);
   }
+  static void note_reset() noexcept { ++reset_count_; }
 
  private:
   static thread_local PlaceAccessListener* listener_;
+  static thread_local std::uint64_t reset_count_;
 
   std::string name_;
+  std::uint32_t compiled_id_ = kNoCompiledId;
 };
 
 /// A place whose marking is a value of type T. T must be copyable and
@@ -90,46 +195,145 @@ class Place final : public PlaceBase {
 
   const T& get() const noexcept {
     notify_read();
-    return value_;
+    return *store_;
   }
 
   /// Mutable access. The engine re-evaluates activity enabling after every
   /// firing, so in-place mutation from gate functions is safe.
   T& mut() noexcept {
     notify_write();
-    return value_;
+    return *store_;
   }
 
   void set(T v) {
     notify_write();
-    value_ = std::move(v);
+    *store_ = std::move(v);
   }
 
-  void reset() override { value_ = initial_; }
-
-  std::string to_string() const override {
-    std::ostringstream os;
-    os << name() << "=";
-    format(os, value_);
-    return os.str();
+  void reset() override {
+    note_reset();
+    *store_ = initial_;
   }
 
-  std::string value_string() const override {
-    std::ostringstream os;
-    format(os, value_);
-    return os.str();
+  void value_string_to(std::string& out) const override {
+    format_value(out, *store_);
+  }
+
+  // --- compiled-engine storage (see PlaceBase) -----------------------
+  StorageKind storage_kind() const noexcept override { return kStorage; }
+
+  std::size_t storage_size() const noexcept override {
+    return kStorage == StorageKind::kTrivial ? sizeof(T) : 0;
+  }
+
+  std::size_t storage_align() const noexcept override {
+    return kStorage == StorageKind::kTrivial ? alignof(T) : 1;
+  }
+
+  void* marking_ptr() noexcept override { return store_; }
+
+  void bind_storage(void* slot) override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (store_ != &value_) {
+        throw std::logic_error(
+            "Place '" + name() +
+            "': marking is already arena-bound (a model can be compiled by "
+            "at most one engine at a time)");
+      }
+      store_ = new (slot) T(value_);
+    } else {
+      PlaceBase::bind_storage(slot);
+    }
+  }
+
+  void unbind_storage() noexcept override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (store_ != &value_) {
+        value_ = *store_;
+        store_ = &value_;
+      }
+    }
+  }
+
+  void write_initial(void* dst) const override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      new (dst) T(initial_);
+    } else {
+      PlaceBase::write_initial(dst);
+    }
+  }
+
+  PodVectorSpan pod_vector_span() override {
+    if constexpr (IsPodVector<T>::value) {
+      using E = typename T::value_type;
+      return PodVectorSpan{store_,
+                           initial_.empty() ? nullptr : initial_.data(),
+                           initial_.size(), &restore_pod_vector<E>};
+    } else {
+      return {};
+    }
   }
 
  private:
+  static constexpr StorageKind kStorage =
+      std::is_trivially_copyable_v<T> ? StorageKind::kTrivial
+      : IsPodVector<T>::value         ? StorageKind::kPodVector
+                                      : StorageKind::kOpaque;
+
   template <class U>
-  static auto format(std::ostringstream& os, const U& v)
-      -> decltype(os << v, void()) {
-    os << v;
+  static constexpr bool kStreamable =
+      requires(std::ostringstream& os, const U& v) { os << v; };
+
+  // Character types would stream as glyphs but to_chars as numbers, so
+  // only the numeric integrals take the to_chars fast path; everything
+  // else renders exactly as operator<< always did.
+  template <class U>
+  static constexpr bool kNumericIntegral =
+      std::is_integral_v<U> && !std::is_same_v<U, char> &&
+      !std::is_same_v<U, signed char> && !std::is_same_v<U, unsigned char> &&
+      !std::is_same_v<U, wchar_t> && !std::is_same_v<U, char8_t> &&
+      !std::is_same_v<U, char16_t> && !std::is_same_v<U, char32_t>;
+
+  template <class U>
+  static void format_value(std::string& out, const U& v) {
+    if constexpr (kNumericIntegral<U>) {
+      char buf[24];
+      char* end = buf;
+      if constexpr (std::is_signed_v<U>) {
+        end = std::to_chars(buf, buf + sizeof(buf),
+                            static_cast<long long>(v))
+                  .ptr;
+      } else {
+        end = std::to_chars(buf, buf + sizeof(buf),
+                            static_cast<unsigned long long>(v))
+                  .ptr;
+      }
+      out.append(buf, end);
+    } else if constexpr (kStreamable<U>) {
+      std::ostringstream os;
+      os << v;
+      out += os.str();
+    } else {
+      out += "<struct>";
+    }
   }
-  static void format(std::ostringstream& os, ...) { os << "<struct>"; }
+
+  template <class E>
+  static void restore_pod_vector(void* vec, const void* initial,
+                                 std::size_t count) {
+    auto& v = *static_cast<std::vector<E>*>(vec);
+    if (v.size() != count) {
+      throw std::logic_error(
+          "compiled engine: a pod-vector marking was resized during the "
+          "run; resizing vector markings is unsupported under the "
+          "compiled engine");
+    }
+    if (count != 0) std::memcpy(v.data(), initial, count * sizeof(E));
+  }
 
   T value_;
   T initial_;
+  T* store_ = &value_;
 };
 
 /// Classic SAN place: a count of tokens.

@@ -1,8 +1,11 @@
 #include "san/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <unordered_map>
+#include <cstdio>
+#include <cstdlib>
 
 #include "san/analyze/invariants.hpp"
 
@@ -30,6 +33,26 @@ class ScopedListener {
 
 }  // namespace
 
+const char* engine_name(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::kObjectGraph: return "object";
+    case Engine::kCompiled: return "compiled";
+  }
+  return "?";
+}
+
+bool parse_engine(std::string_view text, Engine& out) noexcept {
+  if (text == "object") {
+    out = Engine::kObjectGraph;
+    return true;
+  }
+  if (text == "compiled") {
+    out = Engine::kCompiled;
+    return true;
+  }
+  return false;
+}
+
 Simulator::Simulator(SimulatorConfig config)
     : config_(config), rng_(config.seed) {
   if (!(config_.end_time > 0)) {
@@ -45,6 +68,10 @@ void Simulator::set_model(ComposedModel& model) {
   started_ = false;
   trace_writes_built_ = false;
   sanitizer_.reset();  // the invariant analysis is per-model
+  compiled_.reset();   // unbind any previous arena before recompiling
+  timed_compiled_.clear();
+  inst_compiled_.clear();
+  touch_lookup_.clear();
   dirty_timed_.clear();
   dirty_inst_.clear();
   dirty_all_ = true;
@@ -60,8 +87,147 @@ void Simulator::set_model(ComposedModel& model) {
   timed_marked_.assign(activities_.size(), 0);
   inst_marked_.assign(instantaneous_.size(), 0);
   inst_enabled_.assign(instantaneous_.size(), 0);
+  inst_enabled_count_ = 0;
+  if (config_.engine == Engine::kCompiled) {
+    compile_profile_.set_enabled(config_.profile);
+    stats::ScopedPhaseTimer timer(&compile_profile_, stats::Phase::kCompile);
+    compiled_ = std::make_unique<CompiledModel>(
+        model, CompileOptions{.force_trampoline = config_.verify_footprints});
+    timed_compiled_.reserve(activities_.size());
+    inst_compiled_.reserve(instantaneous_.size());
+    for (const Activity* a : activities_) {
+      timed_compiled_.push_back(compiled_->find(a));
+    }
+    for (const Activity* a : instantaneous_) {
+      inst_compiled_.push_back(compiled_->find(a));
+    }
+    timed_hot_.assign(activities_.size(), TimedHot{});
+    for (std::size_t t = 0; t < activities_.size(); ++t) {
+      timed_hot_[t].delay = activities_[t]->delay();
+      if (timed_hot_[t].delay != nullptr) {
+        timed_hot_[t].det_delay = timed_hot_[t].delay->rng_free_constant();
+      }
+      timed_hot_[t].priority = activities_[t]->priority();
+    }
+    // Priority-ordered permutation of the instantaneous activities:
+    // stable sort keeps equal priorities in index order, so the first
+    // enabled position in inst_enabled_bits_ is the selection winner.
+    inst_prio_order_.resize(instantaneous_.size());
+    for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
+      inst_prio_order_[j] = j;
+    }
+    std::stable_sort(inst_prio_order_.begin(), inst_prio_order_.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return instantaneous_[a]->priority() >
+                              instantaneous_[b]->priority();
+                     });
+    inst_prio_pos_.resize(instantaneous_.size());
+    for (std::uint32_t pos = 0; pos < inst_prio_order_.size(); ++pos) {
+      inst_prio_pos_[inst_prio_order_[pos]] = pos;
+    }
+    inst_enabled_bits_.assign((instantaneous_.size() + 63) / 64, 0);
+  } else {
+    timed_hot_.clear();
+    inst_enabled_bits_.clear();
+    inst_prio_order_.clear();
+    inst_prio_pos_.clear();
+  }
   use_incremental_ = config_.incremental_enabling;
   if (use_incremental_) build_dependency_index();
+  if (compiled_ != nullptr && use_incremental_) build_touch_lookup();
+  fast_dirty_ = compiled_ != nullptr && use_incremental_ &&
+                !config_.verify_footprints;
+  fast_inst_ = false;
+  if (fast_dirty_) build_fired_masks();
+  if (std::getenv("VCPUSIM_DEBUG_INDEX") != nullptr) {
+    std::fprintf(stderr, "timed=%zu inst=%zu always_timed=%zu always_inst=%zu places=%zu\n",
+                 activities_.size(), instantaneous_.size(),
+                 always_timed_.size(), always_inst_.size(), place_deps_.size());
+  }
+}
+
+void Simulator::build_fired_masks() {
+  mask_words_ = (activities_.size() + 63) / 64;
+  timed_mask_.assign(mask_words_, 0);
+  always_timed_mask_.assign(mask_words_, 0);
+  for (const std::uint32_t t : always_timed_) {
+    always_timed_mask_[t >> 6] |= std::uint64_t{1} << (t & 63);
+  }
+  place_timed_masks_.assign(place_deps_.size() * mask_words_, 0);
+  for (std::size_t p = 0; p < place_deps_.size(); ++p) {
+    std::uint64_t* mask = place_timed_masks_.data() + p * mask_words_;
+    for (const std::uint32_t t : place_deps_[p].timed) {
+      mask[t >> 6] |= std::uint64_t{1} << (t & 63);
+    }
+  }
+  std::vector<std::uint8_t> seen(instantaneous_.size(), 0);
+  const auto build_for = [&](bool timed, std::size_t count,
+                             std::vector<std::uint64_t>& masks,
+                             std::vector<std::vector<std::uint32_t>>& insts) {
+    masks.assign(count * mask_words_, 0);
+    insts.assign(count, {});
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t* mask = masks.data() + std::size_t{i} * mask_words_;
+      auto& inst_list = insts[i];
+      std::fill(seen.begin(), seen.end(), std::uint8_t{0});
+      const auto add_inst = [&](std::uint32_t j) {
+        if (seen[j] == 0) {
+          seen[j] = 1;
+          inst_list.push_back(j);
+        }
+      };
+      // The fired activity itself always gets a fresh look.
+      if (timed) {
+        mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+      } else {
+        add_inst(i);
+      }
+      for (const std::uint32_t place :
+           timed ? timed_writes_[i] : inst_writes_[i]) {
+        const std::uint64_t* pm =
+            place_timed_masks_.data() + std::size_t{place} * mask_words_;
+        for (std::size_t w = 0; w < mask_words_; ++w) mask[w] |= pm[w];
+        for (const std::uint32_t j : place_deps_[place].inst) add_inst(j);
+      }
+    }
+  };
+  build_for(true, activities_.size(), timed_fired_masks_, timed_fired_inst_);
+  build_for(false, instantaneous_.size(), inst_fired_masks_, inst_fired_inst_);
+
+  fast_inst_ = always_inst_.empty();
+  if (fast_inst_) {
+    inst_mask_words_ = (instantaneous_.size() + 63) / 64;
+    inst_mask_.assign(inst_mask_words_, 0);
+    place_inst_masks_.assign(place_deps_.size() * inst_mask_words_, 0);
+    for (std::size_t p = 0; p < place_deps_.size(); ++p) {
+      std::uint64_t* mask = place_inst_masks_.data() + p * inst_mask_words_;
+      for (const std::uint32_t j : place_deps_[p].inst) {
+        mask[j >> 6] |= std::uint64_t{1} << (j & 63);
+      }
+    }
+    const auto pack = [&](const std::vector<std::vector<std::uint32_t>>& lists,
+                          std::vector<std::uint64_t>& masks) {
+      masks.assign(lists.size() * inst_mask_words_, 0);
+      for (std::size_t i = 0; i < lists.size(); ++i) {
+        std::uint64_t* mask = masks.data() + i * inst_mask_words_;
+        for (const std::uint32_t j : lists[i]) {
+          mask[j >> 6] |= std::uint64_t{1} << (j & 63);
+        }
+      }
+    };
+    pack(timed_fired_inst_, timed_fired_inst_masks_);
+    pack(inst_fired_inst_, inst_fired_inst_masks_);
+  }
+}
+
+void Simulator::build_touch_lookup() {
+  touch_lookup_.assign(compiled_->place_count(), kNoPlaceId);
+  for (const auto& [place, id] : place_ids_) {
+    const std::uint32_t cid = place->compiled_id();
+    if (cid != PlaceBase::kNoCompiledId && cid < touch_lookup_.size()) {
+      touch_lookup_[cid] = id;
+    }
+  }
 }
 
 void Simulator::build_dependency_index() {
@@ -199,15 +365,30 @@ void Simulator::advance_time(Time to) {
 
 void Simulator::schedule(std::uint32_t timed_index) {
   Activity& activity = *activities_[timed_index];
+  if (compiled_ != nullptr) {
+    TimedHot& hot = timed_hot_[timed_index];
+    // Deterministic delays skip the virtual sample: the stream is
+    // untouched because Deterministic::sample never draws.
+    const Time delay = hot.det_delay >= 0 ? hot.det_delay
+                       : hot.delay != nullptr ? hot.delay->sample(rng_)
+                                              : activity.sample_delay(rng_);
+    if (delay < 0) {
+      throw std::logic_error("Simulator: negative delay sampled for activity " +
+                             activity.name());
+    }
+    hot.scheduled = 1;
+    cal_push(
+        Event{now_ + delay, seq_++, hot.activation, hot.priority, timed_index});
+    return;
+  }
   const Time delay = activity.sample_delay(rng_);
   if (delay < 0) {
     throw std::logic_error("Simulator: negative delay sampled for activity " +
                            activity.name());
   }
   activity.mark_scheduled();
-  queue_.push_back(Event{now_ + delay, activity.priority(), seq_++, &activity,
-                         activity.activation_id(), timed_index});
-  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
+  queue_push(Event{now_ + delay, seq_++, activity.activation_id(),
+                   activity.priority(), timed_index});
 }
 
 bool Simulator::eval_enabled(const Activity& a) {
@@ -219,15 +400,16 @@ bool Simulator::eval_enabled(const Activity& a) {
 }
 
 void Simulator::transition_timed(std::uint32_t timed_index) {
-  Activity& a = *activities_[timed_index];
-  const bool en = eval_enabled(a);
-  if (en && !a.scheduled()) {
+  const bool en = eval_timed(timed_index);
+  const bool was_scheduled = timed_scheduled(timed_index);
+  if (en && !was_scheduled) {
     schedule(timed_index);
-  } else if (!en && a.scheduled()) {
-    a.cancel_activation();
+  } else if (!en && was_scheduled) {
+    cancel_timed(timed_index);
   } else {
     return;  // no transition: nothing to trace
   }
+  Activity& a = *activities_[timed_index];
   // Emitted only on actual activate/abort transitions — a re-evaluation
   // that changes nothing is silent, which is what keeps the stream
   // identical across incremental enabling on/off.
@@ -257,6 +439,58 @@ void Simulator::mark_place(std::uint32_t place_id) {
 
 void Simulator::mark_fired(bool timed, std::uint32_t index) {
   if (!use_incremental_ || dirty_all_) return;
+  if (fast_dirty_) {
+    if ((timed ? timed_writes_declared_[index]
+               : inst_writes_declared_[index]) == 0) {
+      dirty_all_ = true;  // unknown write set: rescan everything
+      return;
+    }
+    // Precompiled dependents: one mask OR per side replaces the
+    // per-place dependency loops of the vector path.
+    const std::uint64_t* mask =
+        (timed ? timed_fired_masks_ : inst_fired_masks_).data() +
+        std::size_t{index} * mask_words_;
+    for (std::size_t w = 0; w < mask_words_; ++w) timed_mask_[w] |= mask[w];
+    if (fast_inst_) {
+      const std::uint64_t* im =
+          (timed ? timed_fired_inst_masks_ : inst_fired_inst_masks_).data() +
+          std::size_t{index} * inst_mask_words_;
+      for (std::size_t w = 0; w < inst_mask_words_; ++w) {
+        inst_mask_[w] |= im[w];
+      }
+    } else {
+      for (const std::uint32_t j :
+           (timed ? timed_fired_inst_ : inst_fired_inst_)[index]) {
+        mark_inst(j);
+      }
+    }
+    if ((timed ? timed_dynamic_[index] : inst_dynamic_[index]) != 0) {
+      for (const PlaceBase* p : touched_) {
+        const std::uint32_t cid = p->compiled_id();
+        std::uint32_t id = kNoPlaceId;
+        if (cid < touch_lookup_.size()) {
+          id = touch_lookup_[cid];
+        } else {
+          const auto it = place_ids_.find(p);
+          if (it != place_ids_.end()) id = it->second;
+        }
+        if (id == kNoPlaceId) continue;
+        const std::uint64_t* pm =
+            place_timed_masks_.data() + std::size_t{id} * mask_words_;
+        for (std::size_t w = 0; w < mask_words_; ++w) timed_mask_[w] |= pm[w];
+        if (fast_inst_) {
+          const std::uint64_t* im =
+              place_inst_masks_.data() + std::size_t{id} * inst_mask_words_;
+          for (std::size_t w = 0; w < inst_mask_words_; ++w) {
+            inst_mask_[w] |= im[w];
+          }
+        } else {
+          for (const std::uint32_t j : place_deps_[id].inst) mark_inst(j);
+        }
+      }
+    }
+    return;
+  }
   // The fired activity itself always needs a fresh look: a timed one may
   // still be enabled and must re-activate even if it reads nothing.
   if (timed) {
@@ -274,16 +508,30 @@ void Simulator::mark_fired(bool timed, std::uint32_t index) {
        timed ? timed_writes_[index] : inst_writes_[index]) {
     mark_place(place);
   }
-  // Dynamic gates: dirty exactly the places this firing reported.
+  // Dynamic gates: dirty exactly the places this firing reported. Under
+  // the compiled engine the dense compiled id resolves the place with an
+  // array load instead of a hash probe.
   if (timed ? timed_dynamic_[index] != 0 : inst_dynamic_[index] != 0) {
     for (const PlaceBase* p : touched_) {
-      const auto it = place_ids_.find(p);
-      if (it != place_ids_.end()) mark_place(it->second);
+      const std::uint32_t cid = p->compiled_id();
+      if (cid < touch_lookup_.size()) {
+        const std::uint32_t id = touch_lookup_[cid];
+        if (id != kNoPlaceId) mark_place(id);
+      } else {
+        const auto it = place_ids_.find(p);
+        if (it != place_ids_.end()) mark_place(it->second);
+      }
     }
   }
 }
 
 void Simulator::clear_dirty() {
+  if (fast_dirty_ && dirty_all_) {
+    // The bit-scan path zeroes words as it consumes them; only a full
+    // rescan can leave stale bits behind.
+    std::fill(timed_mask_.begin(), timed_mask_.end(), 0);
+    std::fill(inst_mask_.begin(), inst_mask_.end(), 0);
+  }
   for (const std::uint32_t t : dirty_timed_) timed_marked_[t] = 0;
   for (const std::uint32_t j : dirty_inst_) inst_marked_[j] = 0;
   dirty_timed_.clear();
@@ -311,7 +559,11 @@ void Simulator::complete(Activity& activity, bool timed,
     ctx.sanitizer = sanitizer_.get();
     sanitizer_->begin_firing(activity, ctx);
   }
-  const std::size_t case_index = activity.fire(ctx);
+  const std::size_t case_index =
+      compiled_ != nullptr
+          ? compiled_->fire(
+                *(timed ? timed_compiled_[index] : inst_compiled_[index]), ctx)
+          : activity.fire(ctx);
   if (sanitizer_ != nullptr) sanitizer_->end_firing();
   for (RewardVariable* r : rewards_) r->on_completion(activity, now_);
   for (TraceObserver* o : observers_) o->on_fire(now_, activity, case_index);
@@ -325,9 +577,12 @@ void Simulator::complete(Activity& activity, bool timed,
     const auto& writes =
         timed ? timed_trace_writes_[index] : inst_trace_writes_[index];
     for (const PlaceBase* place : writes) {
-      const std::string value = place->value_string();
+      // Rendered into the reusable buffer: marking events allocate only
+      // while the buffer grows to the high-water mark, then never again.
+      value_buf_.clear();
+      place->value_string_to(value_buf_);
       trace_->on_event(TraceEvent{TraceCategory::kMarking, now_, seq,
-                                  place->name(), 0, 0, value});
+                                  place->name(), 0, 0, value_buf_});
     }
   }
 }
@@ -342,10 +597,49 @@ void Simulator::settle() {
         transition_timed(t);
       }
       for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
-        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
+        set_inst_enabled(j, eval_inst(j));
       }
       enabling_evals_ += activities_.size() + instantaneous_.size();
       if (use_incremental_) clear_dirty();
+    } else if (fast_dirty_) {
+      // Bit-scan: ascending set bits of (dirty | always) — the same
+      // activity sequence the vector merge below produces, without the
+      // sort, the merge branches, or the marked-flag bookkeeping.
+      for (std::size_t w = 0; w < mask_words_; ++w) {
+        std::uint64_t bits = timed_mask_[w] | always_timed_mask_[w];
+        timed_mask_[w] = 0;
+        enabling_evals_ += static_cast<std::uint64_t>(std::popcount(bits));
+        const std::uint32_t base = static_cast<std::uint32_t>(w) * 64;
+        while (bits != 0) {
+          const std::uint32_t t =
+              base + static_cast<std::uint32_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          transition_timed(t);
+        }
+      }
+      if (fast_inst_) {
+        for (std::size_t w = 0; w < inst_mask_words_; ++w) {
+          std::uint64_t bits = inst_mask_[w];
+          inst_mask_[w] = 0;
+          enabling_evals_ += static_cast<std::uint64_t>(std::popcount(bits));
+          const std::uint32_t base = static_cast<std::uint32_t>(w) * 64;
+          while (bits != 0) {
+            const std::uint32_t j =
+                base + static_cast<std::uint32_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            set_inst_enabled(j, eval_inst(j));
+          }
+        }
+      } else {
+        for (const std::uint32_t j : dirty_inst_) {
+          set_inst_enabled(j, eval_inst(j));
+        }
+        for (const std::uint32_t j : always_inst_) {
+          set_inst_enabled(j, eval_inst(j));
+        }
+        enabling_evals_ += dirty_inst_.size() + always_inst_.size();
+      }
+      clear_dirty();
     } else {
       // Incremental: only activities whose read set intersects the places
       // written since the last round, plus the undeclared-footprint ones.
@@ -373,24 +667,45 @@ void Simulator::settle() {
         ++enabling_evals_;
       }
       for (const std::uint32_t j : dirty_inst_) {
-        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
+        set_inst_enabled(j, eval_inst(j));
       }
       for (const std::uint32_t j : always_inst_) {
-        inst_enabled_[j] = eval_enabled(*instantaneous_[j]) ? 1 : 0;
+        set_inst_enabled(j, eval_inst(j));
       }
       enabling_evals_ += dirty_inst_.size() + always_inst_.size();
       clear_dirty();
     }
     // Fire the highest-priority enabled instantaneous activity, if any
     // (cached flags; ties resolve to the lowest index, as the full
-    // predicate scan always did).
+    // predicate scan always did). The compiled engine maintains an
+    // enabled count and skips the scan in the common nothing-enabled
+    // round — behaviorally identical, the object engine just keeps the
+    // scan as the reference cost.
     Activity* next = nullptr;
     std::uint32_t next_index = 0;
-    for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
-      if (!inst_enabled_[j]) continue;
-      if (next == nullptr || instantaneous_[j]->priority() > next->priority()) {
-        next = instantaneous_[j];
-        next_index = j;
+    if (compiled_ != nullptr) {
+      if (inst_enabled_count_ == 0) return;
+      // First set bit of the priority-ordered enabled mask: identical
+      // winner to the reference scan (max priority, lowest index on
+      // ties) without walking every instantaneous activity.
+      for (std::size_t w = 0; w < inst_enabled_bits_.size(); ++w) {
+        if (inst_enabled_bits_[w] != 0) {
+          const auto pos = static_cast<std::uint32_t>(
+              w * 64 +
+              static_cast<std::size_t>(std::countr_zero(inst_enabled_bits_[w])));
+          next_index = inst_prio_order_[pos];
+          next = instantaneous_[next_index];
+          break;
+        }
+      }
+    } else {
+      for (std::uint32_t j = 0; j < instantaneous_.size(); ++j) {
+        if (!inst_enabled_[j]) continue;
+        if (next == nullptr ||
+            instantaneous_[j]->priority() > next->priority()) {
+          next = instantaneous_[j];
+          next_index = j;
+        }
       }
     }
     if (next == nullptr) return;
@@ -408,7 +723,19 @@ void Simulator::reset() {
   if (model_ == nullptr) {
     throw std::logic_error("Simulator: reset() before set_model()");
   }
-  model_->reset_marking();
+  if (compiled_ != nullptr) {
+    // Block-copy restore: one memcpy of the initial-marking image (plus
+    // pod-vector spans); no per-place virtual reset() calls.
+    compiled_->reset_markings();
+    for (Activity* a : activities_) a->reset_state();
+    for (Activity* a : instantaneous_) a->reset_state();
+    for (TimedHot& hot : timed_hot_) {
+      ++hot.activation;  // invalidate any still-queued events
+      hot.scheduled = 0;
+    }
+  } else {
+    model_->reset_marking();
+  }
   for (RewardVariable* r : rewards_) r->reset();
   profile_.reset();
   profile_.set_enabled(config_.profile);
@@ -416,13 +743,18 @@ void Simulator::reset() {
       !trace_writes_built_) {
     build_trace_write_lists();
   }
-  queue_.clear();
-  // Steady state holds ~one live event per timed activity plus aborted
-  // stragglers; reserving up front keeps the hot loop reallocation-free.
-  queue_.reserve(4 * activities_.size() + 16);
+  if (compiled_ != nullptr) {
+    cal_clear();
+  } else {
+    queue_.clear();
+    // Steady state holds ~one live event per timed activity plus aborted
+    // stragglers; reserving up front keeps the hot loop reallocation-free.
+    queue_.reserve(4 * activities_.size() + 16);
+  }
   now_ = 0.0;
   seq_ = 0;
   events_ = 0;
+  aborted_events_ = 0;
   enabling_evals_ = 0;
   hit_event_cap_ = false;
   started_ = true;
@@ -453,19 +785,26 @@ RunStats Simulator::advance_until(Time t) {
   }
   ScopedListener guard(sanitizer_.get());
   const Time horizon = std::min(t, config_.end_time);
-  while (!queue_.empty() && !hit_event_cap_) {
+  const bool calendar = compiled_ != nullptr;
+  while ((calendar ? cal_size_ != 0 : !queue_.empty()) && !hit_event_cap_) {
     if (events_ >= config_.max_events) {
       hit_event_cap_ = true;
       break;
     }
-    const Event ev = queue_.front();
+    const Event ev = calendar ? cal_peek() : queue_.front();
     if (ev.time > horizon) break;
-    std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
-    queue_.pop_back();
-    if (ev.activation != ev.activity->activation_id()) continue;  // aborted
+    if (calendar) {
+      cal_pop();
+    } else {
+      queue_pop_front();
+    }
+    if (ev.activation != timed_activation(ev.timed_index)) {
+      ++aborted_events_;  // stale activation: lazily cancelled
+      continue;
+    }
     advance_time(ev.time);
-    ev.activity->cancel_activation();  // consume this activation
-    complete(*ev.activity, /*timed=*/true, ev.timed_index);
+    cancel_timed(ev.timed_index);  // consume this activation
+    complete(*activities_[ev.timed_index], /*timed=*/true, ev.timed_index);
     mark_fired(true, ev.timed_index);
     settle();
   }
@@ -475,6 +814,7 @@ RunStats Simulator::advance_until(Time t) {
   stats.events = events_;
   stats.hit_event_cap = hit_event_cap_;
   stats.enabling_evals = enabling_evals_;
+  stats.aborted_events = aborted_events_;
   return stats;
 }
 

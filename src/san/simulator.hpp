@@ -28,13 +28,16 @@
 // changes; impulse rewards on each completion.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string_view>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include <memory>
 
+#include "san/compiled.hpp"
 #include "san/model.hpp"
 #include "san/reward.hpp"
 #include "san/sanitizer.hpp"
@@ -43,6 +46,20 @@
 #include "stats/rng.hpp"
 
 namespace vcpusim::san {
+
+/// Which runtime executes the model. Both engines produce bit-identical
+/// trajectories (same RNG streams, traces, enabling-eval counts); the
+/// object graph is the reference implementation, the compiled kernel
+/// (san/compiled.hpp) is the fast path.
+enum class Engine : std::uint8_t {
+  kObjectGraph = 0,  ///< walk shared_ptr places / std::function closures
+  kCompiled,         ///< arena markings + flat dispatch tables
+};
+
+const char* engine_name(Engine engine) noexcept;
+/// Parse "object" / "compiled" (the CLI flag and scenario-key spelling);
+/// false on anything else.
+bool parse_engine(std::string_view text, Engine& out) noexcept;
 
 struct SimulatorConfig {
   Time end_time = 1000.0;
@@ -69,6 +86,11 @@ struct SimulatorConfig {
   /// thread-local null test per access. Inspect results through
   /// footprint_report().
   bool verify_footprints = false;
+  /// Execution engine (see Engine). set_model() compiles the model when
+  /// kCompiled; under verify_footprints the compiled kernel keeps its
+  /// arena but dispatches every gate through the closure trampoline so
+  /// the sanitizer sees each place access.
+  Engine engine = Engine::kCompiled;
 };
 
 struct RunStats {
@@ -81,6 +103,10 @@ struct RunStats {
   /// dynamic) footprints avoid: a full scan costs one eval per activity
   /// per settle round.
   std::uint64_t enabling_evals = 0;
+  /// Stale events popped and discarded (their activity was aborted after
+  /// the event was queued): the lazy-cancellation overhead of the event
+  /// queue, and the direct measure of scheduler-induced churn.
+  std::uint64_t aborted_events = 0;
 };
 
 class Simulator {
@@ -141,6 +167,30 @@ class Simulator {
   /// Accumulated phase timings (empty unless config.profile).
   const stats::PhaseProfile& profile() const noexcept { return profile_; }
 
+  /// True when this simulator runs the compiled kernel.
+  bool compiled_engine() const noexcept { return compiled_ != nullptr; }
+
+  /// Compile-time census of the lowered model (all-zero under the
+  /// object-graph engine).
+  KernelStats kernel_stats() const noexcept {
+    return compiled_ != nullptr ? compiled_->stats() : KernelStats{};
+  }
+
+  /// Model-compilation timing (profile.compile). Kept apart from
+  /// profile() because reset() clears that one per replication while
+  /// compilation happens once per set_model().
+  const stats::PhaseProfile& compile_profile() const noexcept {
+    return compile_profile_;
+  }
+
+  /// Drain compile_profile() — the runner merges it into the run total
+  /// exactly once even though the simulator resets many times.
+  stats::PhaseProfile take_compile_profile() {
+    stats::PhaseProfile out = compile_profile_;
+    compile_profile_.reset();
+    return out;
+  }
+
   /// Sanitizer results (config.verify_footprints): finalizes the
   /// end-of-run advisories and returns the report, or nullptr when the
   /// sanitizer is off. Violations accumulate until the next reset().
@@ -154,13 +204,15 @@ class Simulator {
   }
 
  private:
+  /// 32 bytes: the activity is reached through timed_index, so a heap
+  /// sift moves half a cache line per level instead of carrying a
+  /// redundant pointer.
   struct Event {
     Time time;
-    int priority;       // higher fires first at equal time
     std::uint64_t seq;  // FIFO tie-break
-    Activity* activity;
     std::uint64_t activation;
-    std::uint32_t timed_index;  // into activities_, for the dirty index
+    int priority;               // higher fires first at equal time
+    std::uint32_t timed_index;  // into activities_
   };
   static_assert(std::is_trivially_copyable_v<Event>,
                 "Event must stay a trivially copyable POD: the queue is a "
@@ -172,6 +224,160 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+
+  /// queue_ is a 4-ary heap under EventOrder (front = next event). The
+  /// wider node halves the sift-down depth of a binary heap and keeps
+  /// sibling comparisons inside one cache line of 32-byte events. Pop
+  /// order is identical to any other heap: EventOrder is a strict total
+  /// order (seq is unique), so "the minimum" is unambiguous.
+  void queue_push(const Event& ev) {
+    std::size_t i = queue_.size();
+    queue_.push_back(ev);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!EventOrder{}(queue_[parent], ev)) break;  // parent fires first
+      queue_[i] = queue_[parent];
+      i = parent;
+    }
+    queue_[i] = ev;
+  }
+  void queue_pop_front() {
+    const std::size_t n = queue_.size() - 1;
+    if (n > 0) {
+      const Event last = queue_[n];
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (EventOrder{}(queue_[best], queue_[c])) best = c;
+        }
+        if (!EventOrder{}(last, queue_[best])) break;
+        queue_[i] = queue_[best];
+        i = best;
+      }
+      queue_[i] = last;
+    }
+    queue_.pop_back();
+  }
+  /// Compiled-engine event calendar: a ring of kCalendarSlots unit-width
+  /// time buckets. The virtualization models are clock-driven (unit
+  /// Clock activities, integer load durations), so a bucket is exactly
+  /// one tick's worth of events: pops are a cursor bump and the bulk
+  /// push pattern — same time, same priority, ascending seq — lands at
+  /// the slot tail as an O(1) append. Events beyond the ring window park
+  /// in an overflow list and are folded in as the window advances.
+  ///
+  /// Pop order is bit-identical to the heap's: EventOrder's primary key
+  /// is the time, so every event of bucket b fires before any event of
+  /// bucket b+1, and within a slot events are kept sorted ascending by
+  /// fire order (seq uniqueness makes the order total).
+  static constexpr std::size_t kCalendarSlots = 128;  // power of two
+  struct CalSlot {
+    std::vector<Event> events;  ///< ascending fire order from `head`
+    std::uint32_t head = 0;     ///< events[head] = next to fire
+  };
+  /// Bucket of a fire time (unit width). Times too large for uint64
+  /// collapse into one far-future bucket; order within it still holds.
+  static std::uint64_t cal_bucket(Time t) noexcept {
+    constexpr double kMax = 9.0e18;  // < 2^63, safely representable
+    return t < kMax ? static_cast<std::uint64_t>(t)
+                    : static_cast<std::uint64_t>(kMax);
+  }
+  /// True when `a` fires strictly before `b`.
+  static bool fires_before(const Event& a, const Event& b) noexcept {
+    return EventOrder{}(b, a);
+  }
+  void cal_slot_insert(const Event& ev) {
+    CalSlot& slot = cal_slots_[cal_bucket(ev.time) & (kCalendarSlots - 1)];
+    if (slot.events.empty() || fires_before(slot.events.back(), ev)) {
+      slot.events.push_back(ev);  // bulk FIFO fast path
+      return;
+    }
+    const auto pos =
+        std::upper_bound(slot.events.begin() + slot.head, slot.events.end(),
+                         ev, &Simulator::fires_before);
+    slot.events.insert(pos, ev);
+  }
+  void cal_push(const Event& ev) {
+    const std::uint64_t b = cal_bucket(ev.time);
+    if (b - cal_base_ < kCalendarSlots) {  // b >= cal_base_ always holds
+      cal_slot_insert(ev);
+    } else {
+      if (b < cal_overflow_min_) cal_overflow_min_ = b;
+      cal_overflow_.push_back(ev);
+    }
+    ++cal_size_;
+  }
+  /// Move every overflow event whose bucket entered the ring window into
+  /// its slot; recompute the overflow minimum.
+  void cal_drain_overflow() {
+    std::uint64_t new_min = ~std::uint64_t{0};
+    std::size_t keep = 0;
+    for (const Event& ev : cal_overflow_) {
+      const std::uint64_t b = cal_bucket(ev.time);
+      if (b - cal_base_ < kCalendarSlots) {
+        cal_slot_insert(ev);
+      } else {
+        if (b < new_min) new_min = b;
+        cal_overflow_[keep++] = ev;
+      }
+    }
+    cal_overflow_.resize(keep);
+    cal_overflow_min_ = new_min;
+  }
+  /// Next event to fire; advances past drained slots. Only called when
+  /// the calendar is non-empty.
+  const Event& cal_peek() {
+    for (;;) {
+      CalSlot& slot = cal_slots_[cal_base_ & (kCalendarSlots - 1)];
+      if (slot.head < slot.events.size()) return slot.events[slot.head];
+      if (!slot.events.empty()) {
+        slot.events.clear();  // fully drained tick: recycle the buffer
+        slot.head = 0;
+      }
+      ++cal_base_;
+      if (cal_overflow_min_ < cal_base_ + kCalendarSlots) {
+        cal_drain_overflow();
+      } else if (cal_size_ == cal_overflow_.size()) {
+        // Ring empty: jump the window straight to the earliest parked
+        // event instead of walking every empty bucket in between.
+        cal_base_ = cal_overflow_min_;
+        cal_drain_overflow();
+      }
+    }
+  }
+  void cal_pop() {
+    ++cal_slots_[cal_base_ & (kCalendarSlots - 1)].head;
+    --cal_size_;
+  }
+  void cal_clear() {
+    cal_slots_.resize(kCalendarSlots);
+    for (CalSlot& slot : cal_slots_) {
+      slot.events.clear();
+      slot.head = 0;
+    }
+    cal_overflow_.clear();
+    cal_overflow_min_ = ~std::uint64_t{0};
+    cal_size_ = 0;
+    cal_base_ = 0;
+  }
+
+  /// Dense per-timed-activity scheduling state (compiled engine): the
+  /// fields the event loop touches per transition, packed so the whole
+  /// table stays L1-resident. `delay` is the activity's distribution,
+  /// reached without the sample_delay indirection.
+  struct TimedHot {
+    std::uint64_t activation = 0;
+    const stats::Distribution* delay = nullptr;
+    /// Distribution::rng_free_constant(): the delay without the virtual
+    /// sample call when non-negative (the unit Clocks), else sentinel.
+    double det_delay = -1.0;
+    std::int32_t priority = 0;
+    std::uint8_t scheduled = 0;
+  };
   /// Dependents of one place: the activities whose enabling may change
   /// when its marking does.
   struct PlaceDeps {
@@ -180,9 +386,65 @@ class Simulator {
   };
 
   void build_dependency_index();
+  void build_touch_lookup();
   /// Evaluate one activity's enabling, wrapped in the sanitizer's
   /// predicate scope when sanitizing.
   bool eval_enabled(const Activity& a);
+  /// Engine-dispatched enabling checks. Sanitized runs go through
+  /// eval_enabled (the sanitizer brackets the closure evaluation);
+  /// otherwise the compiled kernel evaluates straight off the arena.
+  bool eval_timed(std::uint32_t timed_index) {
+    if (sanitizer_ != nullptr || compiled_ == nullptr) {
+      return eval_enabled(*activities_[timed_index]);
+    }
+    return compiled_->enabled(*timed_compiled_[timed_index]);
+  }
+  bool eval_inst(std::uint32_t inst_index) {
+    if (sanitizer_ != nullptr || compiled_ == nullptr) {
+      return eval_enabled(*instantaneous_[inst_index]);
+    }
+    return compiled_->enabled(*inst_compiled_[inst_index]);
+  }
+  /// Engine-dispatched scheduling state. The compiled engine keeps the
+  /// activation/scheduled bookkeeping in the dense timed_hot_ array (one
+  /// L1-resident block instead of a cache line per heap-allocated
+  /// Activity); the object engine keeps the Activity-resident state as
+  /// the reference path. The transition logic is identical either way.
+  bool timed_scheduled(std::uint32_t timed_index) const {
+    return compiled_ != nullptr ? timed_hot_[timed_index].scheduled != 0
+                                : activities_[timed_index]->scheduled();
+  }
+  std::uint64_t timed_activation(std::uint32_t timed_index) const {
+    return compiled_ != nullptr ? timed_hot_[timed_index].activation
+                                : activities_[timed_index]->activation_id();
+  }
+  void cancel_timed(std::uint32_t timed_index) {
+    if (compiled_ != nullptr) {
+      TimedHot& hot = timed_hot_[timed_index];
+      ++hot.activation;
+      hot.scheduled = 0;
+    } else {
+      activities_[timed_index]->cancel_activation();
+    }
+  }
+  /// Update one cached instantaneous-enabling flag, maintaining the
+  /// enabled count the compiled settle loop uses to skip the selection
+  /// scan when nothing is enabled.
+  void set_inst_enabled(std::uint32_t inst_index, bool enabled) {
+    const std::uint8_t v = enabled ? 1 : 0;
+    if (inst_enabled_[inst_index] != v) {
+      inst_enabled_[inst_index] = v;
+      inst_enabled_count_ += enabled ? 1 : -1;
+      if (!inst_prio_pos_.empty()) {
+        const std::uint32_t pos = inst_prio_pos_[inst_index];
+        if (enabled) {
+          inst_enabled_bits_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+        } else {
+          inst_enabled_bits_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+        }
+      }
+    }
+  }
   /// Declared-write lists for kMarking trace events (per activity, from
   /// the static gate footprints — mode-independent, so traces match
   /// across incremental on/off). Built on the first reset() with a
@@ -199,6 +461,9 @@ class Simulator {
   void transition_timed(std::uint32_t timed_index);
   /// Record the marking changes of a completed activity in the dirty set.
   void mark_fired(bool timed, std::uint32_t index);
+  /// Precompute the per-activity dependent masks / lists for the
+  /// compiled engine's bitmask dirty tracking (from the enabling index).
+  void build_fired_masks();
   void mark_place(std::uint32_t place_id);
   void mark_timed(std::uint32_t timed_index);
   void mark_inst(std::uint32_t inst_index);
@@ -212,6 +477,54 @@ class Simulator {
   std::vector<TraceObserver*> observers_;
   TraceSink* trace_ = nullptr;
   stats::PhaseProfile profile_;
+  stats::PhaseProfile compile_profile_;
+
+  // --- compiled kernel (config.engine == Engine::kCompiled) ----------
+  std::unique_ptr<CompiledModel> compiled_;
+  /// Compiled programs parallel to activities_ / instantaneous_.
+  std::vector<const CompiledModel::CompiledActivity*> timed_compiled_;
+  std::vector<const CompiledModel::CompiledActivity*> inst_compiled_;
+  std::vector<TimedHot> timed_hot_;  ///< parallel to activities_
+  /// Dense compiled place id -> enabling-index place id (kNoPlaceId for
+  /// places no gate reads); replaces the hash probe on touch() reports.
+  static constexpr std::uint32_t kNoPlaceId = 0xffff'ffffu;
+  std::vector<std::uint32_t> touch_lookup_;
+  std::int64_t inst_enabled_count_ = 0;
+  /// Bitmask dirty tracking (compiled engine, incremental enabling, not
+  /// sanitizing): one bit per timed activity. Firing ORs the activity's
+  /// precompiled dependent mask into `timed_mask_` instead of walking
+  /// per-place dependency vectors, and the settle loop scans set bits of
+  /// (dirty | always) — ascending, the exact order the vector merge
+  /// produced, so trajectories and eval counts are bit-identical. Off
+  /// under the sanitizer, which observes closure evaluation directly.
+  bool fast_dirty_ = false;
+  std::size_t mask_words_ = 0;
+  std::vector<std::uint64_t> timed_mask_;         ///< dirty bits, zeroed per round
+  std::vector<std::uint64_t> always_timed_mask_;  ///< opaque-read activities
+  std::vector<std::uint64_t> place_timed_masks_;  ///< place id * mask_words_
+  std::vector<std::uint64_t> timed_fired_masks_;  ///< timed idx * mask_words_
+  std::vector<std::uint64_t> inst_fired_masks_;   ///< inst idx * mask_words_
+  /// Deduplicated dependent instantaneous activities per fired activity
+  /// (own index first for instantaneous firings, then the declared
+  /// writes' dependents in place order — the vector path's insertion
+  /// order, preserved so dirty_inst_ contents match element for element).
+  std::vector<std::vector<std::uint32_t>> timed_fired_inst_;
+  std::vector<std::vector<std::uint32_t>> inst_fired_inst_;
+  /// Bitmask variant of the instantaneous dirty set, usable when no
+  /// instantaneous activity has an opaque read set (always_inst_
+  /// empty): the dirty set is then duplicate-free, so its popcount IS
+  /// the vector path's eval count, and instantaneous evaluations are
+  /// pure predicate reads (no RNG, no trace), so ascending bit order
+  /// is interchangeable with insertion order.
+  bool fast_inst_ = false;
+  std::size_t inst_mask_words_ = 0;
+  std::vector<std::uint64_t> inst_mask_;  ///< dirty bits, zeroed per round
+  std::vector<std::uint64_t> place_inst_masks_;  ///< place id * words
+  std::vector<std::uint64_t> timed_fired_inst_masks_;
+  std::vector<std::uint64_t> inst_fired_inst_masks_;
+  /// Reusable render buffer for kMarking trace events (satellite of the
+  /// no-allocation tracing guarantee; see tests/perf).
+  std::string value_buf_;
   /// Built lazily on the first reset() with verify_footprints set (the
   /// invariant analysis needs the initial marking); installed as the
   /// thread-local place-access listener for the duration of each
@@ -220,11 +533,18 @@ class Simulator {
   bool trace_writes_built_ = false;
   std::vector<std::vector<const PlaceBase*>> timed_trace_writes_;
   std::vector<std::vector<const PlaceBase*>> inst_trace_writes_;
-  std::vector<Event> queue_;  // binary heap under EventOrder
+  std::vector<Event> queue_;  // object engine: 4-ary heap under EventOrder
+  // Compiled engine: bucketed event calendar (see cal_* above).
+  std::vector<CalSlot> cal_slots_;
+  std::vector<Event> cal_overflow_;
+  std::size_t cal_size_ = 0;
+  std::uint64_t cal_base_ = 0;  ///< bucket index of the current slot
+  std::uint64_t cal_overflow_min_ = ~std::uint64_t{0};
   stats::Rng rng_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t aborted_events_ = 0;
   std::uint64_t enabling_evals_ = 0;
   bool started_ = false;
   bool hit_event_cap_ = false;
@@ -257,6 +577,13 @@ class Simulator {
   std::vector<std::uint8_t> timed_marked_;
   std::vector<std::uint8_t> inst_marked_;
   std::vector<std::uint8_t> inst_enabled_;  // cached enabling flags
+  /// Compiled engine: the enabled flags again, as a bitmask over
+  /// priority-ordered positions ((priority desc, index asc), so the
+  /// lowest set position is exactly the activity the reference
+  /// selection scan picks). Empty on the object engine.
+  std::vector<std::uint64_t> inst_enabled_bits_;
+  std::vector<std::uint32_t> inst_prio_order_;  // position -> inst index
+  std::vector<std::uint32_t> inst_prio_pos_;    // inst index -> position
 };
 
 /// Convenience: reset `model`, run it once with `config`, return stats.

@@ -18,6 +18,7 @@ class Deterministic final : public Distribution {
   double sample(Rng&) const override { return v_; }
   double mean() const override { return v_; }
   double variance() const override { return 0.0; }
+  double rng_free_constant() const noexcept override { return v_; }
   std::string describe() const override {
     std::ostringstream os;
     os << "deterministic(" << v_ << ")";

@@ -34,6 +34,13 @@ class Distribution {
 
   /// Human-readable spec, e.g. "exponential(0.2)"; parseable by parse().
   virtual std::string describe() const = 0;
+
+  /// The point-mass value when sample() returns a constant WITHOUT
+  /// consuming the RNG (only Deterministic qualifies — a degenerate
+  /// uniform still draws), else a negative sentinel. Lets the compiled
+  /// simulator skip the virtual sample call for the unit Clock
+  /// activities with an identical RNG stream.
+  virtual double rng_free_constant() const noexcept { return -1.0; }
 };
 
 using DistributionPtr = std::shared_ptr<const Distribution>;

@@ -12,6 +12,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kDecide: return "decide";
     case Phase::kApply: return "apply";
     case Phase::kReset: return "reset";
+    case Phase::kCompile: return "compile";
     case Phase::kCount_: break;
   }
   return "?";

@@ -24,6 +24,7 @@ enum class Phase : std::uint8_t {
   kDecide,       ///< bridge: the user scheduling function
   kApply,        ///< bridge: contract validation + decision application
   kReset,        ///< runner: pool checkout + system/simulator reset
+  kCompile,      ///< simulator: lowering the model into the compiled kernel
   kCount_,
 };
 

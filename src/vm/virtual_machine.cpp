@@ -49,7 +49,11 @@ void build_workload_generator(san::SanModel& submodel, const VmConfig& cfg,
                !workload->get().has_value();
       },
       nullptr,
-      san::access({blocked, num_ready, workload})});
+      san::access({blocked, num_ready, workload}),
+      {san::token_zero(blocked), san::token_positive(num_ready),
+       san::marking_probe(workload, [](const std::optional<Workload>& w) {
+         return !w.has_value();
+       })}});
 
   auto outstanding = places.outstanding_jobs;
   auto load_dist = cfg.load_distribution;
@@ -173,7 +177,12 @@ void build_job_scheduler(san::SanModel& submodel, const VmConfig& cfg,
         return workload->get().has_value() && num_ready->get() > 0;
       },
       nullptr,
-      san::access({workload, num_ready})});
+      san::access({workload, num_ready}),
+      {san::marking_probe(workload,
+                          [](const std::optional<Workload>& w) {
+                            return w.has_value();
+                          }),
+       san::token_positive(num_ready)}});
 
   std::vector<san::PlacePtr> dispatch_reads = {workload, next_vcpu};
   std::vector<san::PlacePtr> dispatch_writes = {workload, num_ready,
@@ -255,7 +264,10 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
       "Processing_enabled",
       [slot]() { return slot->get().status == VcpuStatus::kBusy; },
       nullptr,
-      san::access({slot})});
+      san::access({slot}),
+      {san::marking_probe(slot, [](const VcpuSlotState& s) {
+        return s.status == VcpuStatus::kBusy;
+      })}});
 
   auto blocked = places.blocked;
   auto num_ready = places.num_vcpus_ready;
@@ -371,7 +383,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
       "Schedule_In_Handler", kScheduleInHandlerPriority);
   in_handler.add_input_gate(san::InputGate{
       "Schedule_In_pending", [schedule_in]() { return schedule_in->get() > 0; },
-      nullptr, san::access({schedule_in})});
+      nullptr, san::access({schedule_in}),
+      {san::token_positive(schedule_in)}});
   in_handler.add_output_gate(san::OutputGate{
       "Apply_Schedule_In",
       [schedule_in, slot, num_ready](san::GateContext&) {
@@ -409,7 +422,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
   out_handler.add_input_gate(san::InputGate{
       "Schedule_Out_pending",
       [schedule_out]() { return schedule_out->get() > 0; }, nullptr,
-      san::access({schedule_out})});
+      san::access({schedule_out}),
+      {san::token_positive(schedule_out)}});
   out_handler.add_output_gate(san::OutputGate{
       "Apply_Schedule_Out",
       [schedule_out, slot, num_ready](san::GateContext&) {

@@ -88,6 +88,87 @@ TEST(SchedulerHotPath, SteadyStateTickDoesNotAllocate) {
 #endif
 }
 
+/// Steady-state tracing is allocation-free: fire and marking events
+/// carry string_views into model-owned names, and marking values render
+/// into the simulator's reusable buffer. The event queue itself still
+/// allocates rarely as occupancy reaches new high-water marks, so the
+/// check is differential — with every trace category enabled, the traced
+/// run (same seed, hence the bit-identical trajectory) must allocate
+/// exactly as much as the untraced baseline.
+TEST(SchedulerHotPath, SteadyStateTracingDoesNotAllocate) {
+#ifdef VCPUSIM_HOTPATH_SANITIZED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  class NullSink final : public san::TraceSink {
+   public:
+    NullSink() : san::TraceSink(san::kTraceAll) {}
+    void on_event(const san::TraceEvent& event) override {
+      events += event.name.size();
+    }
+    std::size_t events = 0;
+  };
+  const auto measure = [](san::TraceSink* sink, std::uint64_t* events_out) {
+    auto system =
+        vm::build_system(vm::make_symmetric_config(4, {2, 2, 2, 2}, 5),
+                         sched::make_factory("credit")());
+    san::SimulatorConfig config;
+    config.end_time = 600.0;
+    config.seed = 3;
+    san::Simulator sim(config);
+    if (sink != nullptr) sim.set_trace(sink);
+    sim.set_model(*system->model);
+    sim.reset();
+    sim.advance_until(300.0);  // warm-up: buffers grow to capacity
+    const long before = g_allocations.load(std::memory_order_relaxed);
+    const auto stats = sim.advance_until(600.0);
+    *events_out = stats.events;
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  };
+  std::uint64_t base_events = 0;
+  std::uint64_t traced_events = 0;
+  const long baseline = measure(nullptr, &base_events);
+  NullSink sink;
+  const long traced = measure(&sink, &traced_events);
+  ASSERT_EQ(base_events, traced_events);  // same trajectory measured
+  EXPECT_GT(sink.events, 0u) << "trace sink saw no events in the window";
+  EXPECT_EQ(traced, baseline)
+      << "tracing added " << (traced - baseline)
+      << " heap allocations over the untraced baseline";
+#endif
+}
+
+/// The compiled engine's replication reset is a block copy: no virtual
+/// per-place reset() walk (counted by PlaceBase::reset_count) and, once
+/// the event calendar has reached capacity, no heap allocation.
+TEST(SchedulerHotPath, CompiledResetIsBlockCopy) {
+  auto system = vm::build_system(vm::make_symmetric_config(4, {2, 2, 2, 2}, 5),
+                                 sched::make_factory("rrs")());
+  san::SimulatorConfig config;
+  config.end_time = 200.0;
+  config.seed = 9;
+  config.engine = san::Engine::kCompiled;
+  san::Simulator sim(config);
+  sim.set_model(*system->model);
+  sim.run();
+  sim.reset(10);  // warm-up reset: pools and calendar slots at capacity
+
+  const std::uint64_t resets_before = san::PlaceBase::reset_count();
+#ifndef VCPUSIM_HOTPATH_SANITIZED
+  const long allocs_before = g_allocations.load(std::memory_order_relaxed);
+#endif
+  sim.reset(11);
+  EXPECT_EQ(san::PlaceBase::reset_count(), resets_before)
+      << "compiled reset fell back to the virtual per-place walk";
+#ifndef VCPUSIM_HOTPATH_SANITIZED
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - allocs_before, 0)
+      << "compiled reset allocated";
+#endif
+
+  // The reset simulator still replays a full replication correctly.
+  const auto stats = sim.advance_until(200.0);
+  EXPECT_GT(stats.events, 0u);
+}
+
 /// Same trajectory with and without the enabling index: the dynamic
 /// footprint must cut the enabling re-evaluations well below the
 /// full-scan count (before it, every Clock tick dirtied every VCPU model

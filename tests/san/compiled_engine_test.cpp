@@ -1,0 +1,372 @@
+// Compiled-kernel contract tests (san/compiled.hpp): bit-identical
+// trajectories against the object-graph reference on synthetic models
+// that exercise every lowering path — exact-effect deltas, compiled
+// predicate terms, probe terms, trampoline fallbacks, multi-case RNG
+// draws — plus the arena reset identity, the pod-vector restore recipe,
+// the event-calendar edge cases (far-future overflow, fractional times,
+// horizon-split advances), and the compile-time census the run-metrics
+// registry exports. The vm-model equivalence lives in
+// tests/integration/engine_equivalence_test.cpp; this file owns the
+// kernel-level corners a full system never reaches.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "san/compiled.hpp"
+#include "san/simulator.hpp"
+#include "san/trace.hpp"
+#include "stats/distribution.hpp"
+
+namespace vcpusim::san {
+namespace {
+
+/// Records every completion for trajectory comparison across engines.
+class Recorder final : public TraceObserver {
+ public:
+  struct Entry {
+    Time time;
+    std::string activity;
+    std::size_t case_index;
+    bool operator==(const Entry&) const = default;
+  };
+  void on_fire(Time now, const Activity& activity,
+               std::size_t case_index) override {
+    entries.push_back({now, activity.name(), case_index});
+  }
+  std::vector<Entry> entries;
+};
+
+SimulatorConfig config_with(Engine engine, Time end, std::uint64_t seed) {
+  SimulatorConfig c;
+  c.engine = engine;
+  c.end_time = end;
+  c.seed = seed;
+  return c;
+}
+
+/// A model mixing every compiled-dispatch flavor: a token pipeline with
+/// declared exact effects and pred terms (lowered), a weighted
+/// multi-case activity (RNG case draws), a probe-gated consumer, and an
+/// undeclared opaque gate (trampoline fallback).
+struct MixedModel {
+  std::unique_ptr<ComposedModel> model;
+  std::shared_ptr<TokenPlace> buffer;
+  std::shared_ptr<TokenPlace> done;
+  std::shared_ptr<TokenPlace> opaque_hits;
+
+  static MixedModel build() {
+    MixedModel m;
+    m.model = std::make_unique<ComposedModel>("mixed");
+    auto& sub = m.model->add_submodel("S");
+    m.buffer = sub.add_place<std::int64_t>("buffer", 0);
+    m.done = sub.add_place<std::int64_t>("done", 0);
+    m.opaque_hits = sub.add_place<std::int64_t>("opaque_hits", 0);
+    auto buffer = m.buffer;
+    auto done = m.done;
+    auto opaque_hits = m.opaque_hits;
+
+    // Lowered producer: exact-effect output gate, exponential delay.
+    auto& produce =
+        sub.add_timed_activity("produce", stats::make_exponential(0.9));
+    produce.add_output_gate(
+        {"p", [buffer](GateContext&) { buffer->mut() += 1; },
+         with_exact_effect(access({}, {buffer}), {{buffer, "", +1}})});
+
+    // Weighted cases: the case draw must consume the RNG stream
+    // identically in both engines.
+    auto& branch =
+        sub.add_timed_activity("branch", stats::make_uniform(0.5, 1.5));
+    InputGate gate{"nonempty", [buffer]() { return buffer->get() > 0; },
+                   nullptr, access({buffer}), {token_positive(buffer)}};
+    branch.add_input_gate(std::move(gate));
+    branch.add_case(
+        {0.25, {{"take2",
+                 [buffer, done](GateContext&) {
+                   const auto take = buffer->get() >= 2 ? 2 : 1;
+                   buffer->mut() -= take;
+                   done->mut() += take;
+                 },
+                 access({buffer}, {buffer, done})}}});
+    branch.add_case(
+        {0.75, {{"take1", [buffer, done](GateContext&) {
+                   buffer->mut() -= 1;
+                   done->mut() += 1;
+                 },
+                 with_exact_effect(access({}, {buffer, done}),
+                                   {{buffer, "", -1}, {done, "", +1}})}}});
+
+    // Probe-gated watcher (compiled predicate via marking probe).
+    auto& watch = sub.add_timed_activity(
+        "watch", stats::make_deterministic(1.0), /*priority=*/1);
+    InputGate probe_gate{
+        "deep", [done]() { return done->get() >= 3; }, nullptr, access({done}),
+        {marking_probe(done, [](const std::int64_t& v) { return v >= 3; })}};
+    watch.add_input_gate(std::move(probe_gate));
+    watch.add_output_gate({"w", [](GateContext&) {}, access({})});
+
+    // Undeclared gate: trampoline dispatch AND an opaque write set
+    // (forces full rescans), both engines identically.
+    auto& opaque =
+        sub.add_timed_activity("opaque", stats::make_erlang(2, 0.7));
+    opaque.add_output_gate(
+        {"o", [opaque_hits](GateContext&) { opaque_hits->mut() += 1; }, {}});
+    return m;
+  }
+};
+
+struct RunResult {
+  std::vector<Recorder::Entry> fires;
+  RunStats stats;
+  std::int64_t buffer, done, opaque_hits;
+};
+
+RunResult run_mixed(Engine engine, Time end, std::uint64_t seed,
+                    bool incremental = true) {
+  auto m = MixedModel::build();
+  auto config = config_with(engine, end, seed);
+  config.incremental_enabling = incremental;
+  Simulator sim(config);
+  Recorder rec;
+  sim.add_observer(rec);
+  sim.set_model(*m.model);
+  const auto stats = sim.run();
+  return {std::move(rec.entries), stats, m.buffer->get(), m.done->get(),
+          m.opaque_hits->get()};
+}
+
+TEST(CompiledEngine, TrajectoryBitIdenticalToObjectGraph) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto obj = run_mixed(Engine::kObjectGraph, 200.0, seed);
+    const auto comp = run_mixed(Engine::kCompiled, 200.0, seed);
+    ASSERT_FALSE(obj.fires.empty());
+    EXPECT_EQ(obj.fires, comp.fires) << "seed " << seed;
+    EXPECT_EQ(obj.stats.events, comp.stats.events);
+    EXPECT_EQ(obj.stats.enabling_evals, comp.stats.enabling_evals);
+    EXPECT_EQ(obj.stats.aborted_events, comp.stats.aborted_events);
+    EXPECT_EQ(obj.buffer, comp.buffer);
+    EXPECT_EQ(obj.done, comp.done);
+    EXPECT_EQ(obj.opaque_hits, comp.opaque_hits);
+  }
+}
+
+TEST(CompiledEngine, IncrementalOffMatchesToo) {
+  // The compiled fast paths (fired-mask dirty tracking, the enabled
+  // bitmasks) are all gated on incremental enabling; full-scan mode must
+  // still match the reference exactly.
+  const auto obj = run_mixed(Engine::kObjectGraph, 150.0, 5, false);
+  const auto comp = run_mixed(Engine::kCompiled, 150.0, 5, false);
+  EXPECT_EQ(obj.fires, comp.fires);
+  EXPECT_EQ(obj.stats.enabling_evals, comp.stats.enabling_evals);
+}
+
+TEST(CompiledEngine, CalendarHandlesFarFutureDelays) {
+  // Delays far beyond the calendar ring window (128 unit buckets) park
+  // in the overflow list; the window must jump over the empty span and
+  // fold them back in the exact EventOrder position.
+  const auto build = [] {
+    auto model = std::make_unique<ComposedModel>("far");
+    auto& sub = model->add_submodel("S");
+    auto count = sub.add_place<std::int64_t>("count", 0);
+    auto& slow =
+        sub.add_timed_activity("slow", stats::make_uniform(100.0, 900.0));
+    slow.add_output_gate(
+        {"s", [count](GateContext&) { count->mut() += 1; }, access({}, {count})});
+    auto& rare =
+        sub.add_timed_activity("rare", stats::make_deterministic(350.0));
+    rare.add_output_gate(
+        {"r", [count](GateContext&) { count->mut() += 10; }, access({}, {count})});
+    return std::make_pair(std::move(model), count);
+  };
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    auto [om, ocount] = build();
+    Simulator obj(config_with(Engine::kObjectGraph, 5000.0, seed));
+    Recorder orec;
+    obj.add_observer(orec);
+    obj.set_model(*om);
+    const auto ostats = obj.run();
+
+    auto [cm, ccount] = build();
+    Simulator comp(config_with(Engine::kCompiled, 5000.0, seed));
+    Recorder crec;
+    comp.add_observer(crec);
+    comp.set_model(*cm);
+    const auto cstats = comp.run();
+
+    ASSERT_GT(ostats.events, 10u);
+    EXPECT_EQ(ostats.events, cstats.events);
+    EXPECT_EQ(orec.entries, crec.entries) << "seed " << seed;
+    EXPECT_EQ(ocount->get(), ccount->get());
+  }
+}
+
+TEST(CompiledEngine, CalendarOrdersFractionalTimesWithinBucket) {
+  // Exponential(4) packs many fractional completion times into each
+  // unit-width bucket; within-bucket ordering must stay EventOrder-
+  // exact (time, then priority, then FIFO seq).
+  const auto build = [] {
+    auto model = std::make_unique<ComposedModel>("frac");
+    auto& sub = model->add_submodel("S");
+    auto count = sub.add_place<std::int64_t>("count", 0);
+    for (int i = 0; i < 6; ++i) {
+      auto& fast = sub.add_timed_activity(
+          "fast" + std::to_string(i), stats::make_exponential(4.0),
+          /*priority=*/i % 3);
+      fast.add_output_gate({"f", [count](GateContext&) { count->mut() += 1; },
+                            access({}, {count})});
+    }
+    return std::make_pair(std::move(model), count);
+  };
+  auto [om, ocount] = build();
+  Simulator obj(config_with(Engine::kObjectGraph, 50.0, 9));
+  Recorder orec;
+  obj.add_observer(orec);
+  obj.set_model(*om);
+  obj.run();
+
+  auto [cm, ccount] = build();
+  Simulator comp(config_with(Engine::kCompiled, 50.0, 9));
+  Recorder crec;
+  comp.add_observer(crec);
+  comp.set_model(*cm);
+  comp.run();
+
+  ASSERT_GT(orec.entries.size(), 100u);
+  EXPECT_EQ(orec.entries, crec.entries);
+  EXPECT_EQ(ocount->get(), ccount->get());
+}
+
+TEST(CompiledEngine, AdvanceInStepsMatchesOneShot) {
+  // The calendar keeps state across advance_until horizons (peeked but
+  // unfired events stay queued); stepping must replay the one-shot run.
+  auto one = MixedModel::build();
+  Simulator whole(config_with(Engine::kCompiled, 100.0, 13));
+  Recorder wrec;
+  whole.add_observer(wrec);
+  whole.set_model(*one.model);
+  const auto wstats = whole.run();
+
+  auto stepped = MixedModel::build();
+  Simulator steps(config_with(Engine::kCompiled, 100.0, 13));
+  Recorder srec;
+  steps.add_observer(srec);
+  steps.set_model(*stepped.model);
+  steps.reset();
+  RunStats sstats;
+  for (Time t = 12.5; t <= 100.0; t += 12.5) sstats = steps.advance_until(t);
+  EXPECT_EQ(wrec.entries, srec.entries);
+  EXPECT_EQ(wstats.events, sstats.events);
+  EXPECT_EQ(one.done->get(), stepped.done->get());
+}
+
+TEST(CompiledEngine, ResetRestoresMarkingsWithoutPerPlaceResets) {
+  auto m = MixedModel::build();
+  Simulator sim(config_with(Engine::kCompiled, 100.0, 2));
+  sim.set_model(*m.model);
+  sim.run();
+  ASSERT_NE(m.done->get(), 0);
+
+  const std::uint64_t before = PlaceBase::reset_count();
+  sim.reset(2);
+  EXPECT_EQ(PlaceBase::reset_count(), before)
+      << "compiled reset must be a block copy, not virtual reset() calls";
+  EXPECT_EQ(m.buffer->get(), 0);
+  EXPECT_EQ(m.done->get(), 0);
+  EXPECT_EQ(m.opaque_hits->get(), 0);
+
+  // The object engine restores the same state through the virtual walk.
+  auto m2 = MixedModel::build();
+  Simulator obj(config_with(Engine::kObjectGraph, 100.0, 2));
+  obj.set_model(*m2.model);
+  obj.run();
+  const std::uint64_t obefore = PlaceBase::reset_count();
+  obj.reset(2);
+  EXPECT_GT(PlaceBase::reset_count(), obefore);
+}
+
+TEST(CompiledEngine, ResetWithSeedReplaysIdenticalReplication) {
+  auto m = MixedModel::build();
+  Simulator sim(config_with(Engine::kCompiled, 80.0, 21));
+  Recorder rec;
+  sim.add_observer(rec);
+  sim.set_model(*m.model);
+  sim.run();
+  const auto first = rec.entries;
+  const auto done_first = m.done->get();
+  ASSERT_FALSE(first.empty());
+
+  // Same seed after reset: byte-identical replay off the arena image
+  // (the zero-rebuild replication path the system pool relies on).
+  rec.entries.clear();
+  sim.reset(21);
+  sim.advance_until(80.0);
+  EXPECT_EQ(rec.entries, first);
+  EXPECT_EQ(m.done->get(), done_first);
+}
+
+TEST(CompiledEngine, PodVectorMarkingRestoredOnReset) {
+  ComposedModel cm("pod");
+  auto& sub = cm.add_submodel("S");
+  auto vec = sub.add_place<std::vector<std::int32_t>>(
+      "vec", std::vector<std::int32_t>{1, 2, 3});
+  auto& clock = sub.add_timed_activity("clock", stats::make_deterministic(1.0));
+  clock.add_output_gate({"bump",
+                         [vec](GateContext&) {
+                           for (auto& v : vec->mut()) v += 1;
+                         },
+                         access({}, {vec})});
+
+  Simulator sim(config_with(Engine::kCompiled, 5.0, 1));
+  sim.set_model(cm);
+  sim.run();
+  EXPECT_EQ(vec->get(), (std::vector<std::int32_t>{6, 7, 8}));
+  sim.reset(1);
+  EXPECT_EQ(vec->get(), (std::vector<std::int32_t>{1, 2, 3}))
+      << "pod-vector markings restore through the flat span recipe";
+}
+
+TEST(CompiledEngine, DoubleCompileThrows) {
+  auto m = MixedModel::build();
+  Simulator first(config_with(Engine::kCompiled, 10.0, 1));
+  first.set_model(*m.model);
+  Simulator second(config_with(Engine::kCompiled, 10.0, 1));
+  EXPECT_THROW(second.set_model(*m.model), std::logic_error)
+      << "a model may be arena-bound by at most one engine at a time";
+}
+
+TEST(CompiledEngine, KernelStatsCensusMatchesModel) {
+  auto m = MixedModel::build();
+  Simulator sim(config_with(Engine::kCompiled, 10.0, 1));
+  sim.set_model(*m.model);
+  const KernelStats stats = sim.kernel_stats();
+  EXPECT_EQ(stats.places, 3u);
+  EXPECT_EQ(stats.arena_places, 3u);
+  EXPECT_GT(stats.arena_bytes, 0u);
+  // Lowered: produce's exact effect, branch's pred terms + take1 exact
+  // effect, watch's probe gate. Trampolined: branch take2, watch's "w",
+  // opaque's undeclared gate.
+  EXPECT_EQ(stats.compiled_gates, 4u);
+  EXPECT_EQ(stats.trampoline_gates, 3u);
+
+  Simulator obj(config_with(Engine::kObjectGraph, 10.0, 1));
+  auto m2 = MixedModel::build();
+  obj.set_model(*m2.model);
+  const KernelStats none = obj.kernel_stats();
+  EXPECT_EQ(none.places, 0u);
+  EXPECT_EQ(none.arena_bytes, 0u);
+}
+
+TEST(CompiledEngine, EngineNamesRoundTrip) {
+  Engine e = Engine::kObjectGraph;
+  EXPECT_TRUE(parse_engine("compiled", e));
+  EXPECT_EQ(e, Engine::kCompiled);
+  EXPECT_TRUE(parse_engine("object", e));
+  EXPECT_EQ(e, Engine::kObjectGraph);
+  EXPECT_FALSE(parse_engine("jit", e));
+  EXPECT_STREQ(engine_name(Engine::kCompiled), "compiled");
+  EXPECT_STREQ(engine_name(Engine::kObjectGraph), "object");
+}
+
+}  // namespace
+}  // namespace vcpusim::san
