@@ -1,0 +1,76 @@
+// Variance-reduction benchmark: replications needed to reach the paper's
+// CI half-width target under the fixed controller versus the antithetic
+// controller (which embeds the adaptive batch sizing), across system
+// sizes. Deterministic — every quantity is a pure function of the seeds,
+// so CI runs one iteration and gates on the counters
+// (BENCH_variance.json: antithetic replications <= 0.6x fixed).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "sched/registry.hpp"
+#include "vm/system_builder.hpp"
+
+namespace {
+
+using namespace vcpusim;
+
+/// 2:1 VCPU over-commit with 1:5 sync — enough cross-replication
+/// variance that the stopping rule actually has work to do at a short
+/// horizon.
+exp::RunSpec variance_spec(int vcpus, stats::ControllerKind controller) {
+  exp::RunSpec spec;
+  const int vms = vcpus / 2;
+  spec.system = vm::make_symmetric_config(
+      vms, std::vector<int>(static_cast<std::size_t>(vms), 2), 5);
+  spec.scheduler = sched::make_factory("rrs");
+  spec.end_time = 150.0;
+  spec.warmup = 30.0;
+  spec.policy.min_replications = 6;
+  spec.policy.max_replications = 400;
+  // Throughput scales with system size; target ~2% of the mean per size.
+  spec.policy.target_half_width = vcpus == 4 ? 0.006
+                                : vcpus == 16 ? 0.012
+                                              : 0.022;
+  spec.controller = controller;
+  return spec;
+}
+
+void run_to_convergence(benchmark::State& state,
+                        stats::ControllerKind controller) {
+  const int vcpus = static_cast<int>(state.range(0));
+  std::size_t replications = 0;
+  std::size_t invoked = 0;
+  for (auto _ : state) {
+    const auto result =
+        exp::run_point(variance_spec(vcpus, controller),
+                       {{exp::MetricKind::kThroughput, -1, "m"}});
+    replications = result.replications;
+    invoked = result.invoked;
+    benchmark::DoNotOptimize(result.converged);
+  }
+  state.counters["vcpus"] = static_cast<double>(vcpus);
+  state.counters["replications"] = static_cast<double>(replications);
+  state.counters["invoked"] = static_cast<double>(invoked);
+}
+
+void BM_ReplicationsToConverge_Fixed(benchmark::State& state) {
+  run_to_convergence(state, stats::ControllerKind::kFixed);
+}
+BENCHMARK(BM_ReplicationsToConverge_Fixed)
+    ->Arg(4)->Arg(16)->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplicationsToConverge_Antithetic(benchmark::State& state) {
+  run_to_convergence(state, stats::ControllerKind::kAntithetic);
+}
+BENCHMARK(BM_ReplicationsToConverge_Antithetic)
+    ->Arg(4)->Arg(16)->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,13 +1,17 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iterator>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/scenario.hpp"
+#include "exp/compare.hpp"
 #include "exp/table.hpp"
 #include "san/analyze/analyzer.hpp"
 #include "san/simulator.hpp"
@@ -22,6 +26,8 @@ namespace vcpusim::cli {
 namespace {
 
 constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
+       vcpusim compare [SCENARIO] [options] [--algorithms LIST]
+                       [--baseline NAME] [--json]
        vcpusim trace [SCENARIO] [options] [--sink NAME] [--out FILE]
                      [--categories LIST]
        vcpusim algorithms [--json]
@@ -45,7 +51,17 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
   --warmup T             reward warm-up (default 200)
   --seed S               base seed (default 42)
   --half-width W         CI half-width convergence target (default 0.02)
+  --min-replications N   replications before the stopping rule may fire
+                         (default 6)
   --max-replications N   replication cap (default 40)
+  --controller NAME      replication controller: fixed (default,
+                         jobs-sized batches), adaptive (variance-sized
+                         batches, less speculative waste) or antithetic
+                         (mirrored replication pairs, fewer replications
+                         to converge). Results are deterministic and
+                         jobs-invariant for every controller; see
+                         docs/STATISTICS.md. Scenario key:
+                         controller = fixed/adaptive/antithetic
   --jobs N               worker threads for replication batches
                          (default 1; 0 = all hardware threads). Results
                          are identical for every value of N
@@ -75,6 +91,20 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
                          system and print one row per algorithm
   --list-algorithms      print registered algorithms and exit
   --help                 this text
+
+The compare verb runs every algorithm of the list against identical
+replication seed streams (common random numbers) on the configured
+system and reports, per metric, each algorithm's estimate plus the
+paired-difference CI against the baseline — the honest interval for
+"is A better than B", typically far tighter than differencing two
+independent runs. See docs/STATISTICS.md.
+
+  --algorithms LIST      comma-separated registry names; the first is
+                         the baseline (default: the scenario's [compare]
+                         block, else all registered algorithms with the
+                         scenario's `algorithm` as baseline)
+  --baseline NAME        move NAME to the front of the algorithm list
+  --json                 emit the comparison as JSON instead of tables
 
 The algorithms verb prints the catalog of built-in scheduling
 algorithms — canonical name, Scheduler::name(), accepted aliases, a
@@ -194,10 +224,22 @@ int parse_args(int argc, const char* const* argv, Options& options,
         const char* v = need_value("--half-width");
         if (v == nullptr) return 1;
         spec.policy.target_half_width = std::atof(v);
+      } else if (arg == "--min-replications") {
+        const char* v = need_value("--min-replications");
+        if (v == nullptr) return 1;
+        spec.policy.min_replications = static_cast<std::size_t>(std::atoll(v));
       } else if (arg == "--max-replications") {
         const char* v = need_value("--max-replications");
         if (v == nullptr) return 1;
         spec.policy.max_replications = static_cast<std::size_t>(std::atoll(v));
+      } else if (arg == "--controller") {
+        const char* v = need_value("--controller");
+        if (v == nullptr) return 1;
+        if (!stats::parse_controller(v, spec.controller)) {
+          err << "vcpusim: --controller must be 'fixed', 'adaptive' or "
+                 "'antithetic', got '" << v << "'\n";
+          return 1;
+        }
       } else if (arg == "--jobs") {
         const char* v = need_value("--jobs");
         if (v == nullptr) return 1;
@@ -458,6 +500,165 @@ int run_algorithms(int argc, const char* const* argv, std::ostream& out,
   return 0;
 }
 
+/// Render a double for the JSON outputs with round-trip precision.
+std::string json_number(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+/// The `vcpusim compare` verb: common-random-numbers comparison of K
+/// algorithms on the configured system — per-algorithm estimates plus
+/// paired-difference CIs against the baseline (exp::compare_points).
+int run_compare(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err) {
+  bool json = false;
+  std::vector<std::string> algorithms;
+  std::string baseline;
+
+  // Peel off compare-only flags and promote a bare SCENARIO argument to
+  // --scenario, then reuse the standard option parser for the rest.
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        err << "vcpusim: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--algorithms") {
+      const char* v = need_value("--algorithms");
+      if (v == nullptr) return 1;
+      std::istringstream is(v);
+      std::string token;
+      while (std::getline(is, token, ',')) {
+        if (!token.empty()) algorithms.push_back(token);
+      }
+    } else if (arg == "--baseline") {
+      const char* v = need_value("--baseline");
+      if (v == nullptr) return 1;
+      baseline = v;
+    } else if (!arg.empty() && arg[0] != '-' && rest.size() == 1) {
+      rest.push_back("--scenario");
+      rest.push_back(argv[i]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  Options options;
+  if (const int rc = parse_args(static_cast<int>(rest.size()), rest.data(),
+                                options, err);
+      rc != 0) {
+    return rc;
+  }
+  if (options.help) {
+    out << kUsage;
+    return 0;
+  }
+
+  try {
+    finalize_scenario(options);
+    auto& scenario = options.scenario;
+
+    // Algorithm list priority: --algorithms, the scenario's [compare]
+    // block, then every registered algorithm with the scenario's
+    // configured algorithm as baseline.
+    if (algorithms.empty()) algorithms = scenario.compare_algorithms;
+    if (algorithms.empty()) {
+      algorithms = sched::builtin_algorithms();
+      if (baseline.empty()) baseline = scenario.algorithm;
+    }
+    if (!baseline.empty()) {
+      const auto it = std::find(algorithms.begin(), algorithms.end(), baseline);
+      if (it == algorithms.end()) {
+        err << "vcpusim: baseline '" << baseline
+            << "' is not in the algorithm list\n";
+        return 1;
+      }
+      std::rotate(algorithms.begin(), it, it + 1);
+    }
+    if (algorithms.size() < 2) {
+      err << "vcpusim: compare needs at least two algorithms\n";
+      return 1;
+    }
+
+    const auto result =
+        exp::compare_points(scenario.spec, algorithms, scenario.metrics);
+
+    if (json) {
+      out << "{\n  \"baseline\": \"" << json_escape(result.baseline)
+          << "\",\n  \"controller\": \"" << json_escape(result.controller)
+          << "\",\n  \"replications\": " << result.replications
+          << ",\n  \"confidence\": "
+          << json_number(scenario.spec.policy.confidence)
+          << ",\n  \"seeds\": [";
+      for (std::size_t r = 0; r < result.seeds.size(); ++r) {
+        out << (r != 0 ? ", " : "") << result.seeds[r];
+      }
+      out << "],\n  \"metrics\": [";
+      for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
+        out << (m != 0 ? ", " : "") << '"'
+            << json_escape(result.metric_names[m]) << '"';
+      }
+      out << "],\n  \"algorithms\": [";
+      for (std::size_t a = 0; a < result.algorithms.size(); ++a) {
+        out << (a != 0 ? "," : "") << "\n    {\n      \"name\": \""
+            << json_escape(result.algorithms[a]) << "\",\n      \"baseline\": "
+            << (a == 0 ? "true" : "false") << ",\n      \"estimates\": [";
+        for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
+          const auto& ci = result.estimates[a][m];
+          out << (m != 0 ? "," : "") << "\n        {\"metric\": \""
+              << json_escape(result.metric_names[m]) << "\", \"mean\": "
+              << json_number(ci.mean) << ", \"half_width\": "
+              << json_number(ci.half_width) << "}";
+        }
+        out << "\n      ]";
+        if (a != 0) {
+          out << ",\n      \"deltas\": [";
+          for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
+            const auto& d = result.deltas[a - 1][m];
+            out << (m != 0 ? "," : "") << "\n        {\"metric\": \""
+                << json_escape(result.metric_names[m]) << "\", \"mean\": "
+                << json_number(d.paired.mean) << ", \"half_width\": "
+                << json_number(d.paired.half_width)
+                << ", \"unpaired_half_width\": "
+                << json_number(d.unpaired_half_width) << ", \"correlation\": "
+                << json_number(d.correlation) << "}";
+          }
+          out << "\n      ]";
+        }
+        out << "\n    }";
+      }
+      out << "\n  ]\n}\n";
+      return 0;
+    }
+
+    const exp::Table estimates = result.estimates_table();
+    const exp::Table deltas = result.deltas_table();
+    if (options.csv) {
+      out << estimates.to_csv() << deltas.to_csv();
+    } else {
+      out << estimates.render() << "\n" << deltas.render();
+    }
+    out << "\n" << result.replications << " common-seed replication"
+        << (result.replications == 1 ? "" : "s") << " per algorithm ("
+        << result.controller << " controller, baseline " << result.baseline
+        << "); paired CIs use common random numbers\n";
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    err << "vcpusim: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "vcpusim: compare failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 /// The `vcpusim lint` verb: build the composed model the options
 /// describe, statically analyze it, contract-check the scheduler, and
 /// render the report. Never runs the simulation.
@@ -573,6 +774,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   }
   if (argc > 1 && std::string(argv[1]) == "trace") {
     return run_trace(argc, argv, out, err);
+  }
+  if (argc > 1 && std::string(argv[1]) == "compare") {
+    return run_compare(argc, argv, out, err);
   }
 
   // `vcpusim run ...` is the explicit spelling of the default verb.

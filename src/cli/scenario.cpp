@@ -111,6 +111,8 @@ Scenario parse_scenario(std::istream& in) {
   Scenario scenario;
   scenario.spec.system.vms.clear();
   vm::VmConfig* current_vm = nullptr;
+  bool in_compare = false;
+  std::string compare_baseline;
 
   std::string raw;
   int line = 0;
@@ -126,11 +128,20 @@ Scenario parse_scenario(std::istream& in) {
       const auto space = inside.find(' ');
       const std::string kind =
           lower(space == std::string::npos ? inside : inside.substr(0, space));
+      if (kind == "compare") {
+        if (space != std::string::npos) {
+          fail(line, "the [compare] section takes no name");
+        }
+        current_vm = nullptr;
+        in_compare = true;
+        continue;
+      }
       if (kind != "vm") fail(line, "unknown section '" + inside + "'");
       vm::VmConfig vm_cfg;
       if (space != std::string::npos) vm_cfg.name = trim(inside.substr(space + 1));
       scenario.spec.system.vms.push_back(std::move(vm_cfg));
       current_vm = &scenario.spec.system.vms.back();
+      in_compare = false;
       continue;
     }
 
@@ -139,6 +150,25 @@ Scenario parse_scenario(std::istream& in) {
     const std::string key = lower(trim(text.substr(0, eq)));
     const std::string value = trim(text.substr(eq + 1));
     if (value.empty()) fail(line, "empty value for '" + key + "'");
+
+    if (in_compare) {
+      if (key == "algorithms") {
+        for (const auto& name : split(value, ',')) {
+          const std::string algorithm = lower(name);
+          try {
+            sched::make_factory(algorithm);
+          } catch (const std::exception& e) {
+            fail(line, e.what());
+          }
+          scenario.compare_algorithms.push_back(algorithm);
+        }
+      } else if (key == "baseline") {
+        compare_baseline = lower(value);
+      } else {
+        fail(line, "unknown compare key '" + key + "'");
+      }
+      continue;
+    }
 
     if (current_vm == nullptr) {
       // Global section.
@@ -166,6 +196,10 @@ Scenario parse_scenario(std::istream& in) {
       } else if (key == "max_replications") {
         scenario.spec.policy.max_replications =
             static_cast<std::size_t>(parse_number(line, key, value));
+      } else if (key == "controller") {
+        if (!stats::parse_controller(lower(value), scenario.spec.controller)) {
+          fail(line, "controller must be 'fixed', 'adaptive' or 'antithetic'");
+        }
       } else if (key == "jobs") {
         const double n = parse_number(line, key, value);
         if (n < 0) fail(line, "jobs must be >= 0");
@@ -248,6 +282,16 @@ Scenario parse_scenario(std::istream& in) {
 
   if (scenario.spec.system.vms.empty()) {
     throw std::invalid_argument("scenario defines no [vm] sections");
+  }
+  if (!compare_baseline.empty()) {
+    const auto it = std::find(scenario.compare_algorithms.begin(),
+                              scenario.compare_algorithms.end(),
+                              compare_baseline);
+    if (it == scenario.compare_algorithms.end()) {
+      throw std::invalid_argument("compare baseline '" + compare_baseline +
+                                  "' is not in the compare algorithms list");
+    }
+    std::rotate(scenario.compare_algorithms.begin(), it, it + 1);
   }
   if (scenario.metrics.empty()) {
     scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},

@@ -12,8 +12,13 @@
 //   half_width = 0.02
 //   min_replications = 6
 //   max_replications = 40
+//   controller = adaptive        # fixed (default) / adaptive / antithetic
 //   jobs = 4                     # replication worker threads (0 = all)
 //   metrics = vcpu_utilization, pcpu_utilization, throughput
+//
+//   [compare]                    # optional: the `vcpusim compare` verb
+//   algorithms = rrs, scs, rcs   # first entry is the baseline...
+//   baseline = scs               # ...unless overridden here
 //
 //   [vm web]
 //   vcpus = 2
@@ -43,6 +48,10 @@ struct Scenario {
   std::string algorithm = "rrs";
   exp::RunSpec spec;                        ///< system + simulation knobs
   std::vector<exp::MetricRequest> metrics;  ///< defaults if file names none
+  /// Algorithms of the [compare] block (baseline first); empty when the
+  /// scenario has none — `vcpusim compare` then runs every registered
+  /// algorithm against the scenario's `algorithm` as baseline.
+  std::vector<std::string> compare_algorithms;
 };
 
 /// Parse a scenario from a stream. Throws std::invalid_argument with a

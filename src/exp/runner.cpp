@@ -208,11 +208,12 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   // simulator, finalize the metrics and capture the observability
   // record. reset(seed) + advance_until(end) on a fresh simulator is
   // exactly run(), so both paths execute the identical sequence.
-  const auto execute = [&](std::size_t rep, vm::VirtualSystem& system,
-                           san::Simulator& sim,
+  const auto execute = [&](const stats::ReplicationTask& task,
+                           vm::VirtualSystem& system, san::Simulator& sim,
                            std::vector<BoundMetric>& bound,
                            stats::PhaseProfile reset_profile)
       -> std::vector<double> {
+    const std::size_t rep = task.rep;
     std::unique_ptr<trace::RingBufferSink> buffer;
     if (spec.trace != nullptr) {
       // Unbounded private buffer; the category mask mirrors the user
@@ -221,7 +222,8 @@ stats::ReplicationResult run_point(const RunSpec& spec,
           0, spec.trace->categories());
       sim.set_trace(buffer.get());
     }
-    sim.reset(san::replication_seed(spec.base_seed, rep));
+    sim.reset(san::replication_seed(spec.base_seed, task.stream.stream),
+              task.stream.antithetic);
     const san::RunStats run_stats = sim.advance_until(spec.end_time);
     sim.set_trace(nullptr);
     if (spec.verify_footprints) {
@@ -260,7 +262,7 @@ stats::ReplicationResult run_point(const RunSpec& spec,
   };
 
   // Legacy path: build everything from scratch for every replication.
-  const auto rebuild_replication = [&](std::size_t rep)
+  const auto rebuild_replication = [&](const stats::ReplicationTask& task)
       -> std::vector<double> {
     auto system = vm::build_system(spec.system, spec.scheduler());
     std::vector<BoundMetric> bound;
@@ -268,8 +270,8 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     for (const auto& m : metrics) {
       bound.push_back(bind_metric(*system, m, spec.warmup));
     }
-    san::Simulator sim(
-        simulator_config(san::replication_seed(spec.base_seed, rep)));
+    san::Simulator sim(simulator_config(
+        san::replication_seed(spec.base_seed, task.stream.stream)));
     sim.set_model(*system->model);
     for (auto& b : bound) {
       for (auto& r : b.rewards) sim.add_reward(*r);
@@ -277,13 +279,13 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     if (spec.profile && system->scheduler_places.profile != nullptr) {
       system->scheduler_places.profile->set_enabled(true);
     }
-    return execute(rep, *system, sim, bound, stats::PhaseProfile{});
+    return execute(task, *system, sim, bound, stats::PhaseProfile{});
   };
 
   // Pooled path: check a slot out, build/rebind it only on the first
   // touch, reset it otherwise. The kReset phase times everything the
   // rebuild path would have spent in construction.
-  const auto pooled_replication = [&](std::size_t rep)
+  const auto pooled_replication = [&](const stats::ReplicationTask& task)
       -> std::vector<double> {
     stats::PhaseProfile reset_profile;
     reset_profile.set_enabled(spec.profile);
@@ -303,8 +305,8 @@ stats::ReplicationResult run_point(const RunSpec& spec,
         // expensive part (build_system) is what stays amortized; the
         // simulator re-derives its index from the already-built model.
         if (!built) slot.system->rebind_scheduler(spec.scheduler());
-        slot.simulator = std::make_unique<san::Simulator>(
-            simulator_config(san::replication_seed(spec.base_seed, rep)));
+        slot.simulator = std::make_unique<san::Simulator>(simulator_config(
+            san::replication_seed(spec.base_seed, task.stream.stream)));
         slot.simulator->set_model(*slot.system->model);
         auto bindings = std::make_shared<SlotBindings>();
         bindings->bound.reserve(metrics.size());
@@ -326,16 +328,17 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     }
     SystemPool::Slot& slot = checkout.slot();
     auto& bound = static_cast<SlotBindings*>(slot.bindings.get())->bound;
-    return execute(rep, *slot.system, *slot.simulator, bound,
+    return execute(task, *slot.system, *slot.simulator, bound,
                    std::move(reset_profile));
   };
 
-  const stats::ReplicationFn one_replication =
-      pool != nullptr ? stats::ReplicationFn(pooled_replication)
-                      : stats::ReplicationFn(rebuild_replication);
+  const stats::StreamedReplicationFn one_replication =
+      pool != nullptr ? stats::StreamedReplicationFn(pooled_replication)
+                      : stats::StreamedReplicationFn(rebuild_replication);
 
+  const auto controller = stats::make_controller(spec.controller, spec.policy);
   stats::ReplicationResult result =
-      stats::run_replications(names, one_replication, spec.policy, spec.jobs);
+      stats::run_replications(names, one_replication, *controller, spec.jobs);
 
   // Prune speculative records past the stopping index: they are never
   // forwarded or folded, and each may hold a full trace buffer.
@@ -391,7 +394,13 @@ stats::ReplicationResult run_point(const RunSpec& spec,
     }
     reg.counter("run.replications").add(result.replications);
     if (result.converged) reg.counter("run.converged").add(1);
-    reg.counter("executor.invoked").add(result.invoked);
+    // Which controller drove the run, as a self-describing flag counter.
+    reg.counter("run.controller." + result.controller).add(1);
+    reg.counter("run.controller.batches").add(result.batches);
+    // The single waste figure: replications invoked past the stopping
+    // index and discarded (previously derivable only as
+    // executor.invoked - run.replications).
+    reg.counter("executor.speculative_waste").add(result.speculative_waste());
     reg.counter("executor.batches").add(result.batches);
     reg.gauge("executor.jobs").set(static_cast<double>(result.jobs));
     if (pool != nullptr) {

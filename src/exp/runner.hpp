@@ -105,12 +105,18 @@ struct RunSpec {
   /// engine-equivalence matrix.
   san::Engine engine = san::Engine::kCompiled;
 
-  stats::ReplicationPolicy policy{
-      .confidence = 0.95,
-      .target_half_width = 0.02,
-      .min_replications = 6,
-      .max_replications = 40,
-  };
+  /// The paper's statistical target (stats::ReplicationPolicy::paper());
+  /// the exp::quality presets scale it per tier.
+  stats::ReplicationPolicy policy = stats::ReplicationPolicy::paper();
+
+  /// Replication controller: batch sizing, observation folding and the
+  /// stopping decision (stats/replication.hpp, docs/STATISTICS.md).
+  /// kFixed dispatches `jobs`-sized batches (bit-identical to the
+  /// pre-controller runner); kAdaptive sizes batches from the observed
+  /// variance, cutting speculative waste; kAntithetic runs mirrored
+  /// replication pairs, typically converging in far fewer replications.
+  /// Every kind folds in index order, so results are jobs-invariant.
+  stats::ControllerKind controller = stats::ControllerKind::kFixed;
 
   // --- Observability (see docs/OBSERVABILITY.md) --------------------
   /// Structured trace sink receiving every non-speculative replication's
@@ -124,7 +130,8 @@ struct RunSpec {
 
   /// Registry receiving run-level metrics after the replications finish:
   /// "sim.*" (RunStats), "sched.*" (BridgeStats), "executor.*",
-  /// "run.replications", per-metric "metric.<name>" summaries, and with
+  /// "run.replications", "run.controller.*" (controller flag + batches),
+  /// per-metric "metric.<name>" summaries, and with
   /// `profile` also "profile.<phase>.{calls,ns}". Deterministic entries
   /// ("sim.*", "sched.*", "metric.*", "run.*") fold only the
   /// non-speculative replications, in index order.

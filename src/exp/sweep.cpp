@@ -85,6 +85,7 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
     cell.ci = outcome.metrics.front().ci;
     cell.replications = outcome.replications;
     cell.converged = outcome.converged;
+    cell.speculative_waste = outcome.speculative_waste();
   });
 
   if (base.metrics != nullptr) {
@@ -95,6 +96,7 @@ SweepResult run_sweep(const RunSpec& base, const std::vector<SweepPoint>& points
     for (const auto& row : result.cells) {
       for (const auto& cell : row) {
         reg.counter("sweep.replications").add(cell.replications);
+        reg.counter("sweep.speculative_waste").add(cell.speculative_waste);
         if (cell.converged) reg.counter("sweep.converged_cells").add(1);
       }
     }

@@ -24,6 +24,12 @@ struct SweepCell {
   stats::ConfidenceInterval ci;
   std::size_t replications = 0;
   bool converged = false;
+  /// Speculative replications invoked past the cell's stopping index and
+  /// discarded (folded into "sweep.speculative_waste"). The adaptive and
+  /// antithetic controllers (base.controller) size each cell's batches
+  /// from its own variance, so a sweep allocates replications per cell
+  /// instead of dispatching fixed `jobs`-wide batches everywhere.
+  std::size_t speculative_waste = 0;
 };
 
 struct SweepResult {

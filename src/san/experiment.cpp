@@ -16,8 +16,9 @@ stats::ReplicationResult run_experiment(
     const ExperimentConfig& config) {
   if (!factory) throw std::invalid_argument("run_experiment: null factory");
 
-  const auto one_rep = [&](std::size_t rep) -> std::vector<double> {
-    Replica replica = factory(rep);
+  const auto one_rep =
+      [&](const stats::ReplicationTask& task) -> std::vector<double> {
+    Replica replica = factory(task.rep);
     if (!replica.model) {
       throw std::runtime_error("run_experiment: factory returned null model");
     }
@@ -29,11 +30,12 @@ stats::ReplicationResult run_experiment(
     }
     SimulatorConfig sim_config;
     sim_config.end_time = config.end_time;
-    sim_config.seed = replication_seed(config.base_seed, rep);
+    sim_config.seed = replication_seed(config.base_seed, task.stream.stream);
     Simulator sim(sim_config);
     sim.set_model(*replica.model);
     for (auto& r : replica.rewards) sim.add_reward(*r);
-    sim.run();
+    sim.reset(sim_config.seed, task.stream.antithetic);
+    sim.advance_until(config.end_time);
     std::vector<double> obs;
     obs.reserve(replica.rewards.size());
     for (auto& r : replica.rewards) {
@@ -42,7 +44,9 @@ stats::ReplicationResult run_experiment(
     return obs;
   };
 
-  return stats::run_replications(metric_names, one_rep, config.policy,
+  const auto controller = stats::make_controller(config.controller,
+                                                 config.policy);
+  return stats::run_replications(metric_names, one_rep, *controller,
                                  config.jobs);
 }
 

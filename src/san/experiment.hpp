@@ -40,6 +40,10 @@ struct ExperimentConfig {
   /// Results are bit-identical for every value; with jobs > 1 the
   /// ReplicaFactory must be safe to call concurrently.
   std::size_t jobs = 1;
+  /// Replication controller (batch sizing, folding, stopping); see
+  /// stats/replication.hpp and docs/STATISTICS.md. The default is the
+  /// fixed policy — bit-identical to the pre-controller driver.
+  stats::ControllerKind controller = stats::ControllerKind::kFixed;
 };
 
 /// Run replications of the model produced by `factory` until every

@@ -773,9 +773,11 @@ void Simulator::reset() {
   settle();
 }
 
-void Simulator::reset(std::uint64_t seed) {
+void Simulator::reset(std::uint64_t seed, bool antithetic) {
   config_.seed = seed;
   rng_ = stats::Rng(seed);
+  // Before reset(): the time-zero activations already draw variates.
+  rng_.set_antithetic(antithetic);
   reset();
 }
 

@@ -154,7 +154,10 @@ class Simulator {
   /// reset() with a fresh RNG stream: re-seeds the generator before the
   /// time-zero activations so a reused simulator replays exactly the
   /// replication a fresh Simulator{config with .seed = seed} would run.
-  void reset(std::uint64_t seed);
+  /// With `antithetic` set every variate draw of the replication is
+  /// mirrored (stats::Rng::set_antithetic) — the antithetic partner of
+  /// the un-mirrored run on the same seed.
+  void reset(std::uint64_t seed, bool antithetic = false);
 
   /// Process events up to and including time `t` (capped at the
   /// configured end_time) and accrue rewards to min(t, end_time).

@@ -26,20 +26,36 @@ Rng::result_type Rng::operator()() noexcept {
 }
 
 double Rng::uniform01() noexcept {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  if (!antithetic_) return u;
+  // u == 0 would mirror to exactly 1.0, outside the half-open contract
+  // (and e.g. an inverse-CDF exponential draw would blow up); clamp to
+  // the largest double below 1 to keep the mirror monotone.
+  const double mirrored = 1.0 - u;
+  return mirrored < 1.0 ? mirrored : 1.0 - 0x1.0p-53;
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   // Unbiased bounded draw by rejection: discard the sub-range of 64-bit
   // outputs that would skew the modulo (at most one retry on average).
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
-  const std::uint64_t threshold = (0 - range) % range;          // 2^64 mod range
-  std::uint64_t r;
-  do {
-    r = (*this)();
-  } while (r < threshold);
-  return lo + static_cast<std::int64_t>(r % range);
+  std::int64_t x;
+  if (range == 0) {  // full 64-bit range: every output is in bounds
+    x = static_cast<std::int64_t>((*this)());
+  } else {
+    const std::uint64_t threshold = (0 - range) % range;  // 2^64 mod range
+    std::uint64_t r;
+    do {
+      r = (*this)();
+    } while (r < threshold);
+    x = lo + static_cast<std::int64_t>(r % range);
+  }
+  if (!antithetic_) return x;
+  // Mirror within [lo, hi] in unsigned arithmetic so the full-width
+  // range (where hi - lo overflows) wraps correctly.
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(x) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(hi) - offset);
 }
 
 Rng Rng::split(std::uint64_t stream_id) noexcept {

@@ -59,6 +59,15 @@ class Rng {
   /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
+  /// Mirror every subsequent variate draw (the antithetic-variates
+  /// transform): uniform01 returns 1-u mapped back into [0,1) and
+  /// uniform_int returns lo+hi-x. The raw 64-bit stream (operator()) is
+  /// untouched, so a mirrored run consumes exactly the same underlying
+  /// sequence — and therefore the same number of raw draws — as its
+  /// primal partner seeded identically.
+  void set_antithetic(bool on) noexcept { antithetic_ = on; }
+  bool antithetic() const noexcept { return antithetic_; }
+
   /// Derive an independent child stream. Equivalent to jumping to a
   /// far-away point: the child is seeded from a SplitMix64 expansion of
   /// this stream's next output mixed with `stream_id`, so replications
@@ -67,6 +76,7 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+  bool antithetic_ = false;
 };
 
 }  // namespace vcpusim::stats

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/replication.hpp"
 
 namespace vcpusim::cli {
 namespace {
@@ -121,6 +125,80 @@ TEST(Scenario, RejectsMalformedInput) {
 
 TEST(Scenario, UnknownVmKeyRejected) {
   EXPECT_THROW(parse("[vm]\ncores = 2\n"), std::invalid_argument);
+}
+
+TEST(Scenario, ControllerKeyParsed) {
+  const auto s = parse("controller = antithetic\n[vm]\nvcpus = 1\n");
+  EXPECT_EQ(s.spec.controller, stats::ControllerKind::kAntithetic);
+  // Default stays fixed.
+  const auto d = parse("[vm]\nvcpus = 1\n");
+  EXPECT_EQ(d.spec.controller, stats::ControllerKind::kFixed);
+}
+
+TEST(Scenario, ControllerKeyRejectsUnknownNames) {
+  try {
+    parse("controller = sequential\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("controller"), std::string::npos);
+  }
+}
+
+TEST(Scenario, CompareBlockParsed) {
+  const auto s = parse(R"(
+pcpus = 2
+[compare]
+algorithms = rrs, scs, rcs
+[vm]
+vcpus = 1
+)");
+  EXPECT_EQ(s.compare_algorithms,
+            (std::vector<std::string>{"rrs", "scs", "rcs"}));
+}
+
+TEST(Scenario, CompareBaselineRotatesToFront) {
+  const auto s = parse(R"(
+[compare]
+algorithms = rrs, scs, rcs
+baseline = rcs
+[vm]
+vcpus = 1
+)");
+  EXPECT_EQ(s.compare_algorithms,
+            (std::vector<std::string>{"rcs", "rrs", "scs"}));
+}
+
+TEST(Scenario, CompareBlockErrors) {
+  // Unknown algorithm in the list, with a line number.
+  try {
+    parse("[compare]\nalgorithms = rrs, warp\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  // Baseline outside the list.
+  EXPECT_THROW(
+      parse("[compare]\nalgorithms = rrs, scs\nbaseline = bvt\n"
+            "[vm]\nvcpus = 1\n"),
+      std::invalid_argument);
+  // Unknown keys and a named section are errors, like everywhere else.
+  EXPECT_THROW(parse("[compare]\nfrobnicate = 1\n[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("[compare foo]\nalgorithms = rrs\n[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, CompareBlockDoesNotLeakIntoVmOrGlobalKeys) {
+  // Keys after a [vm] section following [compare] go to the VM again.
+  const auto s = parse(R"(
+[compare]
+algorithms = rrs, scs
+[vm]
+vcpus = 3
+)");
+  ASSERT_EQ(s.spec.system.vms.size(), 1u);
+  EXPECT_EQ(s.spec.system.vms[0].num_vcpus, 3);
 }
 
 TEST(ParseMetric, KnownNames) {

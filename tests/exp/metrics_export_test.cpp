@@ -43,12 +43,19 @@ TEST(MetricsExport, RunPointPopulatesDocumentedNames) {
   for (const char* name :
        {"sim.events", "sim.enabling_evals", "sched.ticks",
         "sched.schedules_in", "sched.schedules_out", "sched.preemptions",
-        "run.replications", "executor.invoked", "executor.batches"}) {
+        "run.replications", "run.controller.batches",
+        "executor.speculative_waste", "executor.batches"}) {
     EXPECT_TRUE(reg.has(name)) << name;
   }
   EXPECT_GT(reg.counter_value("sim.events"), 0U);
   EXPECT_GT(reg.counter_value("sched.ticks"), 0U);
   EXPECT_EQ(reg.counter_value("run.replications"), result.replications);
+  // The controller flag counter: exactly one run.controller.<name> entry.
+  EXPECT_TRUE(reg.has("run.controller.fixed"));
+  EXPECT_EQ(reg.counter_value("run.controller.fixed"), 1U);
+  EXPECT_FALSE(reg.has("run.controller.adaptive"));
+  EXPECT_EQ(reg.counter_value("executor.speculative_waste"),
+            result.speculative_waste());
   EXPECT_EQ(reg.gauge_value("executor.jobs"), 1.0);
   EXPECT_EQ(reg.summary_values("sim.events_per_replication").count(),
             result.replications);
@@ -85,6 +92,19 @@ TEST(MetricsExport, DeterministicEntriesIdenticalAcrossJobs) {
   }
   EXPECT_EQ(jsons[0], jsons[1]);
   EXPECT_EQ(sim_events[0], sim_events[1]);
+}
+
+TEST(MetricsExport, ControllerFlagFollowsTheSelectedController) {
+  stats::MetricsRegistry reg;
+  RunSpec spec = base_spec();
+  spec.controller = stats::ControllerKind::kAdaptive;
+  spec.metrics = &reg;
+  run_point(spec, availability());
+  EXPECT_TRUE(reg.has("run.controller.adaptive"));
+  EXPECT_FALSE(reg.has("run.controller.fixed"));
+  // Adaptive at jobs = 1 dispatches one replication at a time: no
+  // speculative work at all.
+  EXPECT_EQ(reg.counter_value("executor.speculative_waste"), 0U);
 }
 
 TEST(MetricsExport, ProfileExportAppearsOnlyWhenRequested) {
@@ -151,6 +171,9 @@ TEST(MetricsExport, SweepFoldsCellCounters) {
   EXPECT_EQ(reg.counter_value("sweep.points"), 2U);
   EXPECT_EQ(reg.counter_value("sweep.algorithms"), 2U);
   EXPECT_EQ(reg.counter_value("sweep.replications"), 4U * 3U);
+  // min == max == 3 at jobs 1: no cell speculates past its stopping index.
+  EXPECT_TRUE(reg.has("sweep.speculative_waste"));
+  EXPECT_EQ(reg.counter_value("sweep.speculative_waste"), 0U);
   // Per-cell sim.* counters are deliberately NOT folded (the registry
   // is not thread-safe and cells run concurrently).
   EXPECT_FALSE(reg.has("sim.events"));
