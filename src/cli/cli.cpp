@@ -45,8 +45,14 @@ constexpr const char* kUsage = R"(usage: vcpusim [run] [options]
                          vcpu_utilization, busy_fraction,
                          pcpu_utilization, blocked_fraction[i],
                          throughput, spin_fraction,
-                         effective_utilization; per-VCPU variants take
-                         an index suffix, e.g. availability[2]
+                         effective_utilization, energy; per-VCPU
+                         variants take an index suffix, e.g.
+                         availability[2]
+  --dvfs                 enable per-PCPU frequency scaling with the
+                         default four-step level ladder and append the
+                         energy metric (integral of sum_p f*V^2; see
+                         docs/MODEL.md). Scenario block: [dvfs] with
+                         levels = f:v, ... and policy = max/min/index
   --end-time T           simulation horizon in ticks (default 3000)
   --warmup T             reward warm-up (default 200)
   --seed S               base seed (default 42)
@@ -249,6 +255,8 @@ int parse_args(int argc, const char* const* argv, Options& options,
           return 1;
         }
         spec.jobs = static_cast<std::size_t>(n);
+      } else if (arg == "--dvfs") {
+        spec.system.dvfs.enabled = true;
       } else if (arg == "--rebuild-systems") {
         spec.reuse_systems = false;
       } else if (arg == "--verify-footprints") {
@@ -287,14 +295,28 @@ void finalize_scenario(Options& options) {
   if (!options.have_scenario_file) {
     if (options.vm_sizes.empty()) options.vm_sizes = {2, 2};
     const double timeslice = scenario.spec.system.default_timeslice;
+    const vm::DvfsConfig dvfs = scenario.spec.system.dvfs;
     const int pcpus = scenario.spec.system.num_pcpus;
     scenario.spec.system =
         vm::make_symmetric_config(pcpus, options.vm_sizes, options.sync_k);
     scenario.spec.system.default_timeslice = timeslice;
+    scenario.spec.system.dvfs = dvfs;
     if (scenario.metrics.empty()) {
       scenario.metrics = {{exp::MetricKind::kMeanVcpuAvailability, -1, ""},
                           {exp::MetricKind::kPcpuUtilization, -1, ""},
                           {exp::MetricKind::kMeanVcpuUtilization, -1, ""}};
+    }
+  }
+  // A DVFS system always reports its energy integral unless the user
+  // already asked for it explicitly.
+  if (scenario.spec.system.dvfs.enabled) {
+    const bool have_energy =
+        std::any_of(scenario.metrics.begin(), scenario.metrics.end(),
+                    [](const exp::MetricRequest& m) {
+                      return m.kind == exp::MetricKind::kEnergy;
+                    });
+    if (!have_energy) {
+      scenario.metrics.push_back({exp::MetricKind::kEnergy, -1, ""});
     }
   }
   scenario.spec.system.validate();

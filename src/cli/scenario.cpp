@@ -63,14 +63,30 @@ exp::MetricRequest parse_metric(const std::string& name) {
     if (close == std::string::npos) {
       throw std::invalid_argument("metric '" + name + "': missing ']'");
     }
+    if (close + 1 != base.size()) {
+      throw std::invalid_argument("metric '" + name +
+                                  "': unexpected text after ']'");
+    }
     try {
       index = std::stoi(base.substr(open + 1, close - open - 1));
     } catch (const std::exception&) {
       throw std::invalid_argument("metric '" + name + "': bad index");
     }
+    if (index < 0) {
+      throw std::invalid_argument("metric '" + name +
+                                  "': index must be >= 0");
+    }
     base = base.substr(0, open);
   }
   const bool indexed = index >= 0;
+  // Reject an index on metrics that do not take one, instead of the old
+  // behaviour of silently discarding it.
+  const auto no_index = [&](const char* metric) {
+    if (indexed) {
+      throw std::invalid_argument("metric '" + std::string(metric) +
+                                  "' does not take an index");
+    }
+  };
   if (base == "availability" || base == "vcpu_availability") {
     return {indexed ? exp::MetricKind::kVcpuAvailability
                     : exp::MetricKind::kMeanVcpuAvailability,
@@ -87,6 +103,7 @@ exp::MetricRequest parse_metric(const std::string& name) {
             index, ""};
   }
   if (base == "pcpu_utilization" || base == "pcpu") {
+    no_index("pcpu_utilization");
     return {exp::MetricKind::kPcpuUtilization, -1, ""};
   }
   if (base == "blocked_fraction") {
@@ -97,12 +114,21 @@ exp::MetricRequest parse_metric(const std::string& name) {
     }
     return {exp::MetricKind::kVmBlockedFraction, index, ""};
   }
-  if (base == "throughput") return {exp::MetricKind::kThroughput, -1, ""};
+  if (base == "throughput") {
+    no_index("throughput");
+    return {exp::MetricKind::kThroughput, -1, ""};
+  }
   if (base == "spin_fraction") {
+    no_index("spin_fraction");
     return {exp::MetricKind::kMeanSpinFraction, -1, ""};
   }
   if (base == "effective_utilization") {
+    no_index("effective_utilization");
     return {exp::MetricKind::kMeanEffectiveUtilization, -1, ""};
+  }
+  if (base == "energy") {
+    no_index("energy");
+    return {exp::MetricKind::kEnergy, -1, ""};
   }
   throw std::invalid_argument("unknown metric: " + name);
 }
@@ -112,6 +138,7 @@ Scenario parse_scenario(std::istream& in) {
   scenario.spec.system.vms.clear();
   vm::VmConfig* current_vm = nullptr;
   bool in_compare = false;
+  bool in_dvfs = false;
   std::string compare_baseline;
 
   std::string raw;
@@ -134,6 +161,17 @@ Scenario parse_scenario(std::istream& in) {
         }
         current_vm = nullptr;
         in_compare = true;
+        in_dvfs = false;
+        continue;
+      }
+      if (kind == "dvfs") {
+        if (space != std::string::npos) {
+          fail(line, "the [dvfs] section takes no name");
+        }
+        current_vm = nullptr;
+        in_compare = false;
+        in_dvfs = true;
+        scenario.spec.system.dvfs.enabled = true;
         continue;
       }
       if (kind != "vm") fail(line, "unknown section '" + inside + "'");
@@ -142,6 +180,7 @@ Scenario parse_scenario(std::istream& in) {
       scenario.spec.system.vms.push_back(std::move(vm_cfg));
       current_vm = &scenario.spec.system.vms.back();
       in_compare = false;
+      in_dvfs = false;
       continue;
     }
 
@@ -150,6 +189,46 @@ Scenario parse_scenario(std::istream& in) {
     const std::string key = lower(trim(text.substr(0, eq)));
     const std::string value = trim(text.substr(eq + 1));
     if (value.empty()) fail(line, "empty value for '" + key + "'");
+
+    if (in_dvfs) {
+      if (key == "levels") {
+        // `f:v` pairs, comma-separated, ascending frequency; an empty
+        // list is rejected here (an absent key keeps the default ladder).
+        scenario.spec.system.dvfs.levels.clear();
+        for (const auto& entry : split(value, ',')) {
+          const auto parts = split(entry, ':');
+          if (parts.size() != 2) {
+            fail(line, "invalid dvfs level '" + entry +
+                           "': expected frequency:voltage");
+          }
+          vm::DvfsLevel level;
+          level.frequency = parse_number(line, key, parts[0]);
+          level.voltage = parse_number(line, key, parts[1]);
+          scenario.spec.system.dvfs.levels.push_back(level);
+        }
+        if (scenario.spec.system.dvfs.levels.empty()) {
+          fail(line, "dvfs levels list is empty");
+        }
+      } else if (key == "policy") {
+        // Initial frequency governor: where every PCPU boots.
+        const std::string policy = lower(value);
+        if (policy == "max") {
+          scenario.spec.system.dvfs.initial_level = -1;  // highest level
+        } else if (policy == "min") {
+          scenario.spec.system.dvfs.initial_level = 0;
+        } else {
+          const double n = parse_number(line, key, value);
+          if (n < 0 || n != static_cast<double>(static_cast<int>(n))) {
+            fail(line,
+                 "policy must be 'max', 'min' or a level index >= 0");
+          }
+          scenario.spec.system.dvfs.initial_level = static_cast<int>(n);
+        }
+      } else {
+        fail(line, "unknown dvfs key '" + key + "'");
+      }
+      continue;
+    }
 
     if (in_compare) {
       if (key == "algorithms") {

@@ -20,6 +20,12 @@
 //   algorithms = rrs, scs, rcs   # first entry is the baseline...
 //   baseline = scs               # ...unless overridden here
 //
+//   [dvfs]                       # optional: per-PCPU frequency scaling
+//   levels = 0.5:0.8, 1.0:1.0    # frequency:voltage, ascending frequency
+//                                # (absent: a default four-step ladder)
+//   policy = max                 # initial level: max (default), min, or
+//                                # a level index
+//
 //   [vm web]
 //   vcpus = 2
 //   load = uniformint(1,10)
@@ -65,8 +71,9 @@ Scenario load_scenario(const std::string& path);
 
 /// Map a metric name ("vcpu_utilization", "pcpu_utilization",
 /// "availability", "busy_fraction", "blocked_fraction", "throughput",
-/// "spin_fraction", "effective_utilization") to a request. Per-entity
-/// kinds accept an index suffix "name[3]". Throws on unknown names.
+/// "spin_fraction", "effective_utilization", "energy") to a request.
+/// Per-entity kinds accept an index suffix "name[3]"; an index on any
+/// other kind is an error. Throws on unknown names.
 exp::MetricRequest parse_metric(const std::string& name);
 
 }  // namespace vcpusim::cli

@@ -65,6 +65,14 @@ std::string SystemPool::fingerprint_of(const vm::SystemConfig& config) {
   };
   os << "pcpus=" << config.num_pcpus
      << ";timeslice=" << config.default_timeslice;
+  if (config.dvfs.enabled) {
+    // DVFS changes the built model (extra places, scaled service rates),
+    // so the effective table and initial level are part of the identity.
+    os << ";dvfs=" << config.dvfs.effective_initial_level() << ":";
+    for (const auto& level : config.dvfs.effective_levels()) {
+      os << level.frequency << "," << level.voltage << ";";
+    }
+  }
   for (const auto& vm : config.vms) {
     os << ";vm{name=" << vm.name << ";vcpus=" << vm.num_vcpus
        << ";load=" << dist(vm.load_distribution)

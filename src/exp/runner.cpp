@@ -39,6 +39,8 @@ std::string default_label(const MetricRequest& request) {
       return "mean_spin_fraction";
     case MetricKind::kMeanEffectiveUtilization:
       return "mean_effective_utilization";
+    case MetricKind::kEnergy:
+      return "energy";
   }
   return "metric";
 }
@@ -112,6 +114,15 @@ BoundMetric bind_metric(const vm::VirtualSystem& system,
       ratio(vm::mean_productive_fraction(system, warmup),
             vm::mean_vcpu_availability(system, warmup));
       break;
+    case MetricKind::kEnergy: {
+      // Energy is the *integral* of the power rate, not its time
+      // average: report the accumulated value.
+      auto reward = vm::energy_rate(system, warmup);
+      san::RewardVariable* raw = reward.get();
+      bound.rewards.push_back(std::move(reward));
+      bound.finalize = [raw](san::Time) { return raw->accumulated(); };
+      break;
+    }
   }
   if (!bound.finalize) {
     throw std::invalid_argument("run_point: unknown metric kind");
@@ -381,6 +392,7 @@ stats::ReplicationResult run_point(const RunSpec& spec,
       reg.counter("sched.schedules_in").add(record.bridge.schedules_in);
       reg.counter("sched.schedules_out").add(record.bridge.schedules_out);
       reg.counter("sched.preemptions").add(record.bridge.preemptions);
+      reg.counter("sched.freq_changes").add(record.bridge.freq_changes);
       profile_total.merge(record.profile);
       // Static per-model census — identical for every replication of the
       // run, so exported once.

@@ -38,6 +38,7 @@ enum class MetricKind {
   kThroughput,            ///< completed jobs per tick, whole system
   kMeanSpinFraction,      ///< spinlock ext: spin-waiting / wall-clock
   kMeanEffectiveUtilization,  ///< spinlock ext: (busy - spinning) / active
+  kEnergy,                ///< DVFS ext: integral of sum_p f·V² (energy units)
 };
 
 struct MetricRequest {

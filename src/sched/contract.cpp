@@ -52,13 +52,27 @@ vm::SystemTopology harness_topology() {
   return topology;
 }
 
-/// One applied decision, for the replication-safety comparison.
+/// The same synthetic system with a three-level DVFS ladder declared:
+/// the DVFS drive attaches separate instances here and checks the
+/// frequency-dimension contract (declared levels only, reset restores
+/// the ladder state).
+vm::SystemTopology dvfs_harness_topology() {
+  vm::SystemTopology topology = harness_topology();
+  topology.dvfs_levels = {{0.5, 0.8}, {0.75, 0.9}, {1.0, 1.0}};
+  topology.dvfs_initial_level = 2;
+  return topology;
+}
+
+/// One applied decision, for the replication-safety comparison. A
+/// frequency switch logs as vcpu = -1 with freq_pcpu / freq_level set.
 struct Decision {
   long tick;
   int vcpu;
   int schedule_in;
   int schedule_out;
   double new_timeslice;
+  int freq_pcpu = -1;
+  int freq_level = -1;
 
   bool operator==(const Decision&) const = default;
 };
@@ -74,12 +88,18 @@ struct Harness {
   std::array<std::size_t, kVcpus> next_job{};
   std::size_t jobs_issued = 0;
   vm::ContractValidator validator;
+  /// DVFS mirror: declared ladder size (0 = no DVFS) and the current
+  /// level of each PCPU, as the Freq_Levels place would hold it.
+  std::size_t num_dvfs_levels = 0;
+  std::array<int, kPcpus> freq{};
 
-  Harness() {
-    validator.attach(kVcpus, kPcpus);
+  explicit Harness(const vm::SystemTopology& topology) {
+    num_dvfs_levels = topology.dvfs_levels.size();
+    validator.attach(kVcpus, kPcpus, num_dvfs_levels);
     last_in.fill(-1);
     assigned.fill(-1);
     pcpu_vcpu.fill(-1);
+    freq.fill(num_dvfs_levels > 0 ? topology.dvfs_initial_level : -1);
     for (int i = 0; i < kVcpus; ++i) {
       remaining_load[static_cast<std::size_t>(i)] =
           kLoads[static_cast<std::size_t>(i) % kLoads.size()];
@@ -131,6 +151,8 @@ struct Harness {
       px[u].pcpu_id = p;
       px[u].assigned_vcpu = pcpu_vcpu[u];
       px[u].state = pcpu_vcpu[u] >= 0 ? 1 : 0;
+      px[u].freq_level = freq[u];
+      px[u].set_freq_level = -1;
     }
     const auto vx_before = vx;
     const auto px_before = px;
@@ -188,13 +210,15 @@ struct Harness {
       const auto u = static_cast<std::size_t>(p);
       if (px[u].pcpu_id != px_before[u].pcpu_id ||
           px[u].state != px_before[u].state ||
-          px[u].assigned_vcpu != px_before[u].assigned_vcpu) {
+          px[u].assigned_vcpu != px_before[u].assigned_vcpu ||
+          px[u].freq_level != px_before[u].freq_level) {
         out.push_back(make_diag(
             algorithm,
-            "schedule() mutated the PCPU snapshot array at t=" +
+            "schedule() mutated a read-only PCPU snapshot field at t=" +
                 std::to_string(t),
-            "The PCPU array is read-only input; assignments are expressed "
-            "through the per-VCPU schedule_in field."));
+            "Of the PCPU array only set_freq_level belongs to the "
+            "algorithm; assignments are expressed through the per-VCPU "
+            "schedule_in field and the current level is framework state."));
         return false;
       }
     }
@@ -236,6 +260,25 @@ struct Harness {
             "rules."));
       }
       return false;
+    }
+    if (const auto violation = validator.validate_freq(px)) {
+      out.push_back(make_diag(
+          algorithm,
+          "invalid set_freq_level at t=" + std::to_string(t) + ": " +
+              violation->message(),
+          "Frequency decisions must name a declared DVFS level index (or "
+          "-1 to keep); the framework raises ScheduleError otherwise — "
+          "including any decision on a system with no DVFS dimension."));
+      return false;
+    }
+    // Frequency switches apply before the schedule_out/schedule_in
+    // replay, mirroring the bridge's order.
+    for (int p = 0; p < kPcpus; ++p) {
+      const auto u = static_cast<std::size_t>(p);
+      const int target = px[u].set_freq_level;
+      if (target < 0 || target == freq[u]) continue;
+      freq[u] = target;
+      log.push_back(Decision{t, -1, -1, 0, 0.0, p, target});
     }
     for (int i = 0; i < kVcpus; ++i) {
       const auto u = static_cast<std::size_t>(i);
@@ -284,8 +327,9 @@ struct Harness {
 
 /// Drive a fresh-or-warm instance for kTicks; false if diagnostics fired.
 bool drive(vm::Scheduler& scheduler, const std::string& algorithm,
-           std::vector<Decision>& log, std::vector<Diagnostic>& out) {
-  Harness harness;
+           const vm::SystemTopology& topology, std::vector<Decision>& log,
+           std::vector<Diagnostic>& out) {
+  Harness harness(topology);
   for (long t = 0; t < kTicks; ++t) {
     if (!harness.tick(scheduler, algorithm, t, log, out)) return false;
   }
@@ -330,11 +374,11 @@ std::vector<Diagnostic> check_scheduler_contract(
   // state, then a second fresh instance. Fresh state per factory call
   // implies the fresh instance reproduces the first instance's cold run.
   std::vector<Decision> cold_log;
-  if (!drive(*first, name, cold_log, out)) return out;
+  if (!drive(*first, name, topology, cold_log, out)) return out;
   std::vector<Decision> warm_discard;
-  if (!drive(*first, name, warm_discard, out)) return out;
+  if (!drive(*first, name, topology, warm_discard, out)) return out;
   std::vector<Decision> fresh_log;
-  if (!drive(*second, name, fresh_log, out)) return out;
+  if (!drive(*second, name, topology, fresh_log, out)) return out;
   if (cold_log != fresh_log) {
     out.push_back(make_diag(
         name,
@@ -351,7 +395,7 @@ std::vector<Diagnostic> check_scheduler_contract(
   // replays the cold run exactly (reset ≡ fresh-construct).
   first->on_reset(topology);
   std::vector<Decision> reset_log;
-  if (!drive(*first, name, reset_log, out)) return out;
+  if (!drive(*first, name, topology, reset_log, out)) return out;
   if (reset_log != cold_log) {
     out.push_back(make_diag(
         name,
@@ -363,6 +407,47 @@ std::vector<Diagnostic> check_scheduler_contract(
         "reset misses — statics a C reset hook does not clear, members "
         "on_attach does not rebuild — breaks the bit-identical pooled "
         "replication contract."));
+    return out;
+  }
+
+  // DVFS drive: re-run the whole battery on a topology that declares a
+  // frequency ladder. Fresh instances (attach is once-per-instance), so
+  // the base drives above stay exactly what a non-DVFS system sees.
+  // This is where undeclared-level decisions, frequency writes on the
+  // plain topology (checked above: validate_freq rejects ANY decision
+  // there) and ladder state surviving on_reset are caught.
+  const vm::SystemTopology dvfs_topology = dvfs_harness_topology();
+  vm::SchedulerPtr third = factory();
+  vm::SchedulerPtr fourth = factory();
+  third->on_attach(dvfs_topology);
+  fourth->on_attach(dvfs_topology);
+  std::vector<Decision> dvfs_cold;
+  if (!drive(*third, name, dvfs_topology, dvfs_cold, out)) return out;
+  std::vector<Decision> dvfs_warm_discard;
+  if (!drive(*third, name, dvfs_topology, dvfs_warm_discard, out)) return out;
+  std::vector<Decision> dvfs_fresh;
+  if (!drive(*fourth, name, dvfs_topology, dvfs_fresh, out)) return out;
+  if (dvfs_cold != dvfs_fresh) {
+    out.push_back(make_diag(
+        name,
+        "factory is not replication-safe on a DVFS topology: a fresh "
+        "instance diverges from the first instance's cold run",
+        "Frequency-policy state (utilization windows, pressure counters) "
+        "is leaking across factory calls; each replication must get a "
+        "genuinely fresh scheduler."));
+    return out;
+  }
+  third->on_reset(dvfs_topology);
+  std::vector<Decision> dvfs_reset;
+  if (!drive(*third, name, dvfs_topology, dvfs_reset, out)) return out;
+  if (dvfs_reset != dvfs_cold) {
+    out.push_back(make_diag(
+        name,
+        "on_reset() does not restore the just-attached state on a DVFS "
+        "topology: the reset instance diverges from its own cold run",
+        "Frequency-policy state must be rebuilt by on_reset exactly like "
+        "run-queue state; the harness drives the same ladder from the "
+        "same initial level both times."));
   }
   return out;
 }

@@ -1,0 +1,194 @@
+#include "sched/dvfs.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/core/core.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+/// Shared base: RRS dispatch (global FIFO run queue) plus the declared
+/// frequency ladder, expressed as each level's speed relative to the
+/// fastest level. The frequency policy is the subclass hook.
+class DvfsScheduler : public vm::Scheduler {
+ public:
+  void on_attach(const vm::SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    queue_.attach(n);
+    running_.attach(n);
+    idle_.attach(static_cast<std::size_t>(topology.num_pcpus));
+    for (std::size_t i = 0; i < n; ++i) queue_.push_back(static_cast<int>(i));
+    relative_speed_.clear();
+    if (topology.dvfs_enabled()) {
+      const double f_max = topology.dvfs_levels.back().frequency;
+      for (const auto& level : topology.dvfs_levels) {
+        relative_speed_.push_back(level.frequency / f_max);
+      }
+    }
+    attach_policy(topology);
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long timestamp) override {
+    running_.extract_if(
+        [&vcpus](int v) {
+          return vcpus[static_cast<std::size_t>(v)].assigned_pcpu < 0;
+        },
+        [this](int v) { queue_.push_back(v); });
+
+    idle_.reset(pcpus);
+    while (idle_.available() && !queue_.empty()) {
+      const int next = queue_.pop_front();
+      vcpus[static_cast<std::size_t>(next)].schedule_in = idle_.take();
+      running_.add(next);
+    }
+
+    // Frequency policy only where a ladder is declared: on a plain
+    // system the family degrades to RRS and never writes set_freq_level.
+    if (!relative_speed_.empty()) decide_frequencies(pcpus, timestamp);
+    return true;
+  }
+
+ protected:
+  /// Size per-PCPU policy state; called from on_attach (and therefore
+  /// from the default on_reset) after the ladder is derived.
+  virtual void attach_policy(const vm::SystemTopology& topology) = 0;
+
+  /// Write set_freq_level decisions into `pcpus` (post-dispatch view:
+  /// this tick's grants are already recorded in schedule_in, and the
+  /// bridge applies level switches before them).
+  virtual void decide_frequencies(std::span<PCPU_external> pcpus,
+                                  long timestamp) = 0;
+
+  std::size_t num_levels() const { return relative_speed_.size(); }
+
+  /// Lowest level whose relative speed covers `demand` (clamped to the
+  /// top level when nothing does).
+  int lowest_covering_level(double demand) const {
+    for (std::size_t level = 0; level < relative_speed_.size(); ++level) {
+      if (relative_speed_[level] >= demand) return static_cast<int>(level);
+    }
+    return static_cast<int>(relative_speed_.size()) - 1;
+  }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  core::RunQueue queue_;
+  core::RunSet running_;
+  core::IdlePcpus idle_;
+  std::vector<double> relative_speed_;  ///< per level, f / f_max
+};
+
+class CycleConserving final : public DvfsScheduler {
+ public:
+  explicit CycleConserving(const CycleConservingOptions& options)
+      : options_(options) {
+    if (options_.window < 1) {
+      throw std::invalid_argument(
+          "CycleConservingOptions: window must be >= 1");
+    }
+    if (options_.headroom < 0.0) {
+      throw std::invalid_argument(
+          "CycleConservingOptions: headroom must be >= 0");
+    }
+  }
+
+  std::string name() const override { return "DVFS-CC"; }
+
+ protected:
+  void attach_policy(const vm::SystemTopology& topology) override {
+    busy_ticks_.assign(static_cast<std::size_t>(topology.num_pcpus), 0);
+    window_ticks_ = 0;
+  }
+
+  void decide_frequencies(std::span<PCPU_external> pcpus,
+                          long /*timestamp*/) override {
+    // Pre-dispatch occupancy is what the window measures: a PCPU that
+    // entered this tick assigned was busy for the elapsed tick.
+    for (std::size_t p = 0; p < pcpus.size(); ++p) {
+      if (pcpus[p].state == 1) busy_ticks_[p] += 1;
+    }
+    window_ticks_ += 1;
+    if (window_ticks_ < options_.window) return;
+    for (std::size_t p = 0; p < pcpus.size(); ++p) {
+      const double utilization = static_cast<double>(busy_ticks_[p]) /
+                                 static_cast<double>(options_.window);
+      const double demand = utilization + options_.headroom;
+      const int target =
+          lowest_covering_level(demand < 1.0 ? demand : 1.0);
+      if (target != pcpus[p].freq_level) pcpus[p].set_freq_level = target;
+      busy_ticks_[p] = 0;
+    }
+    window_ticks_ = 0;
+  }
+
+ private:
+  CycleConservingOptions options_;
+  std::vector<int> busy_ticks_;  ///< per PCPU, within the current window
+  int window_ticks_ = 0;
+};
+
+class Lookahead final : public DvfsScheduler {
+ public:
+  explicit Lookahead(const LookaheadOptions& options) : options_(options) {
+    if (options_.patience < 1) {
+      throw std::invalid_argument("LookaheadOptions: patience must be >= 1");
+    }
+  }
+
+  std::string name() const override { return "DVFS-LA"; }
+
+ protected:
+  void attach_policy(const vm::SystemTopology& /*topology*/) override {
+    pressure_ = 0;
+  }
+
+  void decide_frequencies(std::span<PCPU_external> pcpus,
+                          long /*timestamp*/) override {
+    const int top = static_cast<int>(num_levels()) - 1;
+    if (queue_depth() > 0) {
+      // Sustained pressure: VCPUs still wait after dispatch, so the
+      // PCPUs are the bottleneck. Ramp everyone up one level once the
+      // pressure has outlasted the patience threshold.
+      pressure_ += 1;
+      if (pressure_ < options_.patience) return;
+      pressure_ = 0;
+      for (auto& p : pcpus) {
+        if (p.freq_level < top) p.set_freq_level = p.freq_level + 1;
+      }
+      return;
+    }
+    // No waiters: capacity exceeds demand, so idle PCPUs glide down one
+    // level. Busy ones keep their speed — slowing a runner with no
+    // backlog only stretches its job.
+    pressure_ = 0;
+    for (auto& p : pcpus) {
+      if (p.state == 0 && p.freq_level > 0) {
+        p.set_freq_level = p.freq_level - 1;
+      }
+    }
+  }
+
+ private:
+  LookaheadOptions options_;
+  int pressure_ = 0;  ///< consecutive ticks with a non-empty run queue
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_dvfs_cycle_conserving(
+    const CycleConservingOptions& options) {
+  return std::make_unique<CycleConserving>(options);
+}
+
+vm::SchedulerPtr make_dvfs_lookahead(const LookaheadOptions& options) {
+  return std::make_unique<Lookahead>(options);
+}
+
+}  // namespace vcpusim::sched

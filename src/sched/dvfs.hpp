@@ -1,0 +1,48 @@
+// Energy-aware (DVFS) scheduling families over the frequency dimension
+// of the scheduling interface (vm::PCPU_external::set_freq_level):
+//
+//  * Cycle-conserving DVFS — the classic real-time DVFS policy (Pillai &
+//    Shin): track each PCPU's utilization over a sliding window and run
+//    it at the lowest declared frequency whose relative speed still
+//    covers the observed utilization (plus a safety headroom). Work
+//    stretches to fill the slower cycles; idle cycles are never paid at
+//    full voltage.
+//
+//  * Look-ahead DVFS — defers ramp-*up* instead of hurrying it: a PCPU
+//    ramps up one level only after the global run queue has stayed
+//    non-empty for `patience` consecutive ticks (sustained pressure),
+//    and ramps down one level as soon as it idles with an empty queue.
+//    Short bursts never reach full voltage; sustained load does.
+//
+// Both dispatch VCPUs exactly like RRS (one global FIFO run queue), so
+// energy deltas against RRS-family baselines isolate the frequency
+// policy. On systems without a DVFS dimension (empty
+// SystemTopology::dvfs_levels) both degrade to plain round-robin and
+// never emit a frequency decision.
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct CycleConservingOptions {
+  /// Ticks per utilization window; a frequency decision is made for
+  /// every PCPU at each window boundary.
+  int window = 8;
+  /// Safety margin added to the observed utilization before picking the
+  /// lowest covering frequency (guards against window aliasing).
+  double headroom = 0.1;
+};
+
+struct LookaheadOptions {
+  /// Consecutive ticks the run queue must stay non-empty before the
+  /// PCPUs ramp up one level.
+  int patience = 3;
+};
+
+vm::SchedulerPtr make_dvfs_cycle_conserving(
+    const CycleConservingOptions& options = {});
+
+vm::SchedulerPtr make_dvfs_lookahead(const LookaheadOptions& options = {});
+
+}  // namespace vcpusim::sched

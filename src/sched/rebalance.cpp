@@ -1,0 +1,123 @@
+#include "sched/rebalance.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/core/core.hpp"
+
+namespace vcpusim::sched {
+
+namespace {
+
+using vm::PCPU_external;
+using vm::VCPU_host_external;
+
+class Rebalance final : public vm::Scheduler {
+ public:
+  explicit Rebalance(const RebalanceOptions& options) : options_(options) {
+    if (options_.period < 1) {
+      throw std::invalid_argument("RebalanceOptions: period must be >= 1");
+    }
+    if (options_.imbalance_threshold < 1) {
+      throw std::invalid_argument(
+          "RebalanceOptions: imbalance_threshold must be >= 1");
+    }
+  }
+
+  void on_attach(const vm::SystemTopology& topology) override {
+    const auto n = static_cast<std::size_t>(topology.num_vcpus());
+    const auto m = static_cast<std::size_t>(topology.num_pcpus);
+    queues_.resize(m);
+    for (auto& q : queues_) q.attach(n);  // attach clears
+    pin_.resize(n);
+    running_.assign(n, 0);
+    idle_.attach(m);
+    ticks_ = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pin_[i] = static_cast<int>(i % m);
+      queues_[i % m].push_back(static_cast<int>(i));
+    }
+  }
+
+  bool schedule(std::span<VCPU_host_external> vcpus,
+                std::span<PCPU_external> pcpus, long /*timestamp*/) override {
+    const std::size_t n = vcpus.size();
+    const std::size_t m = pcpus.size();
+
+    // A descheduled VCPU goes home: tail of its pinned PCPU's queue.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (running_[i] && vcpus[i].assigned_pcpu < 0) {
+        running_[i] = 0;
+        queues_[static_cast<std::size_t>(pin_[i])].push_back(
+            static_cast<int>(i));
+      }
+    }
+
+    // Periodic rebalance pass, before dispatch so a migrated VCPU can be
+    // granted its new home this very tick.
+    ticks_ += 1;
+    if (ticks_ >= options_.period) {
+      ticks_ = 0;
+      rebalance(pcpus, m);
+    }
+
+    // An idle PCPU only pops its own queue (that is the pin).
+    idle_.reset(pcpus);
+    while (idle_.available()) {
+      const int pcpu = idle_.take();
+      auto& q = queues_[static_cast<std::size_t>(pcpu)];
+      if (q.empty()) continue;
+      const int next = q.pop_front();
+      vcpus[static_cast<std::size_t>(next)].schedule_in = pcpu;
+      running_[static_cast<std::size_t>(next)] = 1;
+    }
+    return true;
+  }
+
+  std::string name() const override { return "Rebalance"; }
+
+ private:
+  /// Migrate one waiting VCPU from the most loaded PCPU to the least
+  /// loaded one when the gap warrants it. Load counts waiters plus the
+  /// current runner; ties break toward the lowest PCPU id, so the pass
+  /// is deterministic.
+  void rebalance(std::span<const PCPU_external> pcpus, std::size_t m) {
+    std::size_t busiest = 0;
+    std::size_t coolest = 0;
+    int max_load = -1;
+    int min_load = -1;
+    for (std::size_t p = 0; p < m; ++p) {
+      const int load = static_cast<int>(queues_[p].size()) +
+                       (pcpus[p].state == 1 ? 1 : 0);
+      if (load > max_load) {
+        max_load = load;
+        busiest = p;
+      }
+      if (min_load < 0 || load < min_load) {
+        min_load = load;
+        coolest = p;
+      }
+    }
+    if (max_load - min_load < options_.imbalance_threshold) return;
+    auto& from = queues_[busiest];
+    if (from.empty()) return;  // the load is all runner, nothing to move
+    const int moved = from.pop_front();
+    pin_[static_cast<std::size_t>(moved)] = static_cast<int>(coolest);
+    queues_[coolest].push_back(moved);
+  }
+
+  RebalanceOptions options_;
+  core::IdlePcpus idle_;
+  std::vector<core::RunQueue> queues_;
+  std::vector<int> pin_;       ///< home PCPU of each VCPU
+  std::vector<char> running_;
+  int ticks_ = 0;
+};
+
+}  // namespace
+
+vm::SchedulerPtr make_rebalance(const RebalanceOptions& options) {
+  return std::make_unique<Rebalance>(options);
+}
+
+}  // namespace vcpusim::sched

@@ -1,0 +1,26 @@
+// Utilization-rebalancing pinning scheduler, after libvirt's
+// vcpu_scheduler pinning tools: VCPUs are statically pinned to per-PCPU
+// run queues (VCPU id modulo PCPU count, like RRS-stacked), and a
+// periodic rebalance pass migrates one waiting VCPU from the most loaded
+// queue to the least loaded one whenever the imbalance exceeds a
+// threshold. The pin survives between passes — migration is an explicit,
+// rate-limited act, not a per-tick search — so the scheduler keeps the
+// cache-affinity story of static pinning while escaping its worst-case
+// stacking.
+#pragma once
+
+#include "vm/sched_interface.hpp"
+
+namespace vcpusim::sched {
+
+struct RebalanceOptions {
+  /// Ticks between rebalance passes.
+  int period = 16;
+  /// Minimum queue-length gap (busiest minus least busy, both counting
+  /// the running VCPU) before a migration fires.
+  int imbalance_threshold = 2;
+};
+
+vm::SchedulerPtr make_rebalance(const RebalanceOptions& options = {});
+
+}  // namespace vcpusim::sched

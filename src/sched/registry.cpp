@@ -9,8 +9,10 @@
 #include "sched/balance.hpp"
 #include "sched/bvt.hpp"
 #include "sched/credit.hpp"
+#include "sched/dvfs.hpp"
 #include "sched/fifo.hpp"
 #include "sched/priority.hpp"
+#include "sched/rebalance.hpp"
 #include "sched/relaxed_co.hpp"
 #include "sched/round_robin.hpp"
 #include "sched/sedf.hpp"
@@ -139,6 +141,38 @@ const std::vector<Entry>& entries() {
           "per-VM priorities, higher runs first; missing entries default "
           "to 0"}}},
        [] { return make_priority(); }},
+      {{"dvfs-cc",
+        "DVFS-CC",
+        {"dvfs_cycle_conserving", "cycle-conserving"},
+        "Cycle-conserving DVFS over RRS dispatch: each PCPU runs at the "
+        "lowest declared frequency covering its windowed utilization "
+        "plus a headroom margin.",
+        "sched::CycleConservingOptions",
+        {{"window", "8", "ticks per utilization window"},
+         {"headroom", "0.1",
+          "margin added to observed utilization before picking a level"}}},
+       [] { return make_dvfs_cycle_conserving(); }},
+      {{"dvfs-la",
+        "DVFS-LA",
+        {"dvfs_lookahead", "lookahead"},
+        "Look-ahead DVFS over RRS dispatch: PCPUs ramp up one level only "
+        "after the run queue stays non-empty for `patience` ticks, and "
+        "idle PCPUs glide down one level when no VCPU waits.",
+        "sched::LookaheadOptions",
+        {{"patience", "3",
+          "consecutive pressured ticks before a one-level ramp-up"}}},
+       [] { return make_dvfs_lookahead(); }},
+      {{"rebalance",
+        "Rebalance",
+        {},
+        "Static VCPU->PCPU pinning with a periodic utilization rebalance "
+        "pass migrating one waiting VCPU from the most to the least "
+        "loaded queue when the gap exceeds a threshold.",
+        "sched::RebalanceOptions",
+        {{"period", "16", "ticks between rebalance passes"},
+         {"imbalance_threshold", "2",
+          "minimum busiest-minus-coolest load gap before a migration"}}},
+       [] { return make_rebalance(); }},
   };
   return table;
 }

@@ -34,7 +34,8 @@ const std::vector<AlgorithmInfo>& algorithm_catalog();
 
 /// Factory for a built-in algorithm by canonical name or alias
 /// (case-insensitive): "rrs", "scs", "rcs", "rrs-stacked", "balance",
-/// "credit", "bvt", "sedf", "fifo", "priority". Throws
+/// "credit", "bvt", "sedf", "fifo", "priority", "dvfs-cc", "dvfs-la",
+/// "rebalance". Throws
 /// std::invalid_argument for unknown names. Each call of the returned
 /// factory yields a fresh scheduler instance (replication-safe).
 vm::SchedulerFactory make_factory(const std::string& algorithm);

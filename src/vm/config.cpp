@@ -14,6 +14,47 @@ void SpinlockConfig::validate() const {
   }
 }
 
+std::vector<DvfsLevel> DvfsConfig::default_levels() {
+  return {{0.5, 0.80}, {0.7, 0.90}, {0.85, 0.95}, {1.0, 1.0}};
+}
+
+std::vector<DvfsLevel> DvfsConfig::effective_levels() const {
+  if (!enabled) return {};
+  return levels.empty() ? default_levels() : levels;
+}
+
+int DvfsConfig::effective_initial_level() const {
+  if (!enabled) return -1;
+  const auto table = effective_levels();
+  return initial_level >= 0 ? initial_level
+                            : static_cast<int>(table.size()) - 1;
+}
+
+void DvfsConfig::validate() const {
+  if (!enabled) return;
+  const auto table = effective_levels();
+  for (std::size_t l = 0; l < table.size(); ++l) {
+    if (!(table[l].frequency > 0) || !(table[l].voltage > 0)) {
+      throw std::invalid_argument(
+          "DvfsConfig: level " + std::to_string(l) +
+          " must have positive frequency and voltage");
+    }
+    if (l > 0 && !(table[l].frequency > table[l - 1].frequency)) {
+      throw std::invalid_argument(
+          "DvfsConfig: levels must be ascending by frequency (level " +
+          std::to_string(l) + " is not above level " + std::to_string(l - 1) +
+          ")");
+    }
+  }
+  const int initial = effective_initial_level();
+  if (initial < 0 || initial >= static_cast<int>(table.size())) {
+    throw std::invalid_argument(
+        "DvfsConfig: initial_level " + std::to_string(initial_level) +
+        " outside the declared level table (0.." +
+        std::to_string(table.size() - 1) + ")");
+  }
+}
+
 void VmConfig::apply_defaults() {
   if (!load_distribution) load_distribution = stats::make_uniform_int(1, 10);
   if (!inter_generation) inter_generation = stats::make_deterministic(0.0);
@@ -35,6 +76,7 @@ void SystemConfig::validate() const {
   if (vms.empty()) {
     throw std::invalid_argument("SystemConfig: at least one VM required");
   }
+  dvfs.validate();
   for (std::size_t i = 0; i < vms.size(); ++i) {
     const auto& vm = vms[i];
     if (vm.num_vcpus < 1) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "stats/distribution.hpp"
+#include "vm/topology.hpp"
 #include "vm/types.hpp"
 
 namespace vcpusim::vm {
@@ -66,6 +67,35 @@ struct VmConfig {
   void apply_defaults();
 };
 
+/// DVFS extension (energy dimension, docs/MODEL.md): every PCPU carries a
+/// discrete frequency/voltage level the scheduling function may switch
+/// between. A PCPU at level l serves guest load at rate f_l / f_max per
+/// tick and dissipates dynamic power f_l · V_l²; the `energy` reward
+/// integrates that power over time. Disabled by default so the paper's
+/// original model (and its golden traces) are bit-identical.
+struct DvfsConfig {
+  bool enabled = false;
+  /// Level table, ascending by frequency. Empty selects default_levels()
+  /// when enabled.
+  std::vector<DvfsLevel> levels;
+  /// Start (and reset) level of every PCPU; -1 means the highest level
+  /// (performance governor semantics — a DVFS-oblivious scheduler then
+  /// behaves exactly like the non-DVFS model, only paying peak power).
+  int initial_level = -1;
+
+  /// The sensible default ladder: four operating points from 50% to
+  /// nominal frequency with the voltage scaling typical of the
+  /// EDF/RM-under-DVFS literature.
+  static std::vector<DvfsLevel> default_levels();
+
+  /// Level table with defaults applied (empty when disabled).
+  std::vector<DvfsLevel> effective_levels() const;
+  /// Initial level index with defaults applied (-1 when disabled).
+  int effective_initial_level() const;
+
+  void validate() const;
+};
+
 struct SystemConfig {
   int num_pcpus = 4;
 
@@ -74,6 +104,9 @@ struct SystemConfig {
   double default_timeslice = 5.0;
 
   std::vector<VmConfig> vms;
+
+  /// Optional per-PCPU DVFS dimension (disabled by default).
+  DvfsConfig dvfs;
 
   /// Total VCPUs across all VMs.
   int total_vcpus() const noexcept;

@@ -18,13 +18,38 @@ std::string ScheduleViolation::message() const {
     case Kind::kInPcpuTaken:
       return "schedule_in: PCPU " + std::to_string(pcpu) +
              " is already assigned to VCPU " + std::to_string(other);
+    case Kind::kFreqLevelInvalid:
+      if (other == 0) {
+        return "set_freq_level: PCPU " + std::to_string(pcpu) +
+               " given level " + std::to_string(vcpu) +
+               " but the system declares no DVFS levels";
+      }
+      return "set_freq_level: PCPU " + std::to_string(pcpu) +
+             " given undeclared level " + std::to_string(vcpu) +
+             " (declared levels: 0.." + std::to_string(other - 1) + ")";
   }
   return "schedule: unknown contract violation";
 }
 
-void ContractValidator::attach(std::size_t num_vcpus, std::size_t num_pcpus) {
+void ContractValidator::attach(std::size_t num_vcpus, std::size_t num_pcpus,
+                               std::size_t num_dvfs_levels) {
   scratch_vcpu_.assign(num_vcpus, -1);
   scratch_pcpu_.assign(num_pcpus, -1);
+  num_dvfs_levels_ = num_dvfs_levels;
+}
+
+std::optional<ScheduleViolation> ContractValidator::validate_freq(
+    std::span<const PCPU_external> pcpus) const {
+  for (const auto& p : pcpus) {
+    const int target = p.set_freq_level;
+    if (target < 0) continue;
+    if (target >= static_cast<int>(num_dvfs_levels_)) {
+      return ScheduleViolation{ScheduleViolation::Kind::kFreqLevelInvalid,
+                               target, p.pcpu_id,
+                               static_cast<int>(num_dvfs_levels_)};
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<ScheduleViolation> ContractValidator::validate(

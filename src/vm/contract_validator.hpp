@@ -33,11 +33,13 @@ struct ScheduleViolation {
     kInOutOfRange,       ///< schedule_in names a PCPU outside [0, num_pcpus)
     kInAlreadyAssigned,  ///< schedule_in while still holding a PCPU
     kInPcpuTaken,        ///< schedule_in names an occupied PCPU
+    kFreqLevelInvalid,   ///< set_freq_level not a declared DVFS level
   };
   Kind kind{};
-  int vcpu = -1;   ///< the deciding VCPU
-  int pcpu = -1;   ///< the PCPU named by the decision (kIn* kinds)
+  int vcpu = -1;   ///< deciding VCPU; the offending level for kFreqLevelInvalid
+  int pcpu = -1;   ///< the PCPU named by the decision (kIn*/kFreq* kinds)
   int other = -1;  ///< held PCPU (kInAlreadyAssigned) / owner (kInPcpuTaken)
+                   ///< / declared level count (kFreqLevelInvalid; 0 = no DVFS)
 
   /// The ScheduleError text the framework raises for this violation.
   std::string message() const;
@@ -48,8 +50,11 @@ struct ScheduleViolation {
 /// allocation-free on the success path (hot: once per Clock tick).
 class ContractValidator {
  public:
-  /// Size (and reset) the scratch assignment maps.
-  void attach(std::size_t num_vcpus, std::size_t num_pcpus);
+  /// Size (and reset) the scratch assignment maps. `num_dvfs_levels` is
+  /// the declared DVFS level-table size (0 = no DVFS: every
+  /// set_freq_level >= 0 is then a violation).
+  void attach(std::size_t num_vcpus, std::size_t num_pcpus,
+              std::size_t num_dvfs_levels = 0);
 
   /// Replay the decision fields of `vcpus` against the pre-apply
   /// assignment (vcpu_pcpu[i] = PCPU held by VCPU i or -1; pcpu_vcpu[p] =
@@ -59,9 +64,17 @@ class ContractValidator {
       std::span<const VCPU_host_external> vcpus,
       std::span<const int> vcpu_pcpu, std::span<const int> pcpu_vcpu);
 
+  /// Check the PCPU-side frequency decisions: every set_freq_level must
+  /// be -1 (keep) or a declared level index. Returns the first violation
+  /// or nullopt. Separate from validate() so non-DVFS callers pay
+  /// nothing.
+  std::optional<ScheduleViolation> validate_freq(
+      std::span<const PCPU_external> pcpus) const;
+
  private:
   std::vector<int> scratch_vcpu_;  ///< vcpu -> held pcpu during replay
   std::vector<int> scratch_pcpu_;  ///< pcpu -> owning vcpu during replay
+  std::size_t num_dvfs_levels_ = 0;
 };
 
 }  // namespace vcpusim::vm

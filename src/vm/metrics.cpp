@@ -133,6 +133,32 @@ std::int64_t spin_ticks(const VirtualSystem& system, int vm_id) {
   return place == nullptr ? 0 : place->get();
 }
 
+std::unique_ptr<san::RewardVariable> energy_rate(
+    const VirtualSystem& system, san::Time warmup) {
+  auto levels_place = system.scheduler_places.freq_levels;
+  if (levels_place == nullptr) {
+    // No DVFS dimension: every PCPU draws nominal power 1.0.
+    const auto num_pcpus = static_cast<double>(system.config.num_pcpus);
+    return std::make_unique<san::RewardVariable>(
+        "energy", [num_pcpus]() { return num_pcpus; }, warmup);
+  }
+  // Precompute f·V² per level; the rate closure is then a table lookup.
+  std::vector<double> power;
+  for (const auto& level : system.scheduler_places.dvfs_levels) {
+    power.push_back(level.frequency * level.voltage * level.voltage);
+  }
+  return std::make_unique<san::RewardVariable>(
+      "energy",
+      [levels_place, power]() {
+        double total = 0.0;
+        for (const int level : levels_place->get()) {
+          total += power[static_cast<std::size_t>(level)];
+        }
+        return total;
+      },
+      warmup);
+}
+
 std::unique_ptr<san::RewardVariable> system_throughput(
     const VirtualSystem& system, san::Time warmup) {
   auto reward = std::make_unique<san::RewardVariable>(

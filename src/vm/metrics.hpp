@@ -57,6 +57,14 @@ std::unique_ptr<san::RewardVariable> mean_productive_fraction(
 /// Spinlock extension: total PCPU ticks a VM's VCPUs burned spinning.
 std::int64_t spin_ticks(const VirtualSystem& system, int vm_id);
 
+/// DVFS extension: instantaneous power draw of the PCPUs, rate reward
+/// sum_p f(level_p) * V(level_p)^2 in the dynamic-power model P ∝ f·V².
+/// Its accumulated value is the energy consumed over the run; its
+/// time-averaged value is mean power. Without DVFS every PCPU draws the
+/// nominal 1.0 (f = V = 1), so the rate is the constant PCPU count.
+std::unique_ptr<san::RewardVariable> energy_rate(
+    const VirtualSystem& system, san::Time warmup = 0.0);
+
 /// System throughput: impulse reward earning 1 per completed job across
 /// all VMs; its time-averaged value is jobs per tick. Build one instance
 /// per system per run (it keeps delta state across completions).

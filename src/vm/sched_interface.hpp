@@ -66,10 +66,19 @@ struct VCPU_host_external {
 };
 
 /// Snapshot of one PCPU: IDLE (state == 0) or ASSIGNED (state == 1).
+/// The DVFS extension adds the current frequency level (read) and the
+/// per-tick level decision (write): `set_freq_level` names a declared
+/// level index to switch this PCPU to, or -1 to keep the current level.
+/// On systems without DVFS, freq_level reads -1 and any set_freq_level
+/// >= 0 is a contract violation (ScheduleError). Level changes are
+/// applied before schedule_out/schedule_in, so a VCPU granted this tick
+/// runs at the new level immediately.
 struct PCPU_external {
   int pcpu_id;
-  int state;         ///< 0 IDLE, 1 ASSIGNED
-  int assigned_vcpu; ///< -1 when idle
+  int state;          ///< 0 IDLE, 1 ASSIGNED
+  int assigned_vcpu;  ///< -1 when idle
+  int freq_level = -1;      ///< current DVFS level index; -1 without DVFS
+  int set_freq_level = -1;  ///< decision: level to switch to, -1 = keep
 };
 
 /// The paper's plug-in signature. Return false to report an internal

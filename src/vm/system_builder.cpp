@@ -18,6 +18,16 @@ std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
   system->model = std::make_unique<san::ComposedModel>("Virtual_System");
   auto& model = *system->model;
 
+  // DVFS: every PCPU boots at the initial level, so every VCPU's service
+  // scale starts at that level's relative frequency.
+  double dvfs_initial_scale = 0.0;
+  if (cfg.dvfs.enabled) {
+    const auto levels = cfg.dvfs.effective_levels();
+    const auto initial =
+        static_cast<std::size_t>(cfg.dvfs.effective_initial_level());
+    dvfs_initial_scale = levels[initial].frequency / levels.back().frequency;
+  }
+
   // Build each VM, collecting the global VCPU bindings.
   for (std::size_t v = 0; v < cfg.vms.size(); ++v) {
     VmHandle handle;
@@ -25,8 +35,8 @@ std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
     handle.name = cfg.vms[v].name.empty()
                       ? "VM_" + std::to_string(v + 1)
                       : cfg.vms[v].name;
-    handle.places =
-        build_virtual_machine(model, cfg.vms[v], handle.name + ".");
+    handle.places = build_virtual_machine(model, cfg.vms[v], handle.name + ".",
+                                          dvfs_initial_scale);
     for (int k = 0; k < cfg.vms[v].num_vcpus; ++k) {
       VcpuBinding binding;
       binding.vcpu_id = static_cast<int>(system->vcpus.size());
@@ -38,6 +48,10 @@ std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
           handle.places.schedule_in[static_cast<std::size_t>(k)];
       binding.schedule_out =
           handle.places.schedule_out[static_cast<std::size_t>(k)];
+      if (cfg.dvfs.enabled) {
+        binding.service_scale =
+            handle.places.service_scale[static_cast<std::size_t>(k)];
+      }
       handle.vcpu_ids.push_back(binding.vcpu_id);
       system->vcpus.push_back(std::move(binding));
     }
@@ -45,6 +59,10 @@ std::unique_ptr<VirtualSystem> build_system(SystemConfig cfg,
   }
 
   system->topology = make_topology(system->vcpus, cfg.num_pcpus);
+  if (cfg.dvfs.enabled) {
+    system->topology.dvfs_levels = cfg.dvfs.effective_levels();
+    system->topology.dvfs_initial_level = cfg.dvfs.effective_initial_level();
+  }
   system->scheduler_places = build_vcpu_scheduler(
       model, cfg, system->vcpus, *system->scheduler);
 

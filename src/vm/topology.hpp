@@ -16,6 +16,16 @@
 
 namespace vcpusim::vm {
 
+/// One discrete DVFS operating point: relative frequency (1.0 = nominal,
+/// also the service-rate scale of a PCPU running at this level) and the
+/// supply voltage it requires. Dynamic power at this level is f·V².
+struct DvfsLevel {
+  double frequency = 1.0;
+  double voltage = 1.0;
+
+  bool operator==(const DvfsLevel&) const = default;
+};
+
 /// Static identity of the scheduling universe. Indices are the global
 /// VCPU ids and VM ids used throughout the scheduling interface; the
 /// sibling lists are in sibling (vcpu_index_in_vm) order. The object the
@@ -32,8 +42,20 @@ struct SystemTopology {
   std::vector<Vcpu> vcpus;                   ///< indexed by global VCPU id
   std::vector<std::vector<int>> vm_members;  ///< vm id -> global VCPU ids
 
+  /// Declared DVFS level table, ascending by frequency; empty when the
+  /// system has no DVFS dimension (then set_freq_level decisions are
+  /// contract violations). DVFS-aware schedulers consult this at attach
+  /// time; non-DVFS schedulers may ignore it entirely.
+  std::vector<DvfsLevel> dvfs_levels;
+  /// Level every PCPU starts (and resets) at; -1 when DVFS is disabled.
+  int dvfs_initial_level = -1;
+
   int num_vcpus() const noexcept { return static_cast<int>(vcpus.size()); }
   int num_vms() const noexcept { return static_cast<int>(vm_members.size()); }
+  bool dvfs_enabled() const noexcept { return !dvfs_levels.empty(); }
+  int num_dvfs_levels() const noexcept {
+    return static_cast<int>(dvfs_levels.size());
+  }
 
   /// Gang size (number of sibling VCPUs) of one VM.
   int gang_size(int vm_id) const {

@@ -33,6 +33,14 @@ struct SchedulerContext {
   std::vector<int> vcpu_pcpu;          ///< pre-apply assignment, by VCPU
   std::vector<int> pcpu_vcpu;          ///< pre-apply assignment, by PCPU
   ContractValidator validator;
+  /// Declared DVFS level table (empty = no DVFS dimension).
+  std::vector<DvfsLevel> dvfs_levels;
+
+  /// Service rate of a PCPU at `level`, relative to the fastest level.
+  double scale_of(int level) const {
+    return dvfs_levels[static_cast<std::size_t>(level)].frequency /
+           dvfs_levels.back().frequency;
+  }
 
   // Observability (docs/OBSERVABILITY.md): always-on counters plus
   // opt-in phase timings; shared so SchedulerPlaces can hand them out.
@@ -80,6 +88,15 @@ struct SchedulerContext {
     host.timeslice =
         new_timeslice > 0 ? new_timeslice : cfg.default_timeslice;
     bindings[i].schedule_in->mut() += 1;
+    // DVFS: the VCPU now runs at its PCPU's current frequency. Level
+    // switches are applied before assignments, so this reads the level
+    // the PCPU will actually run at this tick.
+    if (bindings[i].service_scale != nullptr) {
+      const int level =
+          places.freq_levels->get()[static_cast<std::size_t>(pcpu)];
+      bindings[i].service_scale->set(scale_of(level));
+      ctx.touch(bindings[i].service_scale.get());
+    }
     ctx.touch(places.hosts[i].get());
     ctx.touch(places.pcpus.get());
     ctx.touch(bindings[i].schedule_in.get());
@@ -132,10 +149,14 @@ struct SchedulerContext {
       x.new_timeslice = 0.0;
     }
     const auto& pcpus = places.pcpus->get();
+    const std::vector<int>* levels =
+        places.freq_levels != nullptr ? &places.freq_levels->get() : nullptr;
     for (std::size_t p = 0; p < px.size(); ++p) {
       px[p].pcpu_id = static_cast<int>(p);
       px[p].assigned_vcpu = pcpus[p].assigned_vcpu;
       px[p].state = pcpus[p].assigned_vcpu >= 0 ? 1 : 0;
+      px[p].freq_level = levels != nullptr ? (*levels)[p] : -1;
+      px[p].set_freq_level = -1;
     }
   }
 
@@ -147,6 +168,30 @@ struct SchedulerContext {
       os << "scheduling function '" << scheduler->name()
          << "' reported failure at t=" << timestamp;
       throw ScheduleError(os.str());
+    }
+  }
+
+  /// Apply the (already validated) per-PCPU frequency decisions: update
+  /// the Freq_Levels place and re-scale the service rate of any VCPU
+  /// currently running on a switched PCPU.
+  void apply_freq(san::GateContext& ctx) {
+    if (places.freq_levels == nullptr) return;
+    for (std::size_t p = 0; p < px.size(); ++p) {
+      const int target = px[p].set_freq_level;
+      if (target < 0 || target == places.freq_levels->get()[p]) continue;
+      places.freq_levels->mut()[p] = target;
+      ctx.touch(places.freq_levels.get());
+      bridge_stats->freq_changes += 1;
+      trace_decision(ctx, "freq", p, target);
+      const int running = places.pcpus->get()[p].assigned_vcpu;
+      if (running >= 0) {
+        const auto& scale =
+            bindings[static_cast<std::size_t>(running)].service_scale;
+        if (scale != nullptr) {
+          scale->set(scale_of(target));
+          ctx.touch(scale.get());
+        }
+      }
     }
   }
 
@@ -164,6 +209,12 @@ struct SchedulerContext {
     if (const auto violation = validator.validate(vx, vcpu_pcpu, pcpu_vcpu)) {
       throw ScheduleError(violation->message());
     }
+    if (const auto violation = validator.validate_freq(px)) {
+      throw ScheduleError(violation->message());
+    }
+    // DVFS level switches apply first, so a VCPU granted (or kept) this
+    // tick runs at the PCPU's new frequency immediately.
+    apply_freq(ctx);
     for (std::size_t i = 0; i < bindings.size(); ++i) {
       if (vx[i].schedule_out != 0) {
         const int pcpu = places.hosts[i]->get().assigned_pcpu;
@@ -249,6 +300,14 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
       submodel.add_place<std::int64_t>("Num_PCPUs", cfg.num_pcpus);
   context->places.pcpus = submodel.add_place<std::vector<PcpuState>>(
       "PCPUs", std::vector<PcpuState>(static_cast<std::size_t>(cfg.num_pcpus)));
+  if (cfg.dvfs.enabled) {
+    context->dvfs_levels = cfg.dvfs.effective_levels();
+    context->places.dvfs_levels = context->dvfs_levels;
+    context->places.freq_levels = submodel.add_place<std::vector<int>>(
+        "Freq_Levels",
+        std::vector<int>(static_cast<std::size_t>(cfg.num_pcpus),
+                         cfg.dvfs.effective_initial_level()));
+  }
 
   for (std::size_t i = 0; i < bindings.size(); ++i) {
     const std::string vcpu_name = "VCPU" + std::to_string(i + 1);
@@ -262,6 +321,10 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
 
   // Topology layer: attach the scheduler once, before the first tick.
   context->topology = make_topology(context->bindings, cfg.num_pcpus);
+  if (cfg.dvfs.enabled) {
+    context->topology.dvfs_levels = context->dvfs_levels;
+    context->topology.dvfs_initial_level = cfg.dvfs.effective_initial_level();
+  }
   scheduler.on_attach(context->topology);
 
   // Snapshot layer: size the persistent buffers once.
@@ -271,7 +334,7 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
   context->px.resize(num_pcpus);
   context->vcpu_pcpu.assign(n, -1);
   context->pcpu_vcpu.assign(num_pcpus, -1);
-  context->validator.attach(n, num_pcpus);
+  context->validator.attach(n, num_pcpus, context->dvfs_levels.size());
 
   auto& clock = submodel.add_timed_activity(
       "Clock", stats::make_deterministic(1.0), kSchedulerClockPriority);
@@ -296,6 +359,20 @@ SchedulerPlaces build_vcpu_scheduler(san::ComposedModel& model,
     func_writes.push_back(binding.schedule_out);
     func_commutes.push_back(binding.schedule_in);
     func_commutes.push_back(binding.schedule_out);
+  }
+  // DVFS: the bridge reads/rewrites the level array and pushes the
+  // resulting service rate into each (re)scheduled VCPU's scale place.
+  // No token views exist for either, so no effect variants are needed.
+  if (context->places.freq_levels != nullptr) {
+    func_reads.push_back(context->places.freq_levels);
+    func_writes.push_back(context->places.freq_levels);
+    for (const auto& binding : context->bindings) {
+      // May be null when a test builds the scheduler submodel stand-alone
+      // with a DVFS config but no VM-side scale places.
+      if (binding.service_scale != nullptr) {
+        func_writes.push_back(binding.service_scale);
+      }
+    }
   }
   // Token views for the invariant engine: each VCPU host is an
   // assigned/unassigned complement pair, the PCPU array one busy/idle

@@ -28,6 +28,7 @@ struct BridgeStats {
   std::uint64_t schedules_in = 0;   ///< PCPU assignments applied
   std::uint64_t schedules_out = 0;  ///< voluntary releases applied
   std::uint64_t preemptions = 0;    ///< forced descheduled (timeslice expiry)
+  std::uint64_t freq_changes = 0;   ///< DVFS level switches applied
 };
 
 /// Identity and join places of one VCPU, as seen by the hypervisor.
@@ -39,6 +40,10 @@ struct VcpuBinding {
   std::shared_ptr<SlotPlace> slot;
   std::shared_ptr<san::TokenPlace> schedule_in;
   std::shared_ptr<san::TokenPlace> schedule_out;
+  /// The VCPU's Service_Scale place (f_cur / f_max of its current PCPU),
+  /// written by the bridge on assignment and on frequency switches.
+  /// Null when DVFS is disabled.
+  std::shared_ptr<san::Place<double>> service_scale;
 };
 
 /// Places owned by the scheduler sub-model.
@@ -46,6 +51,11 @@ struct SchedulerPlaces {
   std::shared_ptr<san::TokenPlace> num_pcpus;
   std::shared_ptr<PcpuArrayPlace> pcpus;
   std::vector<std::shared_ptr<HostPlace>> hosts;  ///< one per VCPU
+  /// DVFS extension: current level index per PCPU (Freq_Levels place) and
+  /// a copy of the declared level table, for the energy reward. Null /
+  /// empty when the system has no DVFS dimension.
+  std::shared_ptr<san::Place<std::vector<int>>> freq_levels;
+  std::vector<DvfsLevel> dvfs_levels;
   /// The scheduler's Clock activity (fires once per tick, after all
   /// guest processing); trace observers hook it to sample per-tick state.
   san::Activity* clock = nullptr;

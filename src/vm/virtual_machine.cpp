@@ -249,6 +249,15 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
     submodel.join_place("Lock", places.lock);
     submodel.join_place("Spin_Ticks", places.spin_ticks);
   }
+  // DVFS extension: the service rate of this VCPU's current PCPU,
+  // maintained by the scheduler bridge. Null without DVFS — the place
+  // only exists when the dimension is live, so the original model (and
+  // its golden traces) is untouched.
+  std::shared_ptr<san::Place<double>> scale;
+  if (!places.service_scale.empty()) {
+    scale = places.service_scale.at(static_cast<std::size_t>(index));
+    submodel.join_place("Service_Scale", scale);
+  }
 
   auto schedule_in = submodel.add_place<std::int64_t>("Schedule_In", 0);
   auto schedule_out = submodel.add_place<std::int64_t>("Schedule_Out", 0);
@@ -291,6 +300,7 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
     clock_commutes.push_back(lock);
     clock_commutes.push_back(spin_ticks);
   }
+  if (scale != nullptr) clock_reads.push_back(scale);
   // Firing variants of one processing tick. "progress" burns the tick
   // with no marking-visible change; "complete" retires the job (READY,
   // counters move); "-unblock" additionally releases the barrier. The
@@ -330,7 +340,7 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
   clock.add_output_gate(san::OutputGate{
       "Processing_load",
       [slot, blocked, num_ready, outstanding, completed, lock, spin_ticks,
-       index](san::GateContext&) {
+       scale, index](san::GateContext&) {
         auto& s = slot->mut();
         // Spinlock extension: the trailing critical_remaining units of
         // the job execute under the VM's lock. At the critical-section
@@ -352,7 +362,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
           }
         }
         s.spinning = false;
-        s.remaining_load -= 1.0;
+        // DVFS: one tick at frequency f retires f/f_max units of load.
+        s.remaining_load -= (scale != nullptr) ? scale->get() : 1.0;
         if (s.remaining_load <= kLoadEpsilon) {
           if (s.holds_lock) {
             lock->set(0);
@@ -452,7 +463,8 @@ void build_vcpu(san::SanModel& submodel, int index, VmPlaces& places) {
 }
 
 VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
-                               const std::string& prefix) {
+                               const std::string& prefix,
+                               double dvfs_initial_scale) {
   if (cfg.num_vcpus < 1) {
     throw std::invalid_argument("build_virtual_machine: num_vcpus < 1");
   }
@@ -483,6 +495,13 @@ VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
     places.lock = std::make_shared<san::TokenPlace>(prefix + "Lock", 0);
     places.spin_ticks =
         std::make_shared<san::TokenPlace>(prefix + "Spin_Ticks", 0);
+  }
+  if (dvfs_initial_scale > 0.0) {
+    for (int k = 0; k < vm_cfg.num_vcpus; ++k) {
+      places.service_scale.push_back(std::make_shared<san::Place<double>>(
+          prefix + "VCPU" + std::to_string(k + 1) + "_Service_Scale",
+          dvfs_initial_scale));
+    }
   }
 
   build_workload_generator(wg, vm_cfg, places);

@@ -37,6 +37,11 @@ struct VmPlaces {
   /// counts PCPU ticks burned spin-waiting across all the VM's VCPUs.
   std::shared_ptr<san::TokenPlace> lock;
   std::shared_ptr<san::TokenPlace> spin_ticks;
+  /// DVFS extension (one place per VCPU; empty when DVFS is disabled):
+  /// the service rate of the VCPU's current PCPU, f_cur / f_max. Written
+  /// by the scheduler bridge on assignment and on frequency switches;
+  /// each processing Clock tick retires this much load instead of 1.0.
+  std::vector<std::shared_ptr<san::Place<double>>> service_scale;
 };
 
 /// Build one VM — Workload Generator + Job Scheduler + VCPU sub-models —
@@ -44,9 +49,13 @@ struct VmPlaces {
 /// `<prefix>VM_Job_Scheduler` and `<prefix>VCPU<k>` (prefix "" yields the
 /// paper's stand-alone Figure 2 model; the system builder passes
 /// "VM_1." etc.). Joins are recorded in the model's join registry in the
-/// format of Table 1.
+/// format of Table 1. `dvfs_initial_scale` > 0 enables the DVFS service
+/// dimension: each VCPU gains a Service_Scale place starting at that
+/// value (the initial level's f / f_max), consulted by its processing
+/// Clock; <= 0 builds the paper's original fixed-rate model.
 VmPlaces build_virtual_machine(san::ComposedModel& model, const VmConfig& cfg,
-                               const std::string& prefix);
+                               const std::string& prefix,
+                               double dvfs_initial_scale = 0.0);
 
 // --- Individual sub-model builders (used by build_virtual_machine and
 //     exercised directly by unit tests) -------------------------------

@@ -201,6 +201,95 @@ vcpus = 3
   EXPECT_EQ(s.spec.system.vms[0].num_vcpus, 3);
 }
 
+TEST(Scenario, DvfsBlockParsed) {
+  const auto s = parse(R"(
+pcpus = 2
+[dvfs]
+levels = 0.5:0.8, 0.75:0.9, 1.0:1.0
+policy = min
+[vm]
+vcpus = 1
+)");
+  EXPECT_TRUE(s.spec.system.dvfs.enabled);
+  ASSERT_EQ(s.spec.system.dvfs.levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.spec.system.dvfs.levels[0].frequency, 0.5);
+  EXPECT_DOUBLE_EQ(s.spec.system.dvfs.levels[0].voltage, 0.8);
+  EXPECT_DOUBLE_EQ(s.spec.system.dvfs.levels[2].frequency, 1.0);
+  EXPECT_EQ(s.spec.system.dvfs.initial_level, 0);  // policy = min
+  EXPECT_EQ(s.spec.system.dvfs.effective_initial_level(), 0);
+}
+
+TEST(Scenario, DvfsBlockDefaultsToLadderAndMaxPolicy) {
+  // An empty [dvfs] block enables the default four-step ladder with the
+  // highest level as the initial state.
+  const auto s = parse("[dvfs]\n[vm]\nvcpus = 1\n");
+  EXPECT_TRUE(s.spec.system.dvfs.enabled);
+  EXPECT_TRUE(s.spec.system.dvfs.levels.empty());
+  EXPECT_EQ(s.spec.system.dvfs.initial_level, -1);
+  const auto effective = s.spec.system.dvfs.effective_levels();
+  ASSERT_EQ(effective.size(), 4u);
+  EXPECT_EQ(s.spec.system.dvfs.effective_initial_level(), 3);
+
+  // Explicit numeric policy index.
+  const auto indexed = parse("[dvfs]\npolicy = 1\n[vm]\nvcpus = 1\n");
+  EXPECT_EQ(indexed.spec.system.dvfs.initial_level, 1);
+}
+
+TEST(Scenario, DvfsBlockDoesNotLeakIntoVmOrGlobalKeys) {
+  const auto s = parse(R"(
+[dvfs]
+policy = max
+[vm]
+vcpus = 3
+)");
+  ASSERT_EQ(s.spec.system.vms.size(), 1u);
+  EXPECT_EQ(s.spec.system.vms[0].num_vcpus, 3);
+  EXPECT_EQ(s.spec.system.dvfs.initial_level, -1);
+}
+
+TEST(Scenario, DvfsBlockErrors) {
+  // Malformed level entry, with the line number and the offending text.
+  try {
+    parse("[dvfs]\nlevels = 0.5:0.8, nonsense\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("invalid dvfs level 'nonsense'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("expected frequency:voltage"), std::string::npos)
+        << what;
+  }
+  // Unknown keys are errors (typo safety), like every other section.
+  try {
+    parse("[dvfs]\nladder = 1\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown dvfs key 'ladder'"),
+              std::string::npos)
+        << e.what();
+  }
+  // Empty list, named section, bad policy.
+  EXPECT_THROW(parse("[dvfs]\nlevels =\n[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("[dvfs turbo]\n[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse("[dvfs]\npolicy = turbo\n[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+  // Validation catches non-ascending ladders and out-of-range initial
+  // levels with the level index in the message.
+  try {
+    parse("[dvfs]\nlevels = 1.0:1.0, 0.5:0.8\n[vm]\nvcpus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ascending"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse("[dvfs]\nlevels = 0.5:0.8, 1.0:1.0\npolicy = 7\n"
+                     "[vm]\nvcpus = 1\n"),
+               std::invalid_argument);
+}
+
 TEST(ParseMetric, KnownNames) {
   EXPECT_EQ(parse_metric("availability").kind,
             exp::MetricKind::kMeanVcpuAvailability);
@@ -221,6 +310,7 @@ TEST(ParseMetric, KnownNames) {
             exp::MetricKind::kMeanSpinFraction);
   EXPECT_EQ(parse_metric("effective_utilization").kind,
             exp::MetricKind::kMeanEffectiveUtilization);
+  EXPECT_EQ(parse_metric("energy").kind, exp::MetricKind::kEnergy);
 }
 
 TEST(ParseMetric, Errors) {
@@ -228,6 +318,37 @@ TEST(ParseMetric, Errors) {
   EXPECT_THROW(parse_metric("availability[x]"), std::invalid_argument);
   EXPECT_THROW(parse_metric("availability[1"), std::invalid_argument);
   EXPECT_THROW(parse_metric("blocked_fraction"), std::invalid_argument);
+  // Formerly silently ignored: trailing junk, negative indices, and an
+  // index on a metric that does not take one.
+  try {
+    parse_metric("availability[1]x");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unexpected text after ']'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_metric("availability[-1]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("index must be >= 0"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_metric("energy[2]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("does not take an index"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_metric("throughput[0]"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("pcpu_utilization[1]"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("spin_fraction[1]"), std::invalid_argument);
+  EXPECT_THROW(parse_metric("effective_utilization[1]"),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -43,16 +43,22 @@ struct Outcome {
   san::RunStats stats;
   double avail, util, pcpu;
   std::int64_t jobs;
+  double energy = 0.0;  ///< DVFS runs only (integral of sum_p f*V^2)
 };
 
 Outcome run_stack(const std::string& algorithm, san::Engine engine,
-                  bool incremental, int jobs_per_vcpu, std::uint64_t seed) {
+                  bool incremental, int jobs_per_vcpu, std::uint64_t seed,
+                  bool dvfs = false) {
+  auto config_vm = vm::make_symmetric_config(2, {2, 1}, jobs_per_vcpu);
+  config_vm.dvfs.enabled = dvfs;  // default ladder when on
   auto system =
-      vm::build_system(vm::make_symmetric_config(2, {2, 1}, jobs_per_vcpu),
-                       sched::make_factory(algorithm)());
+      vm::build_system(config_vm, sched::make_factory(algorithm)());
   auto avail = vm::mean_vcpu_availability(*system, 50.0);
   auto util = vm::mean_vcpu_utilization(*system, 50.0);
   auto pcpu = vm::pcpu_utilization(*system, 50.0);
+
+  std::shared_ptr<san::RewardVariable> energy;
+  if (dvfs) energy = vm::energy_rate(*system, 50.0);
 
   san::SimulatorConfig config;
   config.end_time = 400.0;
@@ -65,11 +71,13 @@ Outcome run_stack(const std::string& algorithm, san::Engine engine,
   sim.add_reward(*avail);
   sim.add_reward(*util);
   sim.add_reward(*pcpu);
+  if (energy != nullptr) sim.add_reward(*energy);
   sim.set_model(*system->model);
   const auto stats = sim.run();
   return {std::move(rec.entries), stats,
           avail->time_averaged(400.0), util->time_averaged(400.0),
-          pcpu->time_averaged(400.0), vm::total_completed_jobs(*system)};
+          pcpu->time_averaged(400.0), vm::total_completed_jobs(*system),
+          energy != nullptr ? energy->accumulated() : 0.0};
 }
 
 void expect_identical(const Outcome& obj, const Outcome& comp,
@@ -83,6 +91,7 @@ void expect_identical(const Outcome& obj, const Outcome& comp,
   EXPECT_DOUBLE_EQ(obj.avail, comp.avail) << label;
   EXPECT_DOUBLE_EQ(obj.util, comp.util) << label;
   EXPECT_DOUBLE_EQ(obj.pcpu, comp.pcpu) << label;
+  EXPECT_DOUBLE_EQ(obj.energy, comp.energy) << label;
 }
 
 TEST(EngineEquivalence, EveryAlgorithmBitIdenticalAcrossEngines) {
@@ -106,6 +115,30 @@ TEST(EngineEquivalence, FullScanModeBitIdenticalAcrossEngines) {
     const auto obj = run_stack(name, san::Engine::kObjectGraph, false, 4, 7);
     const auto comp = run_stack(name, san::Engine::kCompiled, false, 4, 7);
     expect_identical(obj, comp, name + "/full-scan");
+  }
+}
+
+TEST(EngineEquivalence, DvfsSystemsBitIdenticalAcrossEnginesAndJobs) {
+  // The DVFS lowering (Freq_Levels vector marking, per-VCPU Service_Scale
+  // places, the bridge's frequency-switch pass, the energy reward's
+  // dynamic reads) must survive the compiled engine and be independent
+  // of the workload depth, for frequency-driving and oblivious
+  // algorithms alike.
+  for (const std::string name : {"dvfs-cc", "dvfs-la", "rebalance", "credit"}) {
+    for (const int jobs : {1, 8}) {
+      const std::string label = name + "/dvfs/jobs=" + std::to_string(jobs);
+      const auto obj = run_stack(name, san::Engine::kObjectGraph, true, jobs,
+                                 99, /*dvfs=*/true);
+      const auto comp = run_stack(name, san::Engine::kCompiled, true, jobs,
+                                  99, /*dvfs=*/true);
+      expect_identical(obj, comp, label);
+    }
+    // Full-scan enabling walks the identical DVFS trajectory too.
+    const auto obj = run_stack(name, san::Engine::kObjectGraph, false, 4, 7,
+                               /*dvfs=*/true);
+    const auto comp = run_stack(name, san::Engine::kCompiled, false, 4, 7,
+                                /*dvfs=*/true);
+    expect_identical(obj, comp, name + "/dvfs/full-scan");
   }
 }
 

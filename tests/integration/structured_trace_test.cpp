@@ -36,11 +36,20 @@ vm::SystemConfig two_pcpu_four_vcpu() {
   return vm::make_symmetric_config(2, {2, 2}, 5);
 }
 
+/// The DVFS families trace on a system that actually has a frequency
+/// ladder, so their fixtures pin the "freq" decision events too; every
+/// other algorithm keeps the plain system (and its original fixture).
+vm::SystemConfig system_for(const std::string& algorithm) {
+  auto system = two_pcpu_four_vcpu();
+  if (algorithm.rfind("dvfs", 0) == 0) system.dvfs.enabled = true;
+  return system;
+}
+
 /// The full JSONL stream of `kReplications` replications.
 std::string structured_stream(const std::string& algorithm,
                               std::size_t jobs) {
   exp::RunSpec spec;
-  spec.system = two_pcpu_four_vcpu();
+  spec.system = system_for(algorithm);
   spec.scheduler = sched::make_factory(algorithm);
   spec.end_time = kEndTime;
   spec.warmup = 1.0;
@@ -106,7 +115,7 @@ TEST(StructuredTrace, PerAlgorithmStreamsMatchFixtures) {
 }
 
 TEST(StructuredTrace, ByteIdenticalAcrossJobs) {
-  for (const std::string algorithm : {"rrs", "credit"}) {
+  for (const std::string algorithm : {"rrs", "credit", "dvfs-cc"}) {
     SCOPED_TRACE(algorithm);
     const std::string jobs1 = structured_stream(algorithm, /*jobs=*/1);
     const std::string jobs8 = structured_stream(algorithm, /*jobs=*/8);
@@ -115,11 +124,11 @@ TEST(StructuredTrace, ByteIdenticalAcrossJobs) {
 }
 
 TEST(StructuredTrace, ByteIdenticalAcrossEnablingModes) {
-  for (const std::string algorithm : {"rrs", "credit"}) {
+  for (const std::string algorithm : {"rrs", "credit", "dvfs-la"}) {
     SCOPED_TRACE(algorithm);
     std::vector<std::string> streams;
     for (const bool incremental : {true, false}) {
-      auto system = vm::build_system(two_pcpu_four_vcpu(),
+      auto system = vm::build_system(system_for(algorithm),
                                      sched::make_factory(algorithm)());
       san::SimulatorConfig config;
       config.end_time = kEndTime;

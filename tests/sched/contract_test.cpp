@@ -166,9 +166,10 @@ TEST(SchedulerContract, CFunctionAttachHookReceivesTopology) {
   EXPECT_TRUE(diags.empty()) << rendered;
   // One attach per instance (the checker builds two) plus one for the
   // reset drive (on_reset falls back to the attach hook when no reset
-  // hook is given), all carrying the harness's 4-VCPU / 2x2-sibling /
-  // 2-PCPU topology.
-  EXPECT_EQ(c_plugin::attach_calls, 3);
+  // hook is given) — and the same again for the DVFS battery's two
+  // fresh instances plus its reset drive. All six carry the harness's
+  // 4-VCPU / 2x2-sibling / 2-PCPU topology.
+  EXPECT_EQ(c_plugin::attach_calls, 6);
   EXPECT_EQ(c_plugin::attached_vcpus, 4);
   EXPECT_EQ(c_plugin::attached_pcpus, 2);
   EXPECT_EQ(c_plugin::attached_siblings_of_0, 2);
@@ -255,7 +256,7 @@ TEST(SchedulerContract, PcpuArrayMutationDiagnosed) {
   const auto diags = check_scheduler_contract(
       "pcpu-vandal", [] { return std::make_unique<Vandal>(); });
   ASSERT_FALSE(diags.empty());
-  EXPECT_TRUE(any_message_contains(diags, "PCPU snapshot array"));
+  EXPECT_TRUE(any_message_contains(diags, "read-only PCPU snapshot field"));
 }
 
 TEST(SchedulerContract, OutOfRangeAssignmentDiagnosed) {

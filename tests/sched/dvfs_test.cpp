@@ -1,0 +1,217 @@
+// DVFS dimension tests: the contract checker's frequency drive catches
+// deliberately broken fixtures (undeclared levels, frequency writes on
+// a plain topology, snapshot mutation, DVFS-only state that reset or
+// replication safety miss), and the shipped DVFS/rebalance families
+// behave as documented.
+#include "sched/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/contract.hpp"
+#include "sched/rebalance.hpp"
+#include "sched/registry.hpp"
+
+namespace vcpusim::sched {
+namespace {
+
+using san::analyze::Diagnostic;
+
+bool any_message_contains(const std::vector<Diagnostic>& diags,
+                          const std::string& needle) {
+  for (const auto& d : diags) {
+    if (d.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string rendered(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += d.to_text() + "\n";
+  return out;
+}
+
+/// Round-robin work dispatch shared by the broken fixtures below: keeps
+/// the base (non-DVFS) drives busy and contract-clean so the DVFS drive
+/// is the only place a fixture can fail.
+void dispatch_idle(std::span<vm::VCPU_host_external> vcpus,
+                   std::span<vm::PCPU_external> pcpus) {
+  for (auto& v : vcpus) {
+    if (v.assigned_pcpu >= 0) continue;
+    for (const auto& p : pcpus) {
+      if (p.assigned_vcpu < 0) {
+        bool taken = false;
+        for (const auto& w : vcpus) taken |= w.schedule_in == p.pcpu_id;
+        if (taken) continue;
+        v.schedule_in = p.pcpu_id;
+        break;
+      }
+    }
+  }
+}
+
+TEST(DvfsContract, ShippedDvfsFamiliesPassEverything) {
+  for (const std::string name : {"dvfs-cc", "dvfs-la", "rebalance"}) {
+    const auto diags = check_scheduler_contract(name, make_factory(name));
+    EXPECT_TRUE(diags.empty()) << name << ":\n" << rendered(diags);
+  }
+}
+
+TEST(DvfsContract, UndeclaredLevelDiagnosed) {
+  // Clean on the plain topology (only sets a frequency when the
+  // snapshot says the system has one), but names level 99 on the DVFS
+  // drive's three-level ladder.
+  struct Overclocker : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      dispatch_idle(vcpus, pcpus);
+      for (auto& p : pcpus) {
+        if (p.freq_level >= 0) p.set_freq_level = 99;
+      }
+      return true;
+    }
+    std::string name() const override { return "overclocker"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "overclocker", [] { return std::make_unique<Overclocker>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "invalid set_freq_level"))
+      << rendered(diags);
+  EXPECT_TRUE(any_message_contains(diags, "undeclared level 99"))
+      << rendered(diags);
+}
+
+TEST(DvfsContract, FrequencyWriteOnPlainTopologyDiagnosed) {
+  // Unconditionally sets a frequency: legal on the DVFS ladder, a
+  // ScheduleError on the base topology that declares no levels.
+  struct Presumptuous : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      dispatch_idle(vcpus, pcpus);
+      pcpus[0].set_freq_level = 0;
+      return true;
+    }
+    std::string name() const override { return "presumptuous"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "presumptuous", [] { return std::make_unique<Presumptuous>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "no DVFS levels"))
+      << rendered(diags);
+}
+
+TEST(DvfsContract, FreqLevelSnapshotMutationDiagnosed) {
+  struct Vandal : vm::Scheduler {
+    bool schedule(std::span<vm::VCPU_host_external>,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      pcpus[0].freq_level = 0;  // framework state, not a decision field
+      return true;
+    }
+    std::string name() const override { return "freq-vandal"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "freq-vandal", [] { return std::make_unique<Vandal>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(
+      any_message_contains(diags, "mutated a read-only PCPU snapshot field"))
+      << rendered(diags);
+}
+
+/// DVFS-only hidden state: frequency decisions depend on a counter the
+/// plain drives never exercise (they see freq_level = -1), so only the
+/// DVFS battery can notice it. Period 5 is coprime to the drive length.
+struct FlickerBase : vm::Scheduler {
+  long calls = 0;
+  bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                std::span<vm::PCPU_external> pcpus, long) override {
+    dispatch_idle(vcpus, pcpus);
+    if (pcpus[0].freq_level >= 0) {
+      const int target = static_cast<int>(calls++ % 5) == 0 ? 0 : 2;
+      if (target != pcpus[0].freq_level) pcpus[0].set_freq_level = target;
+    }
+    return true;
+  }
+};
+
+TEST(DvfsContract, DvfsOnlyStateMissedByResetDiagnosed) {
+  struct BadReset : FlickerBase {
+    void on_reset(const vm::SystemTopology&) override {}  // keeps `calls`
+    std::string name() const override { return "flicker-bad-reset"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "flicker-bad-reset", [] { return std::make_unique<BadReset>(); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_FALSE(any_message_contains(diags, "not replication-safe"))
+      << rendered(diags);
+  EXPECT_TRUE(any_message_contains(
+      diags, "on_reset() does not restore the just-attached state on a "
+             "DVFS topology"))
+      << rendered(diags);
+}
+
+TEST(DvfsContract, DvfsOnlySharedStateIsNotReplicationSafe) {
+  // One shared counter across factory calls: the fresh instance's DVFS
+  // drive diverges from the cold run, but ONLY on the DVFS topology —
+  // the diagnostic must say so.
+  auto shared = std::make_shared<long>(0);
+  struct SharedFlicker : vm::Scheduler {
+    std::shared_ptr<long> calls;
+    explicit SharedFlicker(std::shared_ptr<long> c) : calls(std::move(c)) {}
+    bool schedule(std::span<vm::VCPU_host_external> vcpus,
+                  std::span<vm::PCPU_external> pcpus, long) override {
+      dispatch_idle(vcpus, pcpus);
+      if (pcpus[0].freq_level >= 0) {
+        const int target = static_cast<int>((*calls)++ % 5) == 0 ? 0 : 2;
+        if (target != pcpus[0].freq_level) pcpus[0].set_freq_level = target;
+      }
+      return true;
+    }
+    std::string name() const override { return "shared-flicker"; }
+  };
+
+  const auto diags = check_scheduler_contract(
+      "shared-flicker",
+      [shared] { return std::make_unique<SharedFlicker>(shared); });
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(
+      diags, "not replication-safe on a DVFS topology"))
+      << rendered(diags);
+}
+
+TEST(DvfsOptions, ConstructorsValidate) {
+  CycleConservingOptions cc;
+  cc.window = 0;
+  EXPECT_THROW(make_dvfs_cycle_conserving(cc), std::invalid_argument);
+  cc.window = 8;
+  cc.headroom = -0.1;
+  EXPECT_THROW(make_dvfs_cycle_conserving(cc), std::invalid_argument);
+
+  LookaheadOptions la;
+  la.patience = 0;
+  EXPECT_THROW(make_dvfs_lookahead(la), std::invalid_argument);
+
+  RebalanceOptions rb;
+  rb.period = 0;
+  EXPECT_THROW(make_rebalance(rb), std::invalid_argument);
+  rb.period = 16;
+  rb.imbalance_threshold = 0;
+  EXPECT_THROW(make_rebalance(rb), std::invalid_argument);
+}
+
+TEST(DvfsOptions, RegistryKnowsTheNewFamilies) {
+  EXPECT_EQ(make_factory("dvfs-cc")()->name(), "DVFS-CC");
+  EXPECT_EQ(make_factory("dvfs_cycle_conserving")()->name(), "DVFS-CC");
+  EXPECT_EQ(make_factory("dvfs-la")()->name(), "DVFS-LA");
+  EXPECT_EQ(make_factory("dvfs_lookahead")()->name(), "DVFS-LA");
+  EXPECT_EQ(make_factory("rebalance")()->name(), "Rebalance");
+}
+
+}  // namespace
+}  // namespace vcpusim::sched
